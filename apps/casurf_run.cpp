@@ -1,0 +1,249 @@
+// casurf_run — command-line driver for the library: pick a bundled model
+// (or load one from a .model file), pick an algorithm, run, and dump
+// coverage series / snapshots / images.
+//
+//   casurf_run --model zgb --y 0.45 --algorithm pndca --size 128x128 \
+//              --t-end 50 --dt 1 --csv coverage.csv --ppm final.ppm
+//
+//   casurf_run --model-file my.model --fill "*" --algorithm rsm --t-end 10
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/observer.hpp"
+#include "core/simulation.hpp"
+#include "io/snapshot.hpp"
+#include "model/parser.hpp"
+#include "models/diffusion.hpp"
+#include "models/ising.hpp"
+#include "models/pt100.hpp"
+#include "models/zgb.hpp"
+#include "stats/coverage.hpp"
+#include "stats/csv.hpp"
+
+using namespace casurf;
+
+namespace {
+
+struct Options {
+  std::string model = "zgb";
+  std::string model_file;
+  std::string algorithm = "rsm";
+  std::int32_t width = 100, height = 100;
+  std::uint64_t seed = 1;
+  double t_end = 20.0;
+  double dt = 1.0;
+  double y = 0.45;       // ZGB CO fraction
+  double beta = 0.5;     // Ising J/kT
+  double hop = 1.0;      // diffusion rate
+  double coverage0 = 0;  // initial particle coverage for diffusion/ising
+  std::uint32_t l_trials = 1;
+  unsigned threads = 2;
+  std::string fill;      // species name to fill the lattice with
+  std::string csv, ppm, snapshot_out, snapshot_in;
+  bool quiet = false;
+};
+
+[[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
+  if (error) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "  --model NAME        zgb | pt100 | diffusion | single-file | ising\n"
+               "  --model-file PATH   parse a .model description instead\n"
+               "  --algorithm NAME    rsm | vssm | frm | ndca | pndca | lpndca |\n"
+               "                      tpndca | parallel\n"
+               "  --size WxH          lattice size (default 100x100)\n"
+               "  --t-end T           simulated end time (default 20)\n"
+               "  --dt T              sampling interval (default 1)\n"
+               "  --seed S            RNG seed (default 1)\n"
+               "  --y Y               ZGB CO fraction (default 0.45)\n"
+               "  --beta B            Ising J/kT (default 0.5)\n"
+               "  --hop R             diffusion hop rate (default 1)\n"
+               "  --coverage0 C       initial particle coverage (diffusion/ising)\n"
+               "  --L N               L-PNDCA trials per batch (default 1)\n"
+               "  --threads N         threads for the parallel engine (default 2)\n"
+               "  --fill NAME         species to fill the lattice with\n"
+               "  --load PATH         start from a snapshot\n"
+               "  --csv PATH          write the coverage time series\n"
+               "  --ppm PATH          write the final state as a PPM image\n"
+               "  --snapshot PATH     write the final state as a snapshot\n"
+               "  --quiet             suppress the progress table\n",
+               argv0);
+  std::exit(error ? 2 : 0);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  const auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0], "missing value for flag");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view flag = argv[i];
+    if (flag == "--help" || flag == "-h") usage(argv[0]);
+    else if (flag == "--model") opt.model = need_value(i);
+    else if (flag == "--model-file") opt.model_file = need_value(i);
+    else if (flag == "--algorithm") opt.algorithm = need_value(i);
+    else if (flag == "--size") {
+      const char* v = need_value(i);
+      if (std::sscanf(v, "%dx%d", &opt.width, &opt.height) != 2 || opt.width <= 0 ||
+          opt.height <= 0) {
+        usage(argv[0], "--size expects WxH");
+      }
+    }
+    else if (flag == "--t-end") opt.t_end = std::atof(need_value(i));
+    else if (flag == "--dt") opt.dt = std::atof(need_value(i));
+    else if (flag == "--seed") opt.seed = std::strtoull(need_value(i), nullptr, 10);
+    else if (flag == "--y") opt.y = std::atof(need_value(i));
+    else if (flag == "--beta") opt.beta = std::atof(need_value(i));
+    else if (flag == "--hop") opt.hop = std::atof(need_value(i));
+    else if (flag == "--coverage0") opt.coverage0 = std::atof(need_value(i));
+    else if (flag == "--L") opt.l_trials = std::strtoul(need_value(i), nullptr, 10);
+    else if (flag == "--threads") opt.threads = std::strtoul(need_value(i), nullptr, 10);
+    else if (flag == "--fill") opt.fill = need_value(i);
+    else if (flag == "--load") opt.snapshot_in = need_value(i);
+    else if (flag == "--csv") opt.csv = need_value(i);
+    else if (flag == "--ppm") opt.ppm = need_value(i);
+    else if (flag == "--snapshot") opt.snapshot_out = need_value(i);
+    else if (flag == "--quiet") opt.quiet = true;
+    else usage(argv[0], ("unknown flag: " + std::string(flag)).c_str());
+  }
+  return opt;
+}
+
+Algorithm algorithm_from_name(const std::string& name, const char* argv0) {
+  static const std::map<std::string, Algorithm> kMap = {
+      {"rsm", Algorithm::kRsm},       {"vssm", Algorithm::kVssm},
+      {"frm", Algorithm::kFrm},       {"ndca", Algorithm::kNdca},
+      {"pndca", Algorithm::kPndca},   {"lpndca", Algorithm::kLPndca},
+      {"tpndca", Algorithm::kTPndca}, {"parallel", Algorithm::kParallelPndca}};
+  const auto it = kMap.find(name);
+  if (it == kMap.end()) usage(argv0, ("unknown algorithm: " + name).c_str());
+  return it->second;
+}
+
+/// Scatter species `what` onto a fraction `coverage` of vacant sites,
+/// deterministically from the seed.
+void scatter(Configuration& cfg, Species what, double coverage, std::uint64_t seed) {
+  CounterRng rng(seed, 0xc0ffee);
+  for (SiteIndex s = 0; s < cfg.size(); ++s) {
+    if (rng.next_double() < coverage) cfg.set(s, what);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+
+  // --- Build the model -----------------------------------------------
+  std::optional<ReactionModel> model;
+  Species fill_species = 0;
+  try {
+    if (!opt.model_file.empty()) {
+      model.emplace(parse_model_file(opt.model_file));
+    } else if (opt.model == "zgb") {
+      model.emplace(models::make_zgb(models::ZgbParams::from_y(opt.y, 20.0)).model);
+    } else if (opt.model == "pt100") {
+      model.emplace(models::make_pt100().model);
+    } else if (opt.model == "diffusion") {
+      model.emplace(models::make_diffusion(opt.hop).model);
+    } else if (opt.model == "single-file") {
+      model.emplace(models::make_single_file(opt.hop).model);
+      if (opt.height != 1) {
+        std::fprintf(stderr, "note: single-file is one-dimensional; using %dx1\n",
+                     opt.width);
+      }
+    } else if (opt.model == "ising") {
+      model.emplace(models::make_ising(opt.beta).model);
+    } else {
+      usage(argv[0], ("unknown model: " + opt.model).c_str());
+    }
+
+    if (!opt.fill.empty()) {
+      fill_species = model->species().require(opt.fill);
+    }
+
+    // --- Initial configuration ---------------------------------------
+    const std::int32_t height = opt.model == "single-file" ? 1 : opt.height;
+    Configuration cfg(Lattice(opt.width, height), model->species().size(),
+                      fill_species);
+    if (!opt.snapshot_in.empty()) {
+      io::Snapshot snap = io::load_snapshot(opt.snapshot_in);
+      if (snap.config.num_species() != model->species().size()) {
+        std::fprintf(stderr, "error: snapshot species count mismatch\n");
+        return 1;
+      }
+      cfg = std::move(snap.config);
+    } else if (opt.coverage0 > 0 && model->species().size() >= 2) {
+      scatter(cfg, 1, opt.coverage0, opt.seed);
+    }
+
+    // --- Simulator -----------------------------------------------------
+    SimulationOptions sim_opt;
+    sim_opt.algorithm = algorithm_from_name(opt.algorithm, argv[0]);
+    sim_opt.seed = opt.seed;
+    sim_opt.l_trials = opt.l_trials;
+    sim_opt.threads = opt.threads;
+    auto sim = make_simulator(*model, std::move(cfg), sim_opt);
+
+    if (!opt.quiet) {
+      std::printf("# %s, %zu reaction types, K = %.3f, %d x %d, seed %llu\n",
+                  sim->name().c_str(), model->num_reactions(), model->total_rate(),
+                  opt.width, height, static_cast<unsigned long long>(opt.seed));
+      std::printf("%-10s", "time");
+      for (const std::string& name : model->species().names()) {
+        std::printf(" %-8s", name.c_str());
+      }
+      std::printf("\n");
+    }
+
+    CoverageRecorder recorder;
+    recorder.sample(*sim);
+    double next = opt.dt;
+    while (next <= opt.t_end) {
+      sim->advance_to(next);
+      recorder.sample(*sim);
+      if (!opt.quiet) {
+        std::printf("%-10.2f", sim->time());
+        for (Species s = 0; s < model->species().size(); ++s) {
+          std::printf(" %-8.4f", sim->configuration().coverage(s));
+        }
+        std::printf("\n");
+      }
+      next = sim->time() + opt.dt;
+    }
+
+    if (!opt.quiet) {
+      const SimCounters& c = sim->counters();
+      std::printf("# %llu trials, %llu executed (acceptance %.2f%%)\n",
+                  static_cast<unsigned long long>(c.trials),
+                  static_cast<unsigned long long>(c.executed),
+                  100 * c.acceptance());
+    }
+
+    // --- Outputs ---------------------------------------------------------
+    if (!opt.csv.empty()) {
+      std::vector<std::string> names;
+      std::vector<TimeSeries> series;
+      for (Species s = 0; s < model->species().size(); ++s) {
+        names.push_back(model->species().name(s));
+        series.push_back(recorder.series(s));
+      }
+      stats::write_csv_series(opt.csv, names, series);
+    }
+    if (!opt.ppm.empty()) io::write_ppm(opt.ppm, sim->configuration());
+    if (!opt.snapshot_out.empty()) {
+      io::save_snapshot(opt.snapshot_out, sim->configuration(), model->species());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

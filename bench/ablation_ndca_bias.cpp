@@ -1,0 +1,73 @@
+// Ablation for the paper's section 4 remark that plain NDCA "gives
+// degenerate results for some systems (Ising models, Single-File models)":
+// quantifies the site-selection bias of NDCA sweeps on 1-D single-file
+// diffusion, against RSM, the shuffled-sweep NDCA, and PNDCA.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "ca/ndca.hpp"
+#include "ca/pndca.hpp"
+#include "dmc/rsm.hpp"
+#include "models/diffusion.hpp"
+#include "partition/coloring.hpp"
+
+using namespace casurf;
+
+namespace {
+
+Configuration half_filled(const models::DiffusionModel& sf, std::int32_t len) {
+  Configuration cfg(Lattice(len, 1), 2, sf.vacant);
+  for (std::int32_t x = 0; x < len; x += 2) cfg.set(Vec2{x, 0}, sf.particle);
+  return cfg;
+}
+
+double hop_ratio(const Simulator& sim) {
+  const auto& per = sim.counters().executed_per_type;
+  return static_cast<double>(per[0]) / static_cast<double>(per[1]);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation — NDCA sweep bias on single-file diffusion (paper sec. 4)");
+
+  const bool fast = bench::fast_mode();
+  const std::int32_t len = 128;
+  const int steps = fast ? 1000 : 10000;
+  const auto sf = models::make_single_file(1.0);
+  const Configuration initial = half_filled(sf, len);
+
+  std::printf("1-D lattice of %d sites, half filled, %d MC steps.\n", len, steps);
+  std::printf("Right/left hop channels have identical rates; any deviation of the\n");
+  std::printf("executed-count ratio from 1 is algorithmic bias.\n\n");
+  std::printf("%-26s %s\n", "algorithm", "right/left execution ratio");
+
+  {
+    RsmSimulator sim(sf.model, initial, 1);
+    for (int i = 0; i < steps; ++i) sim.mc_step();
+    std::printf("%-26s %.4f   (exact reference)\n", "RSM", hop_ratio(sim));
+  }
+  {
+    NdcaSimulator sim(sf.model, initial, 2, TimeMode::kStochastic, SweepOrder::kRaster);
+    for (int i = 0; i < steps; ++i) sim.mc_step();
+    std::printf("%-26s %.4f   (raster sweep: biased)\n", "NDCA raster", hop_ratio(sim));
+  }
+  {
+    NdcaSimulator sim(sf.model, initial, 3, TimeMode::kStochastic, SweepOrder::kShuffled);
+    for (int i = 0; i < steps; ++i) sim.mc_step();
+    std::printf("%-26s %.4f   (random permutation per step)\n", "NDCA shuffled",
+                hop_ratio(sim));
+  }
+  {
+    const Partition p = make_partition(initial.lattice(), sf.model);
+    PndcaSimulator sim(sf.model, initial, {p}, 4, ChunkPolicy::kRandomOrder);
+    for (int i = 0; i < steps; ++i) sim.mc_step();
+    std::printf("%-26s %.4f   (%zu conflict-free chunks)\n", "PNDCA random order",
+                hop_ratio(sim), p.num_chunks());
+  }
+
+  std::printf("\nShape check: RSM ~ 1.00; NDCA raster deviates systematically;\n");
+  std::printf("randomising the visit order (shuffled NDCA, PNDCA) removes the bias.\n");
+  return 0;
+}

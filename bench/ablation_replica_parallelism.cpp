@@ -1,0 +1,72 @@
+// The paper's *third* route to parallelism (section 1): average many
+// small, independent simulations. This bench contrasts it with PNDCA:
+// replica averaging parallelizes perfectly but only reduces the
+// *statistical* error of small-system observables — it cannot simulate a
+// larger lattice or longer trajectory, which is exactly the gap the
+// partitioned CA fills.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/simulation.hpp"
+#include "models/zgb.hpp"
+#include "stats/block_average.hpp"
+#include "stats/ensemble.hpp"
+
+using namespace casurf;
+
+int main() {
+  bench::header("Ablation — replica-ensemble parallelism (paper sec. 1, route 3)");
+
+  const bool fast = bench::fast_mode();
+  const auto zgb = models::make_zgb(models::ZgbParams::from_y(0.48, 20.0));
+  const Lattice lat(32, 32);
+  const Configuration initial(lat, 3, zgb.vacant);
+  const double t_end = fast ? 6.0 : 15.0;
+
+  const auto factory = [&](std::uint64_t seed) {
+    SimulationOptions opt;
+    opt.seed = seed;
+    return make_simulator(zgb.model, initial, opt);
+  };
+  const auto obs = [&](const Simulator& sim) {
+    return sim.configuration().coverage(zgb.o);
+  };
+
+  std::printf("ZGB y = 0.48 on 32 x 32, O coverage at t = %.0f\n\n", t_end);
+  std::printf("%-10s %-12s %-12s %s\n", "replicas", "mean", "stderr",
+              "stderr * sqrt(R) (should be ~constant)");
+  for (const std::size_t replicas : {4u, 16u, 64u}) {
+    const auto r = run_ensemble(factory, obs, replicas, t_end, t_end, 2, 31);
+    const double se = r.stderr_at(r.mean.size() - 1);
+    std::printf("%-10zu %-12.4f %-12.5f %.4f\n", replicas, r.mean.values().back(), se,
+                se * std::sqrt(static_cast<double>(replicas)));
+  }
+
+  // What replicas cannot buy: time-correlated statistics of ONE system.
+  // Block averaging of a single trajectory shows how expensive a
+  // steady-state estimate is sequentially.
+  SimulationOptions opt;
+  opt.seed = 77;
+  auto sim = make_simulator(zgb.model, initial, opt);
+  sim->advance_to(t_end);
+  std::vector<double> series;
+  for (int i = 0; i < (fast ? 400 : 2000); ++i) {
+    sim->mc_step();
+    series.push_back(sim->configuration().coverage(zgb.o));
+  }
+  const auto ba = stats::block_average(series);
+  std::printf("\nsingle-trajectory steady state (block averaging, %zu samples):\n",
+              series.size());
+  std::printf("  mean %.4f, naive stderr %.5f, true (blocked) stderr %.5f\n", ba.mean,
+              ba.naive_error, ba.error);
+  std::printf("  statistical inefficiency g = %.1f (one independent sample per g\n",
+              ba.statistical_inefficiency());
+  std::printf("  MC steps) — the correlations replicas sidestep entirely\n");
+
+  std::printf("\nShape check: replica stderr scales as 1/sqrt(R) (perfect parallel\n");
+  std::printf("efficiency, zero communication) — but each replica is still a small\n");
+  std::printf("lattice evolved sequentially; scaling the SYSTEM needs PNDCA.\n");
+  return 0;
+}

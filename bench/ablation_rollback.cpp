@@ -1,0 +1,145 @@
+// Ablation for the paper's section-1 claim that optimistic parallel
+// simulation (Time Warp) of surface reactions "would result in frequent
+// roll-back, because each reaction disables many others".
+//
+// Method: record the exact event trajectory (VSSM), then analyse it
+// offline for a hypothetical Time-Warp execution with p vertical strips
+// and synchronization windows of length tau: a rank must roll back a
+// window whenever one of its events read a site that a *different* rank's
+// earlier event in the same window had written. This counts unavoidable
+// rollbacks (a real optimistic runtime can only do worse).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "dmc/vssm.hpp"
+#include "models/zgb.hpp"
+
+using namespace casurf;
+
+namespace {
+
+struct Trace {
+  std::vector<VssmSimulator::Event> events;
+  Lattice lattice{1, 1};
+  const ReactionModel* model = nullptr;
+};
+
+Trace record_trace(double t_end) {
+  static const auto zgb = models::make_zgb(models::ZgbParams::from_y(0.48, 20.0));
+  Trace trace;
+  trace.lattice = Lattice(64, 64);
+  trace.model = &zgb.model;
+  VssmSimulator sim(zgb.model, Configuration(trace.lattice, 3, zgb.vacant), 11);
+  // Skip the transient so the analysis sees steady-state event density.
+  sim.advance_to(5.0);
+  const double t0 = sim.time();
+  while (sim.time() < t0 + t_end && !sim.stalled()) {
+    sim.mc_step();
+    auto ev = sim.last_event();
+    ev.time -= t0;
+    trace.events.push_back(ev);
+  }
+  return trace;
+}
+
+struct RollbackStats {
+  std::uint64_t windows = 0;          // (rank, window) pairs with any event
+  std::uint64_t rolled_back = 0;      // of those, how many must roll back
+  std::uint64_t conflicting_events = 0;
+  std::uint64_t total_events = 0;
+};
+
+RollbackStats analyse(const Trace& trace, int ranks, double window) {
+  const std::int32_t strip = trace.lattice.width() / ranks;
+  const auto rank_of = [&](SiteIndex s) {
+    return trace.lattice.coord(s).x / strip;
+  };
+
+  RollbackStats stats;
+  // Per site: which rank wrote it last in the current window (epoch-tagged).
+  std::vector<int> writer(trace.lattice.size(), -1);
+  std::vector<std::uint64_t> epoch(trace.lattice.size(), ~0ull);
+  std::vector<char> rank_active(ranks, 0), rank_conflicted(ranks, 0);
+  std::uint64_t current_window = ~0ull;
+
+  const auto close_window = [&] {
+    for (int r = 0; r < ranks; ++r) {
+      if (rank_active[r]) ++stats.windows;
+      if (rank_conflicted[r]) ++stats.rolled_back;
+      rank_active[r] = rank_conflicted[r] = 0;
+    }
+  };
+
+  for (const auto& ev : trace.events) {
+    const auto w = static_cast<std::uint64_t>(ev.time / window);
+    if (w != current_window) {
+      if (current_window != ~0ull) close_window();
+      current_window = w;
+    }
+    const int me = rank_of(ev.site);
+    rank_active[me] = 1;
+    ++stats.total_events;
+
+    const ReactionType& rt = trace.model->reaction(ev.type);
+    bool conflict = false;
+    for (const Vec2 o : rt.neighborhood()) {
+      const SiteIndex z = trace.lattice.neighbor(ev.site, o);
+      if (epoch[z] == current_window && writer[z] >= 0 && writer[z] != me) {
+        conflict = true;
+      }
+    }
+    if (conflict) {
+      rank_conflicted[me] = 1;
+      ++stats.conflicting_events;
+    }
+    for (const Transform& t : rt.transforms()) {
+      if (t.tg == kKeep) continue;
+      const SiteIndex z = trace.lattice.neighbor(ev.site, t.offset);
+      writer[z] = me;
+      epoch[z] = current_window;
+    }
+  }
+  close_window();
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation — Time-Warp rollback rate on surface reactions (sec. 1)");
+
+  const bool fast = bench::fast_mode();
+  const Trace trace = record_trace(fast ? 3.0 : 10.0);
+  std::printf("ZGB (y = 0.48, reactive) on 64 x 64; %zu events traced\n\n",
+              trace.events.size());
+  std::printf("%-8s %-12s %-18s %-18s %s\n", "ranks", "window", "windows w/ work",
+              "rolled back", "rollback fraction");
+
+  std::vector<double> r_col, w_col, frac_col;
+  for (const int ranks : {2, 4, 8}) {
+    for (const double window : {0.005, 0.02, 0.1, 0.5}) {
+      const RollbackStats s = analyse(trace, ranks, window);
+      const double frac = s.windows ? static_cast<double>(s.rolled_back) /
+                                          static_cast<double>(s.windows)
+                                    : 0.0;
+      std::printf("%-8d %-12.3f %-18llu %-18llu %.3f\n", ranks, window,
+                  static_cast<unsigned long long>(s.windows),
+                  static_cast<unsigned long long>(s.rolled_back), frac);
+      r_col.push_back(ranks);
+      w_col.push_back(window);
+      frac_col.push_back(frac);
+    }
+  }
+  stats::write_csv(bench::out_dir() + "/ablation_rollback.csv",
+                   {"ranks", "window", "rollback_fraction"}, {r_col, w_col, frac_col});
+  std::printf("  [csv] %s/ablation_rollback.csv\n", bench::out_dir().c_str());
+
+  std::printf("\nShape check: already at modest window sizes most busy windows\n");
+  std::printf("contain a cross-strip read-after-write and must roll back — the\n");
+  std::printf("paper's reason to abandon optimistic methods and change the model\n");
+  std::printf("(partitioned CA) instead. Rollback rate grows with both the window\n");
+  std::printf("length and the rank count (more seams).\n");
+  return 0;
+}

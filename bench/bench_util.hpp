@@ -1,0 +1,58 @@
+#pragma once
+
+// Shared helpers for the figure/table reproduction harness. Each bench
+// binary prints the rows/series the paper reports and additionally dumps
+// the raw series to bench_out/*.csv for plotting.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "stats/csv.hpp"
+#include "stats/timeseries.hpp"
+
+namespace casurf::bench {
+
+/// Directory for CSV dumps; created on demand next to the working dir.
+inline std::string out_dir() {
+  static const std::string dir = [] {
+    std::error_code ec;
+    std::filesystem::create_directories("bench_out", ec);
+    return std::string("bench_out");
+  }();
+  return dir;
+}
+
+inline void dump_series(const std::string& name, const std::vector<std::string>& cols,
+                        const std::vector<TimeSeries>& series) {
+  const std::string path = out_dir() + "/" + name + ".csv";
+  stats::write_csv_series(path, cols, series);
+  std::printf("  [csv] %s\n", path.c_str());
+}
+
+/// Print a series as a compact table: one row every `stride` samples.
+inline void print_series(const char* label, const TimeSeries& ts, std::size_t rows = 12) {
+  std::printf("  %s:\n    t       value\n", label);
+  const std::size_t stride = ts.size() <= rows ? 1 : ts.size() / rows;
+  for (std::size_t i = 0; i < ts.size(); i += stride) {
+    std::printf("    %-7.1f %.4f\n", ts.time(i), ts.value(i));
+  }
+}
+
+/// Scale factor for quick smoke runs: CASURF_BENCH_FAST=1 shrinks the
+/// heavy figure benches (smaller lattice / shorter horizon) so the whole
+/// harness runs in seconds. Full paper-scale runs are the default.
+inline bool fast_mode() {
+  const char* v = std::getenv("CASURF_BENCH_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+inline void header(const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace casurf::bench

@@ -1,0 +1,129 @@
+// Google-benchmark microbenchmarks: per-trial / per-event throughput of
+// every simulator on the ZGB workload, plus the primitive operations on the
+// hot path. These are the numbers behind the calibrated t_site of the
+// Fig 7 speedup model.
+
+#include <benchmark/benchmark.h>
+
+#include "ca/lpndca.hpp"
+#include "ca/ndca.hpp"
+#include "ca/pndca.hpp"
+#include "ca/tpndca.hpp"
+#include "dmc/frm.hpp"
+#include "dmc/rsm.hpp"
+#include "dmc/vssm.hpp"
+#include "models/zgb.hpp"
+#include "parallel/parallel_pndca.hpp"
+#include "partition/coloring.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace {
+
+using namespace casurf;
+
+constexpr std::int32_t kSide = 64;
+
+const models::ZgbModel& zgb() {
+  static const models::ZgbModel model =
+      models::make_zgb(models::ZgbParams::from_y(0.45, 20.0));
+  return model;
+}
+
+Configuration initial() { return Configuration(Lattice(kSide, kSide), 3, zgb().vacant); }
+
+void BM_RsmMcStep(benchmark::State& state) {
+  RsmSimulator sim(zgb().model, initial(), 1);
+  for (auto _ : state) sim.mc_step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim.counters().trials));
+}
+BENCHMARK(BM_RsmMcStep)->Unit(benchmark::kMicrosecond);
+
+void BM_NdcaMcStep(benchmark::State& state) {
+  NdcaSimulator sim(zgb().model, initial(), 2);
+  for (auto _ : state) sim.mc_step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim.counters().trials));
+}
+BENCHMARK(BM_NdcaMcStep)->Unit(benchmark::kMicrosecond);
+
+void BM_PndcaMcStep(benchmark::State& state) {
+  const Lattice lat(kSide, kSide);
+  PndcaSimulator sim(zgb().model, initial(),
+                     {Partition::linear_form(lat, 1, 3, 5)}, 3);
+  for (auto _ : state) sim.mc_step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim.counters().trials));
+}
+BENCHMARK(BM_PndcaMcStep)->Unit(benchmark::kMicrosecond);
+
+void BM_LPndcaMcStep(benchmark::State& state) {
+  const Lattice lat(kSide, kSide);
+  LPndcaSimulator sim(zgb().model, initial(), Partition::linear_form(lat, 1, 3, 5),
+                      4, 64);
+  for (auto _ : state) sim.mc_step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim.counters().trials));
+}
+BENCHMARK(BM_LPndcaMcStep)->Unit(benchmark::kMicrosecond);
+
+void BM_TPndcaMcStep(benchmark::State& state) {
+  const Lattice lat(kSide, kSide);
+  TPndcaSimulator sim(zgb().model, initial(), make_type_partition(lat, zgb().model), 5);
+  for (auto _ : state) sim.mc_step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim.counters().trials));
+}
+BENCHMARK(BM_TPndcaMcStep)->Unit(benchmark::kMicrosecond);
+
+void BM_ParallelPndcaMcStep(benchmark::State& state) {
+  const Lattice lat(kSide, kSide);
+  ParallelPndcaEngine sim(zgb().model, initial(),
+                          {Partition::linear_form(lat, 1, 3, 5)}, 6,
+                          static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) sim.mc_step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim.counters().trials));
+}
+BENCHMARK(BM_ParallelPndcaMcStep)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMicrosecond);
+
+void BM_VssmEvent(benchmark::State& state) {
+  VssmSimulator sim(zgb().model, initial(), 7);
+  for (auto _ : state) sim.mc_step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim.counters().executed));
+}
+BENCHMARK(BM_VssmEvent);
+
+void BM_FrmEvent(benchmark::State& state) {
+  FrmSimulator sim(zgb().model, initial(), 8);
+  for (auto _ : state) sim.mc_step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim.counters().executed));
+}
+BENCHMARK(BM_FrmEvent);
+
+void BM_EnabledCheck(benchmark::State& state) {
+  const Configuration cfg = initial();
+  const ReactionType& rt = zgb().model.reaction(3);  // 2-site CO+O pattern
+  SiteIndex s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.enabled(cfg, s));
+    s = (s + 1) % cfg.size();
+  }
+}
+BENCHMARK(BM_EnabledCheck);
+
+void BM_AliasTypeSample(benchmark::State& state) {
+  Xoshiro256 rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zgb().model.sample_type(rng));
+  }
+}
+BENCHMARK(BM_AliasTypeSample);
+
+void BM_MakePartition(benchmark::State& state) {
+  const Lattice lat(static_cast<std::int32_t>(state.range(0)),
+                    static_cast<std::int32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_partition(lat, zgb().model));
+  }
+}
+BENCHMARK(BM_MakePartition)->Arg(50)->Arg(100)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

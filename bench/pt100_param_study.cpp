@@ -1,0 +1,84 @@
+// Reproducibility of the Pt(100) substitution (DESIGN.md / EXPERIMENTS.md):
+// the paper uses Kuzovkov et al.'s reconstruction model but publishes no
+// rate constants, so this library ships a tuned set. This bench documents
+// the tuning landscape: oscillation character across the neighborhood of
+// the chosen defaults, including the failure modes (O-flooded absorbing
+// state; weak local-transition oscillations).
+
+#include <cstdio>
+
+#include "dmc/rsm.hpp"
+#include "pt100_util.hpp"
+
+using namespace casurf;
+
+namespace {
+
+struct Case {
+  const char* label;
+  models::Pt100Params params;
+};
+
+}  // namespace
+
+int main() {
+  bench::header("Pt(100) parameter study — oscillation landscape around the defaults");
+
+  const bool fast = bench::fast_mode();
+  const std::int32_t side = fast ? 48 : 64;
+  const double t_end = fast ? 80.0 : 150.0;
+
+  std::vector<Case> cases;
+  cases.push_back({"defaults (des .2, V 1.0)", models::Pt100Params{}});
+  {
+    models::Pt100Params p;
+    p.co_des = 0.1;
+    p.v_lift = p.v_restore = 0.5;
+    cases.push_back({"des .1, V 0.5 (fragile)", p});
+  }
+  {
+    models::Pt100Params p;
+    p.v_lift = p.v_restore = 2.0;
+    cases.push_back({"V 2.0 (fronts too fast)", p});
+  }
+  {
+    models::Pt100Params p;
+    p.diffusion = 10.0;
+    cases.push_back({"diffusion 10 (weak sync)", p});
+  }
+  {
+    models::Pt100Params p;
+    p.front_propagation = false;
+    p.v_lift = 0.2;
+    p.v_restore = 0.1;
+    cases.push_back({"local transitions (no fronts)", p});
+  }
+  {
+    models::Pt100Params p;
+    p.o2_ads = 1.6;
+    cases.push_back({"O2 1.6 (flood risk)", p});
+  }
+
+  std::printf("%d x %d, RSM, t_end = %.0f, seed 9\n\n", side, side, t_end);
+  std::printf("%-32s %-8s %-8s %-10s %-8s %s\n", "parameter set", "peaks", "period",
+              "amplitude", "end O", "verdict");
+
+  for (const Case& c : cases) {
+    const auto pt = models::make_pt100(c.params);
+    RsmSimulator sim(pt.model, Configuration(Lattice(side, side), 5, pt.hex_vac), 9);
+    const auto run = bench::record_pt100(sim, pt, t_end, 0.5);
+    const auto osc = stats::detect_oscillations(run.co, t_end * 0.2);
+    const double end_o = pt.o_coverage(sim.configuration());
+    const char* verdict = osc.oscillating() ? "oscillating"
+                          : end_o > 0.9     ? "O-flooded (absorbing)"
+                                            : "steady / weak";
+    std::printf("%-32s %-8zu %-8.1f %-10.3f %-8.2f %s\n", c.label, osc.num_peaks,
+                osc.mean_period, osc.mean_amplitude, end_o, verdict);
+  }
+
+  std::printf("\nShape check: the shipped defaults oscillate robustly; weakening the\n");
+  std::printf("fronts, the diffusion, or pushing O2 uptake toward the absorbing\n");
+  std::printf("O-covered state degrades or kills the oscillations — the landscape\n");
+  std::printf("recorded in EXPERIMENTS.md (substitution #2).\n");
+  return 0;
+}

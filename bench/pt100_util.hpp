@@ -1,0 +1,37 @@
+#pragma once
+
+// Shared setup for the Pt(100) oscillation experiments (Figs 8-10): the
+// model, the 100x100 lattice of the paper, and a run helper that records
+// CO and O coverage series.
+
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/observer.hpp"
+#include "core/simulator.hpp"
+#include "models/pt100.hpp"
+#include "stats/coverage.hpp"
+#include "stats/oscillation.hpp"
+
+namespace casurf::bench {
+
+struct Pt100Run {
+  TimeSeries co;  ///< total CO coverage (both phases)
+  TimeSeries o;   ///< O coverage
+};
+
+inline Pt100Run record_pt100(Simulator& sim, const models::Pt100Model& pt,
+                             double t_end, double dt) {
+  CoverageRecorder rec;
+  run_sampled(sim, t_end, dt, rec);
+  return Pt100Run{rec.combined({pt.hex_co, pt.sq_co}), rec.series(pt.sq_o)};
+}
+
+inline void print_oscillation(const char* label, const TimeSeries& ts, double skip) {
+  const auto osc = stats::detect_oscillations(ts, skip);
+  std::printf("  %-28s peaks=%-3zu period=%-6.1f amplitude=%.3f %s\n", label,
+              osc.num_peaks, osc.mean_period, osc.mean_amplitude,
+              osc.oscillating() ? "[oscillating]" : "[not oscillating]");
+}
+
+}  // namespace casurf::bench

@@ -1,0 +1,99 @@
+// The abstract's "experimental data for the simulation of the Ziff model":
+// the kinetic phase diagram of ZGB CO oxidation. Sweeping the CO fraction y
+// maps the O-poisoned phase (y < y1 ~ 0.39), the reactive window, and the
+// first-order CO-poisoning transition (y > y2 ~ 0.525). RSM (exact DMC) and
+// PNDCA (five conflict-free chunks) are compared point by point.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/simulation.hpp"
+#include "models/zgb.hpp"
+
+using namespace casurf;
+
+namespace {
+
+struct PhasePoint {
+  double co, o, vacant, rate;  // steady coverages + CO2 rate per site/time
+};
+
+PhasePoint steady_state(Algorithm algo, double y, std::int32_t side, double t_relax,
+                        double t_avg, std::uint64_t seed) {
+  const auto zgb = models::make_zgb(models::ZgbParams::from_y(y, 20.0));
+  SimulationOptions opt;
+  opt.algorithm = algo;
+  opt.seed = seed;
+  auto sim = make_simulator(zgb.model, Configuration(Lattice(side, side), 3, zgb.vacant),
+                            opt);
+  sim->advance_to(t_relax);
+  std::uint64_t co2_before = 0;
+  for (int i = 3; i < 7; ++i) co2_before += sim->counters().executed_per_type[i];
+  const double t_before = sim->time();
+
+  PhasePoint p{};
+  int n = 0;
+  while (sim->time() < t_relax + t_avg) {
+    sim->advance_to(sim->time() + 1.0);
+    p.co += sim->configuration().coverage(zgb.co);
+    p.o += sim->configuration().coverage(zgb.o);
+    p.vacant += sim->configuration().coverage(zgb.vacant);
+    ++n;
+  }
+  p.co /= n;
+  p.o /= n;
+  p.vacant /= n;
+  std::uint64_t co2_after = 0;
+  for (int i = 3; i < 7; ++i) co2_after += sim->counters().executed_per_type[i];
+  p.rate = static_cast<double>(co2_after - co2_before) /
+           (static_cast<double>(side) * side * (sim->time() - t_before));
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("ZGB phase diagram — steady coverages vs CO fraction y (RSM vs PNDCA)");
+
+  const bool fast = bench::fast_mode();
+  const std::int32_t side = fast ? 32 : 64;
+  const double t_relax = fast ? 15.0 : 60.0;
+  const double t_avg = fast ? 10.0 : 30.0;
+
+  std::printf("lattice %d x %d, relax %.0f, average %.0f (finite reaction rate k=20)\n\n",
+              side, side, t_relax, t_avg);
+  std::printf("%-6s | %-23s | %-23s | %s\n", "y", "RSM  CO     O     rate",
+              "PNDCA CO     O    rate", "phase");
+  std::printf("-------+-------------------------+-------------------------+---------\n");
+
+  std::vector<double> ys, rsm_co, rsm_o, rsm_rate, ca_co, ca_o, ca_rate;
+  for (const double y : {0.20, 0.30, 0.35, 0.40, 0.44, 0.48, 0.50, 0.52, 0.54,
+                         0.56, 0.60, 0.70}) {
+    const PhasePoint rsm = steady_state(Algorithm::kRsm, y, side, t_relax, t_avg, 11);
+    const PhasePoint ca = steady_state(Algorithm::kPndca, y, side, t_relax, t_avg, 23);
+    const char* phase = rsm.co > 0.9 ? "CO-poisoned"
+                        : rsm.o > 0.9 ? "O-poisoned"
+                                      : "reactive";
+    std::printf("%-6.2f | %5.3f  %5.3f  %6.4f  | %5.3f  %5.3f  %6.4f | %s\n", y,
+                rsm.co, rsm.o, rsm.rate, ca.co, ca.o, ca.rate, phase);
+    ys.push_back(y);
+    rsm_co.push_back(rsm.co);
+    rsm_o.push_back(rsm.o);
+    rsm_rate.push_back(rsm.rate);
+    ca_co.push_back(ca.co);
+    ca_o.push_back(ca.o);
+    ca_rate.push_back(ca.rate);
+  }
+
+  stats::write_csv(bench::out_dir() + "/zgb_phase_diagram.csv",
+                   {"y", "rsm_co", "rsm_o", "rsm_rate", "pndca_co", "pndca_o",
+                    "pndca_rate"},
+                   {ys, rsm_co, rsm_o, rsm_rate, ca_co, ca_o, ca_rate});
+  std::printf("  [csv] %s/zgb_phase_diagram.csv\n", bench::out_dir().c_str());
+
+  std::printf("\nPaper/ZGB shape check: O-rich at low y, reactive window around\n");
+  std::printf("y ~ 0.4-0.53, abrupt CO poisoning just above; RSM and PNDCA agree.\n");
+  std::printf("(finite reaction rate shifts the window slightly vs the original\n");
+  std::printf("instantaneous-reaction ZGB values y1=0.389, y2=0.525)\n");
+  return 0;
+}

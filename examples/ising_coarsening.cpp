@@ -1,0 +1,60 @@
+// Ising domain coarsening — a non-catalysis workload that exercises the
+// same machinery: quench a disordered spin lattice below the critical
+// temperature, watch ferromagnetic domains coarsen under exact Glauber
+// dynamics, and dump PPM snapshots of the process. Also demonstrates the
+// synchronous-CA failure mode the paper's partitioning avoids.
+//
+//   build/examples/ising_coarsening [beta_J] [out_prefix]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "dmc/rsm.hpp"
+#include "io/snapshot.hpp"
+#include "models/ising.hpp"
+#include "rng/counter_rng.hpp"
+
+using namespace casurf;
+
+int main(int argc, char** argv) {
+  const double beta = argc > 1 ? std::atof(argv[1]) : 0.6;  // Tc at ~0.4407
+  const std::string prefix = argc > 2 ? argv[2] : "ising";
+  const models::IsingModel ising = models::make_ising(beta);
+
+  // Random initial spins, deterministic from a seed.
+  const Lattice lat(128, 128);
+  Configuration cfg(lat, 2, ising.down);
+  CounterRng init(2026, 0);
+  for (SiteIndex s = 0; s < lat.size(); ++s) {
+    if (init.next_double() < 0.5) cfg.set(s, ising.up);
+  }
+
+  RsmSimulator sim(ising.model, std::move(cfg), 7);
+  std::printf("2-D Ising quench, beta J = %.3f (critical ~0.4407), 128 x 128\n\n", beta);
+  std::printf("%-10s %-14s %-14s %-10s\n", "MC steps", "magnetization",
+              "energy/site/J", "|m_stag|");
+
+  const int snapshots[] = {0, 10, 100, 1000};
+  int snap_idx = 0;
+  for (int step = 0; step <= 1000; ++step) {
+    if (snap_idx < 4 && step == snapshots[snap_idx]) {
+      const std::string path = prefix + "_" + std::to_string(step) + ".ppm";
+      io::write_ppm(path, sim.configuration());
+      std::printf("%-10d %-14.3f %-14.3f %-10.3f  -> %s\n", step,
+                  ising.magnetization(sim.configuration()),
+                  ising.energy_per_site(sim.configuration()),
+                  std::abs(ising.staggered_magnetization(sim.configuration())),
+                  path.c_str());
+      ++snap_idx;
+    }
+    sim.mc_step();
+  }
+
+  std::printf("\nDomains coarsen: |energy| grows toward the ground state -2 as\n");
+  std::printf("boundaries anneal away; the staggered order parameter stays ~0.\n");
+  std::printf("(Contrast bench/ablation_ising_sync: a fully synchronous CA instead\n");
+  std::printf("locks into a blinking checkerboard — the degeneracy the paper's\n");
+  std::printf("partitioned updating is designed to avoid.)\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "ca/bca.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace casurf {
+
+BlockCA::BlockCA(Configuration initial, std::vector<Partition> phases, BlockRule rule)
+    : current_(initial), next_(std::move(initial)), phases_(std::move(phases)),
+      rule_(std::move(rule)) {
+  if (!rule_) throw std::invalid_argument("BlockCA: null rule");
+  if (phases_.empty()) throw std::invalid_argument("BlockCA: no block phases");
+  for (const Partition& p : phases_) {
+    if (!(p.lattice() == current_.lattice())) {
+      throw std::invalid_argument("BlockCA: phase lattice mismatch");
+    }
+  }
+}
+
+void BlockCA::step() {
+  const Partition& phase = current_phase();
+  const SiteIndex n = current_.size();
+  for (SiteIndex s = 0; s < n; ++s) {
+    next_.set(s, rule_(current_, phase, s));
+  }
+  std::swap(current_, next_);
+  ++steps_;
+}
+
+void BlockCA::run(std::uint64_t steps) {
+  for (std::uint64_t i = 0; i < steps; ++i) step();
+}
+
+BlockRule fig3_zero_spreads_rule() {
+  return [](const Configuration& cfg, const Partition& phase, SiteIndex s) -> Species {
+    const Lattice& lat = cfg.lattice();
+    const ChunkId block = phase.chunk_of(s);
+    for (const Vec2 d : {Vec2{-1, 0}, Vec2{1, 0}}) {
+      const SiteIndex nb = lat.neighbor(s, d);
+      if (phase.chunk_of(nb) == block && cfg.get(nb) == 0) return 0;
+    }
+    return cfg.get(s);
+  };
+}
+
+}  // namespace casurf

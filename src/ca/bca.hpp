@@ -1,0 +1,53 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "lattice/configuration.hpp"
+#include "partition/partition.hpp"
+
+namespace casurf {
+
+/// Transition rule of a Block CA: like CaRule, but the rule additionally
+/// sees the active partition so it can restrict itself to information local
+/// to the site's own block — the defining property of a BCA (paper
+/// section 5, Fig 3: "a step is applied at the same time and independently
+/// to each block").
+using BlockRule =
+    std::function<Species(const Configuration&, const Partition&, SiteIndex)>;
+
+/// Block Cellular Automaton: the literature's standard fix for CA update
+/// conflicts. The lattice is covered by non-overlapping blocks; each step
+/// updates all blocks synchronously and independently, and consecutive
+/// steps cycle through a list of shifted partitions so block edges move
+/// (Margolus-style alternation).
+class BlockCA {
+ public:
+  /// `phases` are the alternating block partitions (e.g. blocks and the
+  /// same blocks shifted); step t uses phases[t mod phases.size()].
+  BlockCA(Configuration initial, std::vector<Partition> phases, BlockRule rule);
+
+  void step();
+  void run(std::uint64_t steps);
+
+  [[nodiscard]] const Configuration& configuration() const { return current_; }
+  [[nodiscard]] Configuration& configuration() { return current_; }
+  [[nodiscard]] const Partition& current_phase() const {
+    return phases_[steps_ % phases_.size()];
+  }
+  [[nodiscard]] std::uint64_t steps_done() const { return steps_; }
+
+ private:
+  Configuration current_;
+  Configuration next_;
+  std::vector<Partition> phases_;
+  BlockRule rule_;
+  std::uint64_t steps_ = 0;
+};
+
+/// The rule of the paper's Fig 3 example (1-D): a site becomes 0 when at
+/// least one of its two lattice neighbors *within the same block* is 0,
+/// otherwise it keeps its state. Species 0 plays "0", species 1 plays "1".
+[[nodiscard]] BlockRule fig3_zero_spreads_rule();
+
+}  // namespace casurf

@@ -1,0 +1,26 @@
+#include "ca/deterministic_ca.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace casurf {
+
+DeterministicCA::DeterministicCA(Configuration initial, CaRule rule)
+    : current_(initial), next_(std::move(initial)), rule_(std::move(rule)) {
+  if (!rule_) throw std::invalid_argument("DeterministicCA: null rule");
+}
+
+void DeterministicCA::step() {
+  const SiteIndex n = current_.size();
+  for (SiteIndex s = 0; s < n; ++s) {
+    next_.set(s, rule_(current_, s));
+  }
+  std::swap(current_, next_);
+  ++steps_;
+}
+
+void DeterministicCA::run(std::uint64_t steps) {
+  for (std::uint64_t i = 0; i < steps; ++i) step();
+}
+
+}  // namespace casurf

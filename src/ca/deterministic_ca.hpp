@@ -1,0 +1,38 @@
+#pragma once
+
+#include <functional>
+
+#include "lattice/configuration.hpp"
+
+namespace casurf {
+
+/// Local transition rule of a classic synchronous CA: the new species of a
+/// site as a function of the current configuration (read-only) and the
+/// site. Must only inspect a bounded neighborhood for the automaton to be
+/// meaningful, but that is not enforced.
+using CaRule = std::function<Species(const Configuration&, SiteIndex)>;
+
+/// A standard deterministic Cellular Automaton (paper section 1): all sites
+/// update simultaneously; the state at step t+1 depends on the neighborhood
+/// states at step t. Double-buffered, so the rule always reads a consistent
+/// snapshot. The inherently-parallel-but-conflicted model the partitioned
+/// algorithms improve on.
+class DeterministicCA {
+ public:
+  DeterministicCA(Configuration initial, CaRule rule);
+
+  void step();
+  void run(std::uint64_t steps);
+
+  [[nodiscard]] const Configuration& configuration() const { return current_; }
+  [[nodiscard]] Configuration& configuration() { return current_; }
+  [[nodiscard]] std::uint64_t steps_done() const { return steps_; }
+
+ private:
+  Configuration current_;
+  Configuration next_;
+  CaRule rule_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace casurf

@@ -1,0 +1,67 @@
+#include "ca/lpndca.hpp"
+
+#include <stdexcept>
+
+#include "rng/distributions.hpp"
+
+namespace casurf {
+
+LPndcaSimulator::LPndcaSimulator(const ReactionModel& model, Configuration config,
+                                 Partition partition, std::uint64_t seed,
+                                 std::uint32_t trials_per_batch, TimeMode time_mode)
+    : Simulator(model, std::move(config)),
+      partition_(std::move(partition)),
+      rng_(seed),
+      trials_per_batch_(trials_per_batch),
+      time_mode_(time_mode),
+      rate_nk_(static_cast<double>(config_.size()) * model.total_rate()) {
+  if (!(partition_.lattice() == config_.lattice())) {
+    throw std::invalid_argument("L-PNDCA: partition lattice mismatch");
+  }
+  if (trials_per_batch_ == 0) {
+    throw std::invalid_argument("L-PNDCA: L must be at least 1");
+  }
+  chunk_cumulative_.resize(partition_.num_chunks());
+  double acc = 0;
+  for (ChunkId c = 0; c < partition_.num_chunks(); ++c) {
+    acc += static_cast<double>(partition_.chunk(c).size());
+    chunk_cumulative_[c] = acc;
+  }
+}
+
+void LPndcaSimulator::trial_at(SiteIndex s) {
+  const ReactionIndex rt = model_.sample_type(rng_);
+  const ReactionType& reaction = model_.reaction(rt);
+  if (reaction.enabled(config_, s)) {
+    reaction.execute(config_, s);
+    record_execution(rt);
+  }
+  time_ += time_mode_ == TimeMode::kStochastic ? exponential(rng_, rate_nk_)
+                                               : 1.0 / rate_nk_;
+  ++counters_.trials;
+}
+
+void LPndcaSimulator::mc_step() {
+  const std::uint64_t budget = config_.size();  // N trials per step
+  std::uint64_t trials = 0;
+  while (trials < budget) {
+    // select P_i with probability |P_i| / N
+    const auto c = static_cast<ChunkId>(
+        sample_cumulative(chunk_cumulative_, uniform01(rng_)));
+    const std::vector<SiteIndex>& sites = partition_.chunk(c);
+
+    // select L, clipped to the remaining budget (1 <= L <= N - trials)
+    const std::uint64_t batch =
+        std::min<std::uint64_t>(trials_per_batch_, budget - trials);
+    trials += batch;
+
+    // L random sites within the chunk, with replacement — matching RSM's
+    // site statistics in the degenerate-partition limits.
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      trial_at(sites[uniform_below(rng_, sites.size())]);
+    }
+  }
+  ++counters_.steps;
+}
+
+}  // namespace casurf

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/simulator.hpp"
+#include "partition/partition.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace casurf {
+
+/// L-PNDCA (paper section 5, "general structure"): per step, chunks are
+/// drawn with probability proportional to their size and a batch of L
+/// random sites *within* the selected chunk perform NDCA trials, until N
+/// trials have been spent. L tunes the accuracy/parallelism trade-off:
+///
+///   - small L: little time is spent inside a chunk before other chunks get
+///     a chance, so the kinetic bias is small — but so is the parallel
+///     batch. L = 1 reproduces RSM-like kinetics (Fig 9a).
+///   - large L: big parallel batches, growing bias; oscillatory dynamics
+///     drift and eventually die (Fig 9b).
+///   - |P| = 1 with L = N, and |P| = N with L = 1, are *exactly* RSM
+///     (Fig 8) — sites are then selected uniformly with replacement.
+///
+/// The paper's chunk-selection probability "|Pi| / |P|" is read as
+/// |Pi| / N, the only normalizable reading (see DESIGN.md).
+class LPndcaSimulator final : public Simulator {
+ public:
+  /// `trials_per_batch` is the paper's L; it is clipped per batch to the
+  /// remaining trial budget N - trials, as in the paper's listing.
+  LPndcaSimulator(const ReactionModel& model, Configuration config,
+                  Partition partition, std::uint64_t seed,
+                  std::uint32_t trials_per_batch,
+                  TimeMode time_mode = TimeMode::kStochastic);
+
+  void mc_step() override;
+  [[nodiscard]] std::string name() const override { return "L-PNDCA"; }
+
+  [[nodiscard]] const Partition& partition() const { return partition_; }
+  [[nodiscard]] std::uint32_t trials_per_batch() const { return trials_per_batch_; }
+
+ private:
+  void trial_at(SiteIndex s);
+
+  Partition partition_;
+  Xoshiro256 rng_;
+  std::uint32_t trials_per_batch_;
+  TimeMode time_mode_;
+  double rate_nk_;
+  std::vector<double> chunk_cumulative_;  // cumulative chunk sizes for selection
+};
+
+}  // namespace casurf

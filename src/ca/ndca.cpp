@@ -1,0 +1,44 @@
+#include "ca/ndca.hpp"
+
+#include <numeric>
+
+#include "rng/distributions.hpp"
+
+namespace casurf {
+
+NdcaSimulator::NdcaSimulator(const ReactionModel& model, Configuration config,
+                             std::uint64_t seed, TimeMode time_mode, SweepOrder order)
+    : Simulator(model, std::move(config)),
+      rng_(seed),
+      time_mode_(time_mode),
+      order_(order),
+      rate_nk_(static_cast<double>(config_.size()) * model.total_rate()),
+      visit_order_(config_.size()) {
+  std::iota(visit_order_.begin(), visit_order_.end(), SiteIndex{0});
+}
+
+void NdcaSimulator::trial_at(SiteIndex s) {
+  const ReactionIndex rt = model_.sample_type(rng_);
+  const ReactionType& reaction = model_.reaction(rt);
+  if (reaction.enabled(config_, s)) {
+    reaction.execute(config_, s);
+    record_execution(rt);
+  }
+  time_ += time_mode_ == TimeMode::kStochastic ? exponential(rng_, rate_nk_)
+                                               : 1.0 / rate_nk_;
+  ++counters_.trials;
+}
+
+void NdcaSimulator::mc_step() {
+  if (order_ == SweepOrder::kShuffled) {
+    // Fisher-Yates with the simulator's own generator.
+    for (std::size_t i = visit_order_.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_below(rng_, i));
+      std::swap(visit_order_[i - 1], visit_order_[j]);
+    }
+  }
+  for (const SiteIndex s : visit_order_) trial_at(s);
+  ++counters_.steps;
+}
+
+}  // namespace casurf

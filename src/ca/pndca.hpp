@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "partition/partition.hpp"
+#include "rng/counter_rng.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace casurf {
+
+/// The paper's four ways of selecting chunks within a PNDCA step
+/// (section 5, "Opportunities for improvements").
+enum class ChunkPolicy {
+  kInOrder,                ///< 1. all chunks, fixed order
+  kRandomOrder,            ///< 2. all chunks, fresh random order per step
+  kRandomWithReplacement,  ///< 3. |P| draws, each chunk with prob 1/|P|
+  kRateWeighted,           ///< 4. |P| draws weighted by enabled rate per chunk
+};
+
+/// Partitioned NDCA (paper section 5): per step, chunks are selected
+/// according to the policy and every site of a selected chunk performs one
+/// NDCA trial. Because same-chunk sites never conflict (the partition
+/// satisfies the non-overlap rule), all trials within a chunk are
+/// independent — the source of parallelism.
+///
+/// Per-site randomness comes from a counter RNG keyed by (sweep, site), so
+/// the trajectory is a pure function of (seed, chunk schedule) and the
+/// threaded engine (`ParallelPndcaEngine`) reproduces this sequential
+/// implementation bit for bit.
+///
+/// Several partitions may be supplied; one is chosen per step ("choose a
+/// partition P"), cycling — which also expresses the shifting blocks of a
+/// classic BCA.
+class PndcaSimulator : public Simulator {
+ public:
+  PndcaSimulator(const ReactionModel& model, Configuration config,
+                 std::vector<Partition> partitions, std::uint64_t seed,
+                 ChunkPolicy policy = ChunkPolicy::kRandomOrder,
+                 TimeMode time_mode = TimeMode::kStochastic);
+
+  void mc_step() override;
+  [[nodiscard]] std::string name() const override { return "PNDCA"; }
+
+  [[nodiscard]] const Partition& current_partition() const {
+    return partitions_[partition_cursor_];
+  }
+  [[nodiscard]] const std::vector<Partition>& partitions() const { return partitions_; }
+  [[nodiscard]] ChunkPolicy policy() const { return policy_; }
+
+  /// The chunk schedule executed by the most recent step (for tests and for
+  /// replay by the parallel engine / simulated machine).
+  [[nodiscard]] const std::vector<ChunkId>& last_schedule() const { return schedule_; }
+
+  /// Build the chunk schedule for the next step without executing it
+  /// (exposed for the simulated parallel machine).
+  std::vector<ChunkId> plan_schedule();
+
+ protected:
+  static constexpr std::int32_t kNoReaction = -1;
+
+  /// One NDCA trial at site s during global sweep `sweep`, using the site's
+  /// private random stream. When `deltas` is null, writes go through the
+  /// count-maintaining path and the execution is recorded in the counters;
+  /// when non-null (threaded engine), writes bypass the shared species
+  /// counts and per-species changes accumulate into `deltas` instead, and
+  /// the caller is responsible for counter bookkeeping. Returns the
+  /// executed reaction type, or kNoReaction.
+  std::int32_t trial_at(std::uint64_t sweep, SiteIndex s, std::int64_t* deltas = nullptr);
+
+  /// Run all trials of one chunk sweep. The base class loops sequentially;
+  /// the threaded engine overrides this with a fork-join over the sites.
+  virtual void execute_chunk(std::uint64_t sweep, const std::vector<SiteIndex>& sites);
+
+ private:
+  double enabled_rate_in_chunk(ChunkId c) const;
+
+  std::vector<Partition> partitions_;
+  Xoshiro256 rng_;  // drives schedule decisions only, never site trials
+  ChunkPolicy policy_;
+  TimeMode time_mode_;
+  std::uint64_t seed_;
+  double rate_nk_;
+  std::uint64_t sweep_ = 0;  // counts chunk sweeps; keys the per-site streams
+  std::size_t partition_cursor_ = 0;
+  std::vector<ChunkId> schedule_;
+};
+
+}  // namespace casurf

@@ -1,0 +1,82 @@
+#include "ca/tpndca.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/distributions.hpp"
+
+namespace casurf {
+
+TPndcaSimulator::TPndcaSimulator(const ReactionModel& model, Configuration config,
+                                 std::vector<TypeSubset> subsets, std::uint64_t seed,
+                                 std::uint32_t sweeps_per_step)
+    : Simulator(model, std::move(config)),
+      subsets_(std::move(subsets)),
+      rng_(seed),
+      sweeps_per_step_(sweeps_per_step) {
+  if (subsets_.empty()) {
+    throw std::invalid_argument("TPNDCA: at least one type subset required");
+  }
+  double acc = 0;
+  double mean_chunks = 0;
+  for (const TypeSubset& sub : subsets_) {
+    if (sub.types.empty() || !(sub.total_rate > 0)) {
+      throw std::invalid_argument("TPNDCA: empty or rate-less type subset");
+    }
+    if (!(sub.chunks.lattice() == config_.lattice())) {
+      throw std::invalid_argument("TPNDCA: subset partition lattice mismatch");
+    }
+    acc += sub.total_rate;
+    mean_chunks += static_cast<double>(sub.chunks.num_chunks());
+    subset_cumulative_.push_back(acc);
+  }
+  if (sweeps_per_step_ == 0) {
+    // Auto: average chunk count; makes E[executions of type i per step]
+    // equal to RSM's (k_i / K) * n_enabled(i) when subsets share a chunk
+    // count (they do for the canonical 2-subset / 2-chunk construction).
+    sweeps_per_step_ = static_cast<std::uint32_t>(
+        std::lround(mean_chunks / static_cast<double>(subsets_.size())));
+    if (sweeps_per_step_ == 0) sweeps_per_step_ = 1;
+  }
+}
+
+void TPndcaSimulator::mc_step() {
+  const double total_k = model_.total_rate();
+  for (std::uint32_t sweep = 0; sweep < sweeps_per_step_; ++sweep) {
+    // select T_j with probability K_Tj / K
+    const std::size_t j = sample_cumulative(subset_cumulative_, uniform01(rng_));
+    const TypeSubset& sub = subsets_[j];
+
+    // select a reaction type from T_j with probability k_i / K_Tj
+    double target = uniform01(rng_) * sub.total_rate;
+    ReactionIndex chosen = sub.types.back();
+    for (const ReactionIndex i : sub.types) {
+      const double k = model_.reaction(i).rate();
+      if (target < k) {
+        chosen = i;
+        break;
+      }
+      target -= k;
+    }
+    const ReactionType& rt = model_.reaction(chosen);
+
+    // select P_i from the subset's partition, then execute the chosen type
+    // at every enabled site of the chunk. Same-chunk anchors of a single
+    // type never overlap, so this whole sweep is a parallel batch.
+    const auto c = static_cast<ChunkId>(uniform_below(rng_, sub.chunks.num_chunks()));
+    for (const SiteIndex s : sub.chunks.chunk(c)) {
+      if (rt.enabled(config_, s)) {
+        rt.execute(config_, s);
+        record_execution(chosen);
+      }
+      ++counters_.trials;
+    }
+
+    // One sweep stands for 1/sweeps_per_step of an MC step: advance by the
+    // corresponding share of the mean MC-step duration 1/K.
+    time_ += 1.0 / (total_k * static_cast<double>(sweeps_per_step_));
+  }
+  ++counters_.steps;
+}
+
+}  // namespace casurf

@@ -1,0 +1,20 @@
+#include "core/observer.hpp"
+
+#include <stdexcept>
+
+#include "core/simulator.hpp"
+
+namespace casurf {
+
+void run_sampled(Simulator& sim, double t_end, double dt, Observer& obs) {
+  if (!(dt > 0)) throw std::invalid_argument("run_sampled: dt must be positive");
+  obs.sample(sim);
+  double next = sim.time() + dt;
+  while (next <= t_end) {
+    sim.advance_to(next);
+    obs.sample(sim);
+    next = sim.time() + dt;
+  }
+}
+
+}  // namespace casurf

@@ -1,0 +1,19 @@
+#pragma once
+
+namespace casurf {
+
+class Simulator;
+
+/// Sampling hook: `run_sampled` calls `sample` on a fixed time grid.
+class Observer {
+ public:
+  virtual ~Observer() = default;
+  virtual void sample(const Simulator& sim) = 0;
+};
+
+/// Drive `sim` until `t_end`, invoking `obs.sample` at t = 0, dt, 2 dt, ...
+/// (the simulator state observed is the first state at or past each grid
+/// point; trial-based methods resolve the grid to one MC step).
+void run_sampled(Simulator& sim, double t_end, double dt, Observer& obs);
+
+}  // namespace casurf

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <memory>
+
+#include "ca/lpndca.hpp"
+#include "ca/ndca.hpp"
+#include "ca/pndca.hpp"
+#include "ca/tpndca.hpp"
+#include "core/simulator.hpp"
+#include "partition/conflict.hpp"
+
+namespace casurf {
+
+/// Every simulation algorithm in the library, exact and approximate.
+enum class Algorithm {
+  kRsm,            ///< Random Selection Method (exact DMC, paper section 3)
+  kVssm,           ///< Gillespie direct method (exact, event-driven)
+  kFrm,            ///< First Reaction Method (exact, event-driven)
+  kNdca,           ///< Non-deterministic CA (paper section 4)
+  kPndca,          ///< Partitioned NDCA (paper section 5)
+  kLPndca,         ///< L-PNDCA general structure (paper section 5)
+  kTPndca,         ///< Type-partitioned PNDCA (paper section 5)
+  kParallelPndca,  ///< PNDCA executed on the thread pool
+};
+
+/// One options bag for the whole family; algorithm-specific fields are
+/// ignored where not applicable.
+struct SimulationOptions {
+  Algorithm algorithm = Algorithm::kRsm;
+  std::uint64_t seed = 1;
+  TimeMode time_mode = TimeMode::kStochastic;
+
+  // PNDCA family. When no explicit partition is given, a minimal valid one
+  // is derived from the model with make_partition().
+  ChunkPolicy chunk_policy = ChunkPolicy::kRandomOrder;
+  ConflictPolicy conflict_policy = ConflictPolicy::kFullNeighborhood;
+  std::shared_ptr<const Partition> partition;  ///< optional override
+
+  std::uint32_t l_trials = 1;    ///< L of L-PNDCA
+  unsigned threads = 2;          ///< worker count of the parallel engine
+  std::uint32_t tpndca_sweeps = 0;  ///< 0 = auto
+};
+
+/// Build a ready-to-run simulator for `model` starting from `initial`.
+/// The model must outlive the simulator. This is the single entry point
+/// the examples and most benchmarks use; direct construction of the
+/// individual simulator classes remains available for finer control.
+[[nodiscard]] std::unique_ptr<Simulator> make_simulator(const ReactionModel& model,
+                                                        Configuration initial,
+                                                        const SimulationOptions& options);
+
+/// Human-readable name of an algorithm enumerator.
+[[nodiscard]] const char* algorithm_name(Algorithm a);
+
+}  // namespace casurf

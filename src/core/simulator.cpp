@@ -1,0 +1,18 @@
+#include "core/simulator.hpp"
+
+namespace casurf {
+
+void Simulator::advance_to(double t) {
+  while (time_ < t) {
+    const double before = time_;
+    mc_step();
+    if (time_ <= before) {
+      // No progress is only possible in an absorbing state (every rate
+      // gated off); jump to the target instead of spinning.
+      time_ = t;
+      break;
+    }
+  }
+}
+
+}  // namespace casurf

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lattice/configuration.hpp"
+#include "model/reaction_model.hpp"
+
+namespace casurf {
+
+/// How simulated time advances per trial (paper section 3).
+enum class TimeMode {
+  /// Draw each increment from the exponential distribution 1 - exp(-N K t),
+  /// the Master-Equation-faithful choice.
+  kStochastic,
+  /// Fixed increment 1 / (N K): RSM read as a time discretization of the
+  /// Master Equation. Cheaper and variance-free; same mean.
+  kDeterministic,
+};
+
+/// Execution statistics common to all simulators.
+struct SimCounters {
+  std::uint64_t trials = 0;    ///< attempted (site, reaction-type) selections
+  std::uint64_t executed = 0;  ///< trials that fired an enabled reaction
+  std::uint64_t steps = 0;     ///< completed natural steps (MC steps / events)
+  std::vector<std::uint64_t> executed_per_type;
+
+  [[nodiscard]] double acceptance() const {
+    return trials == 0 ? 0.0 : static_cast<double>(executed) / static_cast<double>(trials);
+  }
+};
+
+/// Common interface of every simulation algorithm in the library, exact
+/// (DMC) and approximate (CA family) alike. A simulator owns its
+/// configuration and advances it through simulated time; the reaction model
+/// is borrowed and must outlive the simulator.
+class Simulator {
+ public:
+  virtual ~Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Perform one natural step of the algorithm: one MC step (N trials) for
+  /// trial-based methods, one executed event for event-driven DMC, one
+  /// synchronous sweep for cellular automata.
+  virtual void mc_step() = 0;
+
+  /// Current simulated time.
+  [[nodiscard]] double time() const { return time_; }
+
+  /// Advance until time() >= t (no-op if already past). Granularity is one
+  /// natural step; trial-based methods may overshoot by up to one MC step.
+  /// In an absorbing state (no reaction can ever fire again) implementations
+  /// jump time() to t rather than loop forever.
+  virtual void advance_to(double t);
+
+  [[nodiscard]] const Configuration& configuration() const { return config_; }
+  [[nodiscard]] Configuration& configuration() { return config_; }
+
+  [[nodiscard]] const ReactionModel& model() const { return model_; }
+  [[nodiscard]] const SimCounters& counters() const { return counters_; }
+
+  /// Human-readable algorithm name ("RSM", "PNDCA", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  Simulator(const ReactionModel& model, Configuration config)
+      : model_(model), config_(std::move(config)) {
+    model.validate();
+    counters_.executed_per_type.assign(model.num_reactions(), 0);
+  }
+
+  void record_execution(ReactionIndex rt) {
+    ++counters_.executed;
+    ++counters_.executed_per_type[rt];
+  }
+
+  const ReactionModel& model_;
+  Configuration config_;
+  SimCounters counters_;
+  double time_ = 0.0;
+};
+
+}  // namespace casurf

@@ -1,0 +1,108 @@
+#include "dmc/frm.hpp"
+
+#include "rng/distributions.hpp"
+
+namespace casurf {
+
+FrmSimulator::FrmSimulator(const ReactionModel& model, Configuration config,
+                           std::uint64_t seed)
+    : Simulator(model, std::move(config)), rng_(seed) {
+  const std::size_t pairs = static_cast<std::size_t>(model.num_reactions()) * config_.size();
+  generation_.assign(pairs, 0);
+  enabled_flag_.assign(pairs, 0);
+  for (ReactionIndex i = 0; i < model_.num_reactions(); ++i) {
+    for (SiteIndex s = 0; s < config_.size(); ++s) sync_pair(i, s);
+  }
+}
+
+void FrmSimulator::sync_pair(ReactionIndex rt, SiteIndex s) {
+  const std::size_t p = pair_index(rt, s);
+  const bool now = model_.reaction(rt).enabled(config_, s);
+  const bool was = enabled_flag_[p] != 0;
+  if (now == was) return;
+  enabled_flag_[p] = now ? 1 : 0;
+  ++generation_[p];  // invalidates any queued event for this pair
+  if (now) {
+    ++enabled_pairs_;
+    // Memorylessness of the exponential lets us draw the tentative firing
+    // time fresh from "now" at every disabled->enabled transition.
+    queue_.push(Event{time_ + exponential(rng_, model_.reaction(rt).rate()),
+                      s, rt, generation_[p]});
+  } else {
+    --enabled_pairs_;
+  }
+}
+
+void FrmSimulator::refresh_around(SiteIndex changed) {
+  const Lattice& lat = config_.lattice();
+  for (ReactionIndex i = 0; i < model_.num_reactions(); ++i) {
+    for (const Vec2 o : model_.reaction(i).neighborhood()) {
+      sync_pair(i, lat.neighbor(changed, -o));
+    }
+  }
+}
+
+bool FrmSimulator::drop_stale_heads() {
+  // Pop until the head is a live event: generation matches and the pair is
+  // still flagged enabled. Returns false when no live event remains.
+  while (!queue_.empty()) {
+    const Event& ev = queue_.top();
+    const std::size_t p = pair_index(ev.type, ev.site);
+    if (ev.generation != generation_[p] || enabled_flag_[p] == 0) {
+      queue_.pop();
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+void FrmSimulator::execute_head() {
+  const Event ev = queue_.top();
+  queue_.pop();
+  time_ = ev.when;
+  const std::size_t p = pair_index(ev.type, ev.site);
+
+  const ReactionType& rt = model_.reaction(ev.type);
+  write_buffer_.clear();
+  const Lattice& lat = config_.lattice();
+  for (const Transform& t : rt.transforms()) {
+    if (t.tg != kKeep) write_buffer_.push_back(lat.neighbor(ev.site, t.offset));
+  }
+  rt.execute(config_, ev.site);
+  record_execution(ev.type);
+  ++counters_.trials;
+  ++counters_.steps;
+
+  // The fired pair itself: if still enabled in the new state it needs a
+  // fresh draw; force the transition by marking it disabled first.
+  enabled_flag_[p] = 0;
+  --enabled_pairs_;
+  ++generation_[p];
+  sync_pair(ev.type, ev.site);
+
+  for (const SiteIndex z : write_buffer_) refresh_around(z);
+}
+
+void FrmSimulator::mc_step() {
+  if (drop_stale_heads()) execute_head();
+  // Empty queue: absorbing state; advance_to() handles time.
+}
+
+void FrmSimulator::advance_to(double t) {
+  // Events have absolute firing times, so the head beyond t simply stays
+  // scheduled; the state AT t is exact.
+  while (time_ < t) {
+    if (!drop_stale_heads()) {
+      time_ = t;
+      return;
+    }
+    if (queue_.top().when > t) {
+      time_ = t;
+      return;
+    }
+    execute_head();
+  }
+}
+
+}  // namespace casurf

@@ -1,0 +1,55 @@
+#include "dmc/rsm.hpp"
+
+#include "rng/distributions.hpp"
+
+namespace casurf {
+
+RsmSimulator::RsmSimulator(const ReactionModel& model, Configuration config,
+                           std::uint64_t seed, TimeMode time_mode)
+    : Simulator(model, std::move(config)),
+      rng_(seed),
+      time_mode_(time_mode),
+      rate_nk_(static_cast<double>(config_.size()) * model.total_rate()) {}
+
+void RsmSimulator::select_and_execute() {
+  // 1. select a site s with probability 1/N
+  const auto s = static_cast<SiteIndex>(uniform_below(rng_, config_.size()));
+  // 2. select a reaction type i with probability k_i / K
+  const ReactionIndex rt = model_.sample_type(rng_);
+  // 3-4. check enabledness; execute
+  const ReactionType& reaction = model_.reaction(rt);
+  if (reaction.enabled(config_, s)) {
+    reaction.execute(config_, s);
+    record_execution(rt);
+  }
+  ++counters_.trials;
+}
+
+void RsmSimulator::trial() {
+  select_and_execute();
+  // 5. advance the time by drawing from 1 - exp(-N K t)
+  time_ += time_mode_ == TimeMode::kStochastic ? exponential(rng_, rate_nk_)
+                                               : 1.0 / rate_nk_;
+}
+
+void RsmSimulator::mc_step() {
+  const SiteIndex n = config_.size();
+  for (SiteIndex i = 0; i < n; ++i) trial();
+  ++counters_.steps;
+}
+
+void RsmSimulator::advance_to(double t) {
+  while (time_ < t) {
+    const double dt = time_mode_ == TimeMode::kStochastic
+                          ? exponential(rng_, rate_nk_)
+                          : 1.0 / rate_nk_;
+    if (time_ + dt > t) {
+      time_ = t;
+      return;
+    }
+    time_ += dt;
+    select_and_execute();
+  }
+}
+
+}  // namespace casurf

@@ -1,0 +1,115 @@
+#include "dmc/vssm.hpp"
+
+#include "rng/distributions.hpp"
+
+namespace casurf {
+
+VssmSimulator::VssmSimulator(const ReactionModel& model, Configuration config,
+                             std::uint64_t seed)
+    : Simulator(model, std::move(config)), rng_(seed) {
+  enabled_.reserve(model.num_reactions());
+  for (std::size_t i = 0; i < model.num_reactions(); ++i) {
+    enabled_.emplace_back(config_.size());
+  }
+  rebuild_enabled();
+}
+
+void VssmSimulator::rebuild_enabled() {
+  const SiteIndex n = config_.size();
+  for (ReactionIndex i = 0; i < model_.num_reactions(); ++i) {
+    const ReactionType& rt = model_.reaction(i);
+    for (SiteIndex s = 0; s < n; ++s) {
+      if (rt.enabled(config_, s)) enabled_[i].insert(s);
+    }
+  }
+}
+
+double VssmSimulator::total_enabled_rate() const {
+  double r = 0;
+  for (ReactionIndex i = 0; i < model_.num_reactions(); ++i) {
+    r += model_.reaction(i).rate() * static_cast<double>(enabled_[i].size());
+  }
+  return r;
+}
+
+void VssmSimulator::refresh_around(SiteIndex changed) {
+  // A change at z can only flip enabledness of type i anchored at z - o for
+  // offsets o in the type's neighborhood. Rechecks are idempotent, so
+  // duplicate candidates across several changed sites are harmless.
+  const Lattice& lat = config_.lattice();
+  for (ReactionIndex i = 0; i < model_.num_reactions(); ++i) {
+    const ReactionType& rt = model_.reaction(i);
+    for (const Vec2 o : rt.neighborhood()) {
+      const SiteIndex anchor = lat.neighbor(changed, -o);
+      if (rt.enabled(config_, anchor)) {
+        enabled_[i].insert(anchor);
+      } else {
+        enabled_[i].erase(anchor);
+      }
+    }
+  }
+}
+
+void VssmSimulator::mc_step() {
+  const double total = total_enabled_rate();
+  if (total <= 0.0) return;  // absorbing state; advance_to() handles time
+
+  // Time to next event, then the event itself.
+  time_ += exponential(rng_, total);
+  execute_event(total);
+}
+
+void VssmSimulator::execute_event(double total) {
+  // Type with probability proportional to k_i |E_i|, anchor uniform within
+  // the type's set.
+  double target = uniform01(rng_) * total;
+  ReactionIndex chosen = 0;
+  for (ReactionIndex i = 0; i < model_.num_reactions(); ++i) {
+    const double band = model_.reaction(i).rate() * static_cast<double>(enabled_[i].size());
+    if (target < band || i + 1 == model_.num_reactions()) {
+      chosen = i;
+      break;
+    }
+    target -= band;
+  }
+  const EnabledSet& set = enabled_[chosen];
+  if (set.empty()) return;  // numerically possible only if total ~ 0
+  const SiteIndex s = set.at(static_cast<std::size_t>(uniform_below(rng_, set.size())));
+
+  const ReactionType& rt = model_.reaction(chosen);
+  write_buffer_.clear();
+  const Lattice& lat = config_.lattice();
+  for (const Transform& t : rt.transforms()) {
+    if (t.tg != kKeep) write_buffer_.push_back(lat.neighbor(s, t.offset));
+  }
+  rt.execute(config_, s);
+  record_execution(chosen);
+  last_event_ = Event{time_, chosen, s};
+  ++counters_.trials;
+  ++counters_.steps;
+
+  for (const SiteIndex z : write_buffer_) refresh_around(z);
+}
+
+void VssmSimulator::advance_to(double t) {
+  // Unlike the default implementation, never executes an event whose
+  // firing time lies beyond t: by memorylessness, conditioning on "no
+  // event in [time, t]" simply restarts the clock at t, so discarding the
+  // overshooting draw gives the exact distribution of the state AT t.
+  while (time_ < t) {
+    const double total = total_enabled_rate();
+    if (total <= 0.0) {
+      time_ = t;
+      return;
+    }
+    const double dt = exponential(rng_, total);
+    if (time_ + dt > t) {
+      time_ = t;
+      return;
+    }
+    time_ += dt;
+    execute_event(total);
+  }
+}
+
+}  // namespace casurf

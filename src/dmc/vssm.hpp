@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "dmc/enabled_set.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace casurf {
+
+/// Variable Step Size Method (Gillespie's direct method specialised to
+/// lattices): event-driven exact DMC. Keeps, per reaction type, the set of
+/// anchor sites where the type is enabled; each mc_step() executes exactly
+/// one reaction and advances time by Exp(sum of enabled rates). Included as
+/// the rejection-free counterpart of RSM — same Master Equation kinetics,
+/// different cost profile (bookkeeping instead of failed trials).
+class VssmSimulator final : public Simulator {
+ public:
+  VssmSimulator(const ReactionModel& model, Configuration config, std::uint64_t seed);
+
+  void mc_step() override;
+  void advance_to(double t) override;
+  [[nodiscard]] std::string name() const override { return "VSSM"; }
+
+  /// Sum over types of k_i * |enabled_i|: the total propensity R(S).
+  [[nodiscard]] double total_enabled_rate() const;
+
+  /// Number of sites where reaction type i is currently enabled.
+  [[nodiscard]] std::size_t enabled_count(ReactionIndex i) const {
+    return enabled_[i].size();
+  }
+
+  /// True when no reaction is enabled (absorbing state).
+  [[nodiscard]] bool stalled() const { return total_enabled_rate() <= 0.0; }
+
+  /// The most recently executed event (valid once counters().executed > 0).
+  /// Event-driven analyses — e.g. the Time-Warp rollback study — replay
+  /// the exact trajectory from this record.
+  struct Event {
+    double time = 0;
+    ReactionIndex type = 0;
+    SiteIndex site = 0;
+  };
+  [[nodiscard]] const Event& last_event() const { return last_event_; }
+
+ private:
+  void rebuild_enabled();
+  void refresh_around(SiteIndex changed);
+  void execute_event(double total_rate);
+
+  Xoshiro256 rng_;
+  std::vector<EnabledSet> enabled_;      // one per reaction type
+  std::vector<SiteIndex> write_buffer_;  // scratch: sites changed by an event
+  Event last_event_;
+};
+
+}  // namespace casurf

@@ -1,0 +1,113 @@
+#include "io/snapshot.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace casurf::io {
+
+void save_snapshot(const std::string& path, const Configuration& config,
+                   const SpeciesSet& species) {
+  if (species.size() != config.num_species()) {
+    throw std::runtime_error("save_snapshot: species set does not match configuration");
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_snapshot: cannot open " + path);
+  const Lattice& lat = config.lattice();
+  out << "casurf-snapshot 1\n";
+  out << "lattice " << lat.width() << ' ' << lat.height() << '\n';
+  out << "species " << species.size();
+  for (const std::string& name : species.names()) out << ' ' << name;
+  out << "\ndata\n";
+  for (std::int32_t y = 0; y < lat.height(); ++y) {
+    for (std::int32_t x = 0; x < lat.width(); ++x) {
+      if (x) out << ' ';
+      out << static_cast<int>(config.get(lat.index({x, y})));
+    }
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("save_snapshot: write failed for " + path);
+}
+
+Snapshot load_snapshot(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_snapshot: cannot open " + path);
+
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != "casurf-snapshot" || version != 1) {
+    throw std::runtime_error("load_snapshot: not a casurf-snapshot v1 file");
+  }
+
+  std::string keyword;
+  std::int32_t width = 0, height = 0;
+  in >> keyword >> width >> height;
+  if (keyword != "lattice" || width <= 0 || height <= 0) {
+    throw std::runtime_error("load_snapshot: malformed lattice header");
+  }
+
+  std::size_t n_species = 0;
+  in >> keyword >> n_species;
+  if (keyword != "species" || n_species == 0 || n_species > 32) {
+    throw std::runtime_error("load_snapshot: malformed species header");
+  }
+  std::vector<std::string> names(n_species);
+  for (std::string& name : names) in >> name;
+
+  in >> keyword;
+  if (keyword != "data" || !in) {
+    throw std::runtime_error("load_snapshot: missing data section");
+  }
+
+  Configuration config(Lattice(width, height), n_species, 0);
+  for (std::int32_t y = 0; y < height; ++y) {
+    for (std::int32_t x = 0; x < width; ++x) {
+      int value = -1;
+      in >> value;
+      if (!in || value < 0 || static_cast<std::size_t>(value) >= n_species) {
+        std::ostringstream msg;
+        msg << "load_snapshot: bad species index at (" << x << "," << y << ")";
+        throw std::runtime_error(msg.str());
+      }
+      config.set(config.lattice().index({x, y}), static_cast<Species>(value));
+    }
+  }
+  return Snapshot{std::move(config), std::move(names)};
+}
+
+Rgb default_palette(Species s) {
+  static constexpr std::array<Rgb, 8> kColors = {{
+      {245, 245, 245},  // vacant: near-white
+      {31, 119, 180},   // blue
+      {214, 39, 40},    // red
+      {44, 160, 44},    // green
+      {255, 127, 14},   // orange
+      {148, 103, 189},  // purple
+      {140, 86, 75},    // brown
+      {23, 190, 207},   // cyan
+  }};
+  return kColors[s % kColors.size()];
+}
+
+void write_ppm(const std::string& path, const Configuration& config,
+               Rgb (*palette)(Species)) {
+  if (palette == nullptr) palette = default_palette;
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_ppm: cannot open " + path);
+  const Lattice& lat = config.lattice();
+  out << "P6\n" << lat.width() << ' ' << lat.height() << "\n255\n";
+  std::vector<char> row(static_cast<std::size_t>(lat.width()) * 3);
+  for (std::int32_t y = 0; y < lat.height(); ++y) {
+    for (std::int32_t x = 0; x < lat.width(); ++x) {
+      const Rgb c = palette(config.get(lat.index({x, y})));
+      row[3 * x + 0] = static_cast<char>(c.r);
+      row[3 * x + 1] = static_cast<char>(c.g);
+      row[3 * x + 2] = static_cast<char>(c.b);
+    }
+    out.write(row.data(), static_cast<std::streamsize>(row.size()));
+  }
+  if (!out) throw std::runtime_error("write_ppm: write failed for " + path);
+}
+
+}  // namespace casurf::io

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "lattice/configuration.hpp"
+#include "lattice/species.hpp"
+
+namespace casurf::io {
+
+/// A saved lattice state: the configuration plus the species names it was
+/// written with (so a loader can re-map or validate against its model).
+struct Snapshot {
+  Configuration config;
+  std::vector<std::string> species;
+};
+
+/// Write a configuration to the simple text snapshot format:
+///
+///   casurf-snapshot 1
+///   lattice <width> <height>
+///   species <n> <name...>
+///   data
+///   <height rows of width space-separated species indices>
+///
+/// Throws std::runtime_error on I/O failure.
+void save_snapshot(const std::string& path, const Configuration& config,
+                   const SpeciesSet& species);
+
+/// Load a snapshot written by save_snapshot. Throws std::runtime_error on
+/// I/O or format errors (with a description of what was malformed).
+[[nodiscard]] Snapshot load_snapshot(const std::string& path);
+
+/// 8-bit RGB color.
+struct Rgb {
+  std::uint8_t r = 0, g = 0, b = 0;
+};
+
+/// A default qualitative palette (up to 8 distinct colors, cycled beyond).
+[[nodiscard]] Rgb default_palette(Species s);
+
+/// Render a configuration to a binary PPM (P6) image, one pixel per site,
+/// colored by species through `palette` (nullptr = default_palette).
+/// Handy for looking at reaction fronts and poisoning domains.
+void write_ppm(const std::string& path, const Configuration& config,
+               Rgb (*palette)(Species) = nullptr);
+
+}  // namespace casurf::io

@@ -1,0 +1,43 @@
+#include "lattice/configuration.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace casurf {
+
+Configuration::Configuration(Lattice lattice, std::size_t num_species, Species fill)
+    : lattice_(lattice),
+      state_(lattice.size(), fill),
+      counts_(num_species, 0) {
+  if (num_species == 0 || num_species > 32) {
+    throw std::invalid_argument("Configuration: species count must be in [1, 32]");
+  }
+  if (fill >= num_species) {
+    throw std::invalid_argument("Configuration: fill species out of range");
+  }
+  counts_[fill] = lattice.size();
+}
+
+void Configuration::fill(Species s) {
+  if (s >= counts_.size()) {
+    throw std::invalid_argument("Configuration::fill: species out of range");
+  }
+  std::ranges::fill(state_, s);
+  std::ranges::fill(counts_, 0);
+  counts_[s] = state_.size();
+}
+
+std::string Configuration::render(std::span<const char> glyphs) const {
+  std::string out;
+  out.reserve((lattice_.width() + 1) * lattice_.height());
+  for (std::int32_t y = 0; y < lattice_.height(); ++y) {
+    for (std::int32_t x = 0; x < lattice_.width(); ++x) {
+      const Species s = get(lattice_.index({x, y}));
+      out.push_back(s < glyphs.size() ? glyphs[s] : '?');
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace casurf

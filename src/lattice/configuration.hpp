@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lattice/lattice.hpp"
+#include "lattice/species.hpp"
+
+namespace casurf {
+
+/// A system state (the paper's "configuration"): a total assignment of
+/// species to lattice sites, Omega -> D. Per-species site counts are
+/// maintained incrementally so coverage observables are O(1).
+class Configuration {
+ public:
+  /// All sites initialised to `fill` (default: species 0, conventionally
+  /// the vacant site '*').
+  Configuration(Lattice lattice, std::size_t num_species, Species fill = 0);
+
+  [[nodiscard]] const Lattice& lattice() const { return lattice_; }
+  [[nodiscard]] SiteIndex size() const { return lattice_.size(); }
+  [[nodiscard]] std::size_t num_species() const { return counts_.size(); }
+
+  [[nodiscard]] Species get(SiteIndex i) const {
+    assert(i < state_.size());
+    return state_[i];
+  }
+  [[nodiscard]] Species get(Vec2 p) const { return get(lattice_.index(lattice_.wrap(p))); }
+
+  void set(SiteIndex i, Species s) {
+    assert(i < state_.size());
+    assert(s < counts_.size());
+    Species& cur = state_[i];
+    if (cur == s) return;
+    --counts_[cur];
+    ++counts_[s];
+    cur = s;
+  }
+  void set(Vec2 p, Species s) { set(lattice_.index(lattice_.wrap(p)), s); }
+
+  /// Write a site WITHOUT maintaining the per-species counts. For parallel
+  /// chunk execution: threads write disjoint sites race-free (the shared
+  /// count array would be a data race), accumulate per-species deltas
+  /// privately, and the caller merges them via apply_count_delta().
+  void set_raw(SiteIndex i, Species s) {
+    assert(i < state_.size());
+    assert(s < counts_.size());
+    state_[i] = s;
+  }
+
+  /// Merge externally-accumulated per-species count changes (one entry per
+  /// species) after a batch of set_raw() writes.
+  void apply_count_delta(const std::int64_t* delta) {
+    for (std::size_t sp = 0; sp < counts_.size(); ++sp) {
+      counts_[sp] = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(counts_[sp]) + delta[sp]);
+    }
+  }
+
+  /// Number of sites currently holding species `s`.
+  [[nodiscard]] std::uint64_t count(Species s) const { return counts_.at(s); }
+
+  /// Fraction of sites holding species `s` (the paper's "coverage").
+  [[nodiscard]] double coverage(Species s) const {
+    return static_cast<double>(count(s)) / static_cast<double>(size());
+  }
+
+  /// Reset every site to `fill`.
+  void fill(Species s);
+
+  [[nodiscard]] std::span<const Species> raw() const { return state_; }
+
+  /// Render as text, one row per lattice row, using the given per-species
+  /// glyphs (for examples and debugging; not a hot path).
+  [[nodiscard]] std::string render(std::span<const char> glyphs) const;
+
+  friend bool operator==(const Configuration& a, const Configuration& b) {
+    return a.lattice_ == b.lattice_ && a.state_ == b.state_;
+  }
+
+ private:
+  Lattice lattice_;
+  std::vector<Species> state_;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace casurf

@@ -1,0 +1,18 @@
+#include "lattice/lattice.hpp"
+
+namespace casurf {
+
+std::vector<SiteIndex> Lattice::neighbors(SiteIndex base,
+                                          const std::vector<Vec2>& offs) const {
+  std::vector<SiteIndex> out;
+  out.reserve(offs.size());
+  for (const Vec2 o : offs) out.push_back(neighbor(base, o));
+  return out;
+}
+
+const std::vector<Vec2>& Lattice::von_neumann_offsets() {
+  static const std::vector<Vec2> offs = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+  return offs;
+}
+
+}  // namespace casurf

@@ -1,0 +1,34 @@
+#include "lattice/species.hpp"
+
+#include <stdexcept>
+
+namespace casurf {
+
+SpeciesSet::SpeciesSet(std::vector<std::string> names) {
+  for (auto& n : names) add(std::move(n));
+}
+
+Species SpeciesSet::add(std::string name) {
+  if (names_.size() >= 32) {
+    throw std::invalid_argument("SpeciesSet: at most 32 species are supported");
+  }
+  if (find(name).has_value()) {
+    throw std::invalid_argument("SpeciesSet: duplicate species name '" + name + "'");
+  }
+  names_.push_back(std::move(name));
+  return static_cast<Species>(names_.size() - 1);
+}
+
+std::optional<Species> SpeciesSet::find(std::string_view name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<Species>(i);
+  }
+  return std::nullopt;
+}
+
+Species SpeciesSet::require(std::string_view name) const {
+  if (auto s = find(name)) return *s;
+  throw std::out_of_range("SpeciesSet: unknown species '" + std::string(name) + "'");
+}
+
+}  // namespace casurf

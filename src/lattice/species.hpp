@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace casurf {
+
+/// A species is a small integer index into a `SpeciesSet`. The domain D of
+/// the paper ({*, A, B, ...}) maps to indices 0..n-1; by convention index 0
+/// is the vacant site '*' unless the model says otherwise.
+using Species = std::uint8_t;
+
+/// Bitmask over species indices, used for wildcard source patterns
+/// ("this transform matches any of these species"). Limits a model to 32
+/// species, ample for surface chemistry.
+using SpeciesMask = std::uint32_t;
+
+[[nodiscard]] constexpr SpeciesMask species_bit(Species s) {
+  return SpeciesMask{1} << s;
+}
+
+[[nodiscard]] constexpr bool mask_contains(SpeciesMask m, Species s) {
+  return (m >> s) & 1u;
+}
+
+/// The finite domain D of particle types: an ordered list of named species.
+/// Names are unique; lookups by name are for model construction and I/O,
+/// never on the simulation hot path.
+class SpeciesSet {
+ public:
+  SpeciesSet() = default;
+  explicit SpeciesSet(std::vector<std::string> names);
+
+  /// Add a species and return its index. Throws std::invalid_argument on a
+  /// duplicate name or when the 32-species mask capacity is exhausted.
+  Species add(std::string name);
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+  [[nodiscard]] const std::string& name(Species s) const { return names_.at(s); }
+
+  /// Index of a named species, if present.
+  [[nodiscard]] std::optional<Species> find(std::string_view name) const;
+
+  /// Index of a named species; throws std::out_of_range when absent.
+  [[nodiscard]] Species require(std::string_view name) const;
+
+  /// Mask with every species bit set.
+  [[nodiscard]] SpeciesMask all_mask() const {
+    return names_.empty() ? 0u
+                          : (names_.size() == 32
+                                 ? ~SpeciesMask{0}
+                                 : (SpeciesMask{1} << names_.size()) - 1u);
+  }
+
+  [[nodiscard]] const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace casurf

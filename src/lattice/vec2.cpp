@@ -1,0 +1,11 @@
+#include "lattice/vec2.hpp"
+
+#include <ostream>
+
+namespace casurf {
+
+std::ostream& operator<<(std::ostream& os, Vec2 v) {
+  return os << '(' << v.x << ',' << v.y << ')';
+}
+
+}  // namespace casurf

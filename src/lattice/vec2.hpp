@@ -1,0 +1,44 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+
+namespace casurf {
+
+/// Integer 2-D vector used for lattice coordinates and reaction-pattern
+/// offsets. Offsets are small (a few sites), coordinates fit easily in
+/// 32 bits for any lattice this library targets.
+struct Vec2 {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) = default;
+  friend constexpr auto operator<=>(Vec2 a, Vec2 b) = default;
+
+  /// L1 (Manhattan) norm, the natural metric for von Neumann neighborhoods.
+  [[nodiscard]] constexpr std::int32_t l1() const {
+    return (x < 0 ? -x : x) + (y < 0 ? -y : y);
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, Vec2 v);
+
+}  // namespace casurf
+
+template <>
+struct std::hash<casurf::Vec2> {
+  std::size_t operator()(casurf::Vec2 v) const noexcept {
+    // Pack the two 32-bit components into one 64-bit word, then mix.
+    std::uint64_t k = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(v.x)) << 32) |
+                      static_cast<std::uint32_t>(v.y);
+    k ^= k >> 33;
+    k *= 0xff51afd7ed558ccdULL;
+    k ^= k >> 33;
+    return static_cast<std::size_t>(k);
+  }
+};

@@ -1,0 +1,177 @@
+#include "me/master_equation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace casurf {
+
+MasterEquation::MasterEquation(const ReactionModel& model, Lattice lattice,
+                               std::size_t max_states)
+    : model_(model), lattice_(lattice) {
+  model.validate();
+  const std::size_t n_species = model.species().size();
+  const SiteIndex n_sites = lattice.size();
+
+  // num_states = n_species ^ n_sites with overflow guard.
+  std::size_t states = 1;
+  for (SiteIndex i = 0; i < n_sites; ++i) {
+    if (states > max_states / n_species + 1) {
+      throw std::invalid_argument(
+          "MasterEquation: state space exceeds max_states; use a smaller lattice");
+    }
+    states *= n_species;
+  }
+  if (states > max_states) {
+    throw std::invalid_argument(
+        "MasterEquation: state space exceeds max_states; use a smaller lattice");
+  }
+  num_states_ = states;
+
+  // Enumerate states; emit transitions for every enabled (type, site).
+  exit_rate_.assign(num_states_, 0.0);
+  coverage_.assign(n_species * num_states_, 0.0f);
+  Configuration cfg(lattice, n_species, 0);
+  for (std::size_t idx = 0; idx < num_states_; ++idx) {
+    // Decode mixed-radix in place.
+    std::size_t rem = idx;
+    for (SiteIndex s = 0; s < n_sites; ++s) {
+      cfg.set(s, static_cast<Species>(rem % n_species));
+      rem /= n_species;
+    }
+    for (Species sp = 0; sp < n_species; ++sp) {
+      coverage_[sp * num_states_ + idx] = static_cast<float>(cfg.coverage(sp));
+    }
+    for (ReactionIndex r = 0; r < model.num_reactions(); ++r) {
+      const ReactionType& rt = model.reaction(r);
+      for (SiteIndex s = 0; s < n_sites; ++s) {
+        if (!rt.enabled(cfg, s)) continue;
+        Configuration next = cfg;
+        rt.execute(next, s);
+        transitions_.push_back(Transition{static_cast<std::uint32_t>(idx),
+                                          static_cast<std::uint32_t>(state_index(next)),
+                                          rt.rate()});
+        exit_rate_[idx] += rt.rate();
+      }
+    }
+    max_exit_rate_ = std::max(max_exit_rate_, exit_rate_[idx]);
+  }
+}
+
+std::size_t MasterEquation::state_index(const Configuration& cfg) const {
+  const std::size_t n_species = model_.species().size();
+  std::size_t idx = 0;
+  for (SiteIndex s = cfg.size(); s-- > 0;) {
+    idx = idx * n_species + cfg.get(s);
+  }
+  return idx;
+}
+
+Configuration MasterEquation::state(std::size_t index) const {
+  const std::size_t n_species = model_.species().size();
+  Configuration cfg(lattice_, n_species, 0);
+  for (SiteIndex s = 0; s < cfg.size(); ++s) {
+    cfg.set(s, static_cast<Species>(index % n_species));
+    index /= n_species;
+  }
+  return cfg;
+}
+
+std::vector<double> MasterEquation::delta(const Configuration& cfg) const {
+  std::vector<double> p(num_states_, 0.0);
+  p[state_index(cfg)] = 1.0;
+  return p;
+}
+
+void MasterEquation::apply_generator(const std::vector<double>& p,
+                                     std::vector<double>& out) const {
+  out.assign(num_states_, 0.0);
+  // Outflow: -exit_rate(i) p(i); inflow: +rate p(from) at `to`. A self-loop
+  // (reaction that maps a state to itself, e.g. a no-op flip) cancels
+  // exactly, as it must.
+  for (std::size_t i = 0; i < num_states_; ++i) out[i] = -exit_rate_[i] * p[i];
+  for (const Transition& t : transitions_) out[t.to] += t.rate * p[t.from];
+}
+
+std::vector<double> MasterEquation::evolve(std::vector<double> p, double t,
+                                           double dt) const {
+  if (p.size() != num_states_) {
+    throw std::invalid_argument("MasterEquation::evolve: wrong distribution size");
+  }
+  if (!(t >= 0) || !(dt > 0)) {
+    throw std::invalid_argument("MasterEquation::evolve: need t >= 0 and dt > 0");
+  }
+  // RK4 stability for a linear ODE with eigenvalues up to ~max exit rate.
+  const double step_cap = max_exit_rate_ > 0 ? 0.1 / max_exit_rate_ : t;
+  const double step = std::min(dt, step_cap);
+  std::vector<double> k1, k2, k3, k4, tmp(num_states_);
+
+  double remaining = t;
+  while (remaining > 1e-15) {
+    const double h = std::min(step, remaining);
+    apply_generator(p, k1);
+    for (std::size_t i = 0; i < num_states_; ++i) tmp[i] = p[i] + 0.5 * h * k1[i];
+    apply_generator(tmp, k2);
+    for (std::size_t i = 0; i < num_states_; ++i) tmp[i] = p[i] + 0.5 * h * k2[i];
+    apply_generator(tmp, k3);
+    for (std::size_t i = 0; i < num_states_; ++i) tmp[i] = p[i] + h * k3[i];
+    apply_generator(tmp, k4);
+    for (std::size_t i = 0; i < num_states_; ++i) {
+      p[i] += h / 6.0 * (k1[i] + 2 * k2[i] + 2 * k3[i] + k4[i]);
+    }
+    remaining -= h;
+  }
+  // Renormalize against accumulated roundoff; clamp tiny negatives.
+  double total = 0;
+  for (double& v : p) {
+    if (v < 0 && v > -1e-9) v = 0;
+    total += v;
+  }
+  if (total > 0) {
+    for (double& v : p) v /= total;
+  }
+  return p;
+}
+
+std::vector<double> MasterEquation::stationary(double tol,
+                                               std::size_t max_iter) const {
+  std::vector<double> p(num_states_, 1.0 / static_cast<double>(num_states_));
+  if (max_exit_rate_ <= 0) return p;  // no dynamics at all
+  // Uniformization: P = I + Q / Lambda is a stochastic matrix with the
+  // same stationary vector as Q; iterate p <- P p.
+  const double lambda = max_exit_rate_ * 1.05;
+  std::vector<double> q(num_states_);
+  for (std::size_t iter = 0; iter < max_iter; ++iter) {
+    apply_generator(p, q);
+    double change = 0;
+    for (std::size_t i = 0; i < num_states_; ++i) {
+      const double next = p[i] + q[i] / lambda;
+      change += std::abs(next - p[i]);
+      p[i] = next;
+    }
+    if (change < tol) break;
+  }
+  // Clean up roundoff.
+  double total = 0;
+  for (double& v : p) {
+    if (v < 0) v = 0;
+    total += v;
+  }
+  if (total > 0) {
+    for (double& v : p) v /= total;
+  }
+  return p;
+}
+
+double MasterEquation::expected_coverage(const std::vector<double>& p,
+                                         Species s) const {
+  if (p.size() != num_states_ || s >= model_.species().size()) {
+    throw std::invalid_argument("MasterEquation::expected_coverage: bad arguments");
+  }
+  double e = 0;
+  const float* cov = &coverage_[static_cast<std::size_t>(s) * num_states_];
+  for (std::size_t i = 0; i < num_states_; ++i) e += p[i] * cov[i];
+  return e;
+}
+
+}  // namespace casurf

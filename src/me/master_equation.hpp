@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/configuration.hpp"
+#include "model/reaction_model.hpp"
+
+namespace casurf {
+
+/// Exact Master Equation integrator (paper section 2, Eq. 1):
+///
+///   dP(S,t)/dt = sum_S' [ k_{S S'} P(S', t) - k_{S' S} P(S, t) ]
+///
+/// for lattices small enough to enumerate the full state space
+/// (|D|^N states; the constructor refuses anything above `max_states`).
+/// This is the ground truth every stochastic simulator in the library is
+/// an estimator of — the tests and the `me_exact_check` bench compare
+/// simulated ensembles against it.
+class MasterEquation {
+ public:
+  /// Enumerate the state space and build the sparse transition list.
+  /// Throws std::invalid_argument when |D|^N exceeds max_states.
+  MasterEquation(const ReactionModel& model, Lattice lattice,
+                 std::size_t max_states = 1u << 20);
+
+  [[nodiscard]] std::size_t num_states() const { return num_states_; }
+  [[nodiscard]] std::size_t num_transitions() const { return transitions_.size(); }
+  [[nodiscard]] const Lattice& lattice() const { return lattice_; }
+
+  /// Index of a configuration in the state enumeration (mixed-radix).
+  [[nodiscard]] std::size_t state_index(const Configuration& cfg) const;
+
+  /// Decode a state index into a configuration.
+  [[nodiscard]] Configuration state(std::size_t index) const;
+
+  /// Distribution concentrated on one configuration.
+  [[nodiscard]] std::vector<double> delta(const Configuration& cfg) const;
+
+  /// Integrate dP/dt = Q P from `p0` for duration `t` with RK4 steps of at
+  /// most `dt` (clamped further by stiffness: dt <= 0.1 / max exit rate).
+  /// The result is renormalized against roundoff drift.
+  [[nodiscard]] std::vector<double> evolve(std::vector<double> p0, double t,
+                                           double dt = 1e-2) const;
+
+  /// E[coverage of species s] under distribution p.
+  [[nodiscard]] double expected_coverage(const std::vector<double>& p, Species s) const;
+
+  /// Stationary distribution by repeated squaring of the uniformized
+  /// transition kernel (power iteration on P = I + Q / Lambda). Converges
+  /// for any irreducible model; for reducible chains it returns the
+  /// stationary mixture reachable from the uniform start. `tol` bounds the
+  /// L1 change per iteration at exit.
+  [[nodiscard]] std::vector<double> stationary(double tol = 1e-12,
+                                               std::size_t max_iter = 200000) const;
+
+  /// Apply the generator once: out = Q p (exposed for tests).
+  void apply_generator(const std::vector<double>& p, std::vector<double>& out) const;
+
+ private:
+  struct Transition {
+    std::uint32_t from;
+    std::uint32_t to;
+    double rate;
+  };
+
+  const ReactionModel& model_;
+  Lattice lattice_;
+  std::size_t num_states_;
+  std::vector<Transition> transitions_;
+  std::vector<double> exit_rate_;  // total outflow per state
+  // coverage_[s * num_states + i] = coverage of species s in state i
+  std::vector<float> coverage_;
+  double max_exit_rate_ = 0;
+};
+
+}  // namespace casurf

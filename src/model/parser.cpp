@@ -1,0 +1,261 @@
+#include "model/parser.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace casurf {
+
+namespace {
+
+/// How many 90-degree rotations of a pattern to emit.
+enum class Orientations { kNone = 1, kXy = 2, kAll = 4 };
+
+struct Tokenizer {
+  std::string_view line;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < line.size() && std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+  }
+
+  [[nodiscard]] bool done() {
+    skip_ws();
+    return pos >= line.size();
+  }
+
+  /// Next whitespace-delimited token ("" when exhausted).
+  std::string_view next() {
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < line.size() && !std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+    return line.substr(start, pos - start);
+  }
+};
+
+std::string_view strip_comment(std::string_view line) {
+  const std::size_t hash = line.find('#');
+  return hash == std::string_view::npos ? line : line.substr(0, hash);
+}
+
+constexpr Vec2 rotate90(Vec2 v) { return {-v.y, v.x}; }
+
+struct PendingReaction {
+  std::string name;
+  double rate = 0;
+  Orientations orientations = Orientations::kNone;
+  std::vector<Transform> transforms;
+  std::size_t line = 0;
+};
+
+double parse_rate(std::string_view token, std::size_t line) {
+  double value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size() || !(value > 0)) {
+    throw ModelParseError(line, "rate must be a positive number, got '" +
+                                    std::string(token) + "'");
+  }
+  return value;
+}
+
+Vec2 parse_offset(std::string_view token, std::size_t line) {
+  // "(dx,dy)" with optional internal spaces already excluded by tokenizing.
+  if (token.size() < 5 || token.front() != '(' || token.back() != ')') {
+    throw ModelParseError(line, "expected offset '(dx,dy)', got '" +
+                                    std::string(token) + "'");
+  }
+  const std::string_view inner = token.substr(1, token.size() - 2);
+  const std::size_t comma = inner.find(',');
+  if (comma == std::string_view::npos) {
+    throw ModelParseError(line, "offset missing comma: '" + std::string(token) + "'");
+  }
+  const auto parse_int = [&](std::string_view s) {
+    int v = 0;
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc{} || ptr != s.data() + s.size()) {
+      throw ModelParseError(line, "bad offset component '" + std::string(s) + "'");
+    }
+    return v;
+  };
+  return {parse_int(inner.substr(0, comma)), parse_int(inner.substr(comma + 1))};
+}
+
+SpeciesMask parse_source(std::string_view token, const SpeciesSet& species,
+                         std::size_t line) {
+  if (token == "any") return species.all_mask();
+  SpeciesMask mask = 0;
+  std::size_t start = 0;
+  while (start <= token.size()) {
+    const std::size_t bar = token.find('|', start);
+    const std::string_view name =
+        token.substr(start, bar == std::string_view::npos ? bar : bar - start);
+    const auto s = species.find(name);
+    if (!s) {
+      throw ModelParseError(line, "unknown species '" + std::string(name) +
+                                      "' in source pattern");
+    }
+    mask |= species_bit(*s);
+    if (bar == std::string_view::npos) break;
+    start = bar + 1;
+  }
+  return mask;
+}
+
+Species parse_target(std::string_view token, const SpeciesSet& species,
+                     std::size_t line) {
+  if (token == "keep") return kKeep;
+  const auto s = species.find(token);
+  if (!s) {
+    throw ModelParseError(line, "unknown species '" + std::string(token) +
+                                    "' in target pattern");
+  }
+  return *s;
+}
+
+void emit(ReactionModel& model, const PendingReaction& pending) {
+  const int variants = static_cast<int>(pending.orientations);
+  for (int v = 0; v < variants; ++v) {
+    std::vector<Transform> transforms = pending.transforms;
+    for (Transform& t : transforms) {
+      for (int r = 0; r < v; ++r) t.offset = rotate90(t.offset);
+    }
+    std::string name = pending.name;
+    if (variants > 1) name += "_" + std::to_string(v);
+    try {
+      model.add(ReactionType(std::move(name), pending.rate, std::move(transforms)));
+    } catch (const std::invalid_argument& e) {
+      throw ModelParseError(pending.line, e.what());
+    }
+  }
+}
+
+}  // namespace
+
+ReactionModel parse_model(std::string_view text) {
+  std::optional<ReactionModel> model;
+  std::optional<PendingReaction> pending;
+  std::size_t reactions_emitted = 0;
+
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    ++line_no;
+    const std::size_t nl = text.find('\n', start);
+    std::string_view raw =
+        text.substr(start, nl == std::string_view::npos ? nl : nl - start);
+    start = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+
+    Tokenizer tok{strip_comment(raw)};
+    if (tok.done()) continue;
+    const std::string_view head = tok.next();
+
+    if (head == "species") {
+      if (model) throw ModelParseError(line_no, "duplicate 'species' line");
+      SpeciesSet species;
+      while (!tok.done()) {
+        try {
+          species.add(std::string(tok.next()));
+        } catch (const std::invalid_argument& e) {
+          throw ModelParseError(line_no, e.what());
+        }
+      }
+      if (species.size() == 0) {
+        throw ModelParseError(line_no, "'species' line names no species");
+      }
+      model.emplace(std::move(species));
+      continue;
+    }
+
+    if (head == "reaction") {
+      if (!model) {
+        throw ModelParseError(line_no, "'reaction' before 'species'");
+      }
+      if (pending) {
+        throw ModelParseError(line_no, "nested 'reaction' (missing 'end'?)");
+      }
+      PendingReaction r;
+      r.line = line_no;
+      const std::string_view name = tok.next();
+      if (name.empty()) throw ModelParseError(line_no, "reaction needs a name");
+      r.name = std::string(name);
+      bool have_rate = false;
+      while (!tok.done()) {
+        const std::string_view opt = tok.next();
+        if (opt.starts_with("rate=")) {
+          r.rate = parse_rate(opt.substr(5), line_no);
+          have_rate = true;
+        } else if (opt.starts_with("orientations=")) {
+          const std::string_view v = opt.substr(13);
+          if (v == "none") {
+            r.orientations = Orientations::kNone;
+          } else if (v == "xy") {
+            r.orientations = Orientations::kXy;
+          } else if (v == "all") {
+            r.orientations = Orientations::kAll;
+          } else {
+            throw ModelParseError(line_no, "orientations must be none|xy|all, got '" +
+                                               std::string(v) + "'");
+          }
+        } else {
+          throw ModelParseError(line_no, "unknown reaction option '" +
+                                             std::string(opt) + "'");
+        }
+      }
+      if (!have_rate) throw ModelParseError(line_no, "reaction needs rate=<value>");
+      pending = std::move(r);
+      continue;
+    }
+
+    if (head == "end") {
+      if (!pending) throw ModelParseError(line_no, "'end' without 'reaction'");
+      if (!tok.done()) throw ModelParseError(line_no, "trailing tokens after 'end'");
+      emit(*model, *pending);
+      ++reactions_emitted;
+      pending.reset();
+      continue;
+    }
+
+    // Anything else must be a transform line inside a reaction block.
+    if (!pending) {
+      throw ModelParseError(line_no, "unexpected token '" + std::string(head) +
+                                         "' outside a reaction block");
+    }
+    const Vec2 offset = parse_offset(head, line_no);
+    const std::string_view src = tok.next();
+    const std::string_view arrow = tok.next();
+    const std::string_view tg = tok.next();
+    if (src.empty() || arrow != "->" || tg.empty() || !tok.done()) {
+      throw ModelParseError(line_no, "expected '(dx,dy) SRC -> TG'");
+    }
+    pending->transforms.push_back(Transform{
+        offset, parse_source(src, model->species(), line_no),
+        parse_target(tg, model->species(), line_no)});
+  }
+
+  if (pending) {
+    throw ModelParseError(pending->line, "reaction '" + pending->name +
+                                             "' not closed with 'end'");
+  }
+  if (!model) throw ModelParseError(line_no, "no 'species' line found");
+  if (reactions_emitted == 0) throw ModelParseError(line_no, "no reactions defined");
+  model->validate();
+  return std::move(*model);
+}
+
+ReactionModel parse_model_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("parse_model_file: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_model(ss.str());
+}
+
+}  // namespace casurf

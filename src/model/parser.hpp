@@ -1,0 +1,59 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "model/reaction_model.hpp"
+
+namespace casurf {
+
+/// Error from `parse_model`, carrying the 1-based line number.
+class ModelParseError : public std::runtime_error {
+ public:
+  ModelParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parse a reaction model from the line-oriented text format:
+///
+///   # ZGB CO oxidation (paper Table I)
+///   species * CO O
+///
+///   reaction CO_ads rate=1.0
+///     (0,0) * -> CO
+///   end
+///
+///   reaction O2_ads rate=0.5 orientations=xy
+///     (0,0) * -> O
+///     (1,0) * -> O
+///   end
+///
+///   reaction CO2_form rate=0.5 orientations=all
+///     (0,0) CO -> *
+///     (1,0) O  -> *
+///   end
+///
+/// Grammar:
+///  - `species NAME...` (exactly one, before any reaction; at most 32).
+///  - `reaction NAME rate=R [orientations=none|xy|all]` ... `end`.
+///    `xy` emits the pattern and its 90-degree rotation ("_0", "_1");
+///    `all` emits all four rotations. R is the rate of EACH variant.
+///  - transform lines `(dx,dy) SRC -> TG`, where SRC is a species name, an
+///    alternation `A|B|C` (wildcard mask), or `any`; TG is a species name
+///    or `keep` (precondition-only site).
+///  - `#` starts a comment; blank lines are ignored.
+///
+/// Throws ModelParseError with the offending line on any syntax or
+/// semantic error (unknown species, missing anchor, duplicate offsets...).
+[[nodiscard]] ReactionModel parse_model(std::string_view text);
+
+/// Convenience: read the file at `path` and parse it.
+[[nodiscard]] ReactionModel parse_model_file(const std::string& path);
+
+}  // namespace casurf

@@ -1,0 +1,43 @@
+#include "model/reaction_type.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace casurf {
+
+ReactionType::ReactionType(std::string name, double rate,
+                           std::vector<Transform> transforms)
+    : name_(std::move(name)), rate_(rate), transforms_(std::move(transforms)) {
+  if (!(rate_ > 0.0)) {
+    throw std::invalid_argument("ReactionType '" + name_ + "': rate must be positive");
+  }
+  if (transforms_.empty()) {
+    throw std::invalid_argument("ReactionType '" + name_ + "': no transforms");
+  }
+  bool has_anchor = false;
+  for (const Transform& t : transforms_) {
+    if (t.src == 0) {
+      throw std::invalid_argument("ReactionType '" + name_ + "': empty source mask");
+    }
+    if (t.offset == Vec2{0, 0}) has_anchor = true;
+    if (std::ranges::find(neighborhood_, t.offset) != neighborhood_.end()) {
+      throw std::invalid_argument("ReactionType '" + name_ +
+                                  "': duplicate transform offset");
+    }
+    neighborhood_.push_back(t.offset);
+    radius_l1_ = std::max(radius_l1_, t.offset.l1());
+  }
+  if (!has_anchor) {
+    throw std::invalid_argument("ReactionType '" + name_ +
+                                "': neighborhood must include the anchor (0,0)");
+  }
+}
+
+bool ReactionType::writes_offset(Vec2 o) const {
+  for (const Transform& t : transforms_) {
+    if (t.offset == o && t.tg != kKeep) return true;
+  }
+  return false;
+}
+
+}  // namespace casurf

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "lattice/species.hpp"
+#include "lattice/vec2.hpp"
+
+namespace casurf {
+
+/// Sentinel target meaning "leave the site's species unchanged". Lets a
+/// transform participate in the pattern (and thus the neighborhood /
+/// conflict analysis) as a pure precondition, e.g. "an adjacent site must
+/// already be in the 1x1 phase" in the Pt(100) reconstruction model.
+inline constexpr Species kKeep = 0xFF;
+
+/// One element of a reaction type's triple set (paper section 2): the site
+/// at `offset` from the anchor must currently hold a species in `src`
+/// (a mask, so wildcards are expressible) and is rewritten to `tg` when the
+/// reaction fires. The paper's exact-match triples are the special case of
+/// a single-bit mask.
+struct Transform {
+  Vec2 offset;
+  SpeciesMask src = 0;
+  Species tg = kKeep;
+
+  friend constexpr bool operator==(const Transform&, const Transform&) = default;
+};
+
+/// Convenience constructor for the common exact-match triple
+/// (offset, src, tg) of the paper.
+[[nodiscard]] constexpr Transform exact(Vec2 offset, Species src, Species tg) {
+  return Transform{offset, species_bit(src), tg};
+}
+
+/// Precondition-only transform: requires the site to match `src_mask` but
+/// never writes it.
+[[nodiscard]] constexpr Transform require(Vec2 offset, SpeciesMask src_mask) {
+  return Transform{offset, src_mask, kKeep};
+}
+
+}  // namespace casurf

@@ -1,0 +1,37 @@
+#include "models/diffusion.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace casurf::models {
+
+namespace {
+
+DiffusionModel build(double hop_rate, const std::vector<Vec2>& dirs) {
+  if (!(hop_rate > 0)) {
+    throw std::invalid_argument("diffusion model: hop rate must be positive");
+  }
+  SpeciesSet species({"*", "A"});
+  const Species vac = species.require("*");
+  const Species a = species.require("A");
+
+  ReactionModel model(std::move(species));
+  const double per_dir = hop_rate / static_cast<double>(dirs.size());
+  for (std::size_t i = 0; i < dirs.size(); ++i) {
+    model.add(ReactionType("hop_" + std::to_string(i), per_dir,
+                           {exact({0, 0}, a, vac), exact(dirs[i], vac, a)}));
+  }
+  return DiffusionModel{std::move(model), vac, a};
+}
+
+}  // namespace
+
+DiffusionModel make_diffusion(double hop_rate) {
+  return build(hop_rate, {{1, 0}, {0, 1}, {-1, 0}, {0, -1}});
+}
+
+DiffusionModel make_single_file(double hop_rate) {
+  return build(hop_rate, {{1, 0}, {-1, 0}});
+}
+
+}  // namespace casurf::models

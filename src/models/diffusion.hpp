@@ -1,0 +1,28 @@
+#pragma once
+
+#include "model/reaction_model.hpp"
+
+namespace casurf::models {
+
+/// A built surface-diffusion model: particles of one species hopping to
+/// vacant neighbor sites. This is the paper's Fig 2 system — the canonical
+/// example of a CA update conflict (two particles simultaneously jumping
+/// into the same empty site), and therefore the canonical test for the
+/// partition machinery.
+struct DiffusionModel {
+  ReactionModel model;
+  Species vacant;
+  Species particle;
+};
+
+/// 2-D diffusion: 4 hop orientations, total channel rate `hop_rate`.
+[[nodiscard]] DiffusionModel make_diffusion(double hop_rate = 1.0);
+
+/// 1-D single-file diffusion (lattice height must be 1): hops only along
+/// +x/-x, so particles can never pass each other. The system on which NDCA
+/// "gives degenerate results" (paper section 4): a raster-order sweep lets
+/// a particle cascade rightward several times within one step, producing a
+/// spurious drift that RSM does not have.
+[[nodiscard]] DiffusionModel make_single_file(double hop_rate = 1.0);
+
+}  // namespace casurf::models

@@ -1,0 +1,29 @@
+#include "models/monomer_monomer.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace casurf::models {
+
+MonomerMonomerModel make_monomer_monomer(const MonomerMonomerParams& p) {
+  if (!(p.k_a > 0) || !(p.k_b > 0) || !(p.k_rea > 0)) {
+    throw std::invalid_argument(
+        "make_monomer_monomer: all rate constants must be positive");
+  }
+  SpeciesSet species({"*", "A", "B"});
+  const Species vac = species.require("*");
+  const Species a = species.require("A");
+  const Species b = species.require("B");
+
+  ReactionModel model(std::move(species));
+  model.add(ReactionType("A_ads", p.k_a, {exact({0, 0}, vac, a)}));
+  model.add(ReactionType("B_ads", p.k_b, {exact({0, 0}, vac, b)}));
+  const Vec2 dirs[] = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+  for (std::size_t i = 0; i < 4; ++i) {
+    model.add(ReactionType("AB_rea_" + std::to_string(i), p.k_rea / 4.0,
+                           {exact({0, 0}, a, vac), exact(dirs[i], b, vac)}));
+  }
+  return MonomerMonomerModel{std::move(model), vac, a, b};
+}
+
+}  // namespace casurf::models

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "model/reaction_model.hpp"
+
+namespace casurf::models {
+
+/// The monomer-monomer (A + B -> 0) surface reaction: both species adsorb
+/// on single vacant sites and adjacent A-B pairs react and desorb. The
+/// classic companion of ZGB in the kinetic-phase-transition literature
+/// (Ziff/Fichthorn): for equal adsorption rates the 2-D surface develops
+/// growing A- and B-domains (reactant segregation) and any finite lattice
+/// eventually poisons by fluctuation; any rate asymmetry poisons it
+/// quickly with the majority species. A second realistic workload for the
+/// partition machinery (same von Neumann pair patterns as ZGB) and for
+/// the segregation observables in stats/correlations.
+struct MonomerMonomerParams {
+  double k_a = 0.5;     ///< A adsorption on a vacant site
+  double k_b = 0.5;     ///< B adsorption on a vacant site
+  double k_rea = 2.0;   ///< A + B -> 0 for adjacent pairs (channel total)
+};
+
+struct MonomerMonomerModel {
+  ReactionModel model;
+  Species vacant;
+  Species a;
+  Species b;
+};
+
+/// Six reaction types: A ads, B ads, and four orientations of the pair
+/// reaction anchored at the A site.
+[[nodiscard]] MonomerMonomerModel make_monomer_monomer(
+    const MonomerMonomerParams& params = {});
+
+}  // namespace casurf::models

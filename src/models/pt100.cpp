@@ -1,0 +1,93 @@
+#include "models/pt100.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace casurf::models {
+
+Pt100Model make_pt100(const Pt100Params& p) {
+  for (const double k : {p.co_ads, p.o2_ads, p.co_des, p.reaction, p.diffusion,
+                         p.v_lift, p.v_restore}) {
+    if (!(k > 0)) {
+      throw std::invalid_argument("make_pt100: all rate constants must be positive");
+    }
+  }
+
+  SpeciesSet species({"*h", "COh", "*s", "COs", "Os"});
+  const Species hv = species.require("*h");
+  const Species hc = species.require("COh");
+  const Species sv = species.require("*s");
+  const Species sc = species.require("COs");
+  const Species so = species.require("Os");
+
+  ReactionModel model(std::move(species));
+  const Vec2 dirs[] = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+  const Vec2 pair_dirs[] = {{1, 0}, {0, 1}};
+
+  // CO adsorption, phase-preserving (both phases accept CO).
+  model.add(ReactionType("CO_ads_hex", p.co_ads / 2.0, {exact({0, 0}, hv, hc)}));
+  model.add(ReactionType("CO_ads_sq", p.co_ads / 2.0, {exact({0, 0}, sv, sc)}));
+
+  // O2 dissociative adsorption: only on adjacent vacant 1x1 pairs.
+  for (std::size_t i = 0; i < 2; ++i) {
+    model.add(ReactionType("O2_ads_" + std::to_string(i), p.o2_ads / 2.0,
+                           {exact({0, 0}, sv, so), exact(pair_dirs[i], sv, so)}));
+  }
+
+  // CO desorption, phase-preserving.
+  model.add(ReactionType("CO_des_hex", p.co_des / 2.0, {exact({0, 0}, hc, hv)}));
+  model.add(ReactionType("CO_des_sq", p.co_des / 2.0, {exact({0, 0}, sc, sv)}));
+
+  // CO + O -> CO2 (desorbs): anchored at the CO site, which may sit in
+  // either phase; the O partner is always 1x1. Eight types: 2 CO phases x 4
+  // orientations.
+  for (std::size_t i = 0; i < 4; ++i) {
+    model.add(ReactionType("CO2_hex_" + std::to_string(i), p.reaction / 8.0,
+                           {exact({0, 0}, hc, hv), exact(dirs[i], so, sv)}));
+    model.add(ReactionType("CO2_sq_" + std::to_string(i), p.reaction / 8.0,
+                           {exact({0, 0}, sc, sv), exact(dirs[i], so, sv)}));
+  }
+
+  // CO diffusion: hop to a vacant neighbor; both sites keep their phases.
+  // Sixteen types: (from-phase x to-phase) x 4 orientations.
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::string sfx = std::to_string(i);
+    model.add(ReactionType("CO_hop_hh_" + sfx, p.diffusion / 16.0,
+                           {exact({0, 0}, hc, hv), exact(dirs[i], hv, hc)}));
+    model.add(ReactionType("CO_hop_hs_" + sfx, p.diffusion / 16.0,
+                           {exact({0, 0}, hc, hv), exact(dirs[i], sv, sc)}));
+    model.add(ReactionType("CO_hop_sh_" + sfx, p.diffusion / 16.0,
+                           {exact({0, 0}, sc, sv), exact(dirs[i], hv, hc)}));
+    model.add(ReactionType("CO_hop_ss_" + sfx, p.diffusion / 16.0,
+                           {exact({0, 0}, sc, sv), exact(dirs[i], sv, sc)}));
+  }
+
+  // Surface reconstruction: CO lifts hex -> 1x1; an empty 1x1 site relaxes
+  // back to hex.
+  if (p.front_propagation) {
+    if (!(p.nucleation > 0)) {
+      throw std::invalid_argument("make_pt100: nucleation rate must be positive");
+    }
+    // Neighbor-assisted transitions: one reaction type per direction, each
+    // requiring (but not modifying) a neighbor already in the target phase,
+    // so the total per-site rate scales with the local phase-boundary
+    // length and the transitions sweep across the lattice as fronts.
+    const SpeciesMask sq_any = species_bit(sv) | species_bit(sc) | species_bit(so);
+    const SpeciesMask hex_any = species_bit(hv) | species_bit(hc);
+    for (std::size_t i = 0; i < 4; ++i) {
+      const std::string sfx = std::to_string(i);
+      model.add(ReactionType("lift_front_" + sfx, p.v_lift,
+                             {exact({0, 0}, hc, sc), require(dirs[i], sq_any)}));
+      model.add(ReactionType("restore_front_" + sfx, p.v_restore,
+                             {exact({0, 0}, sv, hv), require(dirs[i], hex_any)}));
+    }
+    model.add(ReactionType("lift_nucleation", p.nucleation, {exact({0, 0}, hc, sc)}));
+  } else {
+    model.add(ReactionType("lift_hex", p.v_lift, {exact({0, 0}, hc, sc)}));
+    model.add(ReactionType("restore_hex", p.v_restore, {exact({0, 0}, sv, hv)}));
+  }
+
+  return Pt100Model{std::move(model), hv, hc, sv, sc, so};
+}
+
+}  // namespace casurf::models

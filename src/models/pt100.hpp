@@ -1,0 +1,67 @@
+#pragma once
+
+#include "model/reaction_model.hpp"
+
+namespace casurf::models {
+
+/// Parameters of the Pt(100) CO-oxidation model with surface
+/// reconstruction, in the spirit of Kuzovkov, Kortlüke & von Niessen
+/// (J. Chem. Phys. 108, 5571 (1998)) — the oscillatory workload of the
+/// paper's Figs 8-10. Mechanism (paper section 6): CO adsorbs on both the
+/// hexagonal and the square (1x1) phase of the top layer; adsorbed CO lifts
+/// the reconstruction (hex -> 1x1); O2 adsorbs dissociatively only on 1x1
+/// pairs; CO + O forms CO2 and desorbs, liberating the surface; empty 1x1
+/// sites reconstruct back to hex — and the cycle repeats, producing
+/// coverage oscillations. Fast CO diffusion synchronises the lattice.
+///
+/// The original parameter values are not given in the paper; these defaults
+/// were tuned to put a 100x100 lattice in the oscillatory regime (see
+/// EXPERIMENTS.md). Channel rates are distributed evenly over orientations.
+struct Pt100Params {
+  double co_ads = 1.0;      ///< CO adsorption (both phases), ~ y partial pressure
+  double o2_ads = 1.0;      ///< O2 dissociative adsorption on 1x1 vacant pairs
+  double co_des = 0.2;      ///< CO desorption (both phases)
+  double reaction = 100.0;  ///< CO + O -> CO2 (fast, near-instantaneous)
+  double diffusion = 100.0; ///< CO hopping to vacant neighbors (fast)
+  double v_lift = 1.0;      ///< hex+CO -> 1x1+CO, per 1x1 neighbor (front speed)
+  double v_restore = 1.0;   ///< empty 1x1 -> empty hex, per hex neighbor
+
+  /// Front propagation (Kuzovkov-style): when true, the phase transitions
+  /// are neighbor-assisted — a hex site converts per 1x1 *neighbor* (rate
+  /// v_lift each), an empty 1x1 site reverts per hex neighbor (v_restore
+  /// each) — so phase boundaries move as fronts instead of sites flipping
+  /// independently. Spatial fronts synchronize the lattice and produce the
+  /// large-amplitude oscillations of the paper's Figs 9-10.
+  bool front_propagation = true;
+  /// Spontaneous hexCO -> sqCO nucleation rate (front mode only; without it
+  /// an all-hex surface could never start converting).
+  double nucleation = 0.01;
+};
+
+/// A built Pt(100) model with its five species handles:
+/// hex-vacant, hex-CO, 1x1-vacant, 1x1-CO, 1x1-O.
+struct Pt100Model {
+  ReactionModel model;
+  Species hex_vac;
+  Species hex_co;
+  Species sq_vac;
+  Species sq_co;
+  Species sq_o;
+
+  /// Total CO coverage (both phases) in a configuration.
+  [[nodiscard]] double co_coverage(const Configuration& cfg) const {
+    return cfg.coverage(hex_co) + cfg.coverage(sq_co);
+  }
+  /// O coverage.
+  [[nodiscard]] double o_coverage(const Configuration& cfg) const {
+    return cfg.coverage(sq_o);
+  }
+  /// Fraction of the surface in the square (1x1) phase.
+  [[nodiscard]] double sq_fraction(const Configuration& cfg) const {
+    return cfg.coverage(sq_vac) + cfg.coverage(sq_co) + cfg.coverage(sq_o);
+  }
+};
+
+[[nodiscard]] Pt100Model make_pt100(const Pt100Params& params = {});
+
+}  // namespace casurf::models

@@ -1,0 +1,43 @@
+#include "models/zgb.hpp"
+
+#include <stdexcept>
+
+namespace casurf::models {
+
+ZgbModel make_zgb(const ZgbParams& params) {
+  if (!(params.k_co > 0) || !(params.k_o2 > 0) || !(params.k_rea > 0)) {
+    throw std::invalid_argument("make_zgb: all rate constants must be positive");
+  }
+
+  SpeciesSet species({"*", "CO", "O"});
+  const Species vac = species.require("*");
+  const Species co = species.require("CO");
+  const Species o = species.require("O");
+
+  ReactionModel model(std::move(species));
+
+  // Rt_CO: CO adsorption on a vacant site.
+  model.add(ReactionType("CO_ads", params.k_co, {exact({0, 0}, vac, co)}));
+
+  // Rt_O2: dissociative adsorption on an adjacent vacant pair. Two
+  // orientations (+x, +y) cover every unordered pair exactly once
+  // (Table I: "RtO2 has only two").
+  const Vec2 o2_dirs[] = {{1, 0}, {0, 1}};
+  for (std::size_t i = 0; i < 2; ++i) {
+    model.add(ReactionType("O2_ads_" + std::to_string(i), params.k_o2 / 2.0,
+                           {exact({0, 0}, vac, o), exact(o2_dirs[i], vac, o)}));
+  }
+
+  // Rt_CO+O: CO2 formation and desorption, anchored at the CO site; four
+  // orientations for the O neighbor (Table I lists all four; its last entry
+  // reads "CO" in the source pattern, an obvious typo for "O").
+  const Vec2 rea_dirs[] = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+  for (std::size_t i = 0; i < 4; ++i) {
+    model.add(ReactionType("CO2_form_" + std::to_string(i), params.k_rea / 4.0,
+                           {exact({0, 0}, co, vac), exact(rea_dirs[i], o, vac)}));
+  }
+
+  return ZgbModel{std::move(model), vac, co, o};
+}
+
+}  // namespace casurf::models

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "model/reaction_model.hpp"
+
+namespace casurf::models {
+
+/// Parameters of the Ziff-Gulari-Barshad CO-oxidation model, exactly the
+/// paper's example system (Fig 1 / Table I): CO adsorption, dissociative O2
+/// adsorption on adjacent vacant pairs, and CO + O -> CO2 formation +
+/// desorption. Each parameter is the total rate constant of its reaction
+/// *channel*; the builder distributes it evenly over the channel's
+/// orientations (2 for O2, 4 for CO+O), so K = k_co + k_o2 + k_rea.
+struct ZgbParams {
+  double k_co = 1.0;   ///< k_CO: CO adsorption on a vacant site
+  double k_o2 = 1.0;   ///< k_O2: dissociative O2 adsorption on a vacant pair
+  double k_rea = 2.0;  ///< k_CO2: CO + O -> CO2 formation and desorption
+
+  /// Classic ZGB parameterization: CO arrives with probability y, O2 with
+  /// 1 - y, and the surface reaction is fast (rate `reaction` >> 1
+  /// approximates the original instantaneous-reaction model).
+  static ZgbParams from_y(double y, double reaction = 50.0) {
+    return ZgbParams{y, 1.0 - y, reaction};
+  }
+};
+
+/// A built ZGB model: the ReactionModel plus the species handles tests and
+/// observers need.
+struct ZgbModel {
+  ReactionModel model;
+  Species vacant;
+  Species co;
+  Species o;
+};
+
+/// Build the seven reaction types of Table I:
+///   Rt_CO (1 version), Rt_O2 (2 orientations), Rt_CO+O (4 orientations).
+[[nodiscard]] ZgbModel make_zgb(const ZgbParams& params = {});
+
+}  // namespace casurf::models

@@ -1,0 +1,121 @@
+#include "parallel/msgpass.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace casurf {
+
+Communicator::Stats Communicator::last_stats_{};
+
+Communicator::Communicator(int world_size) : boxes_(world_size) {
+  if (world_size < 1) {
+    throw std::invalid_argument("Communicator: world size must be >= 1");
+  }
+}
+
+void Communicator::run(int world_size, const std::function<void(Rank&)>& rank_main) {
+  Communicator comm(world_size);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(world_size);
+  threads.reserve(world_size);
+  for (int r = 0; r < world_size; ++r) {
+    threads.emplace_back([&comm, &rank_main, &errors, r] {
+      Rank handle(&comm, r);
+      try {
+        rank_main(handle);
+      } catch (...) {
+        errors[r] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  last_stats_ = Stats{comm.messages_.load(), comm.bytes_.load(), comm.barriers_.load()};
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void Communicator::Rank::send(int dest, int tag, std::vector<std::byte> payload) {
+  if (dest < 0 || dest >= world_size()) {
+    throw std::out_of_range("Communicator::send: bad destination rank");
+  }
+  Mailbox& box = comm_->boxes_[dest];
+  comm_->messages_.fetch_add(1, std::memory_order_relaxed);
+  comm_->bytes_.fetch_add(payload.size(), std::memory_order_relaxed);
+  {
+    std::lock_guard lock(box.mutex);
+    box.queue.push_back(Message{rank_, tag, std::move(payload)});
+  }
+  box.arrived.notify_all();
+}
+
+std::vector<std::byte> Communicator::Rank::recv(int src, int tag) {
+  Mailbox& box = comm_->boxes_[rank_];
+  std::unique_lock lock(box.mutex);
+  for (;;) {
+    const auto it = std::ranges::find_if(box.queue, [&](const Message& m) {
+      return m.src == src && m.tag == tag;
+    });
+    if (it != box.queue.end()) {
+      std::vector<std::byte> payload = std::move(it->payload);
+      box.queue.erase(it);
+      return payload;
+    }
+    box.arrived.wait(lock);
+  }
+}
+
+void Communicator::Rank::barrier() {
+  std::unique_lock lock(comm_->coll_mutex_);
+  const std::uint64_t gen = comm_->coll_generation_;
+  if (++comm_->coll_arrived_ == world_size()) {
+    comm_->coll_arrived_ = 0;
+    ++comm_->coll_generation_;
+    comm_->barriers_.fetch_add(1, std::memory_order_relaxed);
+    comm_->coll_cv_.notify_all();
+  } else {
+    comm_->coll_cv_.wait(lock, [&] { return comm_->coll_generation_ != gen; });
+  }
+}
+
+template <class T>
+T Communicator::allreduce_impl(int, T value) {
+  // Accumulate under the collective lock; last arrival publishes the total
+  // and releases the epoch. Two barrier-like phases folded into one
+  // generation step because the accumulator is reset by the releaser.
+  T* slot;
+  T* out;
+  if constexpr (std::is_same_v<T, double>) {
+    slot = &reduce_double_;
+    out = &reduce_double_out_;
+  } else {
+    slot = &reduce_u64_;
+    out = &reduce_u64_out_;
+  }
+  std::unique_lock lock(coll_mutex_);
+  const std::uint64_t gen = coll_generation_;
+  *slot += value;
+  if (++coll_arrived_ == static_cast<int>(boxes_.size())) {
+    coll_arrived_ = 0;
+    *out = *slot;
+    *slot = T{};
+    ++coll_generation_;
+    barriers_.fetch_add(1, std::memory_order_relaxed);
+    coll_cv_.notify_all();
+  } else {
+    coll_cv_.wait(lock, [&] { return coll_generation_ != gen; });
+  }
+  return *out;
+}
+
+double Communicator::Rank::allreduce_sum(double value) {
+  return comm_->allreduce_impl<double>(rank_, value);
+}
+
+std::uint64_t Communicator::Rank::allreduce_sum(std::uint64_t value) {
+  return comm_->allreduce_impl<std::uint64_t>(rank_, value);
+}
+
+}  // namespace casurf

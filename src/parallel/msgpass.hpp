@@ -1,0 +1,128 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace casurf {
+
+/// In-process message-passing substrate, MPI-flavored: a fixed world of
+/// ranks (one thread each) exchanging tagged point-to-point messages plus
+/// barrier and allreduce collectives. Stands in for the MPI layer of
+/// Segers' chunked parallel DMC (paper section 3) on machines without an
+/// MPI installation; the communication *pattern* — and the per-message /
+/// per-byte counts the cost model consumes — is the same.
+class Communicator {
+ public:
+  class Rank;
+
+  /// Spawn `world_size` ranks, run `rank_main` on each (rank 0 included),
+  /// join. Exceptions in a rank propagate to the caller after all ranks
+  /// finish or abort.
+  static void run(int world_size, const std::function<void(Rank&)>& rank_main);
+
+  /// Total point-to-point messages and payload bytes of the last run().
+  struct Stats {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t barriers = 0;
+  };
+  [[nodiscard]] static Stats last_run_stats() { return last_stats_; }
+
+  /// A rank's endpoint: the handle `rank_main` receives.
+  class Rank {
+   public:
+    [[nodiscard]] int rank() const { return rank_; }
+    [[nodiscard]] int world_size() const { return static_cast<int>(comm_->boxes_.size()); }
+
+    /// Asynchronous (buffered) send; never blocks.
+    void send(int dest, int tag, std::vector<std::byte> payload);
+
+    /// Blocking receive of the oldest pending message matching (src, tag).
+    [[nodiscard]] std::vector<std::byte> recv(int src, int tag);
+
+    /// Typed convenience wrappers for trivially-copyable payloads.
+    template <class T>
+    void send_value(int dest, int tag, const T& value) {
+      static_assert(std::is_trivially_copyable_v<T>);
+      std::vector<std::byte> buf(sizeof(T));
+      std::memcpy(buf.data(), &value, sizeof(T));
+      send(dest, tag, std::move(buf));
+    }
+    template <class T>
+    [[nodiscard]] T recv_value(int src, int tag) {
+      static_assert(std::is_trivially_copyable_v<T>);
+      const std::vector<std::byte> buf = recv(src, tag);
+      T value{};
+      std::memcpy(&value, buf.data(), sizeof(T));
+      return value;
+    }
+    template <class T>
+    void send_span(int dest, int tag, const T* data, std::size_t count) {
+      static_assert(std::is_trivially_copyable_v<T>);
+      std::vector<std::byte> buf(count * sizeof(T));
+      std::memcpy(buf.data(), data, buf.size());
+      send(dest, tag, std::move(buf));
+    }
+    template <class T>
+    void recv_span(int src, int tag, T* data, std::size_t count) {
+      static_assert(std::is_trivially_copyable_v<T>);
+      const std::vector<std::byte> buf = recv(src, tag);
+      std::memcpy(data, buf.data(), std::min(buf.size(), count * sizeof(T)));
+    }
+
+    /// Synchronize all ranks (sense-reversing generation barrier).
+    void barrier();
+
+    /// Sum a value across all ranks; every rank receives the total.
+    [[nodiscard]] double allreduce_sum(double value);
+    [[nodiscard]] std::uint64_t allreduce_sum(std::uint64_t value);
+
+   private:
+    friend class Communicator;
+    Rank(Communicator* comm, int rank) : comm_(comm), rank_(rank) {}
+    Communicator* comm_;
+    int rank_;
+  };
+
+ private:
+  struct Message {
+    int src;
+    int tag;
+    std::vector<std::byte> payload;
+  };
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable arrived;
+    std::deque<Message> queue;
+  };
+
+  explicit Communicator(int world_size);
+
+  template <class T>
+  T allreduce_impl(int rank, T value);
+
+  std::vector<Mailbox> boxes_;
+  // Barrier + reduction state.
+  std::mutex coll_mutex_;
+  std::condition_variable coll_cv_;
+  int coll_arrived_ = 0;
+  std::uint64_t coll_generation_ = 0;
+  double reduce_double_ = 0;
+  std::uint64_t reduce_u64_ = 0;
+  double reduce_double_out_ = 0;
+  std::uint64_t reduce_u64_out_ = 0;
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> barriers_{0};
+
+  static Stats last_stats_;  // defined in msgpass.cpp
+};
+
+}  // namespace casurf

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <memory>
+
+#include "ca/pndca.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace casurf {
+
+/// Threaded PNDCA: identical algorithm and — by construction — identical
+/// trajectory to the sequential `PndcaSimulator` with the same seed, but
+/// each chunk sweep is executed fork-join across a thread pool. This is
+/// sound because the partition satisfies the paper's non-overlap rule
+/// (same-chunk reactions touch disjoint sites) and because every
+/// (sweep, site) trial draws from its own counter-RNG stream, so outcomes
+/// do not depend on scheduling.
+///
+/// Shared-state discipline: threads write lattice sites directly (disjoint
+/// by the non-overlap rule) but never the shared species counts; each
+/// thread accumulates per-species deltas and per-type execution tallies,
+/// merged after the join. Determinism is verified by the test suite
+/// (parallel == sequential, any thread count).
+class ParallelPndcaEngine final : public PndcaSimulator {
+ public:
+  ParallelPndcaEngine(const ReactionModel& model, Configuration config,
+                      std::vector<Partition> partitions, std::uint64_t seed,
+                      unsigned num_threads,
+                      ChunkPolicy policy = ChunkPolicy::kRandomOrder,
+                      TimeMode time_mode = TimeMode::kStochastic);
+
+  [[nodiscard]] std::string name() const override { return "PNDCA(threads)"; }
+  [[nodiscard]] unsigned num_threads() const { return pool_.size(); }
+
+ protected:
+  void execute_chunk(std::uint64_t sweep, const std::vector<SiteIndex>& sites) override;
+
+ private:
+  ThreadPool pool_;
+  // Per-thread scratch, reused every sweep: [species deltas..., type tallies...]
+  std::vector<std::vector<std::int64_t>> deltas_;
+  std::vector<std::vector<std::uint64_t>> tallies_;
+};
+
+}  // namespace casurf

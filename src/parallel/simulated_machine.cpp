@@ -1,0 +1,54 @@
+#include "parallel/simulated_machine.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+namespace casurf {
+
+SpeedupPoint SimulatedMachine::predict(const Partition& partition, int processors,
+                                       std::uint64_t steps) const {
+  if (processors < 1) {
+    throw std::invalid_argument("SimulatedMachine::predict: processors must be >= 1");
+  }
+  const double t_site = params_.t_site_seconds;
+  const double sigma = params_.serial_fraction;
+  const double p = processors;
+
+  double t1_step = 0;
+  double tp_step = 0;
+  for (ChunkId c = 0; c < partition.num_chunks(); ++c) {
+    const auto n = static_cast<double>(partition.chunk(c).size());
+    t1_step += n * t_site;
+    if (processors == 1) {
+      tp_step += n * t_site;
+    } else {
+      const double per_proc = std::ceil(n / p);
+      tp_step += per_proc * t_site * (1.0 - sigma) + n * t_site * sigma +
+                 params_.barrier_alpha + params_.barrier_beta * std::log2(p);
+    }
+  }
+
+  SpeedupPoint point;
+  point.side = partition.lattice().width();
+  point.processors = processors;
+  point.t1_seconds = static_cast<double>(steps) * t1_step;
+  point.tp_seconds = static_cast<double>(steps) * tp_step;
+  return point;
+}
+
+MachineParams SimulatedMachine::calibrate(PndcaSimulator& sim, std::uint64_t steps,
+                                          MachineParams base) {
+  const std::uint64_t trials_before = sim.counters().trials;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < steps; ++i) sim.mc_step();
+  const auto stop = std::chrono::steady_clock::now();
+  const std::uint64_t trials = sim.counters().trials - trials_before;
+  if (trials > 0) {
+    base.t_site_seconds =
+        std::chrono::duration<double>(stop - start).count() / static_cast<double>(trials);
+  }
+  return base;
+}
+
+}  // namespace casurf

@@ -1,0 +1,65 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace casurf {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_main(unsigned id) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned, std::size_t, std::size_t)>* body = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      body = body_;
+      n = job_n_;
+    }
+    // Contiguous slice for this worker.
+    const std::size_t per = n / workers_.size();
+    const std::size_t extra = n % workers_.size();
+    const std::size_t begin = id * per + std::min<std::size_t>(id, extra);
+    const std::size_t end = begin + per + (id < extra ? 1 : 0);
+    if (begin < end) (*body)(id, begin, end);
+    {
+      std::lock_guard lock(mutex_);
+      if (--remaining_ == 0) done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(unsigned, std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  std::unique_lock lock(mutex_);
+  body_ = &body;
+  job_n_ = n;
+  remaining_ = static_cast<unsigned>(workers_.size());
+  ++generation_;
+  wake_.notify_all();
+  done_.wait(lock, [&] { return remaining_ == 0; });
+  body_ = nullptr;
+}
+
+}  // namespace casurf

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace casurf {
+
+/// A small fork-join worker pool for data-parallel chunk execution.
+/// parallel_for splits an index range into one contiguous slice per worker
+/// and blocks until every slice has run — the execution model of one PNDCA
+/// chunk sweep. Workers persist across calls (no per-step thread spawn).
+///
+/// Deliberately minimal: static partitioning (PNDCA trials are uniform
+/// cost), no work stealing, no task queue.
+class ThreadPool {
+ public:
+  /// `threads` workers; 0 picks the hardware concurrency (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Run body(worker_id, begin, end) for a balanced split of [0, n) across
+  /// all workers; returns when every slice completed. Worker ids are
+  /// 0..size()-1 and stable, so callers can index per-thread scratch
+  /// buffers. The calling thread only coordinates; re-entrant calls from
+  /// within a body are not allowed.
+  void parallel_for(std::size_t n,
+                    const std::function<void(unsigned, std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_main(unsigned id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(unsigned, std::size_t, std::size_t)>* body_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::uint64_t generation_ = 0;
+  unsigned remaining_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace casurf

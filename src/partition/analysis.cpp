@@ -1,0 +1,63 @@
+#include "partition/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "partition/coloring.hpp"
+
+namespace casurf {
+
+double PartitionReport::granularity_speedup_bound(int processors) const {
+  if (processors <= 1 || num_chunks == 0) return 1.0;
+  // Per sweep, p processors need ceil(|c| / p) rounds of site trials.
+  double serial = 0;
+  double parallel = 0;
+  // Only sizes matter; reconstruct from the stored aggregate is impossible,
+  // so this bound uses max/mean (exact when all chunks are equal, which the
+  // linear-form partitions are). Conservative otherwise.
+  serial = static_cast<double>(total_sites);
+  parallel = static_cast<double>(num_chunks) *
+             std::ceil(static_cast<double>(max_chunk) / processors);
+  return parallel > 0 ? serial / parallel : 1.0;
+}
+
+PartitionReport analyse_partition(const Partition& partition,
+                                  const ReactionModel& model, ConflictPolicy policy) {
+  PartitionReport report;
+  report.num_chunks = partition.num_chunks();
+  report.total_sites = partition.size();
+  report.min_chunk = partition.size();
+  for (ChunkId c = 0; c < partition.num_chunks(); ++c) {
+    const std::size_t size = partition.chunk(c).size();
+    report.min_chunk = std::min(report.min_chunk, size);
+    report.max_chunk = std::max(report.max_chunk, size);
+  }
+  report.mean_chunk = static_cast<double>(partition.size()) /
+                      static_cast<double>(partition.num_chunks());
+  report.balance = static_cast<double>(report.max_chunk) / report.mean_chunk;
+
+  const auto offsets = conflict_offsets(model, policy);
+  report.valid = verify_partition(partition, offsets);
+  const std::size_t bound = chunk_lower_bound(offsets);
+  report.optimality_ratio = bound > 0 ? static_cast<double>(report.num_chunks) /
+                                            static_cast<double>(bound)
+                                      : 1.0;
+  return report;
+}
+
+std::string to_string(const PartitionReport& r) {
+  std::ostringstream os;
+  os << "partition: " << r.num_chunks << " chunks over " << r.total_sites
+     << " sites\n";
+  os << "  chunk sizes: min " << r.min_chunk << ", max " << r.max_chunk << ", mean "
+     << r.mean_chunk << " (balance " << r.balance << ")\n";
+  os << "  non-overlap rule: " << (r.valid ? "satisfied" : "VIOLATED") << "\n";
+  os << "  chunk count vs clique bound: " << r.optimality_ratio
+     << (r.optimality_ratio <= 1.0 ? " (optimal)" : "") << "\n";
+  os << "  granularity speedup bound: p=4 -> " << r.granularity_speedup_bound(4)
+     << ", p=16 -> " << r.granularity_speedup_bound(16) << "\n";
+  return os.str();
+}
+
+}  // namespace casurf

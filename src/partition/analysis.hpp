@@ -1,0 +1,47 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "partition/conflict.hpp"
+#include "partition/partition.hpp"
+
+namespace casurf {
+
+/// Quality metrics of a partition for a given model: the numbers that
+/// decide how well the PNDCA chunk engine will scale on it.
+struct PartitionReport {
+  std::size_t num_chunks = 0;
+  std::size_t min_chunk = 0;
+  std::size_t max_chunk = 0;
+  double mean_chunk = 0;
+
+  /// max_chunk / mean_chunk: 1.0 = perfectly balanced. The per-sweep
+  /// parallel time is governed by the largest chunk, so imbalance directly
+  /// becomes lost speedup.
+  double balance = 1.0;
+
+  /// Whether the partition satisfies the model's non-overlap rule.
+  bool valid = false;
+
+  /// num_chunks / lower bound from the conflict clique: 1.0 = provably
+  /// optimal chunk count.
+  double optimality_ratio = 1.0;
+
+  /// Upper bound on achievable speedup with p processors from chunk
+  /// granularity alone (no communication costs): sum |c| / sum ceil(|c|/p).
+  [[nodiscard]] double granularity_speedup_bound(int processors) const;
+
+  std::size_t total_sites = 0;
+};
+
+/// Analyse `partition` against `model`'s conflict structure.
+[[nodiscard]] PartitionReport analyse_partition(const Partition& partition,
+                                                const ReactionModel& model,
+                                                ConflictPolicy policy =
+                                                    ConflictPolicy::kFullNeighborhood);
+
+/// Human-readable multi-line rendering of the report.
+[[nodiscard]] std::string to_string(const PartitionReport& report);
+
+}  // namespace casurf

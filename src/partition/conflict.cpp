@@ -1,0 +1,95 @@
+#include "partition/conflict.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "partition/partition.hpp"
+
+namespace casurf {
+
+namespace {
+
+/// Offsets a type writes (target != keep) and all offsets it touches.
+struct TypeFootprint {
+  std::vector<Vec2> reads;   // full neighborhood
+  std::vector<Vec2> writes;  // written subset
+};
+
+TypeFootprint footprint(const ReactionType& rt) {
+  TypeFootprint f;
+  for (const Transform& t : rt.transforms()) {
+    f.reads.push_back(t.offset);
+    if (t.tg != kKeep) f.writes.push_back(t.offset);
+  }
+  return f;
+}
+
+void accumulate_differences(const std::vector<Vec2>& a, const std::vector<Vec2>& b,
+                            std::unordered_set<Vec2>& out) {
+  for (const Vec2 u : a) {
+    for (const Vec2 v : b) {
+      const Vec2 d = u - v;
+      if (d != Vec2{0, 0}) {
+        out.insert(d);
+        out.insert(-d);
+      }
+    }
+  }
+}
+
+std::vector<Vec2> sorted(std::unordered_set<Vec2> set) {
+  std::vector<Vec2> v(set.begin(), set.end());
+  std::ranges::sort(v);
+  return v;
+}
+
+}  // namespace
+
+std::vector<Vec2> conflict_offsets(const ReactionModel& model, ConflictPolicy policy) {
+  std::vector<TypeFootprint> fps;
+  fps.reserve(model.num_reactions());
+  for (const ReactionType& rt : model.reactions()) fps.push_back(footprint(rt));
+
+  std::unordered_set<Vec2> out;
+  for (const TypeFootprint& a : fps) {
+    for (const TypeFootprint& b : fps) {
+      if (policy == ConflictPolicy::kFullNeighborhood) {
+        accumulate_differences(a.reads, b.reads, out);
+      } else {
+        // write/write and write/read in both orders; the symmetrisation in
+        // accumulate_differences makes one order sufficient per pair kind.
+        accumulate_differences(a.writes, b.writes, out);
+        accumulate_differences(a.writes, b.reads, out);
+      }
+    }
+  }
+  // A reaction also conflicts with a second start of *itself* at the same
+  // anchor, but identical anchors are excluded by construction (a site is
+  // selected at most once per chunk sweep), so d = 0 stays excluded.
+  return sorted(std::move(out));
+}
+
+std::vector<Vec2> self_conflict_offsets(const ReactionType& rt, ConflictPolicy policy) {
+  const TypeFootprint f = footprint(rt);
+  std::unordered_set<Vec2> out;
+  if (policy == ConflictPolicy::kFullNeighborhood) {
+    accumulate_differences(f.reads, f.reads, out);
+  } else {
+    accumulate_differences(f.writes, f.writes, out);
+    accumulate_differences(f.writes, f.reads, out);
+  }
+  return sorted(std::move(out));
+}
+
+bool verify_partition(const Partition& p, const std::vector<Vec2>& offsets) {
+  const Lattice& lat = p.lattice();
+  for (SiteIndex s = 0; s < lat.size(); ++s) {
+    for (const Vec2 d : offsets) {
+      const SiteIndex t = lat.neighbor(s, d);
+      if (t != s && p.chunk_of(s) == p.chunk_of(t)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace casurf

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "model/reaction_model.hpp"
+
+namespace casurf {
+
+/// Which pairs of simultaneous reactions count as conflicting.
+enum class ConflictPolicy {
+  /// The paper's non-overlap rule: any intersection of the two reactions'
+  /// neighborhoods Nb(s) and Nb'(t) is a conflict, reads included.
+  kFullNeighborhood,
+  /// Relaxed engineering rule: only write/write and read/write overlaps
+  /// conflict; two reactions merely *reading* a common site commute. Yields
+  /// fewer conflict offsets, hence fewer (larger) chunks.
+  kReadWrite,
+};
+
+/// The set of anchor differences d != 0 such that a reaction anchored at s
+/// and a reaction anchored at s + d could touch a common site:
+///   d in Nb_rt (Minkowski-)minus Nb_rt'  for some pair of types.
+/// A partition is conflict-free exactly when no two same-chunk sites differ
+/// by one of these offsets. The result is symmetric (d in D <=> -d in D).
+[[nodiscard]] std::vector<Vec2> conflict_offsets(
+    const ReactionModel& model,
+    ConflictPolicy policy = ConflictPolicy::kFullNeighborhood);
+
+/// Conflict offsets for a single reaction type against itself (used by the
+/// type-partitioned algorithm, which executes one type at a time).
+[[nodiscard]] std::vector<Vec2> self_conflict_offsets(
+    const ReactionType& rt, ConflictPolicy policy = ConflictPolicy::kFullNeighborhood);
+
+class Partition;
+
+/// Check the paper's non-overlap restriction: for every site s and every
+/// conflict offset d, s and s + d (periodic) lie in different chunks.
+[[nodiscard]] bool verify_partition(const Partition& p,
+                                    const std::vector<Vec2>& offsets);
+
+}  // namespace casurf

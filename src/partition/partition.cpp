@@ -1,0 +1,79 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace casurf {
+
+Partition::Partition(Lattice lattice, std::vector<ChunkId> chunk_of_site)
+    : lattice_(lattice), chunk_of_site_(std::move(chunk_of_site)) {
+  if (chunk_of_site_.size() != lattice_.size()) {
+    throw std::invalid_argument("Partition: assignment size != lattice size");
+  }
+  ChunkId max_chunk = 0;
+  for (const ChunkId c : chunk_of_site_) max_chunk = std::max(max_chunk, c);
+  chunks_.resize(static_cast<std::size_t>(max_chunk) + 1);
+  for (SiteIndex s = 0; s < chunk_of_site_.size(); ++s) {
+    chunks_[chunk_of_site_[s]].push_back(s);
+  }
+  for (const auto& c : chunks_) {
+    if (c.empty()) {
+      throw std::invalid_argument("Partition: chunk ids must be dense (empty chunk)");
+    }
+  }
+}
+
+std::size_t Partition::max_chunk_size() const {
+  std::size_t m = 0;
+  for (const auto& c : chunks_) m = std::max(m, c.size());
+  return m;
+}
+
+Partition Partition::single_chunk(Lattice lattice) {
+  return Partition(lattice, std::vector<ChunkId>(lattice.size(), 0));
+}
+
+Partition Partition::singletons(Lattice lattice) {
+  std::vector<ChunkId> assign(lattice.size());
+  for (SiteIndex s = 0; s < lattice.size(); ++s) assign[s] = s;
+  return Partition(lattice, std::move(assign));
+}
+
+Partition Partition::linear_form(Lattice lattice, std::int32_t a, std::int32_t b,
+                                 std::int32_t m) {
+  if (m <= 0) throw std::invalid_argument("Partition::linear_form: m must be positive");
+  if ((a * lattice.width()) % m != 0 || (b * lattice.height()) % m != 0) {
+    throw std::invalid_argument(
+        "Partition::linear_form: form is inconsistent across the periodic seam "
+        "(need a*W and b*H divisible by m)");
+  }
+  std::vector<ChunkId> assign(lattice.size());
+  for (std::int32_t y = 0; y < lattice.height(); ++y) {
+    for (std::int32_t x = 0; x < lattice.width(); ++x) {
+      const std::int32_t v = (a * x + b * y) % m;
+      assign[lattice.index({x, y})] = static_cast<ChunkId>(v < 0 ? v + m : v);
+    }
+  }
+  return Partition(lattice, std::move(assign));
+}
+
+Partition Partition::blocks(Lattice lattice, std::int32_t bw, std::int32_t bh,
+                            Vec2 shift) {
+  if (bw <= 0 || bh <= 0 || lattice.width() % bw != 0 || lattice.height() % bh != 0) {
+    throw std::invalid_argument("Partition::blocks: block size must divide lattice size");
+  }
+  const std::int32_t nx = lattice.width() / bw;
+  std::vector<ChunkId> assign(lattice.size());
+  for (std::int32_t y = 0; y < lattice.height(); ++y) {
+    for (std::int32_t x = 0; x < lattice.width(); ++x) {
+      // Shift the block origin, not the site: site p belongs to the block
+      // containing p - shift on the unshifted grid.
+      const Vec2 q = lattice.wrap(Vec2{x, y} - shift);
+      const ChunkId c = static_cast<ChunkId>((q.y / bh) * nx + (q.x / bw));
+      assign[lattice.index({x, y})] = c;
+    }
+  }
+  return Partition(lattice, std::move(assign));
+}
+
+}  // namespace casurf

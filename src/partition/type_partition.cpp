@@ -1,0 +1,113 @@
+#include "partition/type_partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "partition/coloring.hpp"
+
+namespace casurf {
+
+namespace {
+
+/// Classify a reaction type's neighborhood, translated so its minimum
+/// corner is the origin: single site, a pair along +x or +y, or "other".
+enum class PatternKind { kSingle, kPairX, kPairY, kOther };
+
+PatternKind classify(const ReactionType& rt, Vec2& bond_out) {
+  std::vector<Vec2> nb = rt.neighborhood();
+  Vec2 mn = nb.front();
+  for (const Vec2 v : nb) mn = {std::min(mn.x, v.x), std::min(mn.y, v.y)};
+  for (Vec2& v : nb) v = v - mn;
+  std::ranges::sort(nb);
+
+  if (nb.size() == 1) {
+    bond_out = {0, 0};
+    return PatternKind::kSingle;
+  }
+  if (nb.size() == 2 && nb[0] == Vec2{0, 0}) {
+    if (nb[1] == Vec2{1, 0}) {
+      bond_out = {1, 0};
+      return PatternKind::kPairX;
+    }
+    if (nb[1] == Vec2{0, 1}) {
+      bond_out = {0, 1};
+      return PatternKind::kPairY;
+    }
+  }
+  bond_out = {0, 0};
+  return PatternKind::kOther;
+}
+
+/// Two-chunk checkerboard: chunk = (x + y) mod 2 — the partition of the
+/// paper's Fig 6 (P0 = {0, 2, 4, 7, 9, ...}). Valid for any single 2-site
+/// unit-bond type executed alone, in both bond directions. Falls back to
+/// greedy when a lattice dimension is odd (checkerboard breaks across the
+/// periodic seam there).
+Partition pair_partition(const Lattice& lattice, Vec2 bond) {
+  if (lattice.width() % 2 == 0 && lattice.height() % 2 == 0) {
+    return Partition::linear_form(lattice, 1, 1, 2);
+  }
+  return greedy_coloring(lattice, {bond, -bond});
+}
+
+}  // namespace
+
+std::vector<TypeSubset> make_type_partition(const Lattice& lattice,
+                                            const ReactionModel& model) {
+  if (model.num_reactions() == 0) {
+    throw std::invalid_argument("make_type_partition: model has no reactions");
+  }
+
+  std::vector<TypeSubset> subsets;
+  auto subset_for = [&](PatternKind kind, Vec2 bond,
+                        const ReactionType& rt) -> TypeSubset* {
+    // Pair types go to the subset with matching bond; "other" types each
+    // get their own subset with a partition built from their own self-
+    // conflict offsets.
+    if (kind == PatternKind::kPairX || kind == PatternKind::kPairY) {
+      for (TypeSubset& s : subsets) {
+        if (s.bond == bond) return &s;
+      }
+      TypeSubset fresh(pair_partition(lattice, bond));
+      fresh.bond = bond;
+      subsets.push_back(std::move(fresh));
+      return &subsets.back();
+    }
+    if (kind == PatternKind::kOther) {
+      TypeSubset fresh(greedy_coloring(lattice, self_conflict_offsets(rt)));
+      fresh.bond = {0, 0};
+      subsets.push_back(std::move(fresh));
+      return &subsets.back();
+    }
+    return nullptr;  // kSingle handled by caller
+  };
+
+  std::vector<ReactionIndex> singles;
+  for (ReactionIndex i = 0; i < model.num_reactions(); ++i) {
+    Vec2 bond;
+    const PatternKind kind = classify(model.reaction(i), bond);
+    if (kind == PatternKind::kSingle) {
+      singles.push_back(i);
+      continue;
+    }
+    TypeSubset* s = subset_for(kind, bond, model.reaction(i));
+    s->types.push_back(i);
+    s->total_rate += model.reaction(i).rate();
+  }
+
+  // Single-site types never conflict with anything in their own sweep; the
+  // paper folds them into the first subset (Table II puts Rt_CO in T0).
+  if (subsets.empty() && !singles.empty()) {
+    subsets.emplace_back(Partition::single_chunk(lattice));
+  }
+  if (!singles.empty()) {
+    for (const ReactionIndex i : singles) {
+      subsets.front().types.push_back(i);
+      subsets.front().total_rate += model.reaction(i).rate();
+    }
+  }
+  return subsets;
+}
+
+}  // namespace casurf

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "model/reaction_model.hpp"
+#include "partition/partition.hpp"
+
+namespace casurf {
+
+/// One subset T_j of the reaction-type partition (paper section 5,
+/// "Another approach using partitions" / Table II): reaction types whose
+/// patterns all fit — up to translation — into a single site pair
+/// {s, s + bond}, plus single-site types. Because the type-partitioned
+/// algorithm executes ONE type at a time across a chunk, the chunks only
+/// need to separate a type from itself, which a two-chunk partition
+/// achieves for any 2-site pattern.
+struct TypeSubset {
+  std::vector<ReactionIndex> types;
+  double total_rate = 0;  ///< K_Tj, the subset's selection weight
+  Vec2 bond{0, 0};        ///< characteristic pair direction ((0,0) for 1-site)
+  Partition chunks;       ///< partition valid for every type in the subset
+
+  TypeSubset(Partition p) : chunks(std::move(p)) {}
+};
+
+/// Split the model's reaction types into subsets T = sum_j T_j by bond
+/// direction and build each subset's two-chunk (checkerboard-style)
+/// partition. Single-site types are merged into the first subset (as the
+/// paper does with Rt_CO in Table II); types whose pattern spans more than
+/// one pair direction get a dedicated subset with a greedy partition.
+/// Throws if the model has no reactions.
+[[nodiscard]] std::vector<TypeSubset> make_type_partition(const Lattice& lattice,
+                                                          const ReactionModel& model);
+
+}  // namespace casurf

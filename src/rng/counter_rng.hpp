@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+
+#include "rng/splitmix64.hpp"
+
+namespace casurf {
+
+/// Counter-based (stateless) random number generator in the spirit of
+/// Philox/Threefry: the n-th value of stream (seed, key) is a pure function
+/// of (seed, key, n). This is what makes the threaded PNDCA engine
+/// *deterministic*: every (step, site) pair owns its own stream, so the
+/// trajectory is identical no matter how chunk sites are scheduled across
+/// threads. Two rounds of the SplitMix64 finalizer over the packed words
+/// give full avalanche between counter bits and output bits.
+class CounterRng {
+ public:
+  /// `key` identifies the logical stream (e.g. packed step/site);
+  /// consecutive `next()` calls walk the stream.
+  constexpr CounterRng(std::uint64_t seed, std::uint64_t key)
+      : base_(mix64(seed ^ 0x6a09e667f3bcc909ULL) ^ mix64(key)), counter_(0) {}
+
+  constexpr std::uint64_t next() {
+    return mix64(base_ + 0x9e3779b97f4a7c15ULL * ++counter_);
+  }
+
+  /// Uniform double in [0, 1). 53 random mantissa bits.
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) by Lemire's multiply-shift reduction
+  /// (negligible bias for bounds << 2^64; exactness is irrelevant for
+  /// stochastic simulation and the speed matters on the trial hot path).
+  constexpr std::uint64_t next_below(std::uint64_t bound) {
+    __extension__ using u128 = unsigned __int128;
+    return static_cast<std::uint64_t>(
+        (static_cast<u128>(next()) * static_cast<u128>(bound)) >> 64);
+  }
+
+  /// Pack a (step, site, salt) triple into a stream key.
+  static constexpr std::uint64_t key(std::uint64_t step, std::uint64_t site,
+                                     std::uint64_t salt = 0) {
+    return mix64(step * 0xd1342543de82ef95ULL + site) ^ (salt << 1);
+  }
+
+ private:
+  std::uint64_t base_;
+  std::uint64_t counter_;
+};
+
+}  // namespace casurf

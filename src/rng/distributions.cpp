@@ -1,0 +1,69 @@
+#include "rng/distributions.hpp"
+
+#include <stdexcept>
+
+namespace casurf {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("AliasTable: empty weight vector");
+  double total = 0;
+  for (const double w : weights) {
+    if (w < 0 || !std::isfinite(w)) {
+      throw std::invalid_argument("AliasTable: weights must be finite and non-negative");
+    }
+    total += w;
+  }
+  if (total <= 0) throw std::invalid_argument("AliasTable: total weight must be positive");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Vose's algorithm: split scaled probabilities into "small" (< 1) and
+  // "large" (>= 1) work lists, pair them up.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are 1.0 up to rounding.
+  for (const std::uint32_t l : large) prob_[l] = 1.0;
+  for (const std::uint32_t s : small) prob_[s] = 1.0;
+}
+
+std::size_t sample_cumulative(const std::vector<double>& cumulative, double u) {
+  if (cumulative.empty()) {
+    throw std::invalid_argument("sample_cumulative: empty table");
+  }
+  const double target = u * cumulative.back();
+  // Binary search for the first entry > target.
+  std::size_t lo = 0, hi = cumulative.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cumulative[mid] > target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace casurf

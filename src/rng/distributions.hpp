@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace casurf {
+
+/// Uniform double in [0, 1) from any 64-bit URBG.
+template <class Rng>
+[[nodiscard]] double uniform01(Rng& rng) {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+/// Uniform integer in [0, bound) via Lemire reduction.
+template <class Rng>
+[[nodiscard]] std::uint64_t uniform_below(Rng& rng, std::uint64_t bound) {
+  assert(bound > 0);
+  __extension__ using u128 = unsigned __int128;
+  return static_cast<std::uint64_t>(
+      (static_cast<u128>(rng()) * static_cast<u128>(bound)) >> 64);
+}
+
+/// Sample from Exp(rate): the waiting time of a Poisson process, i.e. the
+/// paper's "draw from 1 - exp(-N K t)" with rate = N K. Guards against
+/// log(0) by nudging u away from 0.
+[[nodiscard]] inline double exponential_from_u(double u, double rate) {
+  assert(rate > 0);
+  if (u <= 0.0) u = std::numeric_limits<double>::min();
+  return -std::log(u) / rate;
+}
+
+template <class Rng>
+[[nodiscard]] double exponential(Rng& rng, double rate) {
+  return exponential_from_u(uniform01(rng), rate);
+}
+
+/// Walker/Vose alias table: O(1) sampling from a fixed discrete
+/// distribution. Used to pick a reaction type with probability k_i / K on
+/// every trial of RSM/NDCA/PNDCA — the single hottest distribution in the
+/// library, so constant-time sampling is worth the setup cost.
+class AliasTable {
+ public:
+  AliasTable() = default;
+  explicit AliasTable(const std::vector<double>& weights);
+
+  [[nodiscard]] std::size_t size() const { return prob_.size(); }
+  [[nodiscard]] bool empty() const { return prob_.empty(); }
+
+  /// Sample an index given two independent uniforms in [0,1).
+  [[nodiscard]] std::size_t sample(double u_slot, double u_flip) const {
+    const auto slot = static_cast<std::size_t>(u_slot * static_cast<double>(prob_.size()));
+    const std::size_t i = slot < prob_.size() ? slot : prob_.size() - 1;
+    return u_flip < prob_[i] ? i : alias_[i];
+  }
+
+  template <class Rng>
+  [[nodiscard]] std::size_t sample(Rng& rng) const {
+    const double a = uniform01(rng);
+    const double b = uniform01(rng);
+    return sample(a, b);
+  }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+/// Linear-scan sampling from cumulative weights; O(n) but allocation-free
+/// and exact. Used where n is tiny or weights change every draw (e.g.
+/// rate-weighted chunk selection).
+[[nodiscard]] std::size_t sample_cumulative(const std::vector<double>& cumulative,
+                                            double u);
+
+}  // namespace casurf

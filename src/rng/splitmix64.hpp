@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+namespace casurf {
+
+/// SplitMix64 (Steele, Lea, Flood 2014). Used for seeding the main
+/// generators and as the mixing function of the counter-based RNG. Passes
+/// BigCrush when used as a generator; here it is mostly a 64-bit finalizer.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless SplitMix64 finalizer: a high-quality 64-bit mix of one word.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace casurf

@@ -1,0 +1,33 @@
+#include "rng/xoshiro.hpp"
+
+#include "rng/splitmix64.hpp"
+
+namespace casurf {
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  // Seed the 256-bit state from SplitMix64 per the authors' recommendation;
+  // guarantees a non-zero state for any seed.
+  SplitMix64 sm(seed);
+  for (auto& w : s_) w = sm.next();
+}
+
+void Xoshiro256::long_jump() {
+  static constexpr std::uint64_t kJump[] = {
+      0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL,
+      0x77710069854ee241ULL, 0x39109bb02acbe635ULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (const std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (std::uint64_t{1} << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (*this)();
+    }
+  }
+  s_ = {s0, s1, s2, s3};
+}
+
+}  // namespace casurf

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace casurf {
+
+/// xoshiro256** 1.0 (Blackman & Vigna). The library's workhorse sequential
+/// generator: fast, 256-bit state, equidistributed in all dimensions up to 4.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Advance 2^128 steps: partitions the period into non-overlapping
+  /// subsequences for independent parallel streams.
+  void long_jump();
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace casurf

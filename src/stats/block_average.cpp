@@ -1,0 +1,62 @@
+#include "stats/block_average.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace casurf::stats {
+
+BlockAverageResult block_average(const std::vector<double>& samples) {
+  if (samples.size() < 8) {
+    throw std::invalid_argument("block_average: need at least 8 samples");
+  }
+  BlockAverageResult result;
+  result.mean = mean(samples);
+  result.naive_error =
+      std::sqrt(variance(samples) / static_cast<double>(samples.size()));
+
+  std::vector<double> blocks = samples;
+  while (blocks.size() >= 4) {
+    const double err =
+        std::sqrt(variance(blocks) / static_cast<double>(blocks.size()));
+    result.error_per_level.push_back(err);
+    // Halve: average adjacent pairs.
+    std::vector<double> next;
+    next.reserve(blocks.size() / 2);
+    for (std::size_t i = 0; i + 1 < blocks.size(); i += 2) {
+      next.push_back(0.5 * (blocks[i] + blocks[i + 1]));
+    }
+    blocks = std::move(next);
+  }
+
+  // Plateau: first level within 2% of its successor.
+  result.plateau_level = result.error_per_level.size() - 1;
+  for (std::size_t level = 0; level + 1 < result.error_per_level.size(); ++level) {
+    const double a = result.error_per_level[level];
+    const double b = result.error_per_level[level + 1];
+    if (a > 0 && std::abs(b - a) <= 0.02 * a) {
+      result.plateau_level = level;
+      break;
+    }
+  }
+  result.error = result.error_per_level[result.plateau_level];
+  return result;
+}
+
+double integrated_autocorrelation_time(const std::vector<double>& samples) {
+  if (samples.size() < 16) {
+    throw std::invalid_argument(
+        "integrated_autocorrelation_time: need at least 16 samples");
+  }
+  double tau = 0.5;
+  const std::size_t max_lag = samples.size() / 4;
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    tau += autocorrelation(samples, k);
+    // Self-consistent window: stop once the summed lags exceed ~6 tau.
+    if (static_cast<double>(k) >= 6.0 * tau) break;
+  }
+  return std::max(tau, 0.5);
+}
+
+}  // namespace casurf::stats

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace casurf::stats {
+
+/// Flyvbjerg-Petersen block averaging: the standard error estimate for
+/// *correlated* time-series samples (steady-state coverages sampled every
+/// MC step are strongly autocorrelated, so the naive stderr is far too
+/// small). The series is repeatedly halved by averaging adjacent pairs;
+/// the blocked standard error grows until blocks are longer than the
+/// correlation time and plateaus there.
+struct BlockAverageResult {
+  double mean = 0;
+  double error = 0;            ///< plateau standard error of the mean
+  double naive_error = 0;      ///< uncorrelated-assumption stderr, for contrast
+  std::size_t plateau_level = 0;  ///< halvings needed to decorrelate
+  /// stderr estimate at every blocking level (diagnostic).
+  std::vector<double> error_per_level;
+
+  /// Statistical inefficiency g ~ 1 + 2 tau: how many correlated samples
+  /// equal one independent sample.
+  [[nodiscard]] double statistical_inefficiency() const {
+    if (naive_error <= 0) return 1.0;
+    const double ratio = error / naive_error;
+    return ratio * ratio;
+  }
+};
+
+/// Block-average `samples` (at least 8 required). The plateau is detected
+/// as the first level whose error estimate is within 2% of the next one;
+/// if no plateau is reached the last level's (least biased) estimate is
+/// used.
+[[nodiscard]] BlockAverageResult block_average(const std::vector<double>& samples);
+
+/// Integrated autocorrelation time tau_int = 1/2 + sum_k r(k), summed with
+/// the standard self-consistent window cutoff (k <= 6 tau). In units of
+/// the sampling interval.
+[[nodiscard]] double integrated_autocorrelation_time(const std::vector<double>& samples);
+
+}  // namespace casurf::stats

@@ -1,0 +1,40 @@
+#include "stats/correlations.hpp"
+
+namespace casurf::stats {
+
+double bond_fraction(const Configuration& cfg, Species a, Species b) {
+  const Lattice& lat = cfg.lattice();
+  std::uint64_t hits = 0;
+  const std::uint64_t bonds = 2ull * lat.size();
+  for (SiteIndex s = 0; s < lat.size(); ++s) {
+    const Species here = cfg.get(s);
+    for (const Vec2 d : {Vec2{1, 0}, Vec2{0, 1}}) {
+      const Species there = cfg.get(lat.neighbor(s, d));
+      if ((here == a && there == b) || (here == b && there == a)) ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(bonds);
+}
+
+double pair_correlation(const Configuration& cfg, Species a, Species b) {
+  const double ta = cfg.coverage(a);
+  const double tb = cfg.coverage(b);
+  const double random = a == b ? ta * ta : 2.0 * ta * tb;
+  if (random <= 0) return 0.0;
+  return bond_fraction(cfg, a, b) / random;
+}
+
+double axial_correlation(const Configuration& cfg, Species s, std::int32_t r) {
+  const Lattice& lat = cfg.lattice();
+  const double theta = cfg.coverage(s);
+  const double var = theta - theta * theta;
+  if (var <= 0) return 0.0;
+  std::uint64_t both = 0;
+  for (SiteIndex i = 0; i < lat.size(); ++i) {
+    if (cfg.get(i) == s && cfg.get(lat.neighbor(i, {r, 0})) == s) ++both;
+  }
+  const double joint = static_cast<double>(both) / static_cast<double>(lat.size());
+  return (joint - theta * theta) / var;
+}
+
+}  // namespace casurf::stats

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "lattice/configuration.hpp"
+
+namespace casurf::stats {
+
+/// Fraction of unordered nearest-neighbor bonds whose two sites hold
+/// species {a, b} (in either order; a == b counts same-species bonds).
+/// The lattice has 2N bonds (one +x and one +y per site, periodic).
+[[nodiscard]] double bond_fraction(const Configuration& cfg, Species a, Species b);
+
+/// Normalized nearest-neighbor pair correlation
+///   g_ab = P(bond is {a, b}) / P_random(bond is {a, b}),
+/// where the denominator assumes independently shuffled occupations
+/// (2 theta_a theta_b for a != b, theta_a^2 for a == b). 1 = random
+/// mixing; < 1 = the species avoid each other (segregation); > 1 =
+/// clustering. Returns 0 when either coverage is 0.
+[[nodiscard]] double pair_correlation(const Configuration& cfg, Species a, Species b);
+
+/// Two-point same-species correlation along the +x axis at distance r:
+///   c_s(r) = [ P(sigma(x) = s and sigma(x + r e_x) = s) - theta_s^2 ]
+///            / (theta_s - theta_s^2),
+/// the standard normalized covariance (1 at r = 0, 0 for random mixing).
+/// Domain (cluster) sizes show up as the decay length. Returns 0 when the
+/// species coverage is 0 or 1.
+[[nodiscard]] double axial_correlation(const Configuration& cfg, Species s,
+                                       std::int32_t r);
+
+}  // namespace casurf::stats

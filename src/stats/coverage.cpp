@@ -1,0 +1,45 @@
+#include "stats/coverage.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace casurf {
+
+void CoverageRecorder::sample(const Simulator& sim) {
+  if (tracked_.empty()) {
+    for (std::size_t s = 0; s < sim.configuration().num_species(); ++s) {
+      tracked_.push_back(static_cast<Species>(s));
+    }
+  }
+  if (per_species_.empty()) per_species_.resize(tracked_.size());
+
+  const double t = sim.time();
+  for (std::size_t i = 0; i < tracked_.size(); ++i) {
+    // Repeated samples at identical times (e.g. t = 0 twice) are dropped
+    // rather than violating monotonicity.
+    if (!per_species_[i].empty() && !(t > per_species_[i].times().back())) continue;
+    per_species_[i].append(t, sim.configuration().coverage(tracked_[i]));
+  }
+}
+
+const TimeSeries& CoverageRecorder::series(Species s) const {
+  const auto it = std::ranges::find(tracked_, s);
+  if (it == tracked_.end() || per_species_.empty()) {
+    throw std::out_of_range("CoverageRecorder::series: species not tracked");
+  }
+  return per_species_[static_cast<std::size_t>(it - tracked_.begin())];
+}
+
+TimeSeries CoverageRecorder::combined(const std::vector<Species>& group) const {
+  if (group.empty()) throw std::invalid_argument("CoverageRecorder::combined: empty group");
+  const TimeSeries& first = series(group.front());
+  TimeSeries out;
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    double sum = 0;
+    for (const Species s : group) sum += series(s).value(i);
+    out.append(first.time(i), sum);
+  }
+  return out;
+}
+
+}  // namespace casurf

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "core/observer.hpp"
+#include "core/simulator.hpp"
+#include "stats/timeseries.hpp"
+
+namespace casurf {
+
+/// Observer that records the coverage of selected species (or of all
+/// species) on the sampling grid — the paper's primary observable
+/// ("coverage with CO and O particles", Figs 8-10).
+class CoverageRecorder final : public Observer {
+ public:
+  /// Record every species of the model.
+  CoverageRecorder() = default;
+
+  /// Record only the listed species.
+  explicit CoverageRecorder(std::vector<Species> tracked) : tracked_(std::move(tracked)) {}
+
+  void sample(const Simulator& sim) override;
+
+  /// Series for species `s` (must have been tracked).
+  [[nodiscard]] const TimeSeries& series(Species s) const;
+
+  /// Series of the SUM of coverages of several species (e.g. CO on both
+  /// phases of the Pt(100) model). Built on demand from recorded data.
+  [[nodiscard]] TimeSeries combined(const std::vector<Species>& group) const;
+
+  [[nodiscard]] const std::vector<Species>& tracked() const { return tracked_; }
+
+ private:
+  std::vector<Species> tracked_;           // empty = all (filled on first sample)
+  std::vector<TimeSeries> per_species_;    // parallel to tracked_
+};
+
+}  // namespace casurf

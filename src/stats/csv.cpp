@@ -1,0 +1,44 @@
+#include "stats/csv.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace casurf::stats {
+
+void write_csv(const std::string& path, const std::vector<std::string>& headers,
+               const std::vector<std::vector<double>>& columns) {
+  if (headers.size() != columns.size()) {
+    throw std::invalid_argument("write_csv: header/column count mismatch");
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_csv: cannot open " + path);
+  for (std::size_t c = 0; c < headers.size(); ++c) {
+    out << (c ? "," : "") << headers[c];
+  }
+  out << '\n';
+  std::size_t rows = 0;
+  for (const auto& col : columns) rows = std::max(rows, col.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (c) out << ',';
+      if (r < columns[c].size()) out << columns[c][r];
+    }
+    out << '\n';
+  }
+}
+
+void write_csv_series(const std::string& path, const std::vector<std::string>& names,
+                      const std::vector<TimeSeries>& series) {
+  if (names.size() != series.size() || series.empty()) {
+    throw std::invalid_argument("write_csv_series: name/series mismatch");
+  }
+  std::vector<std::string> headers = {"time"};
+  std::vector<std::vector<double>> columns = {series.front().times()};
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    headers.push_back(names[i]);
+    columns.push_back(series[i].values());
+  }
+  write_csv(path, headers, columns);
+}
+
+}  // namespace casurf::stats

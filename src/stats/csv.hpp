@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/timeseries.hpp"
+
+namespace casurf::stats {
+
+/// Write labelled columns as CSV. Columns may have different lengths;
+/// missing cells are left empty. Benchmarks use this to dump the series
+/// behind each reproduced figure next to the printed table.
+void write_csv(const std::string& path, const std::vector<std::string>& headers,
+               const std::vector<std::vector<double>>& columns);
+
+/// Write aligned time series that share a time axis: first column is the
+/// time of `series[0]` (all series must be sampled on the same instants).
+void write_csv_series(const std::string& path, const std::vector<std::string>& names,
+                      const std::vector<TimeSeries>& series);
+
+}  // namespace casurf::stats

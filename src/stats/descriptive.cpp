@@ -1,0 +1,54 @@
+#include "stats/descriptive.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace casurf::stats {
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("mean: empty vector");
+  double sum = 0;
+  for (const double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double variance(const std::vector<double>& v) {
+  if (v.size() < 2) throw std::invalid_argument("variance: need >= 2 samples");
+  const double m = mean(v);
+  double sum2 = 0;
+  for (const double x : v) sum2 += (x - m) * (x - m);
+  return sum2 / static_cast<double>(v.size() - 1);
+}
+
+double stddev(const std::vector<double>& v) { return std::sqrt(variance(v)); }
+
+double autocorrelation(const std::vector<double>& v, std::size_t lag) {
+  if (v.size() < lag + 2) throw std::invalid_argument("autocorrelation: series too short");
+  const double m = mean(v);
+  double num = 0;
+  double den = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    den += (v[i] - m) * (v[i] - m);
+    if (i + lag < v.size()) num += (v[i] - m) * (v[i + lag] - m);
+  }
+  if (den == 0) return 0;
+  return num / den;
+}
+
+double correlation(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.size() < 2) {
+    throw std::invalid_argument("correlation: need equal-length vectors (>= 2)");
+  }
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double num = 0, da = 0, db = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - ma) * (b[i] - mb);
+    da += (a[i] - ma) * (a[i] - ma);
+    db += (b[i] - mb) * (b[i] - mb);
+  }
+  if (da == 0 || db == 0) return 0;
+  return num / std::sqrt(da * db);
+}
+
+}  // namespace casurf::stats

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace casurf::stats {
+
+[[nodiscard]] double mean(const std::vector<double>& v);
+[[nodiscard]] double variance(const std::vector<double>& v);  ///< sample variance
+[[nodiscard]] double stddev(const std::vector<double>& v);
+
+/// Normalized autocorrelation at integer lag (r(0) = 1).
+[[nodiscard]] double autocorrelation(const std::vector<double>& v, std::size_t lag);
+
+/// Pearson correlation of two equal-length vectors.
+[[nodiscard]] double correlation(const std::vector<double>& a,
+                                 const std::vector<double>& b);
+
+}  // namespace casurf::stats

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/simulator.hpp"
+#include "stats/timeseries.hpp"
+
+namespace casurf {
+
+/// Result of a replica ensemble: mean and standard deviation of the
+/// observable on a fixed time grid, over `runs` independent simulations.
+struct EnsembleResult {
+  TimeSeries mean;
+  TimeSeries stddev;  ///< sample standard deviation across replicas
+  std::size_t runs = 0;
+
+  /// Standard error of the mean at grid point i.
+  [[nodiscard]] double stderr_at(std::size_t i) const;
+};
+
+/// The paper's *third* route to parallelism (section 1): "the necessary
+/// statistics may be obtained from the averaging of a large number of
+/// small, independent simulations". Runs `runs` replicas — each built by
+/// `factory(seed)` with seeds base_seed, base_seed+1, ... — distributed
+/// over `threads` workers, samples `observable` on the grid t = 0, dt,
+/// 2 dt, ..., t_end, and reduces mean/stddev per grid point.
+///
+/// Deterministic: the result depends only on (factory, seeds, grid), not
+/// on the thread count — replicas are fully independent (this is why the
+/// route needs no partitions, and why it cannot accelerate a *single*
+/// large system, which is the gap PNDCA fills).
+[[nodiscard]] EnsembleResult run_ensemble(
+    const std::function<std::unique_ptr<Simulator>(std::uint64_t seed)>& factory,
+    const std::function<double(const Simulator&)>& observable, std::size_t runs,
+    double t_end, double dt, unsigned threads = 2, std::uint64_t base_seed = 1);
+
+}  // namespace casurf

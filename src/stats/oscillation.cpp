@@ -1,0 +1,80 @@
+#include "stats/oscillation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace casurf::stats {
+
+OscillationSummary detect_oscillations(const TimeSeries& series, double t_from,
+                                       std::size_t resample_points,
+                                       std::size_t smooth_window,
+                                       double min_separation, double min_prominence) {
+  OscillationSummary out;
+  if (series.size() < 4) return out;
+  const double t0 = std::max(t_from, series.times().front());
+  const double t1 = series.times().back();
+  if (!(t1 > t0)) return out;
+
+  const TimeSeries grid = series.resample(t0, t1, resample_points);
+
+  // Centered box smoothing to suppress stochastic jitter.
+  const std::size_t half = std::max<std::size_t>(1, smooth_window / 2);
+  std::vector<double> smooth(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const std::size_t lo = i >= half ? i - half : 0;
+    const std::size_t hi = std::min(grid.size() - 1, i + half);
+    double sum = 0;
+    for (std::size_t j = lo; j <= hi; ++j) sum += grid.value(j);
+    smooth[i] = sum / static_cast<double>(hi - lo + 1);
+  }
+
+  // Peak scan with separation and prominence gates.
+  std::vector<std::size_t> peaks;
+  double last_peak_time = -1e300;
+  for (std::size_t i = 1; i + 1 < smooth.size(); ++i) {
+    if (!(smooth[i] > smooth[i - 1] && smooth[i] >= smooth[i + 1])) continue;
+    if (grid.time(i) - last_peak_time < min_separation) continue;
+    // Prominence: drop to the lowest point between this candidate and the
+    // previous/next equal-or-higher sample (bounded scan).
+    double left_min = smooth[i];
+    for (std::size_t j = i; j-- > 0;) {
+      left_min = std::min(left_min, smooth[j]);
+      if (smooth[j] > smooth[i]) break;
+    }
+    double right_min = smooth[i];
+    for (std::size_t j = i + 1; j < smooth.size(); ++j) {
+      right_min = std::min(right_min, smooth[j]);
+      if (smooth[j] > smooth[i]) break;
+    }
+    const double prominence = smooth[i] - std::max(left_min, right_min);
+    if (prominence < min_prominence) continue;
+    peaks.push_back(i);
+    last_peak_time = grid.time(i);
+  }
+
+  out.num_peaks = peaks.size();
+  if (peaks.size() >= 2) {
+    double period_sum = 0;
+    for (std::size_t k = 1; k < peaks.size(); ++k) {
+      period_sum += grid.time(peaks[k]) - grid.time(peaks[k - 1]);
+    }
+    out.mean_period = period_sum / static_cast<double>(peaks.size() - 1);
+  }
+  if (!peaks.empty()) {
+    double amp_sum = 0;
+    std::size_t amp_n = 0;
+    for (std::size_t k = 0; k < peaks.size(); ++k) {
+      const std::size_t from = peaks[k];
+      const std::size_t to = k + 1 < peaks.size() ? peaks[k + 1] : smooth.size() - 1;
+      double trough = smooth[from];
+      for (std::size_t j = from; j <= to; ++j) trough = std::min(trough, smooth[j]);
+      amp_sum += smooth[from] - trough;
+      ++amp_n;
+    }
+    out.mean_amplitude = amp_sum / static_cast<double>(amp_n);
+  }
+  return out;
+}
+
+}  // namespace casurf::stats

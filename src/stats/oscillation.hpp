@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/timeseries.hpp"
+
+namespace casurf::stats {
+
+/// Summary of an oscillating signal, extracted by smoothed peak detection.
+/// The paper's accuracy comparison for the Pt(100) model rests on whether
+/// a CA variant reproduces, shifts, or kills the coverage oscillations
+/// (Figs 9-10); these three numbers quantify that.
+struct OscillationSummary {
+  std::size_t num_peaks = 0;
+  double mean_period = 0;      ///< mean peak-to-peak distance (0 if < 2 peaks)
+  double mean_amplitude = 0;   ///< mean (peak - following trough) (0 if none)
+
+  [[nodiscard]] bool oscillating(std::size_t min_peaks = 3,
+                                 double min_amplitude = 0.05) const {
+    return num_peaks >= min_peaks && mean_amplitude >= min_amplitude;
+  }
+};
+
+/// Detect oscillations in a series after discarding a transient
+/// [t < t_from]. The series is resampled uniformly, box-smoothed over
+/// `smooth_window` samples, and peaks are strict local maxima separated by
+/// at least `min_separation` time units with prominence over the
+/// neighboring troughs of at least `min_prominence`.
+[[nodiscard]] OscillationSummary detect_oscillations(const TimeSeries& series,
+                                                     double t_from = 0.0,
+                                                     std::size_t resample_points = 400,
+                                                     std::size_t smooth_window = 5,
+                                                     double min_separation = 1.0,
+                                                     double min_prominence = 0.03);
+
+}  // namespace casurf::stats

@@ -1,0 +1,116 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace casurf {
+
+TimeSeries::TimeSeries(std::vector<double> times, std::vector<double> values)
+    : times_(std::move(times)), values_(std::move(values)) {
+  if (times_.size() != values_.size()) {
+    throw std::invalid_argument("TimeSeries: times/values size mismatch");
+  }
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    if (!(times_[i] > times_[i - 1])) {
+      throw std::invalid_argument("TimeSeries: times must be strictly increasing");
+    }
+  }
+}
+
+void TimeSeries::append(double t, double v) {
+  if (!times_.empty() && !(t > times_.back())) {
+    throw std::invalid_argument("TimeSeries::append: time must increase");
+  }
+  times_.push_back(t);
+  values_.push_back(v);
+}
+
+double TimeSeries::at(double t) const {
+  if (times_.empty()) throw std::out_of_range("TimeSeries::at: empty series");
+  if (t <= times_.front()) return values_.front();
+  if (t >= times_.back()) return values_.back();
+  const auto it = std::ranges::upper_bound(times_, t);
+  const std::size_t hi = static_cast<std::size_t>(it - times_.begin());
+  const std::size_t lo = hi - 1;
+  const double f = (t - times_[lo]) / (times_[hi] - times_[lo]);
+  return values_[lo] + f * (values_[hi] - values_[lo]);
+}
+
+TimeSeries TimeSeries::resample(double t0, double t1, std::size_t points) const {
+  if (points < 2) throw std::invalid_argument("TimeSeries::resample: need >= 2 points");
+  TimeSeries out;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = t0 + (t1 - t0) * static_cast<double>(i) /
+                              static_cast<double>(points - 1);
+    out.append(t, at(t));
+  }
+  return out;
+}
+
+double TimeSeries::mean_after(double t_from) const {
+  double sum = 0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    if (times_[i] >= t_from) {
+      sum += values_[i];
+      ++n;
+    }
+  }
+  return n == 0 ? std::numeric_limits<double>::quiet_NaN()
+                : sum / static_cast<double>(n);
+}
+
+double TimeSeries::stddev_after(double t_from) const {
+  const double mean = mean_after(t_from);
+  double sum2 = 0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    if (times_[i] >= t_from) {
+      const double d = values_[i] - mean;
+      sum2 += d * d;
+      ++n;
+    }
+  }
+  return n < 2 ? 0.0 : std::sqrt(sum2 / static_cast<double>(n - 1));
+}
+
+TimeSeries ensemble_mean(const std::vector<TimeSeries>& runs, std::size_t points) {
+  if (runs.empty()) throw std::invalid_argument("ensemble_mean: no runs");
+  double t0 = -std::numeric_limits<double>::infinity();
+  double t1 = std::numeric_limits<double>::infinity();
+  for (const TimeSeries& run : runs) {
+    if (run.empty()) throw std::invalid_argument("ensemble_mean: empty run");
+    t0 = std::max(t0, run.times().front());
+    t1 = std::min(t1, run.times().back());
+  }
+  if (!(t1 > t0)) throw std::invalid_argument("ensemble_mean: runs do not overlap");
+  TimeSeries out;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = t0 + (t1 - t0) * static_cast<double>(i) /
+                              static_cast<double>(points - 1);
+    double sum = 0;
+    for (const TimeSeries& run : runs) sum += run.at(t);
+    out.append(t, sum / static_cast<double>(runs.size()));
+  }
+  return out;
+}
+
+double mean_abs_difference(const TimeSeries& a, const TimeSeries& b, std::size_t points) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("mean_abs_difference: empty series");
+  }
+  const double t0 = std::max(a.times().front(), b.times().front());
+  const double t1 = std::min(a.times().back(), b.times().back());
+  if (!(t1 > t0)) throw std::invalid_argument("mean_abs_difference: no overlap");
+  double sum = 0;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = t0 + (t1 - t0) * static_cast<double>(i) /
+                              static_cast<double>(points - 1);
+    sum += std::abs(a.at(t) - b.at(t));
+  }
+  return sum / static_cast<double>(points);
+}
+
+}  // namespace casurf

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace casurf {
+
+/// An irregularly-sampled scalar time series (t_i, v_i) with t strictly
+/// increasing, plus the resampling/combination operations the experiment
+/// harness needs (ensemble averaging across runs whose sample instants
+/// differ, RSM-vs-CA curve distances, steady-state windows).
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  TimeSeries(std::vector<double> times, std::vector<double> values);
+
+  void append(double t, double v);
+
+  [[nodiscard]] std::size_t size() const { return times_.size(); }
+  [[nodiscard]] bool empty() const { return times_.empty(); }
+  [[nodiscard]] const std::vector<double>& times() const { return times_; }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+  [[nodiscard]] double time(std::size_t i) const { return times_.at(i); }
+  [[nodiscard]] double value(std::size_t i) const { return values_.at(i); }
+
+  /// Linear interpolation at time t; clamps to the end values outside the
+  /// sampled range. Requires a non-empty series.
+  [[nodiscard]] double at(double t) const;
+
+  /// Resample onto a uniform grid [t0, t1] with `points` samples.
+  [[nodiscard]] TimeSeries resample(double t0, double t1, std::size_t points) const;
+
+  /// Mean of the values with t >= t_from (time-unweighted); the usual
+  /// steady-state coverage estimator.
+  [[nodiscard]] double mean_after(double t_from) const;
+
+  /// Standard deviation of values with t >= t_from.
+  [[nodiscard]] double stddev_after(double t_from) const;
+
+ private:
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+/// Pointwise average of several series on a common uniform grid spanning
+/// the overlap of all inputs.
+[[nodiscard]] TimeSeries ensemble_mean(const std::vector<TimeSeries>& runs,
+                                       std::size_t points = 200);
+
+/// Mean absolute difference between two series, compared on a uniform grid
+/// over the overlap of their domains. The scalar "distance from RSM" used
+/// throughout the accuracy experiments.
+[[nodiscard]] double mean_abs_difference(const TimeSeries& a, const TimeSeries& b,
+                                         std::size_t points = 200);
+
+}  // namespace casurf

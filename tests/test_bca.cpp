@@ -1,0 +1,95 @@
+#include "ca/bca.hpp"
+
+#include <gtest/gtest.h>
+
+namespace casurf {
+namespace {
+
+/// Build the paper's Fig 3 setup: 9 sites in one dimension, blocks of
+/// three, second phase shifted so the blocks are {0,7,8},{1,2,3},{4,5,6}.
+BlockCA make_fig3(const std::vector<Species>& initial) {
+  const Lattice lat(9, 1);
+  Configuration cfg(lat, 2, 0);
+  for (std::int32_t x = 0; x < 9; ++x) cfg.set(Vec2{x, 0}, initial[x]);
+  std::vector<Partition> phases = {Partition::blocks(lat, 3, 1),
+                                   Partition::blocks(lat, 3, 1, {1, 0})};
+  return BlockCA(std::move(cfg), std::move(phases), fig3_zero_spreads_rule());
+}
+
+std::vector<Species> state_of(const BlockCA& ca) {
+  std::vector<Species> v;
+  for (SiteIndex s = 0; s < ca.configuration().size(); ++s) {
+    v.push_back(ca.configuration().get(s));
+  }
+  return v;
+}
+
+TEST(Bca, Fig3FirstStepMatchesPaper) {
+  // Paper Fig 3, first transition:
+  //   0 1 1 | 1 1 1 | 0 1 1   ->   0 0 1 | 1 1 1 | 0 0 1
+  BlockCA ca = make_fig3({0, 1, 1, 1, 1, 1, 0, 1, 1});
+  ca.step();
+  EXPECT_EQ(state_of(ca), (std::vector<Species>{0, 0, 1, 1, 1, 1, 0, 0, 1}));
+}
+
+TEST(Bca, Fig3SecondStepUsesShiftedBlocks) {
+  // Second transition with blocks {0,7,8}, {1,2,3}, {4,5,6}: the zeros
+  // spread across the old block edges.
+  BlockCA ca = make_fig3({0, 1, 1, 1, 1, 1, 0, 1, 1});
+  ca.run(2);
+  EXPECT_EQ(state_of(ca), (std::vector<Species>{0, 0, 0, 1, 1, 0, 0, 0, 0}));
+}
+
+TEST(Bca, ZeroNeverSpreadsAcrossBlockEdgeWithinOneStep) {
+  // Within a single phase, a 0 at a block edge cannot affect the adjacent
+  // block — the defining BCA restriction.
+  BlockCA ca = make_fig3({1, 1, 0, 1, 1, 1, 1, 1, 1});
+  ca.step();
+  // Block {0,1,2}: site 1 sees the 0. Block {3,4,5}: site 3's neighbor 2 is
+  // in the other block, so site 3 must stay 1.
+  EXPECT_EQ(state_of(ca), (std::vector<Species>{1, 0, 0, 1, 1, 1, 1, 1, 1}));
+}
+
+TEST(Bca, PhaseAlternation) {
+  BlockCA ca = make_fig3({1, 1, 1, 1, 1, 1, 1, 1, 1});
+  EXPECT_EQ(ca.current_phase().chunk_of(0), 0u);
+  ca.step();
+  // Second phase: site 0 belongs to the wrapped block {7, 8, 0} (chunk 2).
+  EXPECT_EQ(ca.current_phase().chunk_of(0), 2u);
+  ca.step();
+  EXPECT_EQ(ca.current_phase().chunk_of(0), 0u);  // cycles back
+}
+
+TEST(Bca, AllOnesIsFixedPoint) {
+  BlockCA ca = make_fig3({1, 1, 1, 1, 1, 1, 1, 1, 1});
+  ca.run(4);
+  EXPECT_EQ(ca.configuration().count(1), 9u);
+}
+
+TEST(Bca, AllZerosIsFixedPoint) {
+  BlockCA ca = make_fig3({0, 0, 0, 0, 0, 0, 0, 0, 0});
+  ca.run(4);
+  EXPECT_EQ(ca.configuration().count(0), 9u);
+}
+
+TEST(Bca, ZerosEventuallyTakeOverWithShifts) {
+  // With alternating phases the zero region grows without bound: from one
+  // seed the lattice reaches all-zero.
+  BlockCA ca = make_fig3({1, 1, 1, 1, 0, 1, 1, 1, 1});
+  ca.run(12);
+  EXPECT_EQ(ca.configuration().count(0), 9u);
+}
+
+TEST(Bca, ValidatesConstruction) {
+  const Lattice lat(9, 1);
+  Configuration cfg(lat, 2, 0);
+  EXPECT_THROW(BlockCA(cfg, {}, fig3_zero_spreads_rule()), std::invalid_argument);
+  EXPECT_THROW(BlockCA(cfg, {Partition::blocks(lat, 3, 1)}, nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(BlockCA(cfg, {Partition::blocks(Lattice(6, 1), 3, 1)},
+                       fig3_zero_spreads_rule()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace casurf

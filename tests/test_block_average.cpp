@@ -1,0 +1,86 @@
+#include "stats/block_average.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace casurf::stats {
+namespace {
+
+std::vector<double> iid_samples(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = uniform01(rng);
+  return v;
+}
+
+/// AR(1) process with coefficient phi: correlation time ~ 1/(1 - phi).
+std::vector<double> ar1_samples(std::size_t n, double phi, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> v(n);
+  double x = 0;
+  for (double& out : v) {
+    x = phi * x + (uniform01(rng) - 0.5);
+    out = x;
+  }
+  return v;
+}
+
+TEST(BlockAverage, IidErrorMatchesNaive) {
+  const auto samples = iid_samples(4096, 1);
+  const auto r = block_average(samples);
+  EXPECT_NEAR(r.mean, 0.5, 0.02);
+  // Independent samples: blocking must not inflate the error much.
+  EXPECT_LT(r.error, 2.0 * r.naive_error);
+  EXPECT_LT(r.statistical_inefficiency(), 4.0);
+}
+
+TEST(BlockAverage, CorrelatedSamplesInflateError) {
+  const auto samples = ar1_samples(8192, 0.95, 2);
+  const auto r = block_average(samples);
+  // tau ~ 1/(1-0.95) = 20: the true error is ~ sqrt(2 tau) ~ 6x naive.
+  EXPECT_GT(r.error, 3.0 * r.naive_error);
+  EXPECT_GT(r.statistical_inefficiency(), 9.0);
+}
+
+TEST(BlockAverage, ErrorLevelsMonotoneUntilPlateauForAr1) {
+  const auto samples = ar1_samples(8192, 0.9, 3);
+  const auto r = block_average(samples);
+  ASSERT_GE(r.error_per_level.size(), 4u);
+  // The first few blocking levels must grow for a strongly correlated
+  // series.
+  EXPECT_LT(r.error_per_level[0], r.error_per_level[2]);
+}
+
+TEST(BlockAverage, NeedsEnoughSamples) {
+  EXPECT_THROW((void)block_average({1, 2, 3}), std::invalid_argument);
+}
+
+TEST(BlockAverage, MeanIsExact) {
+  const std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_DOUBLE_EQ(block_average(v).mean, 4.5);
+}
+
+TEST(AutocorrelationTime, IidIsHalf) {
+  const auto samples = iid_samples(8192, 4);
+  EXPECT_NEAR(integrated_autocorrelation_time(samples), 0.5, 0.35);
+}
+
+TEST(AutocorrelationTime, Ar1MatchesTheory) {
+  // tau_int for AR(1) = 1/2 + phi/(1-phi).
+  const double phi = 0.8;
+  const auto samples = ar1_samples(65536, phi, 5);
+  const double expected = 0.5 + phi / (1.0 - phi);
+  EXPECT_NEAR(integrated_autocorrelation_time(samples), expected, expected * 0.35);
+}
+
+TEST(AutocorrelationTime, NeedsEnoughSamples) {
+  EXPECT_THROW((void)integrated_autocorrelation_time(std::vector<double>(8, 1.0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace casurf::stats

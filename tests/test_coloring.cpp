@@ -1,0 +1,148 @@
+#include "partition/coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/diffusion.hpp"
+#include "models/pt100.hpp"
+#include "models/zgb.hpp"
+
+namespace casurf {
+namespace {
+
+TEST(FindLinearForm, ZgbOn100x100FindsFiveChunks) {
+  auto zgb = models::make_zgb();
+  const auto offsets = conflict_offsets(zgb.model);
+  const auto form = find_linear_form(Lattice(100, 100), offsets);
+  ASSERT_TRUE(form.has_value());
+  EXPECT_EQ(form->m, 5);  // the paper's optimum (Fig 4)
+  const Partition p = Partition::linear_form(Lattice(100, 100), form->a, form->b, form->m);
+  EXPECT_TRUE(verify_partition(p, offsets));
+}
+
+TEST(FindLinearForm, EmptyOffsetsIsTrivial) {
+  const auto form = find_linear_form(Lattice(8, 8), {});
+  ASSERT_TRUE(form.has_value());
+  EXPECT_EQ(form->m, 1);
+}
+
+TEST(FindLinearForm, SingleBondNeedsTwoChunks) {
+  const auto form = find_linear_form(Lattice(8, 8), {{1, 0}, {-1, 0}});
+  ASSERT_TRUE(form.has_value());
+  EXPECT_EQ(form->m, 2);
+}
+
+TEST(FindLinearForm, RespectsSeamConstraint) {
+  // On a 7 x 7 lattice no m = 5 linear form is periodic-consistent; the
+  // search must skip to a larger m (or fail), never return a broken form.
+  auto zgb = models::make_zgb();
+  const auto offsets = conflict_offsets(zgb.model);
+  const auto form = find_linear_form(Lattice(7, 7), offsets);
+  if (form) {
+    const Partition p =
+        Partition::linear_form(Lattice(7, 7), form->a, form->b, form->m);
+    EXPECT_TRUE(verify_partition(p, offsets));
+    EXPECT_EQ(form->m % 7, 0);  // only multiples of 7 divide a*7 for a != 0
+  }
+}
+
+TEST(GreedyColoring, ValidForZgbOnAwkwardSizes) {
+  auto zgb = models::make_zgb();
+  const auto offsets = conflict_offsets(zgb.model);
+  for (const auto [w, h] : {std::pair{7, 7}, {9, 11}, {13, 6}, {10, 10}}) {
+    const Partition p = greedy_coloring(Lattice(w, h), offsets);
+    EXPECT_TRUE(verify_partition(p, offsets)) << w << "x" << h;
+    // Never more chunks than degree + 1.
+    EXPECT_LE(p.num_chunks(), offsets.size() + 1);
+  }
+}
+
+TEST(GreedyColoring, EmptyOffsetsGiveOneChunk) {
+  const Partition p = greedy_coloring(Lattice(5, 5), {});
+  EXPECT_EQ(p.num_chunks(), 1u);
+}
+
+TEST(ChunkLowerBound, VonNeumannCliqueIsFive) {
+  auto zgb = models::make_zgb();
+  EXPECT_EQ(chunk_lower_bound(conflict_offsets(zgb.model)), 5u);
+}
+
+TEST(ChunkLowerBound, SingleBondIsTwo) {
+  EXPECT_EQ(chunk_lower_bound({{1, 0}, {-1, 0}}), 2u);
+}
+
+TEST(MakePartition, ZgbIsOptimalFiveChunks) {
+  auto zgb = models::make_zgb();
+  const Partition p = make_partition(Lattice(20, 20), zgb.model);
+  EXPECT_EQ(p.num_chunks(), 5u);
+  EXPECT_TRUE(verify_partition(p, conflict_offsets(zgb.model)));
+  // Matches the clique lower bound: provably optimal.
+  EXPECT_EQ(p.num_chunks(), chunk_lower_bound(conflict_offsets(zgb.model)));
+}
+
+TEST(MakePartition, FallsBackToGreedyOnAwkwardLattice) {
+  auto zgb = models::make_zgb();
+  const Partition p = make_partition(Lattice(7, 9), zgb.model);
+  EXPECT_TRUE(verify_partition(p, conflict_offsets(zgb.model)));
+}
+
+class ModelPartitionSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ModelPartitionSweep, AllBundledModelsGetValidPartitions) {
+  const auto [w, h] = GetParam();
+  const Lattice lat(w, h);
+  {
+    auto m = models::make_zgb();
+    EXPECT_TRUE(verify_partition(make_partition(lat, m.model),
+                                 conflict_offsets(m.model)));
+  }
+  {
+    auto m = models::make_diffusion();
+    EXPECT_TRUE(verify_partition(make_partition(lat, m.model),
+                                 conflict_offsets(m.model)));
+  }
+  {
+    auto m = models::make_pt100();
+    EXPECT_TRUE(verify_partition(make_partition(lat, m.model),
+                                 conflict_offsets(m.model)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ModelPartitionSweep,
+                         ::testing::Values(std::pair{10, 10}, std::pair{15, 10},
+                                           std::pair{7, 7}, std::pair{25, 25}));
+
+TEST(MakePartition, TinyLatticesStillGetValidPartitions) {
+  // On a 2x2 torus with conflict radius 2, every pair of sites conflicts
+  // (wrap-around), so only singletons work; the machinery must discover
+  // that rather than produce an invalid coloring.
+  auto zgb = models::make_zgb();
+  for (const auto [w, h] : {std::pair{2, 2}, {3, 3}, {4, 2}, {2, 5}}) {
+    const Lattice lat(w, h);
+    const Partition p = make_partition(lat, zgb.model);
+    EXPECT_TRUE(verify_partition(p, conflict_offsets(zgb.model))) << w << "x" << h;
+  }
+  const Partition tiny = make_partition(Lattice(2, 2), zgb.model);
+  EXPECT_EQ(tiny.num_chunks(), 4u);  // all-pairs conflicts: singletons
+}
+
+TEST(MakePartition, OneDimensionalLattices) {
+  auto sf = models::make_single_file(1.0);
+  for (const std::int32_t len : {5, 8, 16, 31}) {
+    const Lattice lat(len, 1);
+    const Partition p = make_partition(lat, sf.model);
+    EXPECT_TRUE(verify_partition(p, conflict_offsets(sf.model))) << len;
+    EXPECT_LE(p.num_chunks(), 6u) << len;
+  }
+}
+
+TEST(MakePartition, ReadWritePolicyNeverNeedsMoreChunks) {
+  auto zgb = models::make_zgb();
+  const Lattice lat(20, 20);
+  const Partition full = make_partition(lat, zgb.model, ConflictPolicy::kFullNeighborhood);
+  const Partition rw = make_partition(lat, zgb.model, ConflictPolicy::kReadWrite);
+  EXPECT_LE(rw.num_chunks(), full.num_chunks());
+  EXPECT_TRUE(verify_partition(rw, conflict_offsets(zgb.model, ConflictPolicy::kReadWrite)));
+}
+
+}  // namespace
+}  // namespace casurf

@@ -1,0 +1,117 @@
+#include "lattice/configuration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+
+namespace casurf {
+namespace {
+
+TEST(Configuration, InitialFill) {
+  const Configuration cfg(Lattice(4, 4), 3, 0);
+  EXPECT_EQ(cfg.count(0), 16u);
+  EXPECT_EQ(cfg.count(1), 0u);
+  EXPECT_EQ(cfg.count(2), 0u);
+  for (SiteIndex s = 0; s < cfg.size(); ++s) EXPECT_EQ(cfg.get(s), 0);
+}
+
+TEST(Configuration, NonZeroFill) {
+  const Configuration cfg(Lattice(3, 3), 2, 1);
+  EXPECT_EQ(cfg.count(1), 9u);
+  EXPECT_EQ(cfg.count(0), 0u);
+}
+
+TEST(Configuration, SetMaintainsCounts) {
+  Configuration cfg(Lattice(4, 4), 3, 0);
+  cfg.set(SiteIndex{5}, 1);
+  cfg.set(SiteIndex{6}, 2);
+  cfg.set(SiteIndex{7}, 1);
+  EXPECT_EQ(cfg.count(0), 13u);
+  EXPECT_EQ(cfg.count(1), 2u);
+  EXPECT_EQ(cfg.count(2), 1u);
+  cfg.set(SiteIndex{5}, 2);  // 1 -> 2
+  EXPECT_EQ(cfg.count(1), 1u);
+  EXPECT_EQ(cfg.count(2), 2u);
+  cfg.set(SiteIndex{5}, 2);  // idempotent
+  EXPECT_EQ(cfg.count(2), 2u);
+}
+
+TEST(Configuration, CountInvariantUnderRandomWrites) {
+  Configuration cfg(Lattice(8, 8), 4, 0);
+  std::uint64_t x = 42;
+  for (int i = 0; i < 2000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    cfg.set(static_cast<SiteIndex>((x >> 33) % cfg.size()),
+            static_cast<Species>((x >> 13) % 4));
+  }
+  std::uint64_t total = 0;
+  for (Species s = 0; s < 4; ++s) total += cfg.count(s);
+  EXPECT_EQ(total, cfg.size());
+  // Cross-check against a raw recount.
+  std::array<std::uint64_t, 4> recount{};
+  for (SiteIndex s = 0; s < cfg.size(); ++s) ++recount[cfg.get(s)];
+  for (Species s = 0; s < 4; ++s) EXPECT_EQ(recount[s], cfg.count(s));
+}
+
+TEST(Configuration, Coverage) {
+  Configuration cfg(Lattice(10, 10), 2, 0);
+  for (SiteIndex s = 0; s < 25; ++s) cfg.set(s, 1);
+  EXPECT_DOUBLE_EQ(cfg.coverage(1), 0.25);
+  EXPECT_DOUBLE_EQ(cfg.coverage(0), 0.75);
+}
+
+TEST(Configuration, SetByCoordWraps) {
+  Configuration cfg(Lattice(5, 5), 2, 0);
+  cfg.set(Vec2{-1, -1}, 1);
+  EXPECT_EQ(cfg.get(Vec2{4, 4}), 1);
+  EXPECT_EQ(cfg.get(cfg.lattice().index({4, 4})), 1);
+}
+
+TEST(Configuration, FillResets) {
+  Configuration cfg(Lattice(4, 4), 3, 0);
+  cfg.set(SiteIndex{1}, 2);
+  cfg.fill(1);
+  EXPECT_EQ(cfg.count(1), 16u);
+  EXPECT_EQ(cfg.count(0), 0u);
+  EXPECT_EQ(cfg.count(2), 0u);
+}
+
+TEST(Configuration, RawWritesPlusDeltaMerge) {
+  Configuration cfg(Lattice(4, 4), 3, 0);
+  std::array<std::int64_t, 3> delta{};
+  // Simulate what a parallel worker does.
+  for (SiteIndex s = 0; s < 4; ++s) {
+    const Species old = cfg.get(s);
+    cfg.set_raw(s, 2);
+    --delta[old];
+    ++delta[2];
+  }
+  cfg.apply_count_delta(delta.data());
+  EXPECT_EQ(cfg.count(0), 12u);
+  EXPECT_EQ(cfg.count(2), 4u);
+}
+
+TEST(Configuration, RenderGlyphs) {
+  Configuration cfg(Lattice(3, 2), 2, 0);
+  cfg.set(Vec2{1, 0}, 1);
+  const std::array<char, 2> glyphs = {'.', 'X'};
+  EXPECT_EQ(cfg.render(glyphs), ".X.\n...\n");
+}
+
+TEST(Configuration, Equality) {
+  Configuration a(Lattice(3, 3), 2, 0);
+  Configuration b(Lattice(3, 3), 2, 0);
+  EXPECT_EQ(a, b);
+  b.set(SiteIndex{0}, 1);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Configuration, InvalidConstruction) {
+  EXPECT_THROW(Configuration(Lattice(2, 2), 0), std::invalid_argument);
+  EXPECT_THROW(Configuration(Lattice(2, 2), 33), std::invalid_argument);
+  EXPECT_THROW(Configuration(Lattice(2, 2), 2, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace casurf

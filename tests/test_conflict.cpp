@@ -1,0 +1,131 @@
+#include "partition/conflict.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "models/diffusion.hpp"
+#include "models/zgb.hpp"
+#include "partition/partition.hpp"
+
+namespace casurf {
+namespace {
+
+std::set<Vec2> as_set(const std::vector<Vec2>& v) { return {v.begin(), v.end()}; }
+
+std::set<Vec2> l1_ball_without_origin(int radius) {
+  std::set<Vec2> out;
+  for (int x = -radius; x <= radius; ++x) {
+    for (int y = -radius; y <= radius; ++y) {
+      if ((x != 0 || y != 0) && std::abs(x) + std::abs(y) <= radius) {
+        out.insert(Vec2{x, y});
+      }
+    }
+  }
+  return out;
+}
+
+TEST(ConflictOffsets, SingleSiteModelHasNone) {
+  ReactionModel m(SpeciesSet({"*", "A"}));
+  m.add(ReactionType("flip", 1.0, {exact({0, 0}, 0, 1)}));
+  EXPECT_TRUE(conflict_offsets(m).empty());
+}
+
+TEST(ConflictOffsets, ZgbIsL1BallRadiusTwo) {
+  // Paper Fig 5: all reaction patterns are von Neumann pairs, so anchors
+  // conflict exactly within L1 distance 2 — 12 offsets.
+  auto zgb = models::make_zgb();
+  const auto offsets = as_set(conflict_offsets(zgb.model));
+  EXPECT_EQ(offsets, l1_ball_without_origin(2));
+  EXPECT_EQ(offsets.size(), 12u);
+}
+
+TEST(ConflictOffsets, DiffusionSameAsZgb) {
+  auto diff = models::make_diffusion();
+  EXPECT_EQ(as_set(conflict_offsets(diff.model)), l1_ball_without_origin(2));
+}
+
+TEST(ConflictOffsets, SymmetricByConstruction) {
+  auto zgb = models::make_zgb();
+  const auto offsets = conflict_offsets(zgb.model);
+  const auto set = as_set(offsets);
+  for (const Vec2 d : offsets) EXPECT_TRUE(set.contains(-d));
+}
+
+TEST(ConflictOffsets, ReadWritePolicyIsSubsetOfFull) {
+  // A model with a read-only neighbor precondition: the relaxed policy must
+  // produce no more offsets than the full-neighborhood rule.
+  ReactionModel m(SpeciesSet({"*", "A"}));
+  m.add(ReactionType("assisted", 1.0,
+                     {exact({0, 0}, 0, 1), require({1, 0}, species_bit(1)),
+                      require({-1, 0}, species_bit(1))}));
+  const auto full = as_set(conflict_offsets(m, ConflictPolicy::kFullNeighborhood));
+  const auto rw = as_set(conflict_offsets(m, ConflictPolicy::kReadWrite));
+  EXPECT_TRUE(std::ranges::includes(full, rw));
+  EXPECT_LT(rw.size(), full.size());
+  // The +-(2,0) offsets arise only from read/read pairs (the two
+  // preconditions of anchors two apart touching the same site), so they
+  // vanish under kReadWrite; the write-read overlaps at +-(1,0) remain.
+  EXPECT_FALSE(rw.contains(Vec2{2, 0}));
+  EXPECT_TRUE(full.contains(Vec2{2, 0}));
+  EXPECT_TRUE(rw.contains(Vec2{1, 0}));
+}
+
+TEST(SelfConflictOffsets, PairTypeIsPlusMinusBond) {
+  const ReactionType rt("pair", 1.0, {exact({0, 0}, 0, 1), exact({1, 0}, 0, 1)});
+  EXPECT_EQ(as_set(self_conflict_offsets(rt)),
+            (std::set<Vec2>{{-1, 0}, {1, 0}}));
+}
+
+TEST(SelfConflictOffsets, SingleSiteIsEmpty) {
+  const ReactionType rt("one", 1.0, {exact({0, 0}, 0, 1)});
+  EXPECT_TRUE(self_conflict_offsets(rt).empty());
+}
+
+TEST(VerifyPartition, Fig4FiveColoringIsValidForZgb) {
+  auto zgb = models::make_zgb();
+  const auto offsets = conflict_offsets(zgb.model);
+  const Partition p = Partition::linear_form(Lattice(10, 10), 1, 3, 5);
+  EXPECT_TRUE(verify_partition(p, offsets));
+}
+
+TEST(VerifyPartition, CheckerboardIsInvalidForZgb) {
+  // Two chunks cannot separate L1-distance-2 conflicts: (1,1) is a
+  // conflict offset but preserves checkerboard parity.
+  auto zgb = models::make_zgb();
+  const auto offsets = conflict_offsets(zgb.model);
+  const Partition p = Partition::linear_form(Lattice(10, 10), 1, 1, 2);
+  EXPECT_FALSE(verify_partition(p, offsets));
+}
+
+TEST(VerifyPartition, SingleChunkInvalidUnlessNoConflicts) {
+  auto zgb = models::make_zgb();
+  const auto offsets = conflict_offsets(zgb.model);
+  EXPECT_FALSE(verify_partition(Partition::single_chunk(Lattice(8, 8)), offsets));
+  EXPECT_TRUE(verify_partition(Partition::single_chunk(Lattice(8, 8)), {}));
+}
+
+TEST(VerifyPartition, SingletonsAlwaysValid) {
+  auto zgb = models::make_zgb();
+  const auto offsets = conflict_offsets(zgb.model);
+  EXPECT_TRUE(verify_partition(Partition::singletons(Lattice(8, 8)), offsets));
+}
+
+TEST(VerifyPartition, WrapAroundConflictsDetected) {
+  // Valid in the bulk but broken across the periodic seam: a 5-coloring on
+  // a width-6 lattice (1*6 % 5 != 0 — construct manually by truncating).
+  const Lattice lat(6, 5);
+  std::vector<ChunkId> assign(lat.size());
+  for (std::int32_t y = 0; y < 5; ++y) {
+    for (std::int32_t x = 0; x < 6; ++x) {
+      assign[lat.index({x, y})] = static_cast<ChunkId>((x + 3 * y) % 5);
+    }
+  }
+  const Partition p(lat, std::move(assign));
+  auto zgb = models::make_zgb();
+  EXPECT_FALSE(verify_partition(p, conflict_offsets(zgb.model)));
+}
+
+}  // namespace
+}  // namespace casurf

@@ -1,0 +1,89 @@
+#include "stats/correlations.hpp"
+
+#include <gtest/gtest.h>
+
+namespace casurf::stats {
+namespace {
+
+TEST(BondFraction, UniformLatticeIsAllSameSpecies) {
+  const Configuration cfg(Lattice(6, 6), 2, 1);
+  EXPECT_DOUBLE_EQ(bond_fraction(cfg, 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(bond_fraction(cfg, 0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(bond_fraction(cfg, 0, 0), 0.0);
+}
+
+TEST(BondFraction, CheckerboardIsAllMixedBonds) {
+  Configuration cfg(Lattice(6, 6), 2, 0);
+  for (SiteIndex s = 0; s < cfg.size(); ++s) {
+    const Vec2 p = cfg.lattice().coord(s);
+    if ((p.x + p.y) % 2 == 0) cfg.set(s, 1);
+  }
+  EXPECT_DOUBLE_EQ(bond_fraction(cfg, 0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(bond_fraction(cfg, 1, 1), 0.0);
+}
+
+TEST(BondFraction, StripePattern) {
+  // Vertical stripes of width 1 on a 4-wide lattice: columns 0,2 species
+  // 1, columns 1,3 species 0. All +x bonds mixed, all +y bonds same.
+  Configuration cfg(Lattice(4, 4), 2, 0);
+  for (SiteIndex s = 0; s < cfg.size(); ++s) {
+    if (cfg.lattice().coord(s).x % 2 == 0) cfg.set(s, 1);
+  }
+  EXPECT_DOUBLE_EQ(bond_fraction(cfg, 0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(bond_fraction(cfg, 1, 1), 0.25);
+  EXPECT_DOUBLE_EQ(bond_fraction(cfg, 0, 0), 0.25);
+}
+
+TEST(PairCorrelation, CheckerboardAntiCorrelated) {
+  Configuration cfg(Lattice(6, 6), 2, 0);
+  for (SiteIndex s = 0; s < cfg.size(); ++s) {
+    const Vec2 p = cfg.lattice().coord(s);
+    if ((p.x + p.y) % 2 == 0) cfg.set(s, 1);
+  }
+  // theta = 0.5 each: random mixed-bond probability is 0.5; actual is 1.
+  EXPECT_DOUBLE_EQ(pair_correlation(cfg, 0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(pair_correlation(cfg, 1, 1), 0.0);
+}
+
+TEST(PairCorrelation, PhaseSeparatedClusters) {
+  // Two half-lattice blocks: same-species bonds dominate.
+  Configuration cfg(Lattice(8, 8), 2, 0);
+  for (SiteIndex s = 0; s < cfg.size(); ++s) {
+    if (cfg.lattice().coord(s).x < 4) cfg.set(s, 1);
+  }
+  EXPECT_GT(pair_correlation(cfg, 1, 1), 1.4);
+  EXPECT_LT(pair_correlation(cfg, 0, 1), 0.6);
+}
+
+TEST(PairCorrelation, ZeroCoverageIsZero) {
+  const Configuration cfg(Lattice(4, 4), 3, 0);
+  EXPECT_DOUBLE_EQ(pair_correlation(cfg, 1, 2), 0.0);
+}
+
+TEST(AxialCorrelation, PerfectAtZeroDistance) {
+  Configuration cfg(Lattice(8, 8), 2, 0);
+  for (SiteIndex s = 0; s < 32; ++s) cfg.set(s, 1);
+  EXPECT_DOUBLE_EQ(axial_correlation(cfg, 1, 0), 1.0);
+}
+
+TEST(AxialCorrelation, StripesAlternateSign) {
+  // Width-2 vertical stripes: same species at even distances, opposite at
+  // odd ones... with stripe period 4: r=4 perfectly correlated, r=2
+  // perfectly anti-correlated.
+  Configuration cfg(Lattice(8, 8), 2, 0);
+  for (SiteIndex s = 0; s < cfg.size(); ++s) {
+    if (cfg.lattice().coord(s).x % 4 < 2) cfg.set(s, 1);
+  }
+  EXPECT_DOUBLE_EQ(axial_correlation(cfg, 1, 4), 1.0);
+  EXPECT_DOUBLE_EQ(axial_correlation(cfg, 1, 2), -1.0);
+}
+
+TEST(AxialCorrelation, DegenerateCoverages) {
+  const Configuration empty(Lattice(4, 4), 2, 0);
+  EXPECT_DOUBLE_EQ(axial_correlation(empty, 1, 1), 0.0);
+  const Configuration full(Lattice(4, 4), 2, 1);
+  EXPECT_DOUBLE_EQ(axial_correlation(full, 1, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace casurf::stats

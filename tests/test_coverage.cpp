@@ -1,0 +1,84 @@
+#include "stats/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dmc/rsm.hpp"
+#include "models/zgb.hpp"
+
+namespace casurf {
+namespace {
+
+ReactionModel ads_model() {
+  ReactionModel m(SpeciesSet({"*", "A"}));
+  m.add(ReactionType("ads", 1.0, {exact({0, 0}, 0, 1)}));
+  return m;
+}
+
+TEST(CoverageRecorder, RecordsOnSamplingGrid) {
+  const ReactionModel m = ads_model();
+  RsmSimulator sim(m, Configuration(Lattice(16, 16), 2, 0), 1);
+  CoverageRecorder rec({1});
+  run_sampled(sim, 5.0, 1.0, rec);
+  const TimeSeries& ts = rec.series(1);
+  ASSERT_GE(ts.size(), 5u);
+  EXPECT_DOUBLE_EQ(ts.time(0), 0.0);
+  EXPECT_DOUBLE_EQ(ts.value(0), 0.0);
+  // Irreversible adsorption: coverage is non-decreasing.
+  for (std::size_t i = 1; i < ts.size(); ++i) {
+    EXPECT_GE(ts.value(i), ts.value(i - 1));
+  }
+  EXPECT_GT(ts.values().back(), 0.9);  // t=5 >> 1/k: nearly full
+}
+
+TEST(CoverageRecorder, TracksAllSpeciesByDefault) {
+  auto zgb = models::make_zgb();
+  RsmSimulator sim(zgb.model, Configuration(Lattice(8, 8), 3, zgb.vacant), 2);
+  CoverageRecorder rec;
+  run_sampled(sim, 2.0, 0.5, rec);
+  EXPECT_EQ(rec.tracked().size(), 3u);
+  // Coverages sum to one at every sample.
+  const auto& vac = rec.series(zgb.vacant);
+  for (std::size_t i = 0; i < vac.size(); ++i) {
+    const double sum = rec.series(zgb.vacant).value(i) +
+                       rec.series(zgb.co).value(i) + rec.series(zgb.o).value(i);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(CoverageRecorder, CombinedSumsGroups) {
+  auto zgb = models::make_zgb();
+  RsmSimulator sim(zgb.model, Configuration(Lattice(8, 8), 3, zgb.vacant), 3);
+  CoverageRecorder rec;
+  run_sampled(sim, 2.0, 0.5, rec);
+  const TimeSeries total = rec.combined({zgb.vacant, zgb.co, zgb.o});
+  for (std::size_t i = 0; i < total.size(); ++i) {
+    EXPECT_NEAR(total.value(i), 1.0, 1e-12);
+  }
+}
+
+TEST(CoverageRecorder, UntrackedSpeciesThrows) {
+  const ReactionModel m = ads_model();
+  RsmSimulator sim(m, Configuration(Lattice(4, 4), 2, 0), 4);
+  CoverageRecorder rec({0});
+  rec.sample(sim);
+  EXPECT_THROW((void)rec.series(1), std::out_of_range);
+}
+
+TEST(CoverageRecorder, DuplicateTimeSamplesDropped) {
+  const ReactionModel m = ads_model();
+  RsmSimulator sim(m, Configuration(Lattice(4, 4), 2, 0), 5);
+  CoverageRecorder rec({1});
+  rec.sample(sim);
+  rec.sample(sim);  // same t = 0 again: must not throw or duplicate
+  EXPECT_EQ(rec.series(1).size(), 1u);
+}
+
+TEST(RunSampled, RejectsNonPositiveDt) {
+  const ReactionModel m = ads_model();
+  RsmSimulator sim(m, Configuration(Lattice(4, 4), 2, 0), 6);
+  CoverageRecorder rec;
+  EXPECT_THROW(run_sampled(sim, 1.0, 0.0, rec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace casurf

@@ -1,0 +1,59 @@
+#include "stats/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace casurf {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "casurf_csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  stats::write_csv(path_, {"a", "b"}, {{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(slurp(path_), "a,b\n1,4\n2,5\n3,6\n");
+}
+
+TEST_F(CsvTest, RaggedColumnsLeaveBlanks) {
+  stats::write_csv(path_, {"x", "y"}, {{1}, {2, 3}});
+  EXPECT_EQ(slurp(path_), "x,y\n1,2\n,3\n");
+}
+
+TEST_F(CsvTest, HeaderColumnMismatchThrows) {
+  EXPECT_THROW(stats::write_csv(path_, {"only"}, {{1}, {2}}), std::invalid_argument);
+}
+
+TEST_F(CsvTest, BadPathThrows) {
+  EXPECT_THROW(stats::write_csv("/nonexistent_dir_zzz/file.csv", {"a"}, {{1}}),
+               std::runtime_error);
+}
+
+TEST_F(CsvTest, SeriesShareTimeColumn) {
+  const TimeSeries a({0.0, 1.0}, {10.0, 11.0});
+  const TimeSeries b({0.0, 1.0}, {20.0, 21.0});
+  stats::write_csv_series(path_, {"co", "o"}, {a, b});
+  EXPECT_EQ(slurp(path_), "time,co,o\n0,10,20\n1,11,21\n");
+}
+
+TEST_F(CsvTest, SeriesValidation) {
+  const TimeSeries a({0.0, 1.0}, {1.0, 2.0});
+  EXPECT_THROW(stats::write_csv_series(path_, {"one", "two"}, {a}),
+               std::invalid_argument);
+  EXPECT_THROW(stats::write_csv_series(path_, {}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace casurf

@@ -1,0 +1,65 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace casurf {
+namespace {
+
+TEST(Descriptive, Mean) {
+  EXPECT_DOUBLE_EQ(stats::mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+  EXPECT_THROW((void)stats::mean({}), std::invalid_argument);
+}
+
+TEST(Descriptive, VarianceIsSampleVariance) {
+  EXPECT_DOUBLE_EQ(stats::variance({1.0, 2.0, 3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(stats::stddev({1.0, 2.0, 3.0}), 1.0);
+  EXPECT_THROW((void)stats::variance({1.0}), std::invalid_argument);
+}
+
+TEST(Descriptive, AutocorrelationLagZeroIsOne) {
+  const std::vector<double> v = {1.0, 3.0, 2.0, 5.0, 4.0, 6.0};
+  EXPECT_NEAR(stats::autocorrelation(v, 0), 1.0, 1e-12);
+}
+
+TEST(Descriptive, AutocorrelationOfAlternatingSignal) {
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i % 2 ? 1.0 : -1.0);
+  EXPECT_LT(stats::autocorrelation(v, 1), -0.9);
+  EXPECT_GT(stats::autocorrelation(v, 2), 0.9);
+}
+
+TEST(Descriptive, AutocorrelationPeriodicSignal) {
+  std::vector<double> v;
+  for (int i = 0; i < 400; ++i) {
+    v.push_back(std::sin(2 * std::numbers::pi * i / 20.0));
+  }
+  EXPECT_GT(stats::autocorrelation(v, 20), 0.8);   // one full period
+  EXPECT_LT(stats::autocorrelation(v, 10), -0.8);  // half period
+}
+
+TEST(Descriptive, AutocorrelationTooShortThrows) {
+  EXPECT_THROW((void)stats::autocorrelation({1.0, 2.0}, 5), std::invalid_argument);
+}
+
+TEST(Descriptive, CorrelationPerfectAndInverse) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b = {2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> c = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(stats::correlation(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(stats::correlation(a, c), -1.0, 1e-12);
+}
+
+TEST(Descriptive, CorrelationOfConstantIsZero) {
+  EXPECT_DOUBLE_EQ(stats::correlation({1.0, 1.0, 1.0}, {1.0, 2.0, 3.0}), 0.0);
+}
+
+TEST(Descriptive, CorrelationSizeMismatchThrows) {
+  EXPECT_THROW((void)stats::correlation({1.0, 2.0}, {1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace casurf

@@ -1,0 +1,85 @@
+#include "ca/deterministic_ca.hpp"
+
+#include <gtest/gtest.h>
+
+namespace casurf {
+namespace {
+
+TEST(DeterministicCa, NullRuleThrows) {
+  EXPECT_THROW(DeterministicCA(Configuration(Lattice(3, 3), 2, 0), nullptr),
+               std::invalid_argument);
+}
+
+TEST(DeterministicCa, ShiftRuleProvesSynchronousUpdate) {
+  // new(s) = old(s - (1,0)): a pure shift. Sequential in-place update would
+  // smear a single seed across the whole row; a synchronous update moves it
+  // exactly one cell per step.
+  Configuration cfg(Lattice(8, 1), 2, 0);
+  cfg.set(Vec2{2, 0}, 1);
+  DeterministicCA ca(cfg, [](const Configuration& c, SiteIndex s) {
+    return c.get(c.lattice().coord(s) - Vec2{1, 0});
+  });
+  ca.step();
+  EXPECT_EQ(ca.configuration().get(Vec2{3, 0}), 1);
+  EXPECT_EQ(ca.configuration().count(1), 1u);
+  ca.run(5);
+  EXPECT_EQ(ca.configuration().get(Vec2{0, 0}), 1);  // wrapped around
+  EXPECT_EQ(ca.steps_done(), 6u);
+}
+
+TEST(DeterministicCa, MajorityRuleReachesFixedPoint) {
+  // 1D majority-of-three: alternating stripes of length >= 2 are stable.
+  Configuration cfg(Lattice(12, 1), 2, 0);
+  for (std::int32_t x = 0; x < 6; ++x) cfg.set(Vec2{x, 0}, 1);
+  const CaRule majority = [](const Configuration& c, SiteIndex s) -> Species {
+    const Vec2 p = c.lattice().coord(s);
+    const int sum = c.get(p - Vec2{1, 0}) + c.get(p) + c.get(p + Vec2{1, 0});
+    return sum >= 2 ? 1 : 0;
+  };
+  DeterministicCA ca(cfg, majority);
+  ca.step();
+  const Configuration after_one = ca.configuration();
+  ca.step();
+  EXPECT_EQ(ca.configuration(), after_one);  // fixed point
+}
+
+TEST(DeterministicCa, AllSitesUpdatedEveryStep) {
+  // Rule "increment mod 3" touches every site each step.
+  Configuration cfg(Lattice(4, 4), 3, 0);
+  DeterministicCA ca(cfg, [](const Configuration& c, SiteIndex s) {
+    return static_cast<Species>((c.get(s) + 1) % 3);
+  });
+  ca.step();
+  for (SiteIndex s = 0; s < ca.configuration().size(); ++s) {
+    EXPECT_EQ(ca.configuration().get(s), 1);
+  }
+  ca.run(2);
+  for (SiteIndex s = 0; s < ca.configuration().size(); ++s) {
+    EXPECT_EQ(ca.configuration().get(s), 0);
+  }
+}
+
+TEST(DeterministicCa, TwoDimensionalNeighborhoodRule) {
+  // "Becomes occupied if any von Neumann neighbor is occupied" — one seed
+  // grows as a diamond (L1 ball), the CA analogue of the paper's Fig 3 rule
+  // inverted.
+  Configuration cfg(Lattice(9, 9), 2, 0);
+  cfg.set(Vec2{4, 4}, 1);
+  DeterministicCA ca(cfg, [](const Configuration& c, SiteIndex s) -> Species {
+    if (c.get(s) == 1) return 1;
+    const Vec2 p = c.lattice().coord(s);
+    for (const Vec2 d : Lattice::von_neumann_offsets()) {
+      if (c.get(p + d) == 1) return 1;
+    }
+    return 0;
+  });
+  ca.run(2);
+  // After 2 steps, exactly the sites within L1 distance 2: 1+4+8 = 13.
+  EXPECT_EQ(ca.configuration().count(1), 13u);
+  EXPECT_EQ(ca.configuration().get(Vec2{4, 2}), 1);
+  EXPECT_EQ(ca.configuration().get(Vec2{6, 4}), 1);
+  EXPECT_EQ(ca.configuration().get(Vec2{6, 6}), 0);  // L1 distance 4
+}
+
+}  // namespace
+}  // namespace casurf

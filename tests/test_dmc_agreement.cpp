@@ -1,0 +1,149 @@
+// Cross-validation of the three exact DMC methods against each other and
+// against the Segers correctness criteria (paper section 6): identical
+// Master Equation kinetics must emerge from RSM, VSSM and FRM despite their
+// very different mechanics.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/observer.hpp"
+#include "dmc/frm.hpp"
+#include "dmc/rsm.hpp"
+#include "dmc/vssm.hpp"
+#include "models/zgb.hpp"
+#include "stats/coverage.hpp"
+#include "stats/ks.hpp"
+#include "stats/timeseries.hpp"
+
+namespace casurf {
+namespace {
+
+TEST(DmcAgreement, ZgbCoverageTrajectoriesMatch) {
+  auto zgb = models::make_zgb(models::ZgbParams::from_y(0.45, 20.0));
+  const Lattice lat(48, 48);
+  const double t_end = 12.0;
+
+  const auto run = [&](auto make) {
+    std::vector<TimeSeries> runs;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      auto sim = make(seed);
+      CoverageRecorder rec({zgb.o});
+      run_sampled(*sim, t_end, 0.5, rec);
+      runs.push_back(rec.series(zgb.o));
+    }
+    return ensemble_mean(runs, 100);
+  };
+
+  const TimeSeries rsm = run([&](std::uint64_t seed) {
+    return std::make_unique<RsmSimulator>(zgb.model, Configuration(lat, 3, zgb.vacant),
+                                          seed);
+  });
+  const TimeSeries vssm = run([&](std::uint64_t seed) {
+    return std::make_unique<VssmSimulator>(zgb.model, Configuration(lat, 3, zgb.vacant),
+                                           seed + 100);
+  });
+  const TimeSeries frm = run([&](std::uint64_t seed) {
+    return std::make_unique<FrmSimulator>(zgb.model, Configuration(lat, 3, zgb.vacant),
+                                          seed + 200);
+  });
+
+  EXPECT_LT(mean_abs_difference(rsm, vssm), 0.03);
+  EXPECT_LT(mean_abs_difference(rsm, frm), 0.03);
+  EXPECT_LT(mean_abs_difference(vssm, frm), 0.03);
+}
+
+// --- Segers criterion 1: exponential waiting times -----------------------
+
+// A single always-enabled unit-rate reaction on a single site: the
+// inter-event times must be Exp(k) in every exact method.
+
+template <class Sim>
+std::vector<double> waiting_times(Sim& sim, int n) {
+  std::vector<double> waits;
+  waits.reserve(n);
+  double last = sim.time();
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t before = sim.counters().executed;
+    while (sim.counters().executed == before) sim.mc_step();
+    waits.push_back(sim.time() - last);
+    last = sim.time();
+  }
+  return waits;
+}
+
+ReactionModel noop_model(double k) {
+  ReactionModel m(SpeciesSet({"A"}));
+  m.add(ReactionType("tick", k, {exact({0, 0}, 0, 0)}));
+  return m;
+}
+
+TEST(SegersCriterion1, RsmWaitingTimesExponential) {
+  const double k = 2.0;
+  const ReactionModel m = noop_model(k);
+  RsmSimulator sim(m, Configuration(Lattice(1, 1), 1, 0), 21);
+  const auto r = stats::ks_exponential(waiting_times(sim, 4000), k);
+  EXPECT_FALSE(r.reject(0.001)) << "D=" << r.statistic << " p=" << r.p_value;
+}
+
+TEST(SegersCriterion1, VssmWaitingTimesExponential) {
+  const double k = 2.0;
+  const ReactionModel m = noop_model(k);
+  VssmSimulator sim(m, Configuration(Lattice(1, 1), 1, 0), 22);
+  const auto r = stats::ks_exponential(waiting_times(sim, 4000), k);
+  EXPECT_FALSE(r.reject(0.001)) << "D=" << r.statistic;
+}
+
+TEST(SegersCriterion1, FrmWaitingTimesExponential) {
+  const double k = 2.0;
+  const ReactionModel m = noop_model(k);
+  FrmSimulator sim(m, Configuration(Lattice(1, 1), 1, 0), 23);
+  const auto r = stats::ks_exponential(waiting_times(sim, 4000), k);
+  EXPECT_FALSE(r.reject(0.001)) << "D=" << r.statistic;
+}
+
+// --- Segers criterion 2: selection in proportion to rates ----------------
+
+ReactionModel competing_model() {
+  ReactionModel m(SpeciesSet({"A"}));
+  m.add(ReactionType("r1", 1.0, {exact({0, 0}, 0, 0)}));
+  m.add(ReactionType("r2", 2.0, {exact({0, 0}, 0, 0)}));
+  m.add(ReactionType("r5", 5.0, {exact({0, 0}, 0, 0)}));
+  return m;
+}
+
+template <class Sim>
+void expect_rate_proportions(Sim& sim, std::uint64_t events) {
+  while (sim.counters().executed < events) sim.mc_step();
+  const auto& per = sim.counters().executed_per_type;
+  const double total = static_cast<double>(per[0] + per[1] + per[2]);
+  // Chi-square against expected proportions 1/8, 2/8, 5/8.
+  const double expected[3] = {total / 8, total / 4, total * 5 / 8};
+  double chi2 = 0;
+  for (int i = 0; i < 3; ++i) {
+    const double d = static_cast<double>(per[i]) - expected[i];
+    chi2 += d * d / expected[i];
+  }
+  EXPECT_GT(stats::chi_square_p(chi2, 2), 0.001) << "chi2=" << chi2;
+}
+
+TEST(SegersCriterion2, Rsm) {
+  const ReactionModel m = competing_model();
+  RsmSimulator sim(m, Configuration(Lattice(4, 4), 1, 0), 31);
+  expect_rate_proportions(sim, 30000);
+}
+
+TEST(SegersCriterion2, Vssm) {
+  const ReactionModel m = competing_model();
+  VssmSimulator sim(m, Configuration(Lattice(4, 4), 1, 0), 32);
+  expect_rate_proportions(sim, 30000);
+}
+
+TEST(SegersCriterion2, Frm) {
+  const ReactionModel m = competing_model();
+  FrmSimulator sim(m, Configuration(Lattice(4, 4), 1, 0), 33);
+  expect_rate_proportions(sim, 30000);
+}
+
+}  // namespace
+}  // namespace casurf

@@ -1,0 +1,106 @@
+#include "dmc/enabled_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rng/xoshiro.hpp"
+#include "rng/distributions.hpp"
+
+namespace casurf {
+namespace {
+
+TEST(EnabledSet, StartsEmpty) {
+  const EnabledSet set(16);
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.contains(3));
+}
+
+TEST(EnabledSet, InsertContains) {
+  EnabledSet set(16);
+  set.insert(5);
+  set.insert(7);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(5));
+  EXPECT_TRUE(set.contains(7));
+  EXPECT_FALSE(set.contains(6));
+}
+
+TEST(EnabledSet, InsertIdempotent) {
+  EnabledSet set(16);
+  set.insert(5);
+  set.insert(5);
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(EnabledSet, EraseSwapsWithLast) {
+  EnabledSet set(16);
+  set.insert(1);
+  set.insert(2);
+  set.insert(3);
+  set.erase(2);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_FALSE(set.contains(2));
+  EXPECT_TRUE(set.contains(1));
+  EXPECT_TRUE(set.contains(3));
+  // Dense positions remain valid.
+  std::set<SiteIndex> seen;
+  for (std::size_t i = 0; i < set.size(); ++i) seen.insert(set.at(i));
+  EXPECT_EQ(seen, (std::set<SiteIndex>{1, 3}));
+}
+
+TEST(EnabledSet, EraseIdempotent) {
+  EnabledSet set(16);
+  set.insert(1);
+  set.erase(1);
+  set.erase(1);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(EnabledSet, EraseLastElement) {
+  EnabledSet set(8);
+  set.insert(4);
+  set.erase(4);
+  EXPECT_FALSE(set.contains(4));
+  set.insert(4);
+  EXPECT_TRUE(set.contains(4));
+}
+
+TEST(EnabledSet, RandomisedInvariantCheck) {
+  // Mirror against std::set under a random op sequence.
+  EnabledSet set(64);
+  std::set<SiteIndex> mirror;
+  Xoshiro256 rng(77);
+  for (int i = 0; i < 5000; ++i) {
+    const auto site = static_cast<SiteIndex>(uniform_below(rng, 64));
+    if (uniform01(rng) < 0.5) {
+      set.insert(site);
+      mirror.insert(site);
+    } else {
+      set.erase(site);
+      mirror.erase(site);
+    }
+    ASSERT_EQ(set.size(), mirror.size());
+    ASSERT_EQ(set.contains(site), mirror.count(site) == 1);
+  }
+  std::set<SiteIndex> dense(set.items().begin(), set.items().end());
+  EXPECT_EQ(dense, mirror);
+}
+
+TEST(EnabledSet, UniformSamplingOverItems) {
+  EnabledSet set(10);
+  for (SiteIndex s = 0; s < 5; ++s) set.insert(s);
+  Xoshiro256 rng(9);
+  std::vector<int> counts(5, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[set.at(uniform_below(rng, set.size()))];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(n), 0.2, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace casurf

@@ -1,0 +1,92 @@
+#include "stats/ensemble.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dmc/rsm.hpp"
+
+namespace casurf {
+namespace {
+
+ReactionModel ads_des_model(double k_a, double k_d) {
+  ReactionModel m(SpeciesSet({"*", "A"}));
+  m.add(ReactionType("ads", k_a, {exact({0, 0}, 0, 1)}));
+  m.add(ReactionType("des", k_d, {exact({0, 0}, 1, 0)}));
+  return m;
+}
+
+std::function<std::unique_ptr<Simulator>(std::uint64_t)> factory(
+    const ReactionModel& m) {
+  return [&m](std::uint64_t seed) {
+    return std::make_unique<RsmSimulator>(m, Configuration(Lattice(8, 8), 2, 0), seed);
+  };
+}
+
+double coverage_a(const Simulator& sim) { return sim.configuration().coverage(1); }
+
+TEST(Ensemble, GridShapeAndInitialPoint) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  const auto result = run_ensemble(factory(m), coverage_a, 8, 2.0, 0.5, 2);
+  EXPECT_EQ(result.runs, 8u);
+  ASSERT_EQ(result.mean.size(), 5u);  // t = 0, .5, 1, 1.5, 2
+  EXPECT_DOUBLE_EQ(result.mean.time(0), 0.0);
+  EXPECT_DOUBLE_EQ(result.mean.value(0), 0.0);  // all replicas start empty
+  EXPECT_DOUBLE_EQ(result.stddev.value(0), 0.0);
+}
+
+TEST(Ensemble, MeanApproachesLangmuirWithSmallStderr) {
+  const double ka = 1.0, kd = 1.0;
+  const ReactionModel m = ads_des_model(ka, kd);
+  const auto result = run_ensemble(factory(m), coverage_a, 64, 8.0, 8.0, 3);
+  const double final_mean = result.mean.values().back();
+  EXPECT_NEAR(final_mean, ka / (ka + kd), 0.02);
+  EXPECT_GT(result.stddev.values().back(), 0.0);
+  EXPECT_LT(result.stderr_at(result.mean.size() - 1), 0.01);
+}
+
+TEST(Ensemble, ResultIndependentOfThreadCount) {
+  // Replicas are seeded by index, so the reduction is identical no matter
+  // how they were scheduled.
+  const ReactionModel m = ads_des_model(1.0, 0.5);
+  const auto one = run_ensemble(factory(m), coverage_a, 12, 3.0, 1.0, 1, 42);
+  const auto four = run_ensemble(factory(m), coverage_a, 12, 3.0, 1.0, 4, 42);
+  ASSERT_EQ(one.mean.size(), four.mean.size());
+  for (std::size_t i = 0; i < one.mean.size(); ++i) {
+    EXPECT_DOUBLE_EQ(one.mean.value(i), four.mean.value(i));
+    EXPECT_DOUBLE_EQ(one.stddev.value(i), four.stddev.value(i));
+  }
+}
+
+TEST(Ensemble, StderrShrinksWithMoreReplicas) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  const auto small = run_ensemble(factory(m), coverage_a, 16, 4.0, 4.0, 2, 7);
+  const auto large = run_ensemble(factory(m), coverage_a, 128, 4.0, 4.0, 2, 7);
+  const std::size_t last_s = small.mean.size() - 1;
+  const std::size_t last_l = large.mean.size() - 1;
+  EXPECT_LT(large.stderr_at(last_l), small.stderr_at(last_s));
+}
+
+TEST(Ensemble, ValidatesArguments) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  EXPECT_THROW((void)run_ensemble(nullptr, coverage_a, 4, 1.0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_ensemble(factory(m), nullptr, 4, 1.0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_ensemble(factory(m), coverage_a, 0, 1.0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_ensemble(factory(m), coverage_a, 4, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Ensemble, SingleReplicaHasZeroSpread) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  const auto result = run_ensemble(factory(m), coverage_a, 1, 1.0, 0.5, 2);
+  for (std::size_t i = 0; i < result.stddev.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.stddev.value(i), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(result.stderr_at(0), 0.0);
+}
+
+}  // namespace
+}  // namespace casurf

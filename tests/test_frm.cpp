@@ -1,0 +1,114 @@
+#include "dmc/frm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/zgb.hpp"
+
+namespace casurf {
+namespace {
+
+ReactionModel ads_des_model(double k_a, double k_d) {
+  ReactionModel m(SpeciesSet({"*", "A"}));
+  m.add(ReactionType("ads", k_a, {exact({0, 0}, 0, 1)}));
+  m.add(ReactionType("des", k_d, {exact({0, 0}, 1, 0)}));
+  return m;
+}
+
+TEST(Frm, InitialEnabledPairsCount) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  FrmSimulator sim(m, Configuration(Lattice(4, 4), 2, 0), 1);
+  // All 16 sites vacant: adsorption enabled everywhere, desorption nowhere.
+  EXPECT_EQ(sim.enabled_pairs(), 16u);
+}
+
+TEST(Frm, EventTimesAreMonotone) {
+  const ReactionModel m = ads_des_model(1.0, 0.5);
+  FrmSimulator sim(m, Configuration(Lattice(8, 8), 2, 0), 2);
+  double last = 0;
+  for (int i = 0; i < 2000; ++i) {
+    sim.mc_step();
+    ASSERT_GE(sim.time(), last);
+    last = sim.time();
+  }
+}
+
+TEST(Frm, EquilibriumCoverage) {
+  const double ka = 2.0, kd = 1.0;
+  const ReactionModel m = ads_des_model(ka, kd);
+  FrmSimulator sim(m, Configuration(Lattice(32, 32), 2, 0), 3);
+  sim.advance_to(20.0);
+  double avg = 0;
+  const int samples = 200;
+  for (int i = 0; i < samples; ++i) {
+    for (int k = 0; k < 20; ++k) sim.mc_step();
+    avg += sim.configuration().coverage(1);
+  }
+  avg /= samples;
+  EXPECT_NEAR(avg, ka / (ka + kd), 0.02);
+}
+
+TEST(Frm, StalledAbsorbingState) {
+  ReactionModel m(SpeciesSet({"*", "A"}));
+  m.add(ReactionType("ads", 1.0, {exact({0, 0}, 0, 1)}));
+  FrmSimulator sim(m, Configuration(Lattice(4, 4), 2, 0), 4);
+  sim.advance_to(500.0);
+  EXPECT_TRUE(sim.stalled());
+  EXPECT_EQ(sim.counters().executed, 16u);
+  EXPECT_GE(sim.time(), 500.0);
+  EXPECT_EQ(sim.enabled_pairs(), 0u);
+}
+
+TEST(Frm, ExecutionRatioFollowsRates) {
+  ReactionModel m(SpeciesSet({"A"}));
+  m.add(ReactionType("r2", 2.0, {exact({0, 0}, 0, 0)}));
+  m.add(ReactionType("r1", 1.0, {exact({0, 0}, 0, 0)}));
+  FrmSimulator sim(m, Configuration(Lattice(5, 5), 1, 0), 5);
+  for (int i = 0; i < 60000; ++i) sim.mc_step();
+  const auto& per = sim.counters().executed_per_type;
+  const double frac = static_cast<double>(per[0]) /
+                      static_cast<double>(per[0] + per[1]);
+  EXPECT_NEAR(frac, 2.0 / 3.0, 0.01);
+}
+
+TEST(Frm, EnabledPairsConsistentAfterManyEvents) {
+  auto zgb = models::make_zgb();
+  FrmSimulator sim(zgb.model, Configuration(Lattice(8, 8), 3, zgb.vacant), 6);
+  for (int i = 0; i < 2000; ++i) sim.mc_step();
+  std::uint64_t brute = 0;
+  for (ReactionIndex i = 0; i < zgb.model.num_reactions(); ++i) {
+    for (SiteIndex s = 0; s < sim.configuration().size(); ++s) {
+      if (zgb.model.reaction(i).enabled(sim.configuration(), s)) ++brute;
+    }
+  }
+  EXPECT_EQ(sim.enabled_pairs(), brute);
+}
+
+TEST(Frm, QueueDoesNotLeakUnbounded) {
+  // Lazy deletion keeps stale events around, but after steady simulation
+  // the queue must stay within a small multiple of the enabled pairs.
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  FrmSimulator sim(m, Configuration(Lattice(16, 16), 2, 0), 7);
+  for (int i = 0; i < 20000; ++i) sim.mc_step();
+  EXPECT_LT(sim.queue_size(), 40u * sim.configuration().size());
+}
+
+TEST(Frm, SameSeedSameTrajectory) {
+  auto zgb = models::make_zgb();
+  FrmSimulator a(zgb.model, Configuration(Lattice(8, 8), 3, zgb.vacant), 8);
+  FrmSimulator b(zgb.model, Configuration(Lattice(8, 8), 3, zgb.vacant), 8);
+  for (int i = 0; i < 500; ++i) {
+    a.mc_step();
+    b.mc_step();
+  }
+  EXPECT_EQ(a.configuration(), b.configuration());
+  EXPECT_DOUBLE_EQ(a.time(), b.time());
+}
+
+TEST(Frm, NameIsFrm) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  FrmSimulator sim(m, Configuration(Lattice(2, 2), 2, 0), 1);
+  EXPECT_EQ(sim.name(), "FRM");
+}
+
+}  // namespace
+}  // namespace casurf

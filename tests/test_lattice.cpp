@@ -1,0 +1,110 @@
+#include "lattice/lattice.hpp"
+
+#include <gtest/gtest.h>
+
+namespace casurf {
+namespace {
+
+TEST(Lattice, SizeAndDimensions) {
+  const Lattice lat(7, 5);
+  EXPECT_EQ(lat.width(), 7);
+  EXPECT_EQ(lat.height(), 5);
+  EXPECT_EQ(lat.size(), 35u);
+}
+
+TEST(Lattice, IndexCoordRoundTrip) {
+  const Lattice lat(11, 4);
+  for (SiteIndex i = 0; i < lat.size(); ++i) {
+    EXPECT_EQ(lat.index(lat.coord(i)), i);
+  }
+}
+
+TEST(Lattice, RowMajorOrder) {
+  const Lattice lat(10, 10);
+  EXPECT_EQ(lat.index({0, 0}), 0u);
+  EXPECT_EQ(lat.index({9, 0}), 9u);
+  EXPECT_EQ(lat.index({0, 1}), 10u);
+  EXPECT_EQ(lat.index({3, 2}), 23u);
+}
+
+TEST(Lattice, WrapPositive) {
+  const Lattice lat(5, 3);
+  EXPECT_EQ(lat.wrap({5, 3}), (Vec2{0, 0}));
+  EXPECT_EQ(lat.wrap({7, 4}), (Vec2{2, 1}));
+  EXPECT_EQ(lat.wrap({12, 9}), (Vec2{2, 0}));
+}
+
+TEST(Lattice, WrapNegative) {
+  const Lattice lat(5, 3);
+  EXPECT_EQ(lat.wrap({-1, -1}), (Vec2{4, 2}));
+  EXPECT_EQ(lat.wrap({-5, -3}), (Vec2{0, 0}));
+  EXPECT_EQ(lat.wrap({-6, -4}), (Vec2{4, 2}));
+}
+
+TEST(Lattice, NeighborPeriodicity) {
+  const Lattice lat(4, 4);
+  const SiteIndex corner = lat.index({0, 0});
+  EXPECT_EQ(lat.neighbor(corner, {-1, 0}), lat.index({3, 0}));
+  EXPECT_EQ(lat.neighbor(corner, {0, -1}), lat.index({0, 3}));
+  EXPECT_EQ(lat.neighbor(corner, {1, 1}), lat.index({1, 1}));
+}
+
+TEST(Lattice, NeighborTranslationInvariance) {
+  // Moving base by t and offset fixed commutes with wrapping:
+  // neighbor(s + t, o) == wrap(coord(neighbor(s, o)) + t).
+  const Lattice lat(6, 5);
+  const Vec2 offset{2, -1};
+  const Vec2 t{3, 4};
+  for (SiteIndex s = 0; s < lat.size(); ++s) {
+    const SiteIndex moved = lat.index(lat.wrap(lat.coord(s) + t));
+    const Vec2 a = lat.coord(lat.neighbor(moved, offset));
+    const Vec2 b = lat.wrap(lat.coord(lat.neighbor(s, offset)) + t);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(Lattice, NeighborsBatch) {
+  const Lattice lat(4, 4);
+  const auto ns = lat.neighbors(lat.index({1, 1}), Lattice::von_neumann_offsets());
+  ASSERT_EQ(ns.size(), 4u);
+  EXPECT_EQ(ns[0], lat.index({2, 1}));
+  EXPECT_EQ(ns[1], lat.index({1, 2}));
+  EXPECT_EQ(ns[2], lat.index({0, 1}));
+  EXPECT_EQ(ns[3], lat.index({1, 0}));
+}
+
+TEST(Lattice, OneDimensional) {
+  const Lattice lat(9, 1);
+  EXPECT_EQ(lat.size(), 9u);
+  EXPECT_EQ(lat.neighbor(0, {-1, 0}), 8u);
+  EXPECT_EQ(lat.neighbor(8, {1, 0}), 0u);
+  // Vertical offsets wrap onto the same row.
+  EXPECT_EQ(lat.neighbor(4, {0, 1}), 4u);
+}
+
+TEST(Lattice, Equality) {
+  EXPECT_EQ(Lattice(4, 5), Lattice(4, 5));
+  EXPECT_FALSE(Lattice(4, 5) == Lattice(5, 4));
+}
+
+class LatticeSizes : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(LatticeSizes, EverySiteHasFourDistinctVonNeumannNeighborsWhenBigEnough) {
+  const auto [w, h] = GetParam();
+  const Lattice lat(w, h);
+  for (SiteIndex s = 0; s < lat.size(); ++s) {
+    const auto ns = lat.neighbors(s, Lattice::von_neumann_offsets());
+    for (const SiteIndex n : ns) {
+      EXPECT_LT(n, lat.size());
+      if (w >= 2 && h >= 2) EXPECT_NE(n, s);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LatticeSizes,
+                         ::testing::Values(std::pair{2, 2}, std::pair{3, 7},
+                                           std::pair{8, 2}, std::pair{16, 16},
+                                           std::pair{5, 1}));
+
+}  // namespace
+}  // namespace casurf

@@ -1,0 +1,120 @@
+#include "ca/lpndca.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dmc/rsm.hpp"
+#include "models/zgb.hpp"
+
+namespace casurf {
+namespace {
+
+ReactionModel ads_des_model(double k_a, double k_d) {
+  ReactionModel m(SpeciesSet({"*", "A"}));
+  m.add(ReactionType("ads", k_a, {exact({0, 0}, 0, 1)}));
+  m.add(ReactionType("des", k_d, {exact({0, 0}, 1, 0)}));
+  return m;
+}
+
+TEST(LPndca, ValidatesArguments) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  const Lattice lat(6, 6);
+  EXPECT_THROW(LPndcaSimulator(m, Configuration(lat, 2, 0),
+                               Partition::single_chunk(Lattice(4, 4)), 1, 1),
+               std::invalid_argument);
+  EXPECT_THROW(LPndcaSimulator(m, Configuration(lat, 2, 0),
+                               Partition::single_chunk(lat), 1, 0),
+               std::invalid_argument);
+}
+
+TEST(LPndca, ExactlyNTrialsPerStep) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  const Lattice lat(9, 9);  // N = 81, not divisible by L = 10: clipping path
+  LPndcaSimulator sim(m, Configuration(lat, 2, 0),
+                      Partition::linear_form(lat, 1, 3, 9), 2, 10);
+  sim.mc_step();
+  EXPECT_EQ(sim.counters().trials, 81u);
+  sim.mc_step();
+  EXPECT_EQ(sim.counters().trials, 162u);
+}
+
+TEST(LPndca, SameSeedSameTrajectory) {
+  auto zgb = models::make_zgb();
+  const Lattice lat(10, 10);
+  const Partition p = Partition::linear_form(lat, 1, 3, 5);
+  LPndcaSimulator a(zgb.model, Configuration(lat, 3, zgb.vacant), p, 5, 7);
+  LPndcaSimulator b(zgb.model, Configuration(lat, 3, zgb.vacant), p, 5, 7);
+  for (int i = 0; i < 25; ++i) {
+    a.mc_step();
+    b.mc_step();
+  }
+  EXPECT_EQ(a.configuration(), b.configuration());
+}
+
+TEST(LPndca, SingleChunkFullBatchIsRsmEquilibrium) {
+  // m = 1, L = N: the degenerate parameters under which L-PNDCA *is* RSM
+  // (paper Fig 8) — sites drawn uniformly with replacement, N per step.
+  const double ka = 1.0, kd = 0.5;
+  const ReactionModel m = ads_des_model(ka, kd);
+  const Lattice lat(24, 24);
+  LPndcaSimulator sim(m, Configuration(lat, 2, 0), Partition::single_chunk(lat), 6,
+                      lat.size());
+  sim.advance_to(30.0);
+  double avg = 0;
+  for (int i = 0; i < 60; ++i) {
+    sim.mc_step();
+    avg += sim.configuration().coverage(1);
+  }
+  EXPECT_NEAR(avg / 60, ka / (ka + kd), 0.02);
+}
+
+TEST(LPndca, SingletonsUnitBatchIsRsmEquilibrium) {
+  // m = N, L = 1: the other exact-RSM limit.
+  const double ka = 1.0, kd = 0.5;
+  const ReactionModel m = ads_des_model(ka, kd);
+  const Lattice lat(24, 24);
+  LPndcaSimulator sim(m, Configuration(lat, 2, 0), Partition::singletons(lat), 7, 1);
+  sim.advance_to(30.0);
+  double avg = 0;
+  for (int i = 0; i < 60; ++i) {
+    sim.mc_step();
+    avg += sim.configuration().coverage(1);
+  }
+  EXPECT_NEAR(avg / 60, ka / (ka + kd), 0.02);
+}
+
+TEST(LPndca, LargeLStillConservesTrialBudget) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  const Lattice lat(10, 10);
+  LPndcaSimulator sim(m, Configuration(lat, 2, 0),
+                      Partition::linear_form(lat, 1, 3, 5), 8, 1000000);
+  sim.mc_step();  // L is clipped to the remaining budget
+  EXPECT_EQ(sim.counters().trials, 100u);
+}
+
+TEST(LPndca, AccessorsReportParameters) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  const Lattice lat(10, 10);
+  LPndcaSimulator sim(m, Configuration(lat, 2, 0),
+                      Partition::linear_form(lat, 1, 3, 5), 9, 42);
+  EXPECT_EQ(sim.trials_per_batch(), 42u);
+  EXPECT_EQ(sim.partition().num_chunks(), 5u);
+  EXPECT_EQ(sim.name(), "L-PNDCA");
+}
+
+TEST(LPndca, ZgbCoverageBoundedAndReactive) {
+  auto zgb = models::make_zgb(models::ZgbParams::from_y(0.45, 20.0));
+  const Lattice lat(30, 30);
+  LPndcaSimulator sim(zgb.model, Configuration(lat, 3, zgb.vacant),
+                      Partition::linear_form(lat, 1, 3, 5), 10, 100);
+  sim.advance_to(15.0);
+  const double co = sim.configuration().coverage(zgb.co);
+  const double o = sim.configuration().coverage(zgb.o);
+  EXPECT_GE(co, 0.0);
+  EXPECT_LE(co + o, 1.0);
+  // Reactive regime: the surface is not poisoned by either species.
+  EXPECT_LT(co, 0.95);
+  EXPECT_LT(o, 0.98);
+}
+
+}  // namespace
+}  // namespace casurf

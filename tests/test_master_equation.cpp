@@ -1,0 +1,174 @@
+#include "me/master_equation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dmc/vssm.hpp"
+#include "models/zgb.hpp"
+#include "stats/ensemble.hpp"
+
+namespace casurf {
+namespace {
+
+ReactionModel ads_des_model(double k_a, double k_d) {
+  ReactionModel m(SpeciesSet({"*", "A"}));
+  m.add(ReactionType("ads", k_a, {exact({0, 0}, 0, 1)}));
+  m.add(ReactionType("des", k_d, {exact({0, 0}, 1, 0)}));
+  return m;
+}
+
+TEST(MasterEquation, StateSpaceSize) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  const MasterEquation me(m, Lattice(3, 1));
+  EXPECT_EQ(me.num_states(), 8u);  // 2^3
+  const auto zgb = models::make_zgb();
+  const MasterEquation me_zgb(zgb.model, Lattice(2, 2));
+  EXPECT_EQ(me_zgb.num_states(), 81u);  // 3^4
+}
+
+TEST(MasterEquation, RefusesHugeStateSpaces) {
+  const auto zgb = models::make_zgb();
+  EXPECT_THROW(MasterEquation(zgb.model, Lattice(10, 10)), std::invalid_argument);
+}
+
+TEST(MasterEquation, StateIndexRoundTrip) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  const MasterEquation me(m, Lattice(2, 2));
+  for (std::size_t i = 0; i < me.num_states(); ++i) {
+    EXPECT_EQ(me.state_index(me.state(i)), i);
+  }
+}
+
+TEST(MasterEquation, GeneratorConservesProbability) {
+  // Column sums of Q vanish: d/dt sum P = 0.
+  const auto zgb = models::make_zgb();
+  const MasterEquation me(zgb.model, Lattice(2, 1));
+  std::vector<double> p(me.num_states(), 1.0 / me.num_states());
+  std::vector<double> dp;
+  me.apply_generator(p, dp);
+  double total = 0;
+  for (const double v : dp) total += v;
+  EXPECT_NEAR(total, 0.0, 1e-12);
+}
+
+TEST(MasterEquation, SingleSiteAnalyticSolution) {
+  // One site, A <-> *: P_A(t) = (ka/(ka+kd)) (1 - exp(-(ka+kd) t)).
+  const double ka = 2.0, kd = 0.5;
+  const ReactionModel m = ads_des_model(ka, kd);
+  const MasterEquation me(m, Lattice(1, 1));
+  const Configuration empty(Lattice(1, 1), 2, 0);
+  for (const double t : {0.1, 0.5, 1.0, 3.0}) {
+    const auto p = me.evolve(me.delta(empty), t, 1e-3);
+    const double expected = ka / (ka + kd) * (1.0 - std::exp(-(ka + kd) * t));
+    EXPECT_NEAR(me.expected_coverage(p, 1), expected, 1e-6) << "t=" << t;
+  }
+}
+
+TEST(MasterEquation, IndependentSitesFactorize) {
+  // For uncoupled sites the N-site coverage equals the 1-site solution.
+  const double ka = 1.0, kd = 1.0;
+  const ReactionModel m = ads_des_model(ka, kd);
+  const MasterEquation one(m, Lattice(1, 1));
+  const MasterEquation four(m, Lattice(2, 2));
+  const auto p1 = one.evolve(one.delta(Configuration(Lattice(1, 1), 2, 0)), 0.7);
+  const auto p4 = four.evolve(four.delta(Configuration(Lattice(2, 2), 2, 0)), 0.7);
+  EXPECT_NEAR(one.expected_coverage(p1, 1), four.expected_coverage(p4, 1), 1e-9);
+}
+
+TEST(MasterEquation, EvolveKeepsDistributionValid) {
+  const auto zgb = models::make_zgb(models::ZgbParams::from_y(0.5, 5.0));
+  const MasterEquation me(zgb.model, Lattice(2, 2));
+  const auto p = me.evolve(me.delta(Configuration(Lattice(2, 2), 3, zgb.vacant)), 2.0);
+  double total = 0;
+  for (const double v : p) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(MasterEquation, ZgbEnsembleMatchesExactCoverage) {
+  // The headline check: VSSM ensembles converge to the exact ME marginal.
+  const auto zgb = models::make_zgb(models::ZgbParams::from_y(0.5, 5.0));
+  const Lattice lat(2, 2);
+  const MasterEquation me(zgb.model, lat);
+  const Configuration initial(lat, 3, zgb.vacant);
+  const double t = 1.5;
+
+  const auto p = me.evolve(me.delta(initial), t, 1e-3);
+  const double exact_o = me.expected_coverage(p, zgb.o);
+  const double exact_co = me.expected_coverage(p, zgb.co);
+
+  const auto result_o = run_ensemble(
+      [&](std::uint64_t seed) {
+        return std::make_unique<VssmSimulator>(zgb.model, initial, seed);
+      },
+      [&](const Simulator& sim) { return sim.configuration().coverage(zgb.o); },
+      3000, t, t, 2, 100);
+  const auto result_co = run_ensemble(
+      [&](std::uint64_t seed) {
+        return std::make_unique<VssmSimulator>(zgb.model, initial, seed);
+      },
+      [&](const Simulator& sim) { return sim.configuration().coverage(zgb.co); },
+      3000, t, t, 2, 100);
+
+  // 3000 replicas of a 4-site system: stderr ~ 0.005; allow 4 sigma.
+  EXPECT_NEAR(result_o.mean.values().back(), exact_o, 0.02);
+  EXPECT_NEAR(result_co.mean.values().back(), exact_co, 0.02);
+}
+
+TEST(MasterEquation, TransitionCountMatchesHandCount) {
+  // 1-site ads/des: 2 states, one transition each way.
+  const ReactionModel m = ads_des_model(1.0, 2.0);
+  const MasterEquation me(m, Lattice(1, 1));
+  EXPECT_EQ(me.num_states(), 2u);
+  EXPECT_EQ(me.num_transitions(), 2u);
+}
+
+TEST(MasterEquation, StationaryMatchesLangmuirProductMeasure) {
+  // Independent ads/des sites: the stationary distribution is a product of
+  // Bernoulli(ka / (ka + kd)) marginals.
+  const double ka = 2.0, kd = 1.0;
+  const ReactionModel m = ads_des_model(ka, kd);
+  const MasterEquation me(m, Lattice(3, 1));
+  const auto pi = me.stationary();
+  const double theta = ka / (ka + kd);
+  EXPECT_NEAR(me.expected_coverage(pi, 1), theta, 1e-6);
+  // Spot-check one full state probability: P(A A A) = theta^3.
+  Configuration all_a(Lattice(3, 1), 2, 1);
+  EXPECT_NEAR(pi[me.state_index(all_a)], theta * theta * theta, 1e-6);
+}
+
+TEST(MasterEquation, StationaryIsFixedPointOfGenerator) {
+  const auto zgb = models::make_zgb(models::ZgbParams::from_y(0.5, 5.0));
+  const MasterEquation me(zgb.model, Lattice(2, 1));
+  const auto pi = me.stationary();
+  std::vector<double> dpi;
+  me.apply_generator(pi, dpi);
+  for (const double v : dpi) EXPECT_NEAR(v, 0.0, 1e-8);
+}
+
+TEST(MasterEquation, EvolveConvergesToStationary) {
+  const double ka = 1.0, kd = 3.0;
+  const ReactionModel m = ads_des_model(ka, kd);
+  const MasterEquation me(m, Lattice(2, 2));
+  const auto pi = me.stationary();
+  const auto p_long =
+      me.evolve(me.delta(Configuration(Lattice(2, 2), 2, 0)), 20.0, 1e-2);
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    EXPECT_NEAR(p_long[i], pi[i], 1e-6) << "state " << i;
+  }
+}
+
+TEST(MasterEquation, EvolveValidatesArguments) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  const MasterEquation me(m, Lattice(2, 1));
+  EXPECT_THROW((void)me.evolve(std::vector<double>(3, 0.0), 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)me.evolve(std::vector<double>(4, 0.25), -1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace casurf

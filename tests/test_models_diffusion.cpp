@@ -1,0 +1,82 @@
+#include "models/diffusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dmc/rsm.hpp"
+#include "dmc/vssm.hpp"
+#include "partition/conflict.hpp"
+
+namespace casurf::models {
+namespace {
+
+TEST(DiffusionModel, FourHopOrientations) {
+  const DiffusionModel d = make_diffusion(2.0);
+  EXPECT_EQ(d.model.num_reactions(), 4u);
+  for (ReactionIndex i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(d.model.reaction(i).rate(), 0.5);
+  }
+  EXPECT_DOUBLE_EQ(d.model.total_rate(), 2.0);
+}
+
+TEST(DiffusionModel, SingleFileHasOnlyHorizontalHops) {
+  const DiffusionModel d = make_single_file(1.0);
+  EXPECT_EQ(d.model.num_reactions(), 2u);
+  EXPECT_EQ(d.model.reaction(0).transforms()[1].offset, (Vec2{1, 0}));
+  EXPECT_EQ(d.model.reaction(1).transforms()[1].offset, (Vec2{-1, 0}));
+}
+
+TEST(DiffusionModel, ParticleNumberConservedUnderRsm) {
+  const DiffusionModel d = make_diffusion();
+  Configuration cfg(Lattice(16, 16), 2, d.vacant);
+  for (SiteIndex s = 0; s < 64; ++s) cfg.set(s * 3 % 256, d.particle);
+  const std::uint64_t before = cfg.count(d.particle);
+  RsmSimulator sim(d.model, std::move(cfg), 1);
+  for (int i = 0; i < 200; ++i) sim.mc_step();
+  EXPECT_EQ(sim.configuration().count(d.particle), before);
+}
+
+TEST(DiffusionModel, ParticleNumberConservedUnderVssm) {
+  const DiffusionModel d = make_diffusion();
+  Configuration cfg(Lattice(12, 12), 2, d.vacant);
+  for (SiteIndex s = 0; s < 40; ++s) cfg.set(s, d.particle);
+  VssmSimulator sim(d.model, std::move(cfg), 2);
+  for (int i = 0; i < 5000; ++i) sim.mc_step();
+  EXPECT_EQ(sim.configuration().count(d.particle), 40u);
+}
+
+TEST(DiffusionModel, Fig2ConflictIsVisibleInOffsets) {
+  // Two particles flanking one empty site (paper Fig 2) conflict: anchors
+  // two apart along an axis must never share a chunk.
+  const DiffusionModel d = make_diffusion();
+  const auto offsets = conflict_offsets(d.model);
+  EXPECT_NE(std::find(offsets.begin(), offsets.end(), Vec2{2, 0}), offsets.end());
+  EXPECT_NE(std::find(offsets.begin(), offsets.end(), Vec2{-2, 0}), offsets.end());
+}
+
+TEST(DiffusionModel, HopsMoveParticles) {
+  const DiffusionModel d = make_diffusion(1.0);
+  Configuration cfg(Lattice(8, 8), 2, d.vacant);
+  cfg.set(Vec2{4, 4}, d.particle);
+  RsmSimulator sim(d.model, std::move(cfg), 3);
+  sim.advance_to(50.0);
+  EXPECT_EQ(sim.configuration().count(d.particle), 1u);
+  EXPECT_GT(sim.counters().executed, 0u);
+}
+
+TEST(DiffusionModel, FullLatticeIsFrozen) {
+  const DiffusionModel d = make_diffusion();
+  Configuration cfg(Lattice(6, 6), 2, d.particle);  // no vacancies
+  RsmSimulator sim(d.model, std::move(cfg), 4);
+  for (int i = 0; i < 50; ++i) sim.mc_step();
+  EXPECT_EQ(sim.counters().executed, 0u);
+}
+
+TEST(DiffusionModel, RejectsNonPositiveRate) {
+  EXPECT_THROW((void)make_diffusion(0.0), std::invalid_argument);
+  EXPECT_THROW((void)make_single_file(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace casurf::models

@@ -1,0 +1,136 @@
+#include "models/pt100.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/observer.hpp"
+#include "dmc/rsm.hpp"
+#include "stats/coverage.hpp"
+#include "stats/oscillation.hpp"
+
+namespace casurf::models {
+namespace {
+
+TEST(Pt100Model, FiveSpeciesDomain) {
+  const Pt100Model pt = make_pt100();
+  EXPECT_EQ(pt.model.species().size(), 5u);
+  EXPECT_EQ(pt.model.species().name(pt.hex_vac), "*h");
+  EXPECT_EQ(pt.model.species().name(pt.hex_co), "COh");
+  EXPECT_EQ(pt.model.species().name(pt.sq_vac), "*s");
+  EXPECT_EQ(pt.model.species().name(pt.sq_co), "COs");
+  EXPECT_EQ(pt.model.species().name(pt.sq_o), "Os");
+}
+
+TEST(Pt100Model, ValidatesAgainstDomain) {
+  const Pt100Model pt = make_pt100();
+  EXPECT_NO_THROW(pt.model.validate());
+}
+
+TEST(Pt100Model, RejectsNonPositiveRates) {
+  Pt100Params p;
+  p.co_des = 0;
+  EXPECT_THROW((void)make_pt100(p), std::invalid_argument);
+  Pt100Params q;
+  q.nucleation = 0;
+  EXPECT_THROW((void)make_pt100(q), std::invalid_argument);
+}
+
+TEST(Pt100Model, O2AdsorbsOnlyOnSquarePhase) {
+  const Pt100Model pt = make_pt100();
+  Configuration hex_cfg(Lattice(4, 4), 5, pt.hex_vac);
+  Configuration sq_cfg(Lattice(4, 4), 5, pt.sq_vac);
+  for (ReactionIndex i = 0; i < pt.model.num_reactions(); ++i) {
+    const ReactionType& rt = pt.model.reaction(i);
+    if (rt.name().starts_with("O2_ads")) {
+      EXPECT_FALSE(rt.enabled(hex_cfg, 0)) << rt.name();
+      EXPECT_TRUE(rt.enabled(sq_cfg, 0)) << rt.name();
+    }
+  }
+}
+
+TEST(Pt100Model, LiftRequiresSquareNeighborInFrontMode) {
+  const Pt100Model pt = make_pt100();  // front propagation on by default
+  Configuration cfg(Lattice(4, 4), 5, pt.hex_vac);
+  cfg.set(Vec2{1, 1}, pt.hex_co);
+  // No square-phase site anywhere: only nucleation can fire.
+  std::size_t lift_enabled = 0;
+  for (ReactionIndex i = 0; i < pt.model.num_reactions(); ++i) {
+    const ReactionType& rt = pt.model.reaction(i);
+    if (rt.name().starts_with("lift_front") &&
+        rt.enabled(cfg, cfg.lattice().index({1, 1}))) {
+      ++lift_enabled;
+    }
+  }
+  EXPECT_EQ(lift_enabled, 0u);
+  // Put a square neighbor next to it: exactly one orientation enables.
+  cfg.set(Vec2{2, 1}, pt.sq_vac);
+  for (ReactionIndex i = 0; i < pt.model.num_reactions(); ++i) {
+    const ReactionType& rt = pt.model.reaction(i);
+    if (rt.name().starts_with("lift_front") &&
+        rt.enabled(cfg, cfg.lattice().index({1, 1}))) {
+      ++lift_enabled;
+    }
+  }
+  EXPECT_EQ(lift_enabled, 1u);
+}
+
+TEST(Pt100Model, PhaseAndMassBalance) {
+  const Pt100Model pt = make_pt100();
+  RsmSimulator sim(pt.model, Configuration(Lattice(24, 24), 5, pt.hex_vac), 5);
+  for (int i = 0; i < 300; ++i) sim.mc_step();
+  const auto& per = sim.counters().executed_per_type;
+  std::uint64_t lift = 0, restore = 0, o2 = 0, co2 = 0;
+  for (ReactionIndex i = 0; i < pt.model.num_reactions(); ++i) {
+    const std::string& name = pt.model.reaction(i).name();
+    if (name.starts_with("lift")) lift += per[i];
+    if (name.starts_with("restore")) restore += per[i];
+    if (name.starts_with("O2_ads")) o2 += per[i];
+    if (name.starts_with("CO2_")) co2 += per[i];
+  }
+  const auto& cfg = sim.configuration();
+  // Square-phase sites are created by lift and destroyed by restore only.
+  const std::uint64_t sq_sites =
+      cfg.count(pt.sq_vac) + cfg.count(pt.sq_co) + cfg.count(pt.sq_o);
+  EXPECT_EQ(sq_sites, lift - restore);
+  // O is created two at a time, destroyed one per CO2.
+  EXPECT_EQ(cfg.count(pt.sq_o), 2 * o2 - co2);
+}
+
+TEST(Pt100Model, CoverageHelpersSumCorrectly) {
+  const Pt100Model pt = make_pt100();
+  Configuration cfg(Lattice(10, 10), 5, pt.hex_vac);
+  for (SiteIndex s = 0; s < 10; ++s) cfg.set(s, pt.hex_co);
+  for (SiteIndex s = 10; s < 30; ++s) cfg.set(s, pt.sq_co);
+  for (SiteIndex s = 30; s < 40; ++s) cfg.set(s, pt.sq_o);
+  for (SiteIndex s = 40; s < 45; ++s) cfg.set(s, pt.sq_vac);
+  EXPECT_DOUBLE_EQ(pt.co_coverage(cfg), 0.30);
+  EXPECT_DOUBLE_EQ(pt.o_coverage(cfg), 0.10);
+  EXPECT_DOUBLE_EQ(pt.sq_fraction(cfg), 0.35);
+}
+
+TEST(Pt100Model, DefaultParametersOscillate) {
+  // The Fig 8-10 workload requirement: coverage oscillations on the default
+  // parameter set. Moderate lattice to keep the test fast.
+  const Pt100Model pt = make_pt100();
+  RsmSimulator sim(pt.model, Configuration(Lattice(64, 64), 5, pt.hex_vac), 11);
+  CoverageRecorder rec;
+  run_sampled(sim, 150.0, 0.5, rec);
+  const TimeSeries co = rec.combined({pt.hex_co, pt.sq_co});
+  const auto osc = stats::detect_oscillations(co, 30.0);
+  EXPECT_TRUE(osc.oscillating(3, 0.05))
+      << "peaks=" << osc.num_peaks << " amp=" << osc.mean_amplitude;
+  EXPECT_GT(osc.mean_period, 5.0);
+  EXPECT_LT(osc.mean_period, 60.0);
+}
+
+TEST(Pt100Model, LocalModeBuildsWithoutFrontTypes) {
+  Pt100Params p;
+  p.front_propagation = false;
+  const Pt100Model pt = make_pt100(p);
+  for (ReactionIndex i = 0; i < pt.model.num_reactions(); ++i) {
+    EXPECT_FALSE(pt.model.reaction(i).name().starts_with("lift_front"));
+  }
+  EXPECT_NO_THROW(pt.model.validate());
+}
+
+}  // namespace
+}  // namespace casurf::models

@@ -1,0 +1,105 @@
+#include "models/zgb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dmc/rsm.hpp"
+
+namespace casurf::models {
+namespace {
+
+TEST(ZgbModel, TableIHasSevenReactionTypes) {
+  const ZgbModel zgb = make_zgb();
+  EXPECT_EQ(zgb.model.num_reactions(), 7u);
+  EXPECT_EQ(zgb.model.reaction(0).name(), "CO_ads");
+  EXPECT_EQ(zgb.model.reaction(1).name(), "O2_ads_0");
+  EXPECT_EQ(zgb.model.reaction(2).name(), "O2_ads_1");
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(zgb.model.reaction(3 + i).name(), "CO2_form_" + std::to_string(i));
+  }
+}
+
+TEST(ZgbModel, SpeciesDomainMatchesPaper) {
+  const ZgbModel zgb = make_zgb();
+  EXPECT_EQ(zgb.model.species().size(), 3u);
+  EXPECT_EQ(zgb.model.species().name(zgb.vacant), "*");
+  EXPECT_EQ(zgb.model.species().name(zgb.co), "CO");
+  EXPECT_EQ(zgb.model.species().name(zgb.o), "O");
+}
+
+TEST(ZgbModel, ChannelRatesDistributedOverOrientations) {
+  const ZgbModel zgb = make_zgb(ZgbParams{2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(zgb.model.reaction(0).rate(), 2.0);
+  EXPECT_DOUBLE_EQ(zgb.model.reaction(1).rate(), 1.5);  // k_o2 / 2
+  EXPECT_DOUBLE_EQ(zgb.model.reaction(2).rate(), 1.5);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(zgb.model.reaction(3 + i).rate(), 1.0);  // k_rea / 4
+  }
+  EXPECT_DOUBLE_EQ(zgb.model.total_rate(), 2.0 + 3.0 + 4.0);
+}
+
+TEST(ZgbModel, TableITransformationsExact) {
+  const ZgbModel zgb = make_zgb();
+  // Rt_CO at s: {(s, *, CO)}.
+  const auto& co_ads = zgb.model.reaction(0).transforms();
+  ASSERT_EQ(co_ads.size(), 1u);
+  EXPECT_EQ(co_ads[0], exact({0, 0}, zgb.vacant, zgb.co));
+  // Rt_O2 version 0: {(s, *, O), (s+(1,0), *, O)}.
+  const auto& o2 = zgb.model.reaction(1).transforms();
+  ASSERT_EQ(o2.size(), 2u);
+  EXPECT_EQ(o2[0], exact({0, 0}, zgb.vacant, zgb.o));
+  EXPECT_EQ(o2[1], exact({1, 0}, zgb.vacant, zgb.o));
+  // Rt_CO+O version 2: {(s, CO, *), (s+(-1,0), O, *)}.
+  const auto& rea = zgb.model.reaction(5).transforms();
+  ASSERT_EQ(rea.size(), 2u);
+  EXPECT_EQ(rea[0], exact({0, 0}, zgb.co, zgb.vacant));
+  EXPECT_EQ(rea[1], exact({-1, 0}, zgb.o, zgb.vacant));
+}
+
+TEST(ZgbModel, FourReactionOrientationsCoverAllDirections) {
+  const ZgbModel zgb = make_zgb();
+  std::set<Vec2> dirs;
+  for (int i = 3; i < 7; ++i) {
+    dirs.insert(zgb.model.reaction(i).transforms()[1].offset);
+  }
+  EXPECT_EQ(dirs, (std::set<Vec2>{{1, 0}, {0, 1}, {-1, 0}, {0, -1}}));
+}
+
+TEST(ZgbModel, FromYParameterization) {
+  const ZgbModel zgb = make_zgb(ZgbParams::from_y(0.3, 10.0));
+  EXPECT_DOUBLE_EQ(zgb.model.reaction(0).rate(), 0.3);
+  EXPECT_DOUBLE_EQ(zgb.model.reaction(1).rate() + zgb.model.reaction(2).rate(), 0.7);
+}
+
+TEST(ZgbModel, RejectsNonPositiveRates) {
+  EXPECT_THROW((void)make_zgb(ZgbParams{0.0, 1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW((void)make_zgb(ZgbParams{1.0, -1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(ZgbModel, MassBalanceUnderSimulation) {
+  // CO on surface = CO adsorbed - CO2 formed; O = 2 * O2 events - CO2.
+  const ZgbModel zgb = make_zgb(ZgbParams::from_y(0.45, 10.0));
+  RsmSimulator sim(zgb.model, Configuration(Lattice(24, 24), 3, zgb.vacant), 7);
+  for (int i = 0; i < 200; ++i) sim.mc_step();
+  const auto& per = sim.counters().executed_per_type;
+  const std::uint64_t co_ads = per[0];
+  const std::uint64_t o2_ads = per[1] + per[2];
+  std::uint64_t co2 = 0;
+  for (int i = 3; i < 7; ++i) co2 += per[i];
+  EXPECT_EQ(sim.configuration().count(zgb.co), co_ads - co2);
+  EXPECT_EQ(sim.configuration().count(zgb.o), 2 * o2_ads - co2);
+}
+
+TEST(ZgbModel, OxygenAdsorbedInAdjacentPairs) {
+  // From an empty lattice with only O2 adsorption enabled (k_co tiny),
+  // every O2 event writes exactly two adjacent O.
+  const ZgbModel zgb = make_zgb(ZgbParams{1e-9, 1.0, 1e-9});
+  RsmSimulator sim(zgb.model, Configuration(Lattice(16, 16), 3, zgb.vacant), 8);
+  for (int i = 0; i < 5; ++i) sim.mc_step();
+  const auto& per = sim.counters().executed_per_type;
+  EXPECT_EQ(sim.configuration().count(zgb.o), 2 * (per[1] + per[2]));
+}
+
+}  // namespace
+}  // namespace casurf::models

@@ -1,0 +1,79 @@
+#include "models/monomer_monomer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dmc/rsm.hpp"
+#include "dmc/vssm.hpp"
+#include "partition/coloring.hpp"
+#include "stats/correlations.hpp"
+
+namespace casurf::models {
+namespace {
+
+TEST(MonomerMonomer, SixReactionTypes) {
+  const auto mm = make_monomer_monomer();
+  EXPECT_EQ(mm.model.num_reactions(), 6u);
+  EXPECT_DOUBLE_EQ(mm.model.total_rate(), 0.5 + 0.5 + 2.0);
+  EXPECT_NO_THROW(mm.model.validate());
+}
+
+TEST(MonomerMonomer, RejectsBadRates) {
+  EXPECT_THROW((void)make_monomer_monomer({0.0, 1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW((void)make_monomer_monomer({1.0, 1.0, -2.0}), std::invalid_argument);
+}
+
+TEST(MonomerMonomer, FiveChunkPartitionWorks) {
+  // Same von Neumann pair patterns as ZGB: the optimal partition is the
+  // same five-chunk coloring.
+  const auto mm = make_monomer_monomer();
+  const Partition p = make_partition(Lattice(20, 20), mm.model);
+  EXPECT_EQ(p.num_chunks(), 5u);
+  EXPECT_TRUE(verify_partition(p, conflict_offsets(mm.model)));
+}
+
+TEST(MonomerMonomer, AsymmetryPoisonsWithMajoritySpecies) {
+  const auto mm = make_monomer_monomer({0.8, 0.2, 2.0});
+  RsmSimulator sim(mm.model, Configuration(Lattice(16, 16), 3, mm.vacant), 1);
+  sim.advance_to(200.0);
+  EXPECT_GT(sim.configuration().coverage(mm.a), 0.95);
+}
+
+TEST(MonomerMonomer, MassBalance) {
+  const auto mm = make_monomer_monomer();
+  RsmSimulator sim(mm.model, Configuration(Lattice(20, 20), 3, mm.vacant), 2);
+  for (int i = 0; i < 200; ++i) sim.mc_step();
+  const auto& per = sim.counters().executed_per_type;
+  std::uint64_t rea = 0;
+  for (int i = 2; i < 6; ++i) rea += per[i];
+  EXPECT_EQ(sim.configuration().count(mm.a), per[0] - rea);
+  EXPECT_EQ(sim.configuration().count(mm.b), per[1] - rea);
+}
+
+TEST(MonomerMonomer, SymmetricCaseSegregates) {
+  // The hallmark of the MM model: adjacent A-B pairs annihilate, so the
+  // survivors organize into same-species domains — the A-B pair
+  // correlation falls well below random mixing and keeps falling.
+  const auto mm = make_monomer_monomer({0.5, 0.5, 4.0});
+  VssmSimulator sim(mm.model, Configuration(Lattice(48, 48), 3, mm.vacant), 3);
+  sim.advance_to(5.0);
+  const double g_early = stats::pair_correlation(sim.configuration(), mm.a, mm.b);
+  sim.advance_to(60.0);
+  const double g_late = stats::pair_correlation(sim.configuration(), mm.a, mm.b);
+  EXPECT_LT(g_early, 0.8);   // already depleted vs random mixing
+  EXPECT_LT(g_late, g_early);  // coarsening continues
+  // Same-species clustering exceeds random.
+  EXPECT_GT(stats::pair_correlation(sim.configuration(), mm.a, mm.a), 1.2);
+}
+
+TEST(MonomerMonomer, AxialCorrelationDecaysWithDistance) {
+  const auto mm = make_monomer_monomer({0.5, 0.5, 4.0});
+  VssmSimulator sim(mm.model, Configuration(Lattice(48, 48), 3, mm.vacant), 4);
+  sim.advance_to(40.0);
+  const double c1 = stats::axial_correlation(sim.configuration(), mm.a, 1);
+  const double c8 = stats::axial_correlation(sim.configuration(), mm.a, 8);
+  EXPECT_GT(c1, 0.15);  // clear short-range clustering
+  EXPECT_LT(c8, c1);   // decays with distance
+}
+
+}  // namespace
+}  // namespace casurf::models

@@ -1,0 +1,161 @@
+#include "parallel/msgpass.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace casurf {
+namespace {
+
+TEST(MsgPass, SingleRankRuns) {
+  std::atomic<int> ran{0};
+  Communicator::run(1, [&](Communicator::Rank& rank) {
+    EXPECT_EQ(rank.rank(), 0);
+    EXPECT_EQ(rank.world_size(), 1);
+    ran.fetch_add(1);
+  });
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(MsgPass, AllRanksGetDistinctIds) {
+  std::vector<std::atomic<int>> seen(4);
+  Communicator::run(4, [&](Communicator::Rank& rank) {
+    seen[rank.rank()].fetch_add(1);
+  });
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(MsgPass, PointToPointRoundTrip) {
+  Communicator::run(2, [](Communicator::Rank& rank) {
+    if (rank.rank() == 0) {
+      rank.send_value<int>(1, 7, 12345);
+      EXPECT_EQ(rank.recv_value<int>(1, 8), 54321);
+    } else {
+      EXPECT_EQ(rank.recv_value<int>(0, 7), 12345);
+      rank.send_value<int>(0, 8, 54321);
+    }
+  });
+}
+
+TEST(MsgPass, TagsKeepStreamsSeparate) {
+  Communicator::run(2, [](Communicator::Rank& rank) {
+    if (rank.rank() == 0) {
+      rank.send_value<int>(1, 1, 100);
+      rank.send_value<int>(1, 2, 200);
+    } else {
+      // Receive in the opposite order of sending: tag matching must find
+      // the right message regardless of queue position.
+      EXPECT_EQ(rank.recv_value<int>(0, 2), 200);
+      EXPECT_EQ(rank.recv_value<int>(0, 1), 100);
+    }
+  });
+}
+
+TEST(MsgPass, FifoPerSourceAndTag) {
+  Communicator::run(2, [](Communicator::Rank& rank) {
+    if (rank.rank() == 0) {
+      for (int i = 0; i < 20; ++i) rank.send_value<int>(1, 3, i);
+    } else {
+      for (int i = 0; i < 20; ++i) EXPECT_EQ(rank.recv_value<int>(0, 3), i);
+    }
+  });
+}
+
+TEST(MsgPass, SpanTransfer) {
+  Communicator::run(2, [](Communicator::Rank& rank) {
+    if (rank.rank() == 0) {
+      std::vector<double> data(64);
+      std::iota(data.begin(), data.end(), 0.0);
+      rank.send_span(1, 4, data.data(), data.size());
+    } else {
+      std::vector<double> got(64, -1);
+      rank.recv_span(0, 4, got.data(), got.size());
+      for (int i = 0; i < 64; ++i) EXPECT_DOUBLE_EQ(got[i], i);
+    }
+  });
+}
+
+TEST(MsgPass, BarrierSynchronizes) {
+  // Phase counter: after the barrier, every rank must observe every other
+  // rank's pre-barrier increment.
+  std::atomic<int> before{0};
+  std::vector<int> observed(4, -1);
+  Communicator::run(4, [&](Communicator::Rank& rank) {
+    before.fetch_add(1);
+    rank.barrier();
+    observed[rank.rank()] = before.load();
+  });
+  for (const int o : observed) EXPECT_EQ(o, 4);
+}
+
+TEST(MsgPass, RepeatedBarriers) {
+  std::atomic<int> counter{0};
+  Communicator::run(3, [&](Communicator::Rank& rank) {
+    for (int round = 0; round < 50; ++round) {
+      counter.fetch_add(1);
+      rank.barrier();
+      EXPECT_EQ(counter.load() % 3, 0);
+      rank.barrier();
+    }
+  });
+}
+
+TEST(MsgPass, AllreduceSumDouble) {
+  Communicator::run(4, [](Communicator::Rank& rank) {
+    const double mine = static_cast<double>(rank.rank() + 1);
+    EXPECT_DOUBLE_EQ(rank.allreduce_sum(mine), 10.0);  // 1+2+3+4
+  });
+}
+
+TEST(MsgPass, AllreduceSumU64Repeated) {
+  Communicator::run(3, [](Communicator::Rank& rank) {
+    for (std::uint64_t round = 1; round <= 30; ++round) {
+      const std::uint64_t total =
+          rank.allreduce_sum(static_cast<std::uint64_t>(rank.rank()) + round);
+      EXPECT_EQ(total, 3 * round + 3);  // (0+1+2) + 3*round
+    }
+  });
+}
+
+TEST(MsgPass, StatsCountMessagesAndBytes) {
+  Communicator::run(2, [](Communicator::Rank& rank) {
+    if (rank.rank() == 0) {
+      rank.send_value<std::uint32_t>(1, 1, 7);
+    } else {
+      (void)rank.recv_value<std::uint32_t>(0, 1);
+    }
+    rank.barrier();
+  });
+  const auto stats = Communicator::last_run_stats();
+  EXPECT_EQ(stats.messages, 1u);
+  EXPECT_EQ(stats.bytes, 4u);
+  EXPECT_GE(stats.barriers, 1u);
+}
+
+TEST(MsgPass, ExceptionInRankPropagates) {
+  EXPECT_THROW(Communicator::run(2,
+                                 [](Communicator::Rank& rank) {
+                                   rank.barrier();
+                                   if (rank.rank() == 1) {
+                                     throw std::runtime_error("rank failure");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(MsgPass, InvalidDestinationThrowsInRank) {
+  EXPECT_THROW(Communicator::run(1,
+                                 [](Communicator::Rank& rank) {
+                                   rank.send_value<int>(5, 0, 1);
+                                 }),
+               std::out_of_range);
+}
+
+TEST(MsgPass, InvalidWorldSize) {
+  EXPECT_THROW(Communicator::run(0, [](Communicator::Rank&) {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace casurf

@@ -1,0 +1,110 @@
+#include "ca/ndca.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dmc/rsm.hpp"
+#include "models/diffusion.hpp"
+
+namespace casurf {
+namespace {
+
+ReactionModel ads_des_model(double k_a, double k_d) {
+  ReactionModel m(SpeciesSet({"*", "A"}));
+  m.add(ReactionType("ads", k_a, {exact({0, 0}, 0, 1)}));
+  m.add(ReactionType("des", k_d, {exact({0, 0}, 1, 0)}));
+  return m;
+}
+
+TEST(Ndca, EverySiteVisitedOncePerStep) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  NdcaSimulator sim(m, Configuration(Lattice(7, 5), 2, 0), 1);
+  sim.mc_step();
+  EXPECT_EQ(sim.counters().trials, 35u);
+  sim.mc_step();
+  EXPECT_EQ(sim.counters().trials, 70u);
+}
+
+TEST(Ndca, SameSeedSameTrajectory) {
+  const ReactionModel m = ads_des_model(1.0, 0.3);
+  NdcaSimulator a(m, Configuration(Lattice(8, 8), 2, 0), 9);
+  NdcaSimulator b(m, Configuration(Lattice(8, 8), 2, 0), 9);
+  for (int i = 0; i < 30; ++i) {
+    a.mc_step();
+    b.mc_step();
+  }
+  EXPECT_EQ(a.configuration(), b.configuration());
+}
+
+TEST(Ndca, EquilibriumMatchesIndependentSites) {
+  // For uncoupled sites, site-selection order cannot matter: NDCA must hit
+  // the same equilibrium as the Master Equation.
+  const double ka = 1.0, kd = 0.5;
+  const ReactionModel m = ads_des_model(ka, kd);
+  NdcaSimulator sim(m, Configuration(Lattice(32, 32), 2, 0), 10);
+  sim.advance_to(30.0);
+  double avg = 0;
+  const int samples = 50;
+  for (int i = 0; i < samples; ++i) {
+    sim.mc_step();
+    avg += sim.configuration().coverage(1);
+  }
+  avg /= samples;
+  EXPECT_NEAR(avg, ka / (ka + kd), 0.02);
+}
+
+TEST(Ndca, RasterSweepBiasesSingleFileDiffusion) {
+  // The paper's section 4 claim, made concrete: a raster sweep revisits the
+  // destination of a rightward hop later in the same step but never the
+  // destination of a leftward one, so the two hop channels — identical in
+  // rate — execute at systematically different frequencies (at this
+  // density, blocked right-cascades rebound left). RSM shows no asymmetry.
+  auto sf = models::make_single_file(1.0);
+  Configuration cfg(Lattice(64, 1), 2, sf.vacant);
+  for (std::int32_t x = 0; x < 64; x += 2) cfg.set(Vec2{x, 0}, sf.particle);
+
+  NdcaSimulator ndca(sf.model, cfg, 11, TimeMode::kStochastic, SweepOrder::kRaster);
+  for (int i = 0; i < 3000; ++i) ndca.mc_step();
+  const auto& nper = ndca.counters().executed_per_type;
+  const double ndca_ratio = static_cast<double>(nper[0]) /
+                            static_cast<double>(nper[1]);  // right / left
+
+  RsmSimulator rsm(sf.model, cfg, 11);
+  for (int i = 0; i < 3000; ++i) rsm.mc_step();
+  const auto& rper = rsm.counters().executed_per_type;
+  const double rsm_ratio = static_cast<double>(rper[0]) /
+                           static_cast<double>(rper[1]);
+
+  EXPECT_NEAR(rsm_ratio, 1.0, 0.05);
+  EXPECT_GT(std::abs(ndca_ratio - 1.0), 0.15);  // systematic directional bias
+}
+
+TEST(Ndca, ShuffledSweepRemovesDirectionalBias) {
+  auto sf = models::make_single_file(1.0);
+  Configuration cfg(Lattice(64, 1), 2, sf.vacant);
+  for (std::int32_t x = 0; x < 64; x += 2) cfg.set(Vec2{x, 0}, sf.particle);
+
+  NdcaSimulator sim(sf.model, cfg, 12, TimeMode::kStochastic, SweepOrder::kShuffled);
+  for (int i = 0; i < 3000; ++i) sim.mc_step();
+  const auto& per = sim.counters().executed_per_type;
+  const double ratio = static_cast<double>(per[0]) / static_cast<double>(per[1]);
+  EXPECT_NEAR(ratio, 1.0, 0.06);
+}
+
+TEST(Ndca, DeterministicTimePerStep) {
+  const ReactionModel m = ads_des_model(3.0, 1.0);  // K = 4
+  NdcaSimulator sim(m, Configuration(Lattice(10, 10), 2, 0), 13,
+                    TimeMode::kDeterministic);
+  sim.mc_step();
+  EXPECT_NEAR(sim.time(), 0.25, 1e-12);  // N trials * 1/(N K) = 1/K
+}
+
+TEST(Ndca, NameIsNdca) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  NdcaSimulator sim(m, Configuration(Lattice(2, 2), 2, 0), 1);
+  EXPECT_EQ(sim.name(), "NDCA");
+}
+
+}  // namespace
+}  // namespace casurf

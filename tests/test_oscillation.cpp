@@ -1,0 +1,104 @@
+#include "stats/oscillation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "rng/xoshiro.hpp"
+#include "rng/distributions.hpp"
+
+namespace casurf {
+namespace {
+
+using stats::OscillationSummary;
+using stats::detect_oscillations;
+
+TimeSeries sine(double period, double amplitude, double t_end, double dt,
+                double noise = 0.0, std::uint64_t seed = 1) {
+  Xoshiro256 rng(seed);
+  TimeSeries ts;
+  for (double t = 0; t <= t_end; t += dt) {
+    double v = 0.5 + amplitude * std::sin(2 * std::numbers::pi * t / period);
+    if (noise > 0) v += noise * (uniform01(rng) - 0.5);
+    ts.append(t, v);
+  }
+  return ts;
+}
+
+TEST(Oscillation, DetectsCleanSine) {
+  const auto s = detect_oscillations(sine(20.0, 0.3, 200.0, 0.5));
+  EXPECT_TRUE(s.oscillating());
+  EXPECT_NEAR(s.mean_period, 20.0, 1.5);
+  // Peak-to-trough of a sine with amplitude 0.3 is 0.6 (smoothing shaves a
+  // little off).
+  EXPECT_NEAR(s.mean_amplitude, 0.6, 0.1);
+  EXPECT_GE(s.num_peaks, 8u);
+}
+
+TEST(Oscillation, DetectsNoisySine) {
+  const auto s = detect_oscillations(sine(25.0, 0.25, 250.0, 0.5, 0.1, 7));
+  EXPECT_TRUE(s.oscillating());
+  EXPECT_NEAR(s.mean_period, 25.0, 3.0);
+}
+
+TEST(Oscillation, FlatSignalHasNoPeaks) {
+  TimeSeries flat;
+  for (double t = 0; t <= 100; t += 1.0) flat.append(t, 0.4);
+  const auto s = detect_oscillations(flat);
+  EXPECT_EQ(s.num_peaks, 0u);
+  EXPECT_FALSE(s.oscillating());
+}
+
+TEST(Oscillation, PureNoiseRejectedByProminenceGate) {
+  Xoshiro256 rng(3);
+  TimeSeries noise;
+  for (double t = 0; t <= 200; t += 0.5) {
+    noise.append(t, 0.5 + 0.01 * (uniform01(rng) - 0.5));
+  }
+  const auto s = detect_oscillations(noise);
+  EXPECT_FALSE(s.oscillating());
+}
+
+TEST(Oscillation, DampedSignalLosesOscillationVerdict) {
+  TimeSeries damped;
+  for (double t = 0; t <= 300; t += 0.5) {
+    damped.append(t, 0.5 + 0.4 * std::exp(-t / 30.0) *
+                           std::sin(2 * std::numbers::pi * t / 20.0));
+  }
+  const auto full = detect_oscillations(damped, 0.0);
+  const auto tail = detect_oscillations(damped, 150.0);
+  // Early transient oscillates; the tail has decayed below the gate.
+  EXPECT_GE(full.num_peaks, 2u);
+  EXPECT_FALSE(tail.oscillating());
+}
+
+TEST(Oscillation, TransientSkipAffectsResult) {
+  // Constant for t < 100, sine afterwards.
+  TimeSeries ts;
+  for (double t = 0; t <= 300; t += 0.5) {
+    ts.append(t, t < 100 ? 0.5
+                         : 0.5 + 0.3 * std::sin(2 * std::numbers::pi * (t - 100) / 20.0));
+  }
+  const auto s = detect_oscillations(ts, 100.0);
+  EXPECT_TRUE(s.oscillating());
+  EXPECT_NEAR(s.mean_period, 20.0, 2.0);
+}
+
+TEST(Oscillation, TooShortSeriesIsSafe) {
+  TimeSeries tiny({0.0, 1.0}, {0.0, 1.0});
+  const auto s = detect_oscillations(tiny);
+  EXPECT_EQ(s.num_peaks, 0u);
+}
+
+TEST(OscillationSummary, GatesAreConfigurable) {
+  OscillationSummary s;
+  s.num_peaks = 4;
+  s.mean_amplitude = 0.04;
+  EXPECT_FALSE(s.oscillating());            // default min amplitude 0.05
+  EXPECT_TRUE(s.oscillating(3, 0.03));      // relaxed gate
+  EXPECT_FALSE(s.oscillating(5, 0.03));     // stricter peak count
+}
+
+}  // namespace
+}  // namespace casurf

@@ -1,0 +1,115 @@
+#include "parallel/parallel_pndca.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/pt100.hpp"
+#include "models/zgb.hpp"
+#include "partition/coloring.hpp"
+
+namespace casurf {
+namespace {
+
+std::vector<Partition> five_chunks(const Lattice& lat) {
+  return {Partition::linear_form(lat, 1, 3, 5)};
+}
+
+TEST(ParallelPndca, RejectsConflictingPartition) {
+  auto zgb = models::make_zgb();
+  const Lattice lat(10, 10);
+  EXPECT_THROW(ParallelPndcaEngine(zgb.model, Configuration(lat, 3, zgb.vacant),
+                                   {Partition::single_chunk(lat)}, 1, 2),
+               std::invalid_argument);
+  EXPECT_THROW(ParallelPndcaEngine(zgb.model, Configuration(lat, 3, zgb.vacant),
+                                   {Partition::linear_form(lat, 1, 1, 2)}, 1, 2),
+               std::invalid_argument);
+}
+
+class ThreadCountSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ThreadCountSweep, TrajectoryIdenticalToSequentialPndca) {
+  // The library's core determinism guarantee: the threaded engine replays
+  // the sequential PNDCA trajectory exactly, for any worker count.
+  const unsigned threads = GetParam();
+  auto zgb = models::make_zgb(models::ZgbParams::from_y(0.45, 10.0));
+  const Lattice lat(20, 20);
+
+  PndcaSimulator seq(zgb.model, Configuration(lat, 3, zgb.vacant), five_chunks(lat), 99);
+  ParallelPndcaEngine par(zgb.model, Configuration(lat, 3, zgb.vacant), five_chunks(lat),
+                          99, threads);
+
+  for (int step = 0; step < 40; ++step) {
+    seq.mc_step();
+    par.mc_step();
+    ASSERT_TRUE(seq.configuration() == par.configuration()) << "step " << step;
+    ASSERT_DOUBLE_EQ(seq.time(), par.time()) << "step " << step;
+  }
+  EXPECT_EQ(seq.counters().executed, par.counters().executed);
+  EXPECT_EQ(seq.counters().executed_per_type, par.counters().executed_per_type);
+  EXPECT_EQ(seq.counters().trials, par.counters().trials);
+  // Species counts merged from per-thread deltas must agree too.
+  for (Species s = 0; s < 3; ++s) {
+    EXPECT_EQ(seq.configuration().count(s), par.configuration().count(s));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadCountSweep, ::testing::Values(1u, 2u, 3u, 4u, 7u));
+
+TEST(ParallelPndca, DeterministicAcrossPolicies) {
+  auto zgb = models::make_zgb();
+  const Lattice lat(15, 15);
+  for (const ChunkPolicy policy :
+       {ChunkPolicy::kInOrder, ChunkPolicy::kRandomOrder,
+        ChunkPolicy::kRandomWithReplacement, ChunkPolicy::kRateWeighted}) {
+    PndcaSimulator seq(zgb.model, Configuration(lat, 3, zgb.vacant), five_chunks(lat),
+                       7, policy);
+    ParallelPndcaEngine par(zgb.model, Configuration(lat, 3, zgb.vacant),
+                            five_chunks(lat), 7, 3, policy);
+    for (int i = 0; i < 15; ++i) {
+      seq.mc_step();
+      par.mc_step();
+    }
+    EXPECT_TRUE(seq.configuration() == par.configuration())
+        << "policy " << static_cast<int>(policy);
+  }
+}
+
+TEST(ParallelPndca, WorksOnPt100Model) {
+  auto pt = models::make_pt100();
+  const Lattice lat(16, 16);
+  const Partition p = make_partition(lat, pt.model);
+  ParallelPndcaEngine par(pt.model, Configuration(lat, 5, pt.hex_vac), {p}, 5, 2);
+  PndcaSimulator seq(pt.model, Configuration(lat, 5, pt.hex_vac), {p}, 5);
+  for (int i = 0; i < 10; ++i) {
+    seq.mc_step();
+    par.mc_step();
+  }
+  EXPECT_TRUE(seq.configuration() == par.configuration());
+}
+
+TEST(ParallelPndca, CountsConsistentAfterLongRun) {
+  auto zgb = models::make_zgb();
+  const Lattice lat(20, 20);
+  ParallelPndcaEngine par(zgb.model, Configuration(lat, 3, zgb.vacant), five_chunks(lat),
+                          3, 4);
+  for (int i = 0; i < 100; ++i) par.mc_step();
+  // Maintained counts equal a raw recount.
+  std::vector<std::uint64_t> recount(3, 0);
+  for (SiteIndex s = 0; s < par.configuration().size(); ++s) {
+    ++recount[par.configuration().get(s)];
+  }
+  for (Species s = 0; s < 3; ++s) {
+    EXPECT_EQ(par.configuration().count(s), recount[s]);
+  }
+}
+
+TEST(ParallelPndca, ReportsThreadsAndName) {
+  auto zgb = models::make_zgb();
+  const Lattice lat(10, 10);
+  ParallelPndcaEngine par(zgb.model, Configuration(lat, 3, zgb.vacant), five_chunks(lat),
+                          1, 3);
+  EXPECT_EQ(par.num_threads(), 3u);
+  EXPECT_EQ(par.name(), "PNDCA(threads)");
+}
+
+}  // namespace
+}  // namespace casurf

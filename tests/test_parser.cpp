@@ -1,0 +1,172 @@
+#include "model/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "dmc/rsm.hpp"
+#include "models/zgb.hpp"
+
+namespace casurf {
+namespace {
+
+constexpr const char* kZgbText = R"(
+# ZGB CO oxidation, paper Table I
+species * CO O
+
+reaction CO_ads rate=1.0
+  (0,0) * -> CO
+end
+
+reaction O2_ads rate=0.5 orientations=xy
+  (0,0) * -> O
+  (1,0) * -> O
+end
+
+reaction CO2_form rate=0.5 orientations=all
+  (0,0) CO -> *
+  (1,0) O -> *
+end
+)";
+
+TEST(ModelParser, ParsesZgbText) {
+  const ReactionModel model = parse_model(kZgbText);
+  EXPECT_EQ(model.species().size(), 3u);
+  EXPECT_EQ(model.num_reactions(), 7u);  // 1 + 2 + 4
+  EXPECT_DOUBLE_EQ(model.total_rate(), 4.0);
+}
+
+TEST(ModelParser, ParsedZgbMatchesBuiltinStructure) {
+  const ReactionModel parsed = parse_model(kZgbText);
+  const auto builtin = models::make_zgb();
+  ASSERT_EQ(parsed.num_reactions(), builtin.model.num_reactions());
+  for (ReactionIndex i = 0; i < parsed.num_reactions(); ++i) {
+    EXPECT_DOUBLE_EQ(parsed.reaction(i).rate(), builtin.model.reaction(i).rate()) << i;
+    EXPECT_EQ(parsed.reaction(i).transforms().size(),
+              builtin.model.reaction(i).transforms().size()) << i;
+  }
+  // Orientation rotation: CO2_form_0 is +x, _1 is +y, _2 is -x, _3 is -y.
+  EXPECT_EQ(parsed.reaction(3).transforms()[1].offset, (Vec2{1, 0}));
+  EXPECT_EQ(parsed.reaction(4).transforms()[1].offset, (Vec2{0, 1}));
+  EXPECT_EQ(parsed.reaction(5).transforms()[1].offset, (Vec2{-1, 0}));
+  EXPECT_EQ(parsed.reaction(6).transforms()[1].offset, (Vec2{0, -1}));
+}
+
+TEST(ModelParser, ParsedModelSimulatesLikeBuiltin) {
+  const ReactionModel parsed = parse_model(kZgbText);
+  const auto builtin = models::make_zgb();
+  RsmSimulator a(parsed, Configuration(Lattice(16, 16), 3, 0), 7);
+  RsmSimulator b(builtin.model, Configuration(Lattice(16, 16), 3, 0), 7);
+  for (int i = 0; i < 30; ++i) {
+    a.mc_step();
+    b.mc_step();
+  }
+  // Same seed, structurally identical models: identical trajectories.
+  EXPECT_EQ(a.configuration(), b.configuration());
+}
+
+TEST(ModelParser, WildcardAlternationAndKeep) {
+  const ReactionModel model = parse_model(R"(
+species * A B
+reaction assisted rate=2.0
+  (0,0) * -> A
+  (1,0) A|B -> keep
+end
+)");
+  const ReactionType& rt = model.reaction(0);
+  ASSERT_EQ(rt.transforms().size(), 2u);
+  EXPECT_EQ(rt.transforms()[1].src, species_bit(1) | species_bit(2));
+  EXPECT_EQ(rt.transforms()[1].tg, kKeep);
+}
+
+TEST(ModelParser, AnyKeyword) {
+  const ReactionModel model = parse_model(R"(
+species * A B
+reaction watch rate=1.0
+  (0,0) A -> *
+  (0,1) any -> keep
+end
+)");
+  EXPECT_EQ(model.reaction(0).transforms()[1].src, model.species().all_mask());
+}
+
+TEST(ModelParser, NegativeOffsets) {
+  const ReactionModel model = parse_model(R"(
+species * A
+reaction hop rate=1.0
+  (0,0) A -> *
+  (-1,-2) * -> A
+end
+)");
+  EXPECT_EQ(model.reaction(0).transforms()[1].offset, (Vec2{-1, -2}));
+}
+
+struct BadCase {
+  const char* text;
+  const char* what;  // substring expected in the error
+};
+
+class ParserErrors : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(ParserErrors, RejectsWithUsefulMessage) {
+  try {
+    (void)parse_model(GetParam().text);
+    FAIL() << "expected ModelParseError";
+  } catch (const ModelParseError& e) {
+    EXPECT_NE(std::string(e.what()).find(GetParam().what), std::string::npos)
+        << "actual: " << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParserErrors,
+    ::testing::Values(
+        BadCase{"reaction r rate=1\n (0,0) A -> B\nend\n", "before 'species'"},
+        BadCase{"species * A\nspecies * B\nreaction r rate=1\n(0,0) * -> A\nend\n",
+                "duplicate 'species'"},
+        BadCase{"species * A\n", "no reactions"},
+        BadCase{"species\nreaction r rate=1\n(0,0) * -> A\nend\n", "names no species"},
+        BadCase{"species * A\nreaction r\n(0,0) * -> A\nend\n", "needs rate"},
+        BadCase{"species * A\nreaction r rate=0\n(0,0) * -> A\nend\n", "positive"},
+        BadCase{"species * A\nreaction r rate=1 orientations=up\n(0,0) * -> A\nend\n",
+                "none|xy|all"},
+        BadCase{"species * A\nreaction r rate=1\n(0,0) Z -> A\nend\n",
+                "unknown species 'Z'"},
+        BadCase{"species * A\nreaction r rate=1\n(0,0) * -> Z\nend\n",
+                "unknown species 'Z'"},
+        BadCase{"species * A\nreaction r rate=1\n0,0 * -> A\nend\n", "expected offset"},
+        BadCase{"species * A\nreaction r rate=1\n(0,0) * A\nend\n",
+                "expected '(dx,dy) SRC -> TG'"},
+        BadCase{"species * A\nreaction r rate=1\n(0,0) * -> A\n", "not closed"},
+        BadCase{"species * A\nend\n", "'end' without"},
+        BadCase{"species * A\nreaction r rate=1\n(1,0) * -> A\nend\n", "anchor"},
+        BadCase{"species * A\nreaction r rate=1\nreaction q rate=1\nend\n", "nested"},
+        BadCase{"species * A\nbogus\n", "unexpected token"}));
+
+TEST(ModelParser, ErrorCarriesLineNumber) {
+  try {
+    (void)parse_model("species * A\nreaction r rate=1\n(0,0) Z -> A\nend\n");
+    FAIL();
+  } catch (const ModelParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(ModelParser, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "casurf_parser_test.model";
+  {
+    std::ofstream out(path);
+    out << kZgbText;
+  }
+  const ReactionModel model = parse_model_file(path);
+  EXPECT_EQ(model.num_reactions(), 7u);
+  std::remove(path.c_str());
+}
+
+TEST(ModelParser, MissingFileThrows) {
+  EXPECT_THROW((void)parse_model_file("/nonexistent/zzz.model"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace casurf

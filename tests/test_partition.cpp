@@ -1,0 +1,133 @@
+#include "partition/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace casurf {
+namespace {
+
+TEST(Partition, SingleChunkCoversLattice) {
+  const Partition p = Partition::single_chunk(Lattice(6, 4));
+  EXPECT_EQ(p.num_chunks(), 1u);
+  EXPECT_EQ(p.chunk(0).size(), 24u);
+  EXPECT_EQ(p.max_chunk_size(), 24u);
+}
+
+TEST(Partition, SingletonsOneSitePerChunk) {
+  const Partition p = Partition::singletons(Lattice(5, 5));
+  EXPECT_EQ(p.num_chunks(), 25u);
+  for (ChunkId c = 0; c < 25; ++c) {
+    ASSERT_EQ(p.chunk(c).size(), 1u);
+    EXPECT_EQ(p.chunk(c)[0], c);
+  }
+}
+
+TEST(Partition, ChunksAreDisjointAndCover) {
+  const Partition p = Partition::linear_form(Lattice(10, 10), 1, 3, 5);
+  std::vector<int> seen(100, 0);
+  for (ChunkId c = 0; c < p.num_chunks(); ++c) {
+    for (const SiteIndex s : p.chunk(c)) {
+      ++seen[s];
+      EXPECT_EQ(p.chunk_of(s), c);
+    }
+  }
+  for (const int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(Partition, LinearFormMatchesPaperFig4) {
+  // Fig 4 tile, rows top to bottom: 01234 / 34012 / 12340 / 40123 / 23401.
+  const Partition p = Partition::linear_form(Lattice(5, 5), 1, 3, 5);
+  const int expected[5][5] = {{0, 1, 2, 3, 4},
+                              {3, 4, 0, 1, 2},
+                              {1, 2, 3, 4, 0},
+                              {4, 0, 1, 2, 3},
+                              {2, 3, 4, 0, 1}};
+  for (std::int32_t y = 0; y < 5; ++y) {
+    for (std::int32_t x = 0; x < 5; ++x) {
+      EXPECT_EQ(p.chunk_of(p.lattice().index({x, y})),
+                static_cast<ChunkId>(expected[y][x]))
+          << "site (" << x << "," << y << ")";
+    }
+  }
+  // All five chunks have equal size N/5.
+  for (ChunkId c = 0; c < 5; ++c) EXPECT_EQ(p.chunk(c).size(), 5u);
+}
+
+TEST(Partition, LinearFormRejectsSeamInconsistency) {
+  // 7 x 7 lattice, m = 5: 1*7 % 5 != 0 — the coloring would break across
+  // the periodic boundary.
+  EXPECT_THROW(Partition::linear_form(Lattice(7, 7), 1, 3, 5), std::invalid_argument);
+  EXPECT_THROW(Partition::linear_form(Lattice(10, 10), 1, 3, 0), std::invalid_argument);
+}
+
+TEST(Partition, CheckerboardByLinearForm) {
+  const Partition p = Partition::linear_form(Lattice(6, 6), 1, 1, 2);
+  EXPECT_EQ(p.num_chunks(), 2u);
+  EXPECT_EQ(p.chunk_of(p.lattice().index({0, 0})), 0u);
+  EXPECT_EQ(p.chunk_of(p.lattice().index({1, 0})), 1u);
+  EXPECT_EQ(p.chunk_of(p.lattice().index({0, 1})), 1u);
+  EXPECT_EQ(p.chunk_of(p.lattice().index({1, 1})), 0u);
+}
+
+TEST(Partition, BlocksBasic) {
+  const Partition p = Partition::blocks(Lattice(6, 6), 3, 3);
+  EXPECT_EQ(p.num_chunks(), 4u);
+  EXPECT_EQ(p.chunk_of(p.lattice().index({0, 0})),
+            p.chunk_of(p.lattice().index({2, 2})));
+  EXPECT_NE(p.chunk_of(p.lattice().index({2, 2})),
+            p.chunk_of(p.lattice().index({3, 2})));
+}
+
+TEST(Partition, BlocksShiftMovesEdges) {
+  const Partition a = Partition::blocks(Lattice(6, 1), 3, 1);
+  const Partition b = Partition::blocks(Lattice(6, 1), 3, 1, {1, 0});
+  // Unshifted blocks: {0,1,2}, {3,4,5}. Shifted: {1,2,3}, {4,5,0}.
+  EXPECT_EQ(a.chunk_of(2), a.chunk_of(0));
+  EXPECT_NE(a.chunk_of(2), a.chunk_of(3));
+  EXPECT_EQ(b.chunk_of(1), b.chunk_of(3));
+  EXPECT_EQ(b.chunk_of(0), b.chunk_of(4));
+  EXPECT_NE(b.chunk_of(3), b.chunk_of(4));
+}
+
+TEST(Partition, BlocksValidation) {
+  EXPECT_THROW(Partition::blocks(Lattice(6, 6), 4, 3), std::invalid_argument);
+  EXPECT_THROW(Partition::blocks(Lattice(6, 6), 0, 3), std::invalid_argument);
+}
+
+TEST(Partition, ConstructorRejectsBadAssignments) {
+  const Lattice lat(3, 3);
+  EXPECT_THROW(Partition(lat, std::vector<ChunkId>(8, 0)), std::invalid_argument);
+  // Hole in chunk ids: ids 0 and 2 but no 1.
+  std::vector<ChunkId> holey(9, 0);
+  holey[4] = 2;
+  EXPECT_THROW(Partition(lat, holey), std::invalid_argument);
+}
+
+TEST(Partition, MaxChunkSizeUnequalChunks) {
+  const Lattice lat(4, 1);
+  const Partition p(lat, {0, 0, 0, 1});
+  EXPECT_EQ(p.max_chunk_size(), 3u);
+}
+
+class LinearFormSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int, int>> {};
+
+TEST_P(LinearFormSweep, ChunkSizesBalanced) {
+  const auto [w, h, a, b, m] = GetParam();
+  const Partition p = Partition::linear_form(Lattice(w, h), a, b, m);
+  EXPECT_EQ(p.num_chunks(), static_cast<std::size_t>(m));
+  const std::size_t expected = static_cast<std::size_t>(w) * h / m;
+  for (ChunkId c = 0; c < p.num_chunks(); ++c) {
+    EXPECT_EQ(p.chunk(c).size(), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Forms, LinearFormSweep,
+    ::testing::Values(std::tuple{10, 10, 1, 3, 5}, std::tuple{20, 15, 1, 3, 5},
+                      std::tuple{8, 8, 1, 1, 2}, std::tuple{12, 12, 1, 2, 3},
+                      std::tuple{100, 100, 1, 3, 5}));
+
+}  // namespace
+}  // namespace casurf

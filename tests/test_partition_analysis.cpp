@@ -1,0 +1,76 @@
+#include "partition/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/zgb.hpp"
+#include "partition/coloring.hpp"
+
+namespace casurf {
+namespace {
+
+TEST(PartitionAnalysis, OptimalFiveChunkReport) {
+  auto zgb = models::make_zgb();
+  const Lattice lat(20, 20);
+  const auto report = analyse_partition(make_partition(lat, zgb.model), zgb.model);
+  EXPECT_EQ(report.num_chunks, 5u);
+  EXPECT_EQ(report.total_sites, 400u);
+  EXPECT_EQ(report.min_chunk, 80u);
+  EXPECT_EQ(report.max_chunk, 80u);
+  EXPECT_DOUBLE_EQ(report.balance, 1.0);
+  EXPECT_TRUE(report.valid);
+  EXPECT_DOUBLE_EQ(report.optimality_ratio, 1.0);
+}
+
+TEST(PartitionAnalysis, DetectsInvalidPartition) {
+  auto zgb = models::make_zgb();
+  const Lattice lat(10, 10);
+  const auto report =
+      analyse_partition(Partition::linear_form(lat, 1, 1, 2), zgb.model);
+  EXPECT_FALSE(report.valid);
+}
+
+TEST(PartitionAnalysis, ImbalanceMeasured) {
+  const Lattice lat(4, 1);
+  const Partition lopsided(lat, {0, 0, 0, 1});
+  auto zgb = models::make_zgb();
+  const auto report = analyse_partition(lopsided, zgb.model);
+  EXPECT_EQ(report.min_chunk, 1u);
+  EXPECT_EQ(report.max_chunk, 3u);
+  EXPECT_DOUBLE_EQ(report.balance, 1.5);  // 3 / 2
+}
+
+TEST(PartitionAnalysis, GranularityBound) {
+  PartitionReport r;
+  r.num_chunks = 5;
+  r.total_sites = 400;
+  r.max_chunk = 80;
+  r.mean_chunk = 80;
+  // p = 4: ceil(80/4) = 20 rounds x 5 chunks = 100 vs 400 serial -> 4x.
+  EXPECT_DOUBLE_EQ(r.granularity_speedup_bound(4), 4.0);
+  // p = 1: no speedup by definition.
+  EXPECT_DOUBLE_EQ(r.granularity_speedup_bound(1), 1.0);
+  // p = 128 > chunk size: bound saturates at total/num_chunks = 80.
+  EXPECT_DOUBLE_EQ(r.granularity_speedup_bound(128), 80.0);
+}
+
+TEST(PartitionAnalysis, SingletonsBoundIsChunkLimited) {
+  auto zgb = models::make_zgb();
+  const Lattice lat(8, 8);
+  const auto report = analyse_partition(Partition::singletons(lat), zgb.model);
+  EXPECT_TRUE(report.valid);
+  // One site per chunk: no intra-chunk parallelism at all.
+  EXPECT_DOUBLE_EQ(report.granularity_speedup_bound(8), 1.0);
+}
+
+TEST(PartitionAnalysis, ToStringMentionsKeyNumbers) {
+  auto zgb = models::make_zgb();
+  const Lattice lat(10, 10);
+  const auto report = analyse_partition(make_partition(lat, zgb.model), zgb.model);
+  const std::string text = to_string(report);
+  EXPECT_NE(text.find("5 chunks"), std::string::npos);
+  EXPECT_NE(text.find("satisfied"), std::string::npos);
+  EXPECT_NE(text.find("optimal"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace casurf

@@ -1,0 +1,181 @@
+#include "ca/pndca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "dmc/rsm.hpp"
+#include "models/zgb.hpp"
+#include "partition/coloring.hpp"
+
+namespace casurf {
+namespace {
+
+ReactionModel ads_des_model(double k_a, double k_d) {
+  ReactionModel m(SpeciesSet({"*", "A"}));
+  m.add(ReactionType("ads", k_a, {exact({0, 0}, 0, 1)}));
+  m.add(ReactionType("des", k_d, {exact({0, 0}, 1, 0)}));
+  return m;
+}
+
+Partition five_chunks(const Lattice& lat) { return Partition::linear_form(lat, 1, 3, 5); }
+
+TEST(Pndca, RequiresAtLeastOnePartition) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  EXPECT_THROW(PndcaSimulator(m, Configuration(Lattice(5, 5), 2, 0), {}, 1),
+               std::invalid_argument);
+}
+
+TEST(Pndca, RejectsPartitionLatticeMismatch) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  EXPECT_THROW(PndcaSimulator(m, Configuration(Lattice(5, 5), 2, 0),
+                              {Partition::single_chunk(Lattice(10, 10))}, 1),
+               std::invalid_argument);
+}
+
+TEST(Pndca, FullSweepPoliciesUseNTrialsPerStep) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  for (const ChunkPolicy policy : {ChunkPolicy::kInOrder, ChunkPolicy::kRandomOrder}) {
+    PndcaSimulator sim(m, Configuration(Lattice(10, 10), 2, 0),
+                       {five_chunks(Lattice(10, 10))}, 2, policy);
+    sim.mc_step();
+    EXPECT_EQ(sim.counters().trials, 100u);
+  }
+}
+
+TEST(Pndca, ScheduleInOrder) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  PndcaSimulator sim(m, Configuration(Lattice(10, 10), 2, 0),
+                     {five_chunks(Lattice(10, 10))}, 3, ChunkPolicy::kInOrder);
+  sim.mc_step();
+  EXPECT_EQ(sim.last_schedule(), (std::vector<ChunkId>{0, 1, 2, 3, 4}));
+}
+
+TEST(Pndca, ScheduleRandomOrderIsPermutation) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  PndcaSimulator sim(m, Configuration(Lattice(10, 10), 2, 0),
+                     {five_chunks(Lattice(10, 10))}, 4, ChunkPolicy::kRandomOrder);
+  bool saw_non_identity = false;
+  for (int i = 0; i < 20; ++i) {
+    sim.mc_step();
+    std::vector<ChunkId> s = sim.last_schedule();
+    if (!std::ranges::is_sorted(s)) saw_non_identity = true;
+    std::ranges::sort(s);
+    EXPECT_EQ(s, (std::vector<ChunkId>{0, 1, 2, 3, 4}));
+  }
+  EXPECT_TRUE(saw_non_identity);
+}
+
+TEST(Pndca, ScheduleRandomWithReplacementDrawsMlChunks) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  PndcaSimulator sim(m, Configuration(Lattice(10, 10), 2, 0),
+                     {five_chunks(Lattice(10, 10))}, 5,
+                     ChunkPolicy::kRandomWithReplacement);
+  std::set<std::vector<ChunkId>> seen;
+  for (int i = 0; i < 30; ++i) {
+    sim.mc_step();
+    EXPECT_EQ(sim.last_schedule().size(), 5u);
+    for (const ChunkId c : sim.last_schedule()) EXPECT_LT(c, 5u);
+    seen.insert(sim.last_schedule());
+  }
+  // With replacement, repeated chunks appear: some schedule is not a
+  // permutation over 30 draws with overwhelming probability.
+  bool has_repeat = false;
+  for (const auto& s : seen) {
+    std::set<ChunkId> uniq(s.begin(), s.end());
+    if (uniq.size() < s.size()) has_repeat = true;
+  }
+  EXPECT_TRUE(has_repeat);
+}
+
+TEST(Pndca, RateWeightedPolicyRuns) {
+  auto zgb = models::make_zgb();
+  const Lattice lat(10, 10);
+  PndcaSimulator sim(zgb.model, Configuration(lat, 3, zgb.vacant),
+                     {five_chunks(lat)}, 6, ChunkPolicy::kRateWeighted);
+  for (int i = 0; i < 10; ++i) sim.mc_step();
+  EXPECT_EQ(sim.counters().steps, 10u);
+  EXPECT_GT(sim.counters().executed, 0u);
+}
+
+TEST(Pndca, SameSeedSameTrajectory) {
+  auto zgb = models::make_zgb();
+  const Lattice lat(10, 10);
+  PndcaSimulator a(zgb.model, Configuration(lat, 3, zgb.vacant), {five_chunks(lat)}, 7);
+  PndcaSimulator b(zgb.model, Configuration(lat, 3, zgb.vacant), {five_chunks(lat)}, 7);
+  for (int i = 0; i < 30; ++i) {
+    a.mc_step();
+    b.mc_step();
+  }
+  EXPECT_EQ(a.configuration(), b.configuration());
+  EXPECT_DOUBLE_EQ(a.time(), b.time());
+}
+
+TEST(Pndca, EquilibriumMatchesRsmOnIndependentSites) {
+  const double ka = 1.0, kd = 0.5;
+  const ReactionModel m = ads_des_model(ka, kd);
+  const Lattice lat(30, 30);
+  PndcaSimulator sim(m, Configuration(lat, 2, 0), {five_chunks(lat)}, 8);
+  sim.advance_to(30.0);
+  double avg = 0;
+  for (int i = 0; i < 50; ++i) {
+    sim.mc_step();
+    avg += sim.configuration().coverage(1);
+  }
+  avg /= 50;
+  EXPECT_NEAR(avg, ka / (ka + kd), 0.02);
+}
+
+TEST(Pndca, ZgbKineticsCloseToRsm) {
+  // With five conflict-free chunks and full random-order sweeps, PNDCA
+  // tracks RSM's ZGB coverage closely (paper Fig 10 regime).
+  auto zgb = models::make_zgb(models::ZgbParams::from_y(0.45, 20.0));
+  const Lattice lat(40, 40);
+  PndcaSimulator ca(zgb.model, Configuration(lat, 3, zgb.vacant), {five_chunks(lat)}, 9);
+  RsmSimulator rsm(zgb.model, Configuration(lat, 3, zgb.vacant), 10);
+  ca.advance_to(10.0);
+  rsm.advance_to(10.0);
+  double ca_avg = 0, rsm_avg = 0;
+  for (int i = 0; i < 30; ++i) {
+    ca.mc_step();
+    rsm.mc_step();
+    ca_avg += ca.configuration().coverage(zgb.o);
+    rsm_avg += rsm.configuration().coverage(zgb.o);
+  }
+  EXPECT_NEAR(ca_avg / 30, rsm_avg / 30, 0.08);
+}
+
+TEST(Pndca, MultiplePartitionsCycle) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  const Lattice lat(6, 6);
+  PndcaSimulator sim(m, Configuration(lat, 2, 0),
+                     {Partition::blocks(lat, 3, 3), Partition::blocks(lat, 3, 3, {1, 1})},
+                     11, ChunkPolicy::kInOrder);
+  sim.mc_step();
+  const Partition& p0 = sim.current_partition();
+  EXPECT_EQ(p0.chunk_of(0), sim.partitions()[0].chunk_of(0));
+  sim.mc_step();
+  // Second step used the shifted partition.
+  EXPECT_EQ(sim.current_partition().chunk_of(lat.index({1, 1})),
+            sim.partitions()[1].chunk_of(lat.index({1, 1})));
+}
+
+TEST(Pndca, SingletonPartitionWithReplacementMatchesRsmEquilibrium) {
+  // |P| = N with random chunk selection is RSM (paper section 5).
+  const double ka = 2.0, kd = 1.0;
+  const ReactionModel m = ads_des_model(ka, kd);
+  const Lattice lat(16, 16);
+  PndcaSimulator sim(m, Configuration(lat, 2, 0), {Partition::singletons(lat)}, 12,
+                     ChunkPolicy::kRandomWithReplacement);
+  sim.advance_to(25.0);
+  double avg = 0;
+  for (int i = 0; i < 60; ++i) {
+    sim.mc_step();
+    avg += sim.configuration().coverage(1);
+  }
+  EXPECT_NEAR(avg / 60, ka / (ka + kd), 0.025);
+}
+
+}  // namespace
+}  // namespace casurf

@@ -1,0 +1,167 @@
+// Cross-product property harness: every algorithm x every bundled model
+// must uphold the structural invariants of a lattice simulation, whatever
+// its accuracy class. One parameterized fixture, dozens of combinations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/simulation.hpp"
+#include "models/diffusion.hpp"
+#include "models/ising.hpp"
+#include "models/pt100.hpp"
+#include "models/zgb.hpp"
+
+namespace casurf {
+namespace {
+
+enum class ModelKind { kZgb, kPt100, kDiffusion, kIsing, kSingleFile };
+
+struct Combo {
+  Algorithm algorithm;
+  ModelKind model;
+};
+
+std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
+  std::string name = algorithm_name(info.param.algorithm);
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  switch (info.param.model) {
+    case ModelKind::kZgb: return name + "_zgb";
+    case ModelKind::kPt100: return name + "_pt100";
+    case ModelKind::kDiffusion: return name + "_diffusion";
+    case ModelKind::kIsing: return name + "_ising";
+    case ModelKind::kSingleFile: return name + "_singlefile";
+  }
+  return name;
+}
+
+struct BuiltModel {
+  ReactionModel model;
+  Configuration initial;
+};
+
+BuiltModel build(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kZgb: {
+      auto m = models::make_zgb(models::ZgbParams::from_y(0.45, 10.0));
+      return {std::move(m.model), Configuration(Lattice(12, 12), 3, m.vacant)};
+    }
+    case ModelKind::kPt100: {
+      auto m = models::make_pt100();
+      return {std::move(m.model), Configuration(Lattice(10, 10), 5, m.hex_vac)};
+    }
+    case ModelKind::kDiffusion: {
+      auto m = models::make_diffusion(1.0);
+      Configuration cfg(Lattice(12, 12), 2, m.vacant);
+      for (SiteIndex s = 0; s < cfg.size(); s += 3) cfg.set(s, m.particle);
+      return {std::move(m.model), std::move(cfg)};
+    }
+    case ModelKind::kIsing: {
+      auto m = models::make_ising(0.4);
+      return {std::move(m.model), Configuration(Lattice(10, 10), 2, m.up)};
+    }
+    case ModelKind::kSingleFile: {
+      auto m = models::make_single_file(1.0);
+      Configuration cfg(Lattice(32, 1), 2, m.vacant);
+      for (SiteIndex s = 0; s < cfg.size(); s += 2) cfg.set(s, m.particle);
+      return {std::move(m.model), std::move(cfg)};
+    }
+  }
+  throw std::logic_error("unknown model kind");
+}
+
+class AlgorithmModelSweep : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(AlgorithmModelSweep, StructuralInvariantsHold) {
+  const Combo combo = GetParam();
+  BuiltModel built = build(combo.model);
+  SimulationOptions opt;
+  opt.algorithm = combo.algorithm;
+  opt.seed = 99;
+  opt.threads = 2;
+  opt.l_trials = 8;
+  auto sim = make_simulator(built.model, built.initial, opt);
+
+  double last_time = sim->time();
+  for (int step = 0; step < 25; ++step) {
+    sim->mc_step();
+    ASSERT_GE(sim->time(), last_time);
+    last_time = sim->time();
+  }
+
+  // Coverage closure: maintained counts equal a raw recount and sum to N.
+  const Configuration& cfg = sim->configuration();
+  std::vector<std::uint64_t> recount(cfg.num_species(), 0);
+  for (SiteIndex s = 0; s < cfg.size(); ++s) ++recount[cfg.get(s)];
+  std::uint64_t total = 0;
+  for (Species sp = 0; sp < cfg.num_species(); ++sp) {
+    EXPECT_EQ(cfg.count(sp), recount[sp]) << "species " << static_cast<int>(sp);
+    total += cfg.count(sp);
+  }
+  EXPECT_EQ(total, cfg.size());
+
+  // Counter closure.
+  const SimCounters& c = sim->counters();
+  EXPECT_LE(c.executed, c.trials);
+  std::uint64_t per_type_sum = 0;
+  for (const std::uint64_t n : c.executed_per_type) per_type_sum += n;
+  EXPECT_EQ(per_type_sum, c.executed);
+}
+
+TEST_P(AlgorithmModelSweep, DeterministicForFixedSeed) {
+  const Combo combo = GetParam();
+  BuiltModel built = build(combo.model);
+  SimulationOptions opt;
+  opt.algorithm = combo.algorithm;
+  opt.seed = 1234;
+  opt.threads = 3;
+  opt.l_trials = 8;
+  auto a = make_simulator(built.model, built.initial, opt);
+  auto b = make_simulator(built.model, built.initial, opt);
+  for (int step = 0; step < 12; ++step) {
+    a->mc_step();
+    b->mc_step();
+  }
+  EXPECT_TRUE(a->configuration() == b->configuration());
+  EXPECT_DOUBLE_EQ(a->time(), b->time());
+  EXPECT_EQ(a->counters().executed, b->counters().executed);
+}
+
+TEST_P(AlgorithmModelSweep, ParticleConservationWhereApplicable) {
+  const Combo combo = GetParam();
+  if (combo.model != ModelKind::kDiffusion && combo.model != ModelKind::kSingleFile) {
+    GTEST_SKIP() << "conservation law only applies to pure-diffusion models";
+  }
+  BuiltModel built = build(combo.model);
+  const std::uint64_t before = built.initial.count(1);
+  SimulationOptions opt;
+  opt.algorithm = combo.algorithm;
+  opt.seed = 5;
+  opt.threads = 2;
+  auto sim = make_simulator(built.model, built.initial, opt);
+  for (int step = 0; step < 40; ++step) sim->mc_step();
+  EXPECT_EQ(sim->configuration().count(1), before);
+}
+
+std::vector<Combo> all_combos() {
+  std::vector<Combo> combos;
+  for (const Algorithm a :
+       {Algorithm::kRsm, Algorithm::kVssm, Algorithm::kFrm, Algorithm::kNdca,
+        Algorithm::kPndca, Algorithm::kLPndca, Algorithm::kTPndca,
+        Algorithm::kParallelPndca}) {
+    for (const ModelKind m : {ModelKind::kZgb, ModelKind::kPt100,
+                              ModelKind::kDiffusion, ModelKind::kIsing,
+                              ModelKind::kSingleFile}) {
+      combos.push_back(Combo{a, m});
+    }
+  }
+  return combos;
+}
+
+INSTANTIATE_TEST_SUITE_P(Everything, AlgorithmModelSweep,
+                         ::testing::ValuesIn(all_combos()), combo_name);
+
+}  // namespace
+}  // namespace casurf

@@ -1,0 +1,167 @@
+#include "model/reaction_type.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+
+namespace casurf {
+namespace {
+
+// Species convention for these tests: 0 = vacant, 1 = A, 2 = B.
+
+TEST(ReactionType, ConstructionValidatesAnchor) {
+  EXPECT_THROW(ReactionType("no_anchor", 1.0, {exact({1, 0}, 0, 1)}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(ReactionType("ok", 1.0, {exact({0, 0}, 0, 1)}));
+}
+
+TEST(ReactionType, ConstructionValidatesRate) {
+  EXPECT_THROW(ReactionType("zero", 0.0, {exact({0, 0}, 0, 1)}), std::invalid_argument);
+  EXPECT_THROW(ReactionType("neg", -1.0, {exact({0, 0}, 0, 1)}), std::invalid_argument);
+}
+
+TEST(ReactionType, ConstructionRejectsEmptyAndDuplicates) {
+  EXPECT_THROW(ReactionType("empty", 1.0, {}), std::invalid_argument);
+  EXPECT_THROW(ReactionType("dup", 1.0,
+                            {exact({0, 0}, 0, 1), exact({0, 0}, 1, 0)}),
+               std::invalid_argument);
+  EXPECT_THROW(ReactionType("zero_mask", 1.0, {Transform{{0, 0}, 0, 1}}),
+               std::invalid_argument);
+}
+
+TEST(ReactionType, NeighborhoodAndRadius) {
+  const ReactionType rt("pair", 1.0, {exact({0, 0}, 1, 0), exact({2, -1}, 0, 1)});
+  ASSERT_EQ(rt.neighborhood().size(), 2u);
+  EXPECT_EQ(rt.neighborhood()[0], (Vec2{0, 0}));
+  EXPECT_EQ(rt.neighborhood()[1], (Vec2{2, -1}));
+  EXPECT_EQ(rt.radius_l1(), 3);
+}
+
+TEST(ReactionType, EnabledExactMatch) {
+  Configuration cfg(Lattice(4, 4), 3, 0);
+  const ReactionType ads("ads", 1.0, {exact({0, 0}, 0, 1)});
+  EXPECT_TRUE(ads.enabled(cfg, 0));
+  cfg.set(SiteIndex{0}, 1);
+  EXPECT_FALSE(ads.enabled(cfg, 0));
+}
+
+TEST(ReactionType, EnabledPairPattern) {
+  Configuration cfg(Lattice(4, 4), 3, 0);
+  const ReactionType pair("pair", 1.0, {exact({0, 0}, 1, 0), exact({1, 0}, 2, 0)});
+  const SiteIndex s = cfg.lattice().index({1, 1});
+  EXPECT_FALSE(pair.enabled(cfg, s));
+  cfg.set(Vec2{1, 1}, 1);
+  EXPECT_FALSE(pair.enabled(cfg, s));
+  cfg.set(Vec2{2, 1}, 2);
+  EXPECT_TRUE(pair.enabled(cfg, s));
+}
+
+TEST(ReactionType, EnabledWildcardMask) {
+  Configuration cfg(Lattice(4, 4), 3, 0);
+  const SpeciesMask any_particle = species_bit(1) | species_bit(2);
+  const ReactionType rt("wild", 1.0,
+                        {exact({0, 0}, 0, 1), require({1, 0}, any_particle)});
+  EXPECT_FALSE(rt.enabled(cfg, 0));  // neighbor vacant
+  cfg.set(Vec2{1, 0}, 1);
+  EXPECT_TRUE(rt.enabled(cfg, 0));
+  cfg.set(Vec2{1, 0}, 2);
+  EXPECT_TRUE(rt.enabled(cfg, 0));
+}
+
+TEST(ReactionType, ExecuteWritesTargets) {
+  Configuration cfg(Lattice(4, 4), 3, 0);
+  cfg.set(Vec2{1, 1}, 1);
+  cfg.set(Vec2{2, 1}, 2);
+  const ReactionType swap("consume", 1.0,
+                          {exact({0, 0}, 1, 0), exact({1, 0}, 2, 0)});
+  const SiteIndex s = cfg.lattice().index({1, 1});
+  ASSERT_TRUE(swap.enabled(cfg, s));
+  swap.execute(cfg, s);
+  EXPECT_EQ(cfg.get(Vec2{1, 1}), 0);
+  EXPECT_EQ(cfg.get(Vec2{2, 1}), 0);
+}
+
+TEST(ReactionType, ExecuteKeepLeavesSiteUntouched) {
+  Configuration cfg(Lattice(4, 4), 3, 0);
+  cfg.set(Vec2{1, 0}, 2);
+  const ReactionType rt("keep", 1.0,
+                        {exact({0, 0}, 0, 1), require({1, 0}, species_bit(2))});
+  rt.execute(cfg, 0);
+  EXPECT_EQ(cfg.get(SiteIndex{0}), 1);
+  EXPECT_EQ(cfg.get(Vec2{1, 0}), 2);  // precondition-only site unchanged
+}
+
+TEST(ReactionType, ExecuteWrapsAroundBoundary) {
+  Configuration cfg(Lattice(4, 4), 3, 0);
+  cfg.set(Vec2{3, 0}, 1);
+  const ReactionType hop("hop", 1.0, {exact({0, 0}, 1, 0), exact({1, 0}, 0, 1)});
+  const SiteIndex s = cfg.lattice().index({3, 0});
+  ASSERT_TRUE(hop.enabled(cfg, s));
+  hop.execute(cfg, s);
+  EXPECT_EQ(cfg.get(Vec2{3, 0}), 0);
+  EXPECT_EQ(cfg.get(Vec2{0, 0}), 1);  // wrapped
+}
+
+TEST(ReactionType, ExecuteRawAccumulatesDeltas) {
+  Configuration cfg(Lattice(4, 4), 3, 0);
+  cfg.set(Vec2{0, 0}, 1);
+  cfg.set(Vec2{1, 0}, 2);
+  const ReactionType rt("consume", 1.0,
+                        {exact({0, 0}, 1, 0), exact({1, 0}, 2, 0)});
+  std::array<std::int64_t, 3> delta{};
+  rt.execute_raw(cfg, 0, delta.data());
+  EXPECT_EQ(delta[0], 2);
+  EXPECT_EQ(delta[1], -1);
+  EXPECT_EQ(delta[2], -1);
+  // Raw path did not touch counts yet.
+  EXPECT_EQ(cfg.count(1), 1u);
+  cfg.apply_count_delta(delta.data());
+  EXPECT_EQ(cfg.count(0), 16u);
+  EXPECT_EQ(cfg.count(1), 0u);
+  EXPECT_EQ(cfg.count(2), 0u);
+}
+
+TEST(ReactionType, ExecuteAndExecuteRawAgree) {
+  const ReactionType rt("pair", 1.0, {exact({0, 0}, 1, 2), exact({0, 1}, 0, 1)});
+  Configuration a(Lattice(5, 5), 3, 0);
+  a.set(Vec2{2, 2}, 1);
+  Configuration b = a;
+  const SiteIndex s = a.lattice().index({2, 2});
+  rt.execute(a, s);
+  std::array<std::int64_t, 3> delta{};
+  rt.execute_raw(b, s, delta.data());
+  b.apply_count_delta(delta.data());
+  EXPECT_EQ(a, b);
+  for (Species sp = 0; sp < 3; ++sp) EXPECT_EQ(a.count(sp), b.count(sp));
+}
+
+TEST(ReactionType, WritesOffset) {
+  const ReactionType rt("mixed", 1.0,
+                        {exact({0, 0}, 1, 0), require({1, 0}, species_bit(2))});
+  EXPECT_TRUE(rt.writes_offset({0, 0}));
+  EXPECT_FALSE(rt.writes_offset({1, 0}));   // precondition only
+  EXPECT_FALSE(rt.writes_offset({0, 1}));   // not in pattern
+}
+
+TEST(ReactionType, TranslationInvarianceOfEnabledness) {
+  // enabled(s + t) on a translated configuration == enabled(s) on the
+  // original: the paper's translation-invariance property.
+  const ReactionType rt("pair", 1.0, {exact({0, 0}, 1, 0), exact({1, 1}, 2, 0)});
+  const Lattice lat(6, 6);
+  Configuration cfg(lat, 3, 0);
+  cfg.set(Vec2{2, 2}, 1);
+  cfg.set(Vec2{3, 3}, 2);
+  const Vec2 t{3, 2};
+  Configuration moved(lat, 3, 0);
+  for (SiteIndex s = 0; s < lat.size(); ++s) {
+    moved.set(lat.wrap(lat.coord(s) + t), cfg.get(s));
+  }
+  for (SiteIndex s = 0; s < lat.size(); ++s) {
+    const SiteIndex st = lat.index(lat.wrap(lat.coord(s) + t));
+    EXPECT_EQ(rt.enabled(cfg, s), rt.enabled(moved, st));
+  }
+}
+
+}  // namespace
+}  // namespace casurf

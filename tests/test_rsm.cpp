@@ -1,0 +1,136 @@
+#include "dmc/rsm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace casurf {
+namespace {
+
+/// Independent-site adsorption/desorption: A adsorbs at k_a, desorbs at
+/// k_d. Sites are uncoupled, so the exact equilibrium coverage is
+/// k_a / (k_a + k_d) — an analytic target every kinetics test can use.
+ReactionModel ads_des_model(double k_a, double k_d) {
+  ReactionModel m(SpeciesSet({"*", "A"}));
+  m.add(ReactionType("ads", k_a, {exact({0, 0}, 0, 1)}));
+  m.add(ReactionType("des", k_d, {exact({0, 0}, 1, 0)}));
+  return m;
+}
+
+TEST(Rsm, SameSeedSameTrajectory) {
+  const ReactionModel m = ads_des_model(1.0, 0.5);
+  RsmSimulator a(m, Configuration(Lattice(8, 8), 2, 0), 42);
+  RsmSimulator b(m, Configuration(Lattice(8, 8), 2, 0), 42);
+  for (int i = 0; i < 20; ++i) {
+    a.mc_step();
+    b.mc_step();
+  }
+  EXPECT_EQ(a.configuration(), b.configuration());
+  EXPECT_DOUBLE_EQ(a.time(), b.time());
+  EXPECT_EQ(a.counters().executed, b.counters().executed);
+}
+
+TEST(Rsm, DifferentSeedsDiverge) {
+  const ReactionModel m = ads_des_model(1.0, 0.5);
+  RsmSimulator a(m, Configuration(Lattice(8, 8), 2, 0), 1);
+  RsmSimulator b(m, Configuration(Lattice(8, 8), 2, 0), 2);
+  for (int i = 0; i < 20; ++i) {
+    a.mc_step();
+    b.mc_step();
+  }
+  EXPECT_FALSE(a.configuration() == b.configuration());
+}
+
+TEST(Rsm, OneMcStepIsNTrials) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  RsmSimulator sim(m, Configuration(Lattice(6, 7), 2, 0), 3);
+  sim.mc_step();
+  EXPECT_EQ(sim.counters().trials, 42u);
+  EXPECT_EQ(sim.counters().steps, 1u);
+  sim.mc_step();
+  EXPECT_EQ(sim.counters().trials, 84u);
+}
+
+TEST(Rsm, DeterministicTimeModeIsExact) {
+  const ReactionModel m = ads_des_model(1.0, 3.0);  // K = 4
+  RsmSimulator sim(m, Configuration(Lattice(10, 10), 2, 0), 3,
+                   TimeMode::kDeterministic);
+  sim.mc_step();  // 100 trials, each 1 / (100 * 4)
+  EXPECT_NEAR(sim.time(), 0.25, 1e-12);
+}
+
+TEST(Rsm, StochasticTimeMeanMatchesDiscretization) {
+  const ReactionModel m = ads_des_model(2.0, 2.0);  // K = 4
+  RsmSimulator sim(m, Configuration(Lattice(16, 16), 2, 0), 4);
+  for (int i = 0; i < 100; ++i) sim.mc_step();
+  // 100 MC steps => expected time 100 / K = 25, relative sd ~ 1/sqrt(NK t).
+  EXPECT_NEAR(sim.time(), 25.0, 1.5);
+}
+
+TEST(Rsm, EquilibriumCoverage) {
+  const double ka = 1.0, kd = 0.25;
+  const ReactionModel m = ads_des_model(ka, kd);
+  RsmSimulator sim(m, Configuration(Lattice(32, 32), 2, 0), 5);
+  sim.advance_to(40.0);  // >> 1/(ka+kd): fully relaxed
+  double avg = 0;
+  const int samples = 50;
+  for (int i = 0; i < samples; ++i) {
+    sim.mc_step();
+    avg += sim.configuration().coverage(1);
+  }
+  avg /= samples;
+  EXPECT_NEAR(avg, ka / (ka + kd), 0.02);
+}
+
+TEST(Rsm, ExecutedPerTypeFollowsRates) {
+  // Two no-op reactions (A -> A) at rates 3 and 1 are always enabled, so
+  // execution counts must split 3 : 1 — Segers' second criterion.
+  ReactionModel m(SpeciesSet({"A"}));
+  m.add(ReactionType("r3", 3.0, {exact({0, 0}, 0, 0)}));
+  m.add(ReactionType("r1", 1.0, {exact({0, 0}, 0, 0)}));
+  RsmSimulator sim(m, Configuration(Lattice(10, 10), 1, 0), 6);
+  for (int i = 0; i < 400; ++i) sim.mc_step();
+  const auto& per = sim.counters().executed_per_type;
+  const double frac = static_cast<double>(per[0]) /
+                      static_cast<double>(per[0] + per[1]);
+  EXPECT_NEAR(frac, 0.75, 0.01);
+}
+
+TEST(Rsm, AcceptanceReflectsEnabledFraction) {
+  // All sites vacant, only adsorption: every trial that draws "ads" fires.
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  RsmSimulator sim(m, Configuration(Lattice(16, 16), 2, 0), 7);
+  sim.trial();
+  EXPECT_LE(sim.counters().executed, sim.counters().trials);
+}
+
+TEST(Rsm, AdvanceToReachesTarget) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  RsmSimulator sim(m, Configuration(Lattice(8, 8), 2, 0), 8);
+  sim.advance_to(3.0);
+  EXPECT_GE(sim.time(), 3.0);
+  // Overshoot bounded by roughly one MC step (1/K = 0.5) of slack.
+  EXPECT_LT(sim.time(), 3.0 + 1.5);
+}
+
+TEST(Rsm, AbsorbingStateJumpsTime) {
+  // Irreversible adsorption: once the lattice is full nothing is enabled;
+  // time trials still tick (RSM trials never stop), so the state is not
+  // absorbing for advance_to — but coverage saturates at 1.
+  ReactionModel m(SpeciesSet({"*", "A"}));
+  m.add(ReactionType("ads", 1.0, {exact({0, 0}, 0, 1)}));
+  RsmSimulator sim(m, Configuration(Lattice(8, 8), 2, 0), 9);
+  sim.advance_to(200.0);
+  EXPECT_DOUBLE_EQ(sim.configuration().coverage(1), 1.0);
+  EXPECT_GE(sim.time(), 200.0);
+}
+
+TEST(Rsm, NameAndModelAccessors) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  RsmSimulator sim(m, Configuration(Lattice(4, 4), 2, 0), 1);
+  EXPECT_EQ(sim.name(), "RSM");
+  EXPECT_EQ(&sim.model(), &m);
+}
+
+}  // namespace
+}  // namespace casurf

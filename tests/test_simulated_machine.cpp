@@ -1,0 +1,114 @@
+#include "parallel/simulated_machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/zgb.hpp"
+#include "partition/coloring.hpp"
+
+namespace casurf {
+namespace {
+
+MachineParams test_params() {
+  MachineParams p;
+  p.t_site_seconds = 1e-7;
+  p.serial_fraction = 0.02;
+  p.barrier_alpha = 4e-5;
+  p.barrier_beta = 1.5e-5;
+  return p;
+}
+
+Partition five_chunks(std::int32_t side) {
+  return Partition::linear_form(Lattice(side, side), 1, 3, 5);
+}
+
+TEST(SimulatedMachine, SingleProcessorBaselineIsWorkOnly) {
+  const SimulatedMachine machine(test_params());
+  const Partition p = five_chunks(100);
+  const auto point = machine.predict(p, 1, 10);
+  // 10 steps * 10000 sites * 1e-7 s.
+  EXPECT_NEAR(point.t1_seconds, 10 * 10000 * 1e-7, 1e-12);
+  EXPECT_DOUBLE_EQ(point.t1_seconds, point.tp_seconds);
+  EXPECT_DOUBLE_EQ(point.speedup(), 1.0);
+}
+
+TEST(SimulatedMachine, SpeedupBelowIdeal) {
+  const SimulatedMachine machine(test_params());
+  const Partition p = five_chunks(400);
+  for (const int procs : {2, 4, 8}) {
+    const auto point = machine.predict(p, procs, 5);
+    EXPECT_GT(point.speedup(), 1.0) << procs;
+    EXPECT_LT(point.speedup(), procs) << procs;
+  }
+}
+
+TEST(SimulatedMachine, SpeedupGrowsWithSystemSize) {
+  // The paper's Fig 7 shape: at fixed p, bigger lattices amortize the
+  // per-sweep synchronization better.
+  const SimulatedMachine machine(test_params());
+  double last = 0;
+  for (const std::int32_t side : {200, 400, 600, 800, 1000}) {
+    const auto point = machine.predict(five_chunks(side), 8, 3);
+    EXPECT_GT(point.speedup(), last) << side;
+    last = point.speedup();
+  }
+}
+
+TEST(SimulatedMachine, SpeedupSaturatesWithProcessorsOnSmallSystems) {
+  // On a small lattice the barrier term wins: going from 8 to 64
+  // processors buys almost nothing (and the marginal gain shrinks).
+  const SimulatedMachine machine(test_params());
+  const Partition p = five_chunks(100);
+  const double s8 = machine.predict(p, 8, 3).speedup();
+  const double s16 = machine.predict(p, 16, 3).speedup();
+  const double s64 = machine.predict(p, 64, 3).speedup();
+  EXPECT_LT(s16 - s8, s8);            // strongly diminishing returns
+  EXPECT_LT(s64 - s16, s16 - s8 + 1); // still flattening
+}
+
+TEST(SimulatedMachine, SerialFractionCapsSpeedup) {
+  // Amdahl: with sigma = 0.1, speedup can never exceed 10 regardless of p.
+  MachineParams params = test_params();
+  params.serial_fraction = 0.1;
+  params.barrier_alpha = 0;
+  params.barrier_beta = 0;
+  const SimulatedMachine machine(params);
+  const auto point = machine.predict(five_chunks(1000), 1000, 1);
+  EXPECT_LT(point.speedup(), 10.0);
+  EXPECT_GT(point.speedup(), 8.0);
+}
+
+TEST(SimulatedMachine, LoadImbalanceOfUnequalChunksCaptured) {
+  // One huge chunk and many tiny ones: ceil(n/p) on the huge chunk
+  // dominates; compare against a balanced partition with the same total.
+  const Lattice lat(10, 10);
+  std::vector<ChunkId> unbalanced(lat.size(), 0);
+  for (SiteIndex s = 90; s < 100; ++s) unbalanced[s] = 1 + (s - 90);
+  const Partition bad(lat, std::move(unbalanced));  // 90 + 10x1
+  const Partition good = Partition::linear_form(lat, 1, 3, 5);
+
+  MachineParams params = test_params();
+  params.barrier_alpha = 0;
+  params.barrier_beta = 0;
+  params.serial_fraction = 0;
+  const SimulatedMachine machine(params);
+  EXPECT_GT(machine.predict(bad, 4, 1).tp_seconds,
+            machine.predict(good, 4, 1).tp_seconds);
+}
+
+TEST(SimulatedMachine, InvalidProcessorCountThrows) {
+  const SimulatedMachine machine(test_params());
+  EXPECT_THROW((void)machine.predict(five_chunks(100), 0, 1), std::invalid_argument);
+}
+
+TEST(SimulatedMachine, CalibrateMeasuresPositiveTrialCost) {
+  auto zgb = models::make_zgb();
+  const Lattice lat(32, 32);
+  PndcaSimulator sim(zgb.model, Configuration(lat, 3, zgb.vacant),
+                     {Partition::linear_form(lat, 1, 3, 2)}, 1);
+  const MachineParams params = SimulatedMachine::calibrate(sim, 5);
+  EXPECT_GT(params.t_site_seconds, 0.0);
+  EXPECT_LT(params.t_site_seconds, 1e-3);  // sanity: well under a millisecond
+}
+
+}  // namespace
+}  // namespace casurf

@@ -1,0 +1,90 @@
+#include "core/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "models/zgb.hpp"
+
+namespace casurf {
+namespace {
+
+class AlgorithmSweep : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(AlgorithmSweep, BuildsAndAdvances) {
+  auto zgb = models::make_zgb(models::ZgbParams::from_y(0.45, 10.0));
+  SimulationOptions opt;
+  opt.algorithm = GetParam();
+  opt.seed = 3;
+  opt.threads = 2;
+  auto sim = make_simulator(zgb.model, Configuration(Lattice(12, 12), 3, zgb.vacant), opt);
+  ASSERT_NE(sim, nullptr);
+  sim->advance_to(1.0);
+  EXPECT_GE(sim->time(), 1.0);
+  EXPECT_GT(sim->counters().trials, 0u);
+  EXPECT_EQ(sim->name(), algorithm_name(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(All, AlgorithmSweep,
+                         ::testing::Values(Algorithm::kRsm, Algorithm::kVssm,
+                                           Algorithm::kFrm, Algorithm::kNdca,
+                                           Algorithm::kPndca, Algorithm::kLPndca,
+                                           Algorithm::kTPndca,
+                                           Algorithm::kParallelPndca));
+
+TEST(SimulationFacade, AutoPartitionIsFiveChunksForZgb) {
+  auto zgb = models::make_zgb();
+  SimulationOptions opt;
+  opt.algorithm = Algorithm::kPndca;
+  auto sim = make_simulator(zgb.model, Configuration(Lattice(20, 20), 3, zgb.vacant), opt);
+  auto* pndca = dynamic_cast<PndcaSimulator*>(sim.get());
+  ASSERT_NE(pndca, nullptr);
+  EXPECT_EQ(pndca->current_partition().num_chunks(), 5u);
+}
+
+TEST(SimulationFacade, ExplicitPartitionHonored) {
+  auto zgb = models::make_zgb();
+  const Lattice lat(20, 20);
+  SimulationOptions opt;
+  opt.algorithm = Algorithm::kLPndca;
+  opt.l_trials = 10;
+  opt.partition = std::make_shared<Partition>(Partition::singletons(lat));
+  auto sim = make_simulator(zgb.model, Configuration(lat, 3, zgb.vacant), opt);
+  auto* lp = dynamic_cast<LPndcaSimulator*>(sim.get());
+  ASSERT_NE(lp, nullptr);
+  EXPECT_EQ(lp->partition().num_chunks(), 400u);
+  EXPECT_EQ(lp->trials_per_batch(), 10u);
+}
+
+TEST(SimulationFacade, WrongLatticePartitionThrows) {
+  auto zgb = models::make_zgb();
+  SimulationOptions opt;
+  opt.algorithm = Algorithm::kPndca;
+  opt.partition = std::make_shared<Partition>(Partition::singletons(Lattice(4, 4)));
+  EXPECT_THROW((void)make_simulator(zgb.model,
+                                    Configuration(Lattice(20, 20), 3, zgb.vacant), opt),
+               std::invalid_argument);
+}
+
+TEST(SimulationFacade, AlgorithmNamesAreUnique) {
+  const Algorithm all[] = {Algorithm::kRsm,    Algorithm::kVssm,
+                           Algorithm::kFrm,    Algorithm::kNdca,
+                           Algorithm::kPndca,  Algorithm::kLPndca,
+                           Algorithm::kTPndca, Algorithm::kParallelPndca};
+  std::set<std::string> names;
+  for (const Algorithm a : all) names.insert(algorithm_name(a));
+  EXPECT_EQ(names.size(), std::size(all));
+}
+
+TEST(SimulationFacade, TimeModePropagates) {
+  auto zgb = models::make_zgb();  // K = 4
+  SimulationOptions opt;
+  opt.algorithm = Algorithm::kRsm;
+  opt.time_mode = TimeMode::kDeterministic;
+  auto sim = make_simulator(zgb.model, Configuration(Lattice(10, 10), 3, zgb.vacant), opt);
+  sim->mc_step();
+  EXPECT_NEAR(sim->time(), 1.0 / zgb.model.total_rate(), 1e-12);
+}
+
+}  // namespace
+}  // namespace casurf

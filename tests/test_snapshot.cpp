@@ -1,0 +1,112 @@
+#include "io/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "models/zgb.hpp"
+
+namespace casurf::io {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "casurf_snapshot_test.txt";
+  std::string ppm_ = ::testing::TempDir() + "casurf_snapshot_test.ppm";
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove(ppm_.c_str());
+  }
+};
+
+TEST_F(SnapshotTest, RoundTripPreservesState) {
+  const auto zgb = models::make_zgb();
+  Configuration cfg(Lattice(12, 7), 3, zgb.vacant);
+  cfg.set(Vec2{3, 2}, zgb.co);
+  cfg.set(Vec2{11, 6}, zgb.o);
+  cfg.set(Vec2{0, 0}, zgb.o);
+
+  save_snapshot(path_, cfg, zgb.model.species());
+  const Snapshot snap = load_snapshot(path_);
+
+  EXPECT_EQ(snap.config, cfg);
+  EXPECT_EQ(snap.species, (std::vector<std::string>{"*", "CO", "O"}));
+  for (Species s = 0; s < 3; ++s) EXPECT_EQ(snap.config.count(s), cfg.count(s));
+}
+
+TEST_F(SnapshotTest, MismatchedSpeciesSetRejected) {
+  const Configuration cfg(Lattice(4, 4), 3, 0);
+  const SpeciesSet wrong({"a", "b"});  // 2 != 3
+  EXPECT_THROW(save_snapshot(path_, cfg, wrong), std::runtime_error);
+}
+
+TEST_F(SnapshotTest, LoadRejectsBadMagic) {
+  std::ofstream(path_) << "not-a-snapshot 9\n";
+  EXPECT_THROW((void)load_snapshot(path_), std::runtime_error);
+}
+
+TEST_F(SnapshotTest, LoadRejectsBadSpeciesIndex) {
+  std::ofstream(path_) << "casurf-snapshot 1\nlattice 2 1\nspecies 2 * A\ndata\n0 7\n";
+  EXPECT_THROW((void)load_snapshot(path_), std::runtime_error);
+}
+
+TEST_F(SnapshotTest, LoadRejectsTruncatedData) {
+  std::ofstream(path_) << "casurf-snapshot 1\nlattice 3 2\nspecies 2 * A\ndata\n0 1 0\n";
+  EXPECT_THROW((void)load_snapshot(path_), std::runtime_error);
+}
+
+TEST_F(SnapshotTest, MissingFileThrows) {
+  EXPECT_THROW((void)load_snapshot("/nonexistent/zzz.snap"), std::runtime_error);
+}
+
+TEST_F(SnapshotTest, PpmHasCorrectHeaderAndSize) {
+  const Configuration cfg(Lattice(5, 3), 2, 0);
+  write_ppm(ppm_, cfg);
+  std::ifstream in(ppm_, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 5);
+  EXPECT_EQ(h, 3);
+  EXPECT_EQ(maxval, 255);
+  in.get();  // single whitespace after header
+  std::vector<char> pixels(5 * 3 * 3);
+  in.read(pixels.data(), static_cast<std::streamsize>(pixels.size()));
+  EXPECT_EQ(in.gcount(), static_cast<std::streamsize>(pixels.size()));
+  in.get();
+  EXPECT_TRUE(in.eof());
+}
+
+TEST_F(SnapshotTest, PpmUsesPalettePerSpecies) {
+  Configuration cfg(Lattice(2, 1), 2, 0);
+  cfg.set(Vec2{1, 0}, 1);
+  write_ppm(ppm_, cfg);
+  std::ifstream in(ppm_, std::ios::binary);
+  std::string line;
+  std::getline(in, line);  // P6
+  std::getline(in, line);  // dims
+  std::getline(in, line);  // maxval
+  unsigned char px[6];
+  in.read(reinterpret_cast<char*>(px), 6);
+  const Rgb c0 = default_palette(0);
+  const Rgb c1 = default_palette(1);
+  EXPECT_EQ(px[0], c0.r);
+  EXPECT_EQ(px[1], c0.g);
+  EXPECT_EQ(px[2], c0.b);
+  EXPECT_EQ(px[3], c1.r);
+  EXPECT_EQ(px[4], c1.g);
+  EXPECT_EQ(px[5], c1.b);
+}
+
+TEST(DefaultPalette, CyclesBeyondEight) {
+  const Rgb a = default_palette(1);
+  const Rgb b = default_palette(9);
+  EXPECT_EQ(a.r, b.r);
+  EXPECT_EQ(a.g, b.g);
+  EXPECT_EQ(a.b, b.b);
+}
+
+}  // namespace
+}  // namespace casurf::io

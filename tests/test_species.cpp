@@ -1,0 +1,67 @@
+#include "lattice/species.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace casurf {
+namespace {
+
+TEST(SpeciesSet, AddAndLookup) {
+  SpeciesSet set;
+  const Species vac = set.add("*");
+  const Species co = set.add("CO");
+  EXPECT_EQ(vac, 0);
+  EXPECT_EQ(co, 1);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.name(vac), "*");
+  EXPECT_EQ(set.name(co), "CO");
+}
+
+TEST(SpeciesSet, ConstructFromNames) {
+  const SpeciesSet set({"*", "A", "B"});
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.require("B"), 2);
+}
+
+TEST(SpeciesSet, FindMissingReturnsNullopt) {
+  const SpeciesSet set({"*", "A"});
+  EXPECT_FALSE(set.find("Z").has_value());
+  EXPECT_EQ(set.find("A").value(), 1);
+}
+
+TEST(SpeciesSet, RequireMissingThrows) {
+  const SpeciesSet set({"*"});
+  EXPECT_THROW((void)set.require("CO"), std::out_of_range);
+}
+
+TEST(SpeciesSet, DuplicateNameThrows) {
+  SpeciesSet set;
+  set.add("A");
+  EXPECT_THROW(set.add("A"), std::invalid_argument);
+}
+
+TEST(SpeciesSet, CapacityLimit32) {
+  SpeciesSet set;
+  for (int i = 0; i < 32; ++i) set.add("s" + std::to_string(i));
+  EXPECT_THROW(set.add("one_too_many"), std::invalid_argument);
+}
+
+TEST(SpeciesSet, AllMask) {
+  EXPECT_EQ(SpeciesSet({"a"}).all_mask(), 0b1u);
+  EXPECT_EQ(SpeciesSet({"a", "b", "c"}).all_mask(), 0b111u);
+  SpeciesSet full;
+  for (int i = 0; i < 32; ++i) full.add("s" + std::to_string(i));
+  EXPECT_EQ(full.all_mask(), ~SpeciesMask{0});
+}
+
+TEST(SpeciesMask, BitOperations) {
+  const SpeciesMask m = species_bit(0) | species_bit(3);
+  EXPECT_TRUE(mask_contains(m, 0));
+  EXPECT_FALSE(mask_contains(m, 1));
+  EXPECT_FALSE(mask_contains(m, 2));
+  EXPECT_TRUE(mask_contains(m, 3));
+}
+
+}  // namespace
+}  // namespace casurf

@@ -1,0 +1,97 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace casurf {
+namespace {
+
+TEST(ThreadPool, SizeReflectsRequestedThreads) {
+  EXPECT_EQ(ThreadPool(1).size(), 1u);
+  EXPECT_EQ(ThreadPool(3).size(), 3u);
+  EXPECT_GE(ThreadPool(0).size(), 1u);  // auto-detect, at least one
+}
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 1037;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](unsigned, std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, WorkerIdsInRange) {
+  ThreadPool pool(3);
+  std::atomic<unsigned> max_id{0};
+  pool.parallel_for(100, [&](unsigned tid, std::size_t, std::size_t) {
+    unsigned cur = max_id.load();
+    while (tid > cur && !max_id.compare_exchange_weak(cur, tid)) {
+    }
+    EXPECT_LT(tid, 3u);
+  });
+  EXPECT_LT(max_id.load(), 3u);
+}
+
+TEST(ThreadPool, HandlesFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](unsigned, std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroItemsIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](unsigned, std::size_t, std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, RepeatedCallsReuseWorkers) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for(50, [&](unsigned, std::size_t b, std::size_t e) {
+      total.fetch_add(e - b);
+    });
+  }
+  EXPECT_EQ(total.load(), 200u * 50u);
+}
+
+TEST(ThreadPool, SlicesAreContiguousAndOrdered) {
+  ThreadPool pool(4);
+  std::vector<std::pair<std::size_t, std::size_t>> slices(4, {0, 0});
+  pool.parallel_for(103, [&](unsigned tid, std::size_t b, std::size_t e) {
+    slices[tid] = {b, e};
+  });
+  std::size_t covered = 0;
+  for (unsigned t = 0; t < 4; ++t) {
+    EXPECT_EQ(slices[t].first, covered);
+    EXPECT_GE(slices[t].second, slices[t].first);
+    covered = slices[t].second;
+  }
+  EXPECT_EQ(covered, 103u);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSequential) {
+  ThreadPool pool(4);
+  const std::size_t n = 100000;
+  std::vector<std::uint64_t> partial(pool.size(), 0);
+  pool.parallel_for(n, [&](unsigned tid, std::size_t b, std::size_t e) {
+    std::uint64_t s = 0;
+    for (std::size_t i = b; i < e; ++i) s += i;
+    partial[tid] = s;
+  });
+  const std::uint64_t total = std::accumulate(partial.begin(), partial.end(),
+                                              std::uint64_t{0});
+  EXPECT_EQ(total, n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace casurf

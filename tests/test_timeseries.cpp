@@ -1,0 +1,110 @@
+#include "stats/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace casurf {
+namespace {
+
+TEST(TimeSeries, AppendAndAccess) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  ts.append(0.0, 1.0);
+  ts.append(1.0, 2.0);
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts.time(1), 1.0);
+  EXPECT_DOUBLE_EQ(ts.value(1), 2.0);
+}
+
+TEST(TimeSeries, AppendEnforcesMonotoneTime) {
+  TimeSeries ts;
+  ts.append(1.0, 0.0);
+  EXPECT_THROW(ts.append(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(ts.append(0.5, 0.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, ConstructorValidates) {
+  EXPECT_THROW(TimeSeries({0.0, 1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(TimeSeries({0.0, 0.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_NO_THROW(TimeSeries({0.0, 1.0}, {1.0, 2.0}));
+}
+
+TEST(TimeSeries, LinearInterpolation) {
+  const TimeSeries ts({0.0, 2.0}, {0.0, 4.0});
+  EXPECT_DOUBLE_EQ(ts.at(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(ts.at(0.5), 1.0);
+}
+
+TEST(TimeSeries, InterpolationClampsOutsideDomain) {
+  const TimeSeries ts({1.0, 2.0}, {3.0, 5.0});
+  EXPECT_DOUBLE_EQ(ts.at(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(ts.at(10.0), 5.0);
+}
+
+TEST(TimeSeries, AtEmptyThrows) {
+  const TimeSeries ts;
+  EXPECT_THROW((void)ts.at(0.0), std::out_of_range);
+}
+
+TEST(TimeSeries, ResampleUniformGrid) {
+  const TimeSeries ts({0.0, 10.0}, {0.0, 10.0});
+  const TimeSeries grid = ts.resample(0.0, 10.0, 11);
+  ASSERT_EQ(grid.size(), 11u);
+  for (std::size_t i = 0; i < 11; ++i) {
+    EXPECT_NEAR(grid.time(i), static_cast<double>(i), 1e-12);
+    EXPECT_NEAR(grid.value(i), static_cast<double>(i), 1e-12);
+  }
+}
+
+TEST(TimeSeries, MeanAndStddevAfter) {
+  TimeSeries ts;
+  for (int i = 0; i < 10; ++i) ts.append(i, i < 5 ? 100.0 : (i % 2 ? 1.0 : 3.0));
+  // Values from t >= 5: 1, 3, 1, 3, 1 -> mean 1.8.
+  EXPECT_NEAR(ts.mean_after(5.0), 1.8, 1e-12);
+  EXPECT_NEAR(ts.stddev_after(5.0), std::sqrt((3 * 0.64 + 2 * 1.44) / 4.0), 1e-12);
+}
+
+TEST(TimeSeries, MeanAfterBeyondEndIsNan) {
+  const TimeSeries ts({0.0, 1.0}, {1.0, 2.0});
+  EXPECT_TRUE(std::isnan(ts.mean_after(5.0)));
+}
+
+TEST(EnsembleMean, AveragesAcrossRuns) {
+  const TimeSeries a({0.0, 1.0, 2.0}, {0.0, 2.0, 4.0});
+  const TimeSeries b({0.0, 1.0, 2.0}, {4.0, 2.0, 0.0});
+  const TimeSeries mean = ensemble_mean({a, b}, 5);
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    EXPECT_NEAR(mean.value(i), 2.0, 1e-12);
+  }
+}
+
+TEST(EnsembleMean, UsesOverlapOfDomains) {
+  const TimeSeries a({0.0, 10.0}, {1.0, 1.0});
+  const TimeSeries b({5.0, 15.0}, {3.0, 3.0});
+  const TimeSeries mean = ensemble_mean({a, b}, 3);
+  EXPECT_DOUBLE_EQ(mean.times().front(), 5.0);
+  EXPECT_DOUBLE_EQ(mean.times().back(), 10.0);
+  EXPECT_DOUBLE_EQ(mean.value(0), 2.0);
+}
+
+TEST(EnsembleMean, RejectsBadInput) {
+  EXPECT_THROW((void)ensemble_mean({}), std::invalid_argument);
+  const TimeSeries a({0.0, 1.0}, {0.0, 0.0});
+  const TimeSeries late({5.0, 6.0}, {0.0, 0.0});
+  EXPECT_THROW((void)ensemble_mean({a, late}), std::invalid_argument);
+}
+
+TEST(MeanAbsDifference, ZeroForIdenticalSeries) {
+  const TimeSeries a({0.0, 1.0, 2.0}, {1.0, 5.0, 3.0});
+  EXPECT_NEAR(mean_abs_difference(a, a), 0.0, 1e-12);
+}
+
+TEST(MeanAbsDifference, ConstantOffset) {
+  const TimeSeries a({0.0, 10.0}, {1.0, 1.0});
+  const TimeSeries b({0.0, 10.0}, {1.5, 1.5});
+  EXPECT_NEAR(mean_abs_difference(a, b), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace casurf

@@ -1,0 +1,130 @@
+#include "partition/type_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/pt100.hpp"
+#include "models/zgb.hpp"
+#include "partition/conflict.hpp"
+
+namespace casurf {
+namespace {
+
+TEST(TypePartition, ZgbMatchesTableII) {
+  // Table II: T0 = {Rt_CO+O^(0), Rt_CO+O^(2), Rt_O2^(0), Rt_CO},
+  //           T1 = {Rt_CO+O^(1), Rt_CO+O^(3), Rt_O2^(1)}.
+  auto zgb = models::make_zgb();
+  const Lattice lat(10, 10);
+  const auto subsets = make_type_partition(lat, zgb.model);
+  ASSERT_EQ(subsets.size(), 2u);
+
+  const auto names_of = [&](const TypeSubset& sub) {
+    std::vector<std::string> names;
+    for (const ReactionIndex i : sub.types) names.push_back(zgb.model.reaction(i).name());
+    return names;
+  };
+
+  // Horizontal subset: +x O2 pair, the two +-x CO+O orientations, plus the
+  // single-site CO adsorption folded into the first subset.
+  const auto t0 = names_of(subsets[0]);
+  EXPECT_EQ(subsets[0].bond, (Vec2{1, 0}));
+  ASSERT_EQ(t0.size(), 4u);
+  EXPECT_NE(std::find(t0.begin(), t0.end(), "O2_ads_0"), t0.end());
+  EXPECT_NE(std::find(t0.begin(), t0.end(), "CO2_form_0"), t0.end());
+  EXPECT_NE(std::find(t0.begin(), t0.end(), "CO2_form_2"), t0.end());
+  EXPECT_NE(std::find(t0.begin(), t0.end(), "CO_ads"), t0.end());
+
+  const auto t1 = names_of(subsets[1]);
+  EXPECT_EQ(subsets[1].bond, (Vec2{0, 1}));
+  ASSERT_EQ(t1.size(), 3u);
+  EXPECT_NE(std::find(t1.begin(), t1.end(), "O2_ads_1"), t1.end());
+  EXPECT_NE(std::find(t1.begin(), t1.end(), "CO2_form_1"), t1.end());
+  EXPECT_NE(std::find(t1.begin(), t1.end(), "CO2_form_3"), t1.end());
+}
+
+TEST(TypePartition, SubsetRatesSumToModelTotal) {
+  auto zgb = models::make_zgb();
+  const auto subsets = make_type_partition(Lattice(10, 10), zgb.model);
+  double sum = 0;
+  for (const TypeSubset& s : subsets) sum += s.total_rate;
+  EXPECT_DOUBLE_EQ(sum, zgb.model.total_rate());
+}
+
+TEST(TypePartition, EveryTypeAssignedExactlyOnce) {
+  auto pt = models::make_pt100();
+  const auto subsets = make_type_partition(Lattice(12, 12), pt.model);
+  std::vector<int> seen(pt.model.num_reactions(), 0);
+  for (const TypeSubset& s : subsets) {
+    for (const ReactionIndex i : s.types) ++seen[i];
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], 1) << pt.model.reaction(i).name();
+  }
+}
+
+TEST(TypePartition, TwoChunkPartitionsForPairSubsets) {
+  auto zgb = models::make_zgb();
+  const auto subsets = make_type_partition(Lattice(10, 10), zgb.model);
+  for (const TypeSubset& s : subsets) {
+    EXPECT_EQ(s.chunks.num_chunks(), 2u);
+    // Each chunk holds half the lattice — double the concurrency of the
+    // five-chunk full partition (the paper's point in section 5).
+    EXPECT_EQ(s.chunks.max_chunk_size(), 50u);
+  }
+}
+
+TEST(TypePartition, ChunksValidForEveryMemberTypeSelfConflicts) {
+  auto pt = models::make_pt100();
+  const auto subsets = make_type_partition(Lattice(12, 12), pt.model);
+  for (const TypeSubset& s : subsets) {
+    for (const ReactionIndex i : s.types) {
+      EXPECT_TRUE(verify_partition(s.chunks,
+                                   self_conflict_offsets(pt.model.reaction(i))))
+          << pt.model.reaction(i).name();
+    }
+  }
+}
+
+TEST(TypePartition, OddLatticeFallsBackToValidPartition) {
+  auto zgb = models::make_zgb();
+  const auto subsets = make_type_partition(Lattice(9, 9), zgb.model);
+  for (const TypeSubset& s : subsets) {
+    for (const ReactionIndex i : s.types) {
+      EXPECT_TRUE(verify_partition(s.chunks,
+                                   self_conflict_offsets(zgb.model.reaction(i))));
+    }
+  }
+}
+
+TEST(TypePartition, SingleSiteOnlyModel) {
+  ReactionModel m(SpeciesSet({"*", "A"}));
+  m.add(ReactionType("ads", 1.0, {exact({0, 0}, 0, 1)}));
+  m.add(ReactionType("des", 2.0, {exact({0, 0}, 1, 0)}));
+  const auto subsets = make_type_partition(Lattice(8, 8), m);
+  ASSERT_EQ(subsets.size(), 1u);
+  EXPECT_EQ(subsets[0].types.size(), 2u);
+  EXPECT_DOUBLE_EQ(subsets[0].total_rate, 3.0);
+  EXPECT_EQ(subsets[0].chunks.num_chunks(), 1u);  // no conflicts at all
+}
+
+TEST(TypePartition, LShapedTypeGetsOwnSubset) {
+  ReactionModel m(SpeciesSet({"*", "A"}));
+  m.add(ReactionType("pair_x", 1.0, {exact({0, 0}, 1, 0), exact({1, 0}, 0, 1)}));
+  m.add(ReactionType("corner", 1.0,
+                     {exact({0, 0}, 1, 0), exact({1, 0}, 0, 1), exact({0, 1}, 0, 1)}));
+  const auto subsets = make_type_partition(Lattice(8, 8), m);
+  ASSERT_EQ(subsets.size(), 2u);
+  // The corner type's subset must still be self-conflict-free.
+  for (const TypeSubset& s : subsets) {
+    for (const ReactionIndex i : s.types) {
+      EXPECT_TRUE(verify_partition(s.chunks, self_conflict_offsets(m.reaction(i))));
+    }
+  }
+}
+
+TEST(TypePartition, EmptyModelThrows) {
+  const ReactionModel m(SpeciesSet({"*"}));
+  EXPECT_THROW((void)make_type_partition(Lattice(4, 4), m), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace casurf

@@ -1,0 +1,63 @@
+#include "lattice/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace casurf {
+namespace {
+
+TEST(Vec2, DefaultIsOrigin) {
+  constexpr Vec2 v{};
+  EXPECT_EQ(v.x, 0);
+  EXPECT_EQ(v.y, 0);
+}
+
+TEST(Vec2, Arithmetic) {
+  constexpr Vec2 a{2, -3};
+  constexpr Vec2 b{-1, 5};
+  EXPECT_EQ(a + b, (Vec2{1, 2}));
+  EXPECT_EQ(a - b, (Vec2{3, -8}));
+  EXPECT_EQ(-a, (Vec2{-2, 3}));
+}
+
+TEST(Vec2, AdditionIsCommutativeAndAssociative) {
+  const Vec2 a{7, 1}, b{-4, 9}, c{3, -2};
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+}
+
+TEST(Vec2, Equality) {
+  EXPECT_EQ((Vec2{1, 2}), (Vec2{1, 2}));
+  EXPECT_NE((Vec2{1, 2}), (Vec2{2, 1}));
+}
+
+TEST(Vec2, OrderingIsLexicographic) {
+  EXPECT_LT((Vec2{0, 5}), (Vec2{1, 0}));
+  EXPECT_LT((Vec2{1, 0}), (Vec2{1, 1}));
+}
+
+TEST(Vec2, L1Norm) {
+  EXPECT_EQ((Vec2{0, 0}).l1(), 0);
+  EXPECT_EQ((Vec2{3, -4}).l1(), 7);
+  EXPECT_EQ((Vec2{-2, -2}).l1(), 4);
+}
+
+TEST(Vec2, HashDistinguishesComponents) {
+  // (x, y) and (y, x) must not collide systematically.
+  std::unordered_set<Vec2> set;
+  for (int x = -10; x <= 10; ++x) {
+    for (int y = -10; y <= 10; ++y) set.insert(Vec2{x, y});
+  }
+  EXPECT_EQ(set.size(), 21u * 21u);
+}
+
+TEST(Vec2, StreamOutput) {
+  std::ostringstream os;
+  os << Vec2{3, -7};
+  EXPECT_EQ(os.str(), "(3,-7)");
+}
+
+}  // namespace
+}  // namespace casurf

@@ -1,0 +1,125 @@
+#include "dmc/vssm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/zgb.hpp"
+
+namespace casurf {
+namespace {
+
+ReactionModel ads_des_model(double k_a, double k_d) {
+  ReactionModel m(SpeciesSet({"*", "A"}));
+  m.add(ReactionType("ads", k_a, {exact({0, 0}, 0, 1)}));
+  m.add(ReactionType("des", k_d, {exact({0, 0}, 1, 0)}));
+  return m;
+}
+
+TEST(Vssm, InitialEnabledSetsMatchBruteForce) {
+  auto zgb = models::make_zgb();
+  Configuration cfg(Lattice(8, 8), 3, zgb.vacant);
+  // Seed a few particles so several types are enabled.
+  cfg.set(Vec2{1, 1}, zgb.co);
+  cfg.set(Vec2{2, 1}, zgb.o);
+  cfg.set(Vec2{5, 5}, zgb.o);
+  VssmSimulator sim(zgb.model, cfg, 1);
+  for (ReactionIndex i = 0; i < zgb.model.num_reactions(); ++i) {
+    std::size_t brute = 0;
+    for (SiteIndex s = 0; s < cfg.size(); ++s) {
+      if (zgb.model.reaction(i).enabled(sim.configuration(), s)) ++brute;
+    }
+    EXPECT_EQ(sim.enabled_count(i), brute) << zgb.model.reaction(i).name();
+  }
+}
+
+TEST(Vssm, EnabledSetsStayConsistentAfterManyEvents) {
+  auto zgb = models::make_zgb();
+  Configuration cfg(Lattice(10, 10), 3, zgb.vacant);
+  VssmSimulator sim(zgb.model, std::move(cfg), 2);
+  for (int i = 0; i < 3000; ++i) sim.mc_step();
+  for (ReactionIndex i = 0; i < zgb.model.num_reactions(); ++i) {
+    std::size_t brute = 0;
+    for (SiteIndex s = 0; s < sim.configuration().size(); ++s) {
+      if (zgb.model.reaction(i).enabled(sim.configuration(), s)) ++brute;
+    }
+    ASSERT_EQ(sim.enabled_count(i), brute)
+        << "type " << zgb.model.reaction(i).name() << " after 3000 events";
+  }
+}
+
+TEST(Vssm, OneEventPerStep) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  VssmSimulator sim(m, Configuration(Lattice(8, 8), 2, 0), 3);
+  const double t0 = sim.time();
+  sim.mc_step();
+  EXPECT_EQ(sim.counters().executed, 1u);
+  EXPECT_EQ(sim.counters().steps, 1u);
+  EXPECT_GT(sim.time(), t0);
+}
+
+TEST(Vssm, TotalEnabledRate) {
+  const ReactionModel m = ads_des_model(2.0, 0.5);
+  VssmSimulator sim(m, Configuration(Lattice(4, 4), 2, 0), 4);
+  // All 16 sites vacant: only adsorption enabled.
+  EXPECT_DOUBLE_EQ(sim.total_enabled_rate(), 16 * 2.0);
+}
+
+TEST(Vssm, EquilibriumCoverage) {
+  const double ka = 1.0, kd = 0.5;
+  const ReactionModel m = ads_des_model(ka, kd);
+  VssmSimulator sim(m, Configuration(Lattice(32, 32), 2, 0), 5);
+  sim.advance_to(30.0);
+  double avg = 0;
+  const int samples = 200;
+  for (int i = 0; i < samples; ++i) {
+    for (int k = 0; k < 20; ++k) sim.mc_step();
+    avg += sim.configuration().coverage(1);
+  }
+  avg /= samples;
+  EXPECT_NEAR(avg, ka / (ka + kd), 0.02);
+}
+
+TEST(Vssm, StalledInAbsorbingState) {
+  ReactionModel m(SpeciesSet({"*", "A"}));
+  m.add(ReactionType("ads", 1.0, {exact({0, 0}, 0, 1)}));  // irreversible
+  VssmSimulator sim(m, Configuration(Lattice(4, 4), 2, 0), 6);
+  sim.advance_to(1000.0);
+  EXPECT_DOUBLE_EQ(sim.configuration().coverage(1), 1.0);
+  EXPECT_TRUE(sim.stalled());
+  EXPECT_GE(sim.time(), 1000.0);
+  // Exactly one event per site was needed.
+  EXPECT_EQ(sim.counters().executed, 16u);
+}
+
+TEST(Vssm, RatioOfExecutionsFollowsEnabledRates) {
+  // Always-enabled no-op reactions: counts must follow the rates.
+  ReactionModel m(SpeciesSet({"A"}));
+  m.add(ReactionType("r4", 4.0, {exact({0, 0}, 0, 0)}));
+  m.add(ReactionType("r1", 1.0, {exact({0, 0}, 0, 0)}));
+  VssmSimulator sim(m, Configuration(Lattice(6, 6), 1, 0), 7);
+  for (int i = 0; i < 50000; ++i) sim.mc_step();
+  const auto& per = sim.counters().executed_per_type;
+  const double frac = static_cast<double>(per[0]) /
+                      static_cast<double>(per[0] + per[1]);
+  EXPECT_NEAR(frac, 0.8, 0.01);
+}
+
+TEST(Vssm, SameSeedSameTrajectory) {
+  auto zgb = models::make_zgb();
+  VssmSimulator a(zgb.model, Configuration(Lattice(8, 8), 3, zgb.vacant), 11);
+  VssmSimulator b(zgb.model, Configuration(Lattice(8, 8), 3, zgb.vacant), 11);
+  for (int i = 0; i < 500; ++i) {
+    a.mc_step();
+    b.mc_step();
+  }
+  EXPECT_EQ(a.configuration(), b.configuration());
+  EXPECT_DOUBLE_EQ(a.time(), b.time());
+}
+
+TEST(Vssm, NameIsVssm) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  VssmSimulator sim(m, Configuration(Lattice(2, 2), 2, 0), 1);
+  EXPECT_EQ(sim.name(), "VSSM");
+}
+
+}  // namespace
+}  // namespace casurf
