@@ -3,9 +3,12 @@
 // chunk size. (a) L = 1 tracks RSM closely; (b) L = 100 introduces
 // correlations that shift/damp the coverage oscillations.
 
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "ca/lpndca.hpp"
+#include "ca/pndca.hpp"
 #include "dmc/rsm.hpp"
 #include "pt100_util.hpp"
 
@@ -76,5 +79,46 @@ int main() {
                     ? osc.mean_amplitude / rsm_osc.mean_amplitude
                     : 0.0);
   }
+
+  // Rate-weighted chunk selection (paper section 5, option 4). First the
+  // accuracy angle: L = 1 with chunks weighted by their enabled rate
+  // instead of their size, on the same five-chunk form.
+  std::printf("\nRate-weighted chunk selection (L = 1, five chunks):\n");
+  LPndcaSimulator lrw(pt.model, initial, five, 4, 1, TimeMode::kStochastic,
+                      ChunkWeighting::kRateWeighted);
+  const auto lrw_run = bench::record_pt100(lrw, pt, t_end, 0.5);
+  bench::print_oscillation("L-PNDCA, L=1, rate-weighted", lrw_run.co, skip);
+  bench::dump_series("fig9_L1_rate_weighted", {"co", "o"}, {lrw_run.co, lrw_run.o});
+
+  // Then the cost angle: step throughput of the rate-weighted PNDCA policy
+  // with the incremental enabled-rate cache ("after") vs the previous
+  // brute per-step O(N |T|) chunk-weight rescan ("before", emulated by
+  // recomputing every chunk weight from the configuration each step).
+  using clock = std::chrono::steady_clock;
+  const int throughput_steps = fast ? 40 : 150;
+
+  PndcaSimulator cached(pt.model, initial, {five}, 5, ChunkPolicy::kRateWeighted);
+  const auto t_after0 = clock::now();
+  for (int i = 0; i < throughput_steps; ++i) cached.mc_step();
+  const double after_s = std::chrono::duration<double>(clock::now() - t_after0).count();
+
+  PndcaSimulator brute(pt.model, initial, {five}, 5, ChunkPolicy::kRateWeighted);
+  std::vector<double> weights(five.num_chunks());
+  const auto t_before0 = clock::now();
+  for (int i = 0; i < throughput_steps; ++i) {
+    for (ChunkId c = 0; c < five.num_chunks(); ++c) {
+      weights[c] = brute.enabled_rate_in_chunk(five, c);
+    }
+    brute.mc_step();
+  }
+  const double before_s = std::chrono::duration<double>(clock::now() - t_before0).count();
+
+  std::printf("\nRate-weighted selection cost (%d PNDCA steps, %d x %d):\n",
+              throughput_steps, side, side);
+  std::printf("  before (brute per-step rescan): %8.1f steps/s\n",
+              throughput_steps / before_s);
+  std::printf("  after  (incremental cache):     %8.1f steps/s\n",
+              throughput_steps / after_s);
+  std::printf("  speedup: %.1fx\n", before_s / after_s);
   return 0;
 }

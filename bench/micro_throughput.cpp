@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "ca/lpndca.hpp"
 #include "ca/ndca.hpp"
 #include "ca/pndca.hpp"
@@ -12,6 +14,7 @@
 #include "dmc/frm.hpp"
 #include "dmc/rsm.hpp"
 #include "dmc/vssm.hpp"
+#include "models/pt100.hpp"
 #include "models/zgb.hpp"
 #include "parallel/parallel_pndca.hpp"
 #include "partition/coloring.hpp"
@@ -22,7 +25,9 @@ namespace {
 
 using namespace casurf;
 
-constexpr std::int32_t kSide = 64;
+// Side 80 (not 64): the canonical five-chunk linear form needs the side
+// divisible by 5, otherwise Partition::linear_form rejects the lattice.
+constexpr std::int32_t kSide = 80;
 
 const models::ZgbModel& zgb() {
   static const models::ZgbModel model =
@@ -71,6 +76,116 @@ void BM_TPndcaMcStep(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(sim.counters().trials));
 }
 BENCHMARK(BM_TPndcaMcStep)->Unit(benchmark::kMicrosecond);
+
+// Rate-weighted chunk selection (paper's policy 4). "Cached" is the
+// incremental enabled-rate cache; "BruteRescan" reproduces the previous
+// per-step cost by recomputing every chunk weight from the configuration
+// before each step (the old plan_schedule did exactly this O(N |T|) scan).
+// The ratio of the two is the cache's step-throughput improvement.
+//
+// Both variants restart every iteration from the same pre-equilibrated
+// snapshot with the same seed, so they time the exact same trajectory —
+// without this the simulator state drifts across iterations and the two
+// benchmarks end up sampling different (cheaper/dearer) phases of the run.
+Configuration equilibrated(const ReactionModel& model, Configuration fresh,
+                           const Partition& p, int warm_steps) {
+  PndcaSimulator sim(model, std::move(fresh), {p}, 10, ChunkPolicy::kRateWeighted);
+  for (int i = 0; i < warm_steps; ++i) sim.mc_step();
+  return sim.configuration();
+}
+
+constexpr int kRateWeightedMeasureSteps = 5;
+
+void rate_weighted_pair(benchmark::State& state, const ReactionModel& model,
+                        const Configuration& start, const Partition& p,
+                        bool brute_rescan) {
+  std::vector<double> weights(p.num_chunks());
+  std::uint64_t trials = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    PndcaSimulator sim(model, start, {p}, 10, ChunkPolicy::kRateWeighted);
+    state.ResumeTiming();
+    for (int i = 0; i < kRateWeightedMeasureSteps; ++i) {
+      if (brute_rescan) {
+        for (ChunkId c = 0; c < p.num_chunks(); ++c) {
+          weights[c] = sim.enabled_rate_in_chunk(p, c);
+        }
+        benchmark::DoNotOptimize(weights.data());
+      }
+      sim.mc_step();
+    }
+    trials += sim.counters().trials;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(trials));
+}
+
+void BM_PndcaRateWeightedCached(benchmark::State& state) {
+  const auto side = static_cast<std::int32_t>(state.range(0));
+  const Lattice lat(side, side);
+  const Partition p = Partition::linear_form(lat, 1, 3, 16);
+  const Configuration start =
+      equilibrated(zgb().model, Configuration(lat, 3, zgb().vacant), p, 20);
+  rate_weighted_pair(state, zgb().model, start, p, false);
+}
+BENCHMARK(BM_PndcaRateWeightedCached)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_PndcaRateWeightedBruteRescan(benchmark::State& state) {
+  const auto side = static_cast<std::int32_t>(state.range(0));
+  const Lattice lat(side, side);
+  const Partition p = Partition::linear_form(lat, 1, 3, 16);
+  const Configuration start =
+      equilibrated(zgb().model, Configuration(lat, 3, zgb().vacant), p, 20);
+  rate_weighted_pair(state, zgb().model, start, p, true);
+}
+BENCHMARK(BM_PndcaRateWeightedBruteRescan)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+// Same pair on Pt(100), whose ~5x larger reaction-type set is where the
+// old O(N |T|) rescan truly dominated the step.
+void BM_Pt100RateWeightedCached(benchmark::State& state) {
+  static const models::Pt100Model pt = models::make_pt100();
+  const auto side = static_cast<std::int32_t>(state.range(0));
+  const Lattice lat(side, side);
+  const Partition p = Partition::linear_form(lat, 1, 3, 16);
+  const Configuration start =
+      equilibrated(pt.model, Configuration(lat, 5, pt.hex_vac), p, 30);
+  rate_weighted_pair(state, pt.model, start, p, false);
+}
+BENCHMARK(BM_Pt100RateWeightedCached)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_Pt100RateWeightedBruteRescan(benchmark::State& state) {
+  static const models::Pt100Model pt = models::make_pt100();
+  const auto side = static_cast<std::int32_t>(state.range(0));
+  const Lattice lat(side, side);
+  const Partition p = Partition::linear_form(lat, 1, 3, 16);
+  const Configuration start =
+      equilibrated(pt.model, Configuration(lat, 5, pt.hex_vac), p, 30);
+  rate_weighted_pair(state, pt.model, start, p, true);
+}
+BENCHMARK(BM_Pt100RateWeightedBruteRescan)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_LPndcaRateWeightedMcStep(benchmark::State& state) {
+  const Lattice lat(kSide, kSide);
+  LPndcaSimulator sim(zgb().model, initial(), Partition::linear_form(lat, 1, 3, 5),
+                      11, 64, TimeMode::kStochastic, ChunkWeighting::kRateWeighted);
+  for (auto _ : state) sim.mc_step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim.counters().trials));
+}
+BENCHMARK(BM_LPndcaRateWeightedMcStep)->Unit(benchmark::kMicrosecond);
+
+void BM_TPndcaRateWeightedMcStep(benchmark::State& state) {
+  const Lattice lat(kSide, kSide);
+  TPndcaSimulator sim(zgb().model, initial(), make_type_partition(lat, zgb().model),
+                      12, 0, ChunkWeighting::kRateWeighted);
+  for (auto _ : state) sim.mc_step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim.counters().trials));
+}
+BENCHMARK(BM_TPndcaRateWeightedMcStep)->Unit(benchmark::kMicrosecond);
 
 void BM_ParallelPndcaMcStep(benchmark::State& state) {
   const Lattice lat(kSide, kSide);

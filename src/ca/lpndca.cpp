@@ -8,12 +8,14 @@ namespace casurf {
 
 LPndcaSimulator::LPndcaSimulator(const ReactionModel& model, Configuration config,
                                  Partition partition, std::uint64_t seed,
-                                 std::uint32_t trials_per_batch, TimeMode time_mode)
+                                 std::uint32_t trials_per_batch, TimeMode time_mode,
+                                 ChunkWeighting weighting)
     : Simulator(model, std::move(config)),
       partition_(std::move(partition)),
       rng_(seed),
       trials_per_batch_(trials_per_batch),
       time_mode_(time_mode),
+      weighting_(weighting),
       rate_nk_(static_cast<double>(config_.size()) * model.total_rate()) {
   if (!(partition_.lattice() == config_.lattice())) {
     throw std::invalid_argument("L-PNDCA: partition lattice mismatch");
@@ -27,6 +29,10 @@ LPndcaSimulator::LPndcaSimulator(const ReactionModel& model, Configuration confi
     acc += static_cast<double>(partition_.chunk(c).size());
     chunk_cumulative_[c] = acc;
   }
+  if (weighting_ == ChunkWeighting::kRateWeighted) {
+    rate_cache_ = std::make_unique<EnabledRateCache>(model_, config_);
+    rate_cache_->add_partition(partition_);
+  }
 }
 
 void LPndcaSimulator::trial_at(SiteIndex s) {
@@ -35,20 +41,35 @@ void LPndcaSimulator::trial_at(SiteIndex s) {
   if (reaction.enabled(config_, s)) {
     reaction.execute(config_, s);
     record_execution(rt);
+    if (rate_cache_) {
+      const Lattice& lat = config_.lattice();
+      for (const Transform& t : reaction.transforms()) {
+        if (t.tg != kKeep) rate_cache_->refresh_after(config_, lat.neighbor(s, t.offset));
+      }
+    }
   }
   time_ += time_mode_ == TimeMode::kStochastic ? exponential(rng_, rate_nk_)
                                                : 1.0 / rate_nk_;
   ++counters_.trials;
 }
 
+ChunkId LPndcaSimulator::select_chunk() {
+  if (rate_cache_) {
+    // Rate-weighted draw over the live per-chunk enabled rates; unlike
+    // PNDCA's per-step freeze, each batch sees the counts updated by the
+    // previous one. Falls back to the size draw when nothing is enabled.
+    const ChunkSampler& sampler = rate_cache_->sampler(0);
+    if (sampler.total() > 0) return sampler.sample(uniform01(rng_));
+  }
+  // select P_i with probability |P_i| / N
+  return static_cast<ChunkId>(sample_cumulative(chunk_cumulative_, uniform01(rng_)));
+}
+
 void LPndcaSimulator::mc_step() {
   const std::uint64_t budget = config_.size();  // N trials per step
   std::uint64_t trials = 0;
   while (trials < budget) {
-    // select P_i with probability |P_i| / N
-    const auto c = static_cast<ChunkId>(
-        sample_cumulative(chunk_cumulative_, uniform01(rng_)));
-    const std::vector<SiteIndex>& sites = partition_.chunk(c);
+    const std::vector<SiteIndex>& sites = partition_.chunk(select_chunk());
 
     // select L, clipped to the remaining budget (1 <= L <= N - trials)
     const std::uint64_t batch =

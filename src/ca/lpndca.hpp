@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
+#include "ca/rate_cache.hpp"
 #include "core/simulator.hpp"
 #include "partition/partition.hpp"
 #include "rng/xoshiro.hpp"
@@ -23,6 +25,12 @@ namespace casurf {
 ///
 /// The paper's chunk-selection probability "|Pi| / |P|" is read as
 /// |Pi| / N, the only normalizable reading (see DESIGN.md).
+///
+/// With `ChunkWeighting::kRateWeighted`, chunk draws are weighted by the
+/// rate of currently-enabled reactions per chunk instead of by size
+/// (paper's option 4 applied to the batched structure), served by the
+/// incremental `EnabledRateCache`; a zero-rate surface falls back to the
+/// size-proportional draw so the trial budget still drains.
 class LPndcaSimulator final : public Simulator {
  public:
   /// `trials_per_batch` is the paper's L; it is clipped per batch to the
@@ -30,23 +38,32 @@ class LPndcaSimulator final : public Simulator {
   LPndcaSimulator(const ReactionModel& model, Configuration config,
                   Partition partition, std::uint64_t seed,
                   std::uint32_t trials_per_batch,
-                  TimeMode time_mode = TimeMode::kStochastic);
+                  TimeMode time_mode = TimeMode::kStochastic,
+                  ChunkWeighting weighting = ChunkWeighting::kStructural);
 
   void mc_step() override;
   [[nodiscard]] std::string name() const override { return "L-PNDCA"; }
 
   [[nodiscard]] const Partition& partition() const { return partition_; }
   [[nodiscard]] std::uint32_t trials_per_batch() const { return trials_per_batch_; }
+  [[nodiscard]] ChunkWeighting weighting() const { return weighting_; }
+
+  /// The incremental enabled-rate cache (slot 0 == the partition), or
+  /// nullptr under size-proportional weighting. For the invariant tests.
+  [[nodiscard]] const EnabledRateCache* rate_cache() const { return rate_cache_.get(); }
 
  private:
   void trial_at(SiteIndex s);
+  [[nodiscard]] ChunkId select_chunk();
 
   Partition partition_;
   Xoshiro256 rng_;
   std::uint32_t trials_per_batch_;
   TimeMode time_mode_;
+  ChunkWeighting weighting_;
   double rate_nk_;
   std::vector<double> chunk_cumulative_;  // cumulative chunk sizes for selection
+  std::unique_ptr<EnabledRateCache> rate_cache_;  // kRateWeighted only
 };
 
 }  // namespace casurf

@@ -25,10 +25,15 @@ PndcaSimulator::PndcaSimulator(const ReactionModel& model, Configuration config,
       throw std::invalid_argument("PNDCA: partition lattice mismatch");
     }
   }
+  if (policy_ == ChunkPolicy::kRateWeighted) {
+    // One full scan at construction; from here on the per-chunk enabled
+    // rates are maintained incrementally (slot i == partition i).
+    rate_cache_ = std::make_unique<EnabledRateCache>(model_, config_);
+    for (const Partition& p : partitions_) rate_cache_->add_partition(p);
+  }
 }
 
-double PndcaSimulator::enabled_rate_in_chunk(ChunkId c) const {
-  const Partition& p = partitions_[partition_cursor_];
+double PndcaSimulator::enabled_rate_in_chunk(const Partition& p, ChunkId c) const {
   double rate = 0;
   for (const SiteIndex s : p.chunk(c)) {
     for (const ReactionType& rt : model_.reactions()) {
@@ -36,6 +41,13 @@ double PndcaSimulator::enabled_rate_in_chunk(ChunkId c) const {
     }
   }
   return rate;
+}
+
+void PndcaSimulator::refresh_rate_cache(const ReactionType& reaction, SiteIndex s) {
+  const Lattice& lat = config_.lattice();
+  for (const Transform& t : reaction.transforms()) {
+    if (t.tg != kKeep) rate_cache_->refresh_after(config_, lat.neighbor(s, t.offset));
+  }
 }
 
 std::vector<ChunkId> PndcaSimulator::plan_schedule() {
@@ -63,18 +75,15 @@ std::vector<ChunkId> PndcaSimulator::plan_schedule() {
       break;
     case ChunkPolicy::kRateWeighted: {
       // |P| draws weighted by the rate of currently-enabled reactions in
-      // each chunk (paper's option 4). Weights are frozen at the start of
-      // the step; a full refresh per draw would cost O(N |T|) each.
-      std::vector<double> cumulative(m);
-      double acc = 0;
-      for (ChunkId c = 0; c < m; ++c) {
-        acc += enabled_rate_in_chunk(c);
-        cumulative[c] = acc;
-      }
+      // each chunk (paper's option 4). The weights come from the
+      // incremental cache — no full-lattice rescan — and are frozen at the
+      // start of the step; each draw costs O(log m) through the Fenwick
+      // sampler, which never selects a zero-weight chunk. With nothing
+      // enabled anywhere the draw degenerates to uniform.
+      const ChunkSampler& sampler = rate_cache_->sampler(partition_cursor_);
       for (std::size_t i = 0; i < m; ++i) {
-        schedule[i] = acc > 0
-                          ? static_cast<ChunkId>(
-                                sample_cumulative(cumulative, uniform01(rng_)))
+        schedule[i] = sampler.total() > 0
+                          ? sampler.sample(uniform01(rng_))
                           : static_cast<ChunkId>(uniform_below(rng_, m));
       }
       break;
@@ -95,6 +104,7 @@ std::int32_t PndcaSimulator::trial_at(std::uint64_t sweep, SiteIndex s,
   if (deltas == nullptr) {
     reaction.execute(config_, s);
     record_execution(rt);
+    if (rate_cache_) refresh_rate_cache(reaction, s);
   } else {
     reaction.execute_raw(config_, s, deltas);
   }

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "ca/rate_cache.hpp"
 #include "core/simulator.hpp"
 #include "partition/partition.hpp"
 #include "rng/counter_rng.hpp"
@@ -57,6 +59,16 @@ class PndcaSimulator : public Simulator {
   /// (exposed for the simulated parallel machine).
   std::vector<ChunkId> plan_schedule();
 
+  /// The incremental enabled-rate cache serving the kRateWeighted policy
+  /// (slot i == partition i), or nullptr under the other policies. Exposed
+  /// for the cache-invariant tests.
+  [[nodiscard]] const EnabledRateCache* rate_cache() const { return rate_cache_.get(); }
+
+  /// Brute-force O(|chunk| |T|) enabled rate of one chunk — the reference
+  /// the cache is checked against, and the "before" cost model in the
+  /// throughput benchmarks. Never called on the simulation hot path.
+  [[nodiscard]] double enabled_rate_in_chunk(const Partition& p, ChunkId c) const;
+
  protected:
   static constexpr std::int32_t kNoReaction = -1;
 
@@ -73,9 +85,18 @@ class PndcaSimulator : public Simulator {
   /// the threaded engine overrides this with a fork-join over the sites.
   virtual void execute_chunk(std::uint64_t sweep, const std::vector<SiteIndex>& sites);
 
- private:
-  double enabled_rate_in_chunk(ChunkId c) const;
+  /// Whether the rate cache is live (kRateWeighted policy).
+  [[nodiscard]] bool rate_cache_active() const { return rate_cache_ != nullptr; }
 
+  /// Fold one executed reaction (type `reaction`, anchored at `s`) into the
+  /// rate cache: rechecks the anchors around every written site. The serial
+  /// path calls this right after each execution; the threaded engine
+  /// replays the sweep's executions through it after the join — the counts
+  /// agree either way because rechecks are idempotent against the final
+  /// configuration.
+  void refresh_rate_cache(const ReactionType& reaction, SiteIndex s);
+
+ private:
   std::vector<Partition> partitions_;
   Xoshiro256 rng_;  // drives schedule decisions only, never site trials
   ChunkPolicy policy_;
@@ -85,6 +106,7 @@ class PndcaSimulator : public Simulator {
   std::uint64_t sweep_ = 0;  // counts chunk sweeps; keys the per-site streams
   std::size_t partition_cursor_ = 0;
   std::vector<ChunkId> schedule_;
+  std::unique_ptr<EnabledRateCache> rate_cache_;  // kRateWeighted only
 };
 
 }  // namespace casurf

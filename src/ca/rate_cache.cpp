@@ -1,0 +1,137 @@
+#include "ca/rate_cache.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+#include "dmc/enabled_set.hpp"
+
+namespace casurf {
+
+void ChunkSampler::assign(const std::vector<double>& weights) {
+  weights_ = weights;
+  const std::size_t m = weights_.size();
+  top_bit_ = m == 0 ? 0 : std::bit_floor(m);
+  tree_.assign(m + 1, 0.0);
+  total_ = 0.0;
+  for (std::size_t i = 1; i <= m; ++i) {
+    tree_[i] += weights_[i - 1];
+    total_ += weights_[i - 1];
+    const std::size_t parent = i + (i & (~i + 1));
+    if (parent <= m) tree_[parent] += tree_[i];
+  }
+}
+
+ChunkId ChunkSampler::sample(double u) const {
+  assert(total_ > 0.0);
+  const std::size_t m = weights_.size();
+  double remaining = u * total_;
+  // Descend to the largest pos with prefix(pos) <= u * total; the selected
+  // chunk is pos (0-based), the first whose cumulative weight exceeds the
+  // target. A zero-weight chunk can never be that first-exceeding index —
+  // its cumulative equals its predecessor's — so the only way to land on
+  // one is the rounding overflow u * total == total, caught below.
+  std::size_t pos = 0;
+  for (std::size_t step = top_bit_; step > 0; step >>= 1) {
+    const std::size_t next = pos + step;
+    if (next <= m && tree_[next] <= remaining) {
+      pos = next;
+      remaining -= tree_[next];
+    }
+  }
+  std::size_t c = pos < m ? pos : m - 1;
+  while (c > 0 && weights_[c] <= 0.0) --c;
+  return static_cast<ChunkId>(c);
+}
+
+EnabledRateCache::EnabledRateCache(const ReactionModel& model,
+                                   const Configuration& config)
+    : model_(model),
+      num_types_(model.num_reactions()),
+      num_sites_(config.size()),
+      enabled_(num_types_ * num_sites_, 0) {
+  rebuild(config);
+}
+
+std::size_t EnabledRateCache::add_partition(const Partition& partition) {
+  if (partition.size() != num_sites_) {
+    throw std::invalid_argument("EnabledRateCache: partition lattice mismatch");
+  }
+  Slot slot;
+  slot.num_chunks = partition.num_chunks();
+  slot.chunk_of.resize(num_sites_);
+  for (SiteIndex s = 0; s < num_sites_; ++s) slot.chunk_of[s] = partition.chunk_of(s);
+  recount_slot(slot);
+  slots_.push_back(std::move(slot));
+  return slots_.size() - 1;
+}
+
+void EnabledRateCache::recount_slot(Slot& slot) const {
+  slot.counts.assign(slot.num_chunks * num_types_, 0);
+  for (std::size_t t = 0; t < num_types_; ++t) {
+    const std::uint8_t* row = enabled_.data() + t * num_sites_;
+    for (SiteIndex s = 0; s < num_sites_; ++s) {
+      if (row[s]) {
+        ++slot.counts[static_cast<std::size_t>(slot.chunk_of[s]) * num_types_ + t];
+      }
+    }
+  }
+  slot.sampler_dirty = true;
+}
+
+void EnabledRateCache::rebuild(const Configuration& config) {
+  for (std::size_t t = 0; t < num_types_; ++t) {
+    const ReactionType& rt = model_.reaction(static_cast<ReactionIndex>(t));
+    std::uint8_t* row = enabled_.data() + t * num_sites_;
+    for (SiteIndex s = 0; s < num_sites_; ++s) {
+      row[s] = rt.enabled(config, s) ? 1 : 0;
+    }
+  }
+  for (Slot& slot : slots_) recount_slot(slot);
+}
+
+void EnabledRateCache::refresh_after(const Configuration& config, SiteIndex written) {
+  visit_recheck_anchors(
+      model_, config, written, [&](ReactionIndex t, SiteIndex anchor, bool now) {
+        std::uint8_t& bit = enabled_[static_cast<std::size_t>(t) * num_sites_ + anchor];
+        if (static_cast<bool>(bit) == now) return;
+        bit = now ? 1 : 0;
+        for (Slot& slot : slots_) {
+          std::uint32_t& cnt =
+              slot.counts[static_cast<std::size_t>(slot.chunk_of[anchor]) * num_types_ +
+                          t];
+          now ? ++cnt : --cnt;
+          slot.sampler_dirty = true;
+        }
+      });
+}
+
+double EnabledRateCache::chunk_rate(std::size_t slot_index, ChunkId c) const {
+  const Slot& slot = slots_[slot_index];
+  double rate = 0.0;
+  for (std::size_t t = 0; t < num_types_; ++t) {
+    rate += model_.reaction(static_cast<ReactionIndex>(t)).rate() *
+            static_cast<double>(
+                slot.counts[static_cast<std::size_t>(c) * num_types_ + t]);
+  }
+  return rate;
+}
+
+const ChunkSampler& EnabledRateCache::sampler(std::size_t slot_index) const {
+  const Slot& slot = slots_[slot_index];
+  if (slot.sampler_dirty) {
+    // Weights are derived from the integer counts in a fixed summation
+    // order, so identical counts — however they were reached — produce a
+    // bit-identical sampler. This is what keeps serial and threaded
+    // rate-weighted trajectories in lockstep.
+    weight_scratch_.resize(slot.num_chunks);
+    for (ChunkId c = 0; c < slot.num_chunks; ++c) {
+      weight_scratch_[c] = chunk_rate(slot_index, c);
+    }
+    slot.sampler.assign(weight_scratch_);
+    slot.sampler_dirty = false;
+  }
+  return slot.sampler;
+}
+
+}  // namespace casurf

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/configuration.hpp"
+#include "model/reaction_model.hpp"
+#include "partition/partition.hpp"
+
+namespace casurf {
+
+/// Chunk-selection weighting for the PNDCA variants that support both their
+/// structural default and the paper's "option 4" rate weighting.
+enum class ChunkWeighting {
+  kStructural,    ///< the algorithm's own default (size-proportional for
+                  ///< L-PNDCA, uniform for TPNDCA)
+  kRateWeighted,  ///< weighted by the rate of currently-enabled reactions,
+                  ///< served by the incremental EnabledRateCache
+};
+
+/// Fenwick (binary-indexed) tree over per-chunk weights: O(m) rebuild,
+/// O(log m) weighted draw. Zero-weight chunks are never returned by
+/// sample(), even when floating-point rounding pushes u * total() onto a
+/// cumulative boundary (the failure mode of a plain cumulative search).
+class ChunkSampler {
+ public:
+  ChunkSampler() = default;
+
+  /// Rebuild from scratch in O(m).
+  void assign(const std::vector<double>& weights);
+
+  [[nodiscard]] std::size_t size() const { return weights_.size(); }
+  [[nodiscard]] double total() const { return total_; }
+  [[nodiscard]] double weight(ChunkId c) const { return weights_[c]; }
+
+  /// Draw chunk c with probability weight(c) / total() given u in [0, 1).
+  /// Precondition: total() > 0.
+  [[nodiscard]] ChunkId sample(double u) const;
+
+ private:
+  std::vector<double> tree_;     // 1-based Fenwick array
+  std::vector<double> weights_;  // plain weights, for queries and zero checks
+  double total_ = 0.0;
+  std::size_t top_bit_ = 0;  // largest power of two <= size()
+};
+
+/// Incremental per-(chunk, reaction-type) enabled-count cache: the
+/// bookkeeping that turns the paper's "option 4" rate-weighted chunk
+/// selection from an O(N |T|) per-step rescan into an O(neighborhood)
+/// update per executed reaction (the same direct-method bookkeeping VSSM
+/// uses for event selection).
+///
+/// The cache tracks, per reaction type, at which sites the type is
+/// currently enabled (one byte per (type, site)); partition slots aggregate
+/// those bits into per-chunk counts. Enabledness is partition-independent,
+/// so several partitions (PNDCA's cycling list, TPNDCA's per-subset
+/// sub-partitions) share one enabledness table.
+///
+/// Invariant (checked in test_rate_cache.cpp): after every refresh,
+/// count(slot, c, t) equals the brute-force recount of sites s in chunk c
+/// with reaction t enabled at s in the current configuration.
+///
+/// Update rule: after a reaction writes site z, every anchor a = z - o for
+/// offsets o in a type's neighborhood is rechecked against the current
+/// configuration; a flip of the stored bit adjusts every slot's count for
+/// (chunk_of(a), type) by +-1. Rechecks are idempotent and the final bit is
+/// a pure function of the final configuration, so counts are independent of
+/// the order in which a batch of writes is replayed — which is what lets
+/// the threaded engine defer refreshes to the chunk-sweep barrier and still
+/// match the sequential trajectory bit for bit.
+///
+/// All counts are integers; the floating-point chunk weights and the
+/// Fenwick sampler are (re)derived from them in a fixed summation order, so
+/// identical counts always produce identical draws.
+class EnabledRateCache {
+ public:
+  /// Builds the enabledness table with one full O(N |T|) scan — the only
+  /// full-lattice rescan the cache ever performs.
+  EnabledRateCache(const ReactionModel& model, const Configuration& config);
+
+  /// Register a partition and aggregate the current enabledness into its
+  /// per-chunk counts; returns the slot index for queries. The site->chunk
+  /// map is copied, so the Partition need not outlive the cache.
+  std::size_t add_partition(const Partition& partition);
+
+  [[nodiscard]] std::size_t num_slots() const { return slots_.size(); }
+  [[nodiscard]] std::size_t num_chunks(std::size_t slot) const {
+    return slots_[slot].num_chunks;
+  }
+
+  /// Number of sites in chunk c (of slot's partition) where reaction type t
+  /// is currently enabled.
+  [[nodiscard]] std::uint32_t count(std::size_t slot, ChunkId c, ReactionIndex t) const {
+    return slots_[slot].counts[static_cast<std::size_t>(c) * num_types_ + t];
+  }
+
+  /// Sum over types of k_t * count(slot, c, t): the chunk's enabled rate.
+  [[nodiscard]] double chunk_rate(std::size_t slot, ChunkId c) const;
+
+  /// Fenwick sampler over the slot's chunk rates, lazily rebuilt from the
+  /// counts after any of them changed. total() == 0 means no reaction is
+  /// enabled anywhere; callers fall back to their structural draw.
+  [[nodiscard]] const ChunkSampler& sampler(std::size_t slot) const;
+
+  /// Recheck every (type, anchor) whose enabledness can depend on the just
+  /// written site and fold flips into all slots. Call once per written site
+  /// after the write is in `config`.
+  void refresh_after(const Configuration& config, SiteIndex written);
+
+  /// Full rescan, re-deriving every bit and count from `config` (recovery /
+  /// testing; never needed on the hot path).
+  void rebuild(const Configuration& config);
+
+ private:
+  struct Slot {
+    std::vector<ChunkId> chunk_of;      // copied site -> chunk map
+    std::size_t num_chunks = 0;
+    std::vector<std::uint32_t> counts;  // [chunk * num_types + type]
+    mutable ChunkSampler sampler;
+    mutable bool sampler_dirty = true;
+  };
+
+  void recount_slot(Slot& slot) const;
+
+  const ReactionModel& model_;
+  std::size_t num_types_;
+  SiteIndex num_sites_;
+  std::vector<std::uint8_t> enabled_;  // [type * num_sites + site]
+  std::vector<Slot> slots_;
+  mutable std::vector<double> weight_scratch_;
+};
+
+}  // namespace casurf

@@ -9,11 +9,12 @@ namespace casurf {
 
 TPndcaSimulator::TPndcaSimulator(const ReactionModel& model, Configuration config,
                                  std::vector<TypeSubset> subsets, std::uint64_t seed,
-                                 std::uint32_t sweeps_per_step)
+                                 std::uint32_t sweeps_per_step, ChunkWeighting weighting)
     : Simulator(model, std::move(config)),
       subsets_(std::move(subsets)),
       rng_(seed),
-      sweeps_per_step_(sweeps_per_step) {
+      sweeps_per_step_(sweeps_per_step),
+      weighting_(weighting) {
   if (subsets_.empty()) {
     throw std::invalid_argument("TPNDCA: at least one type subset required");
   }
@@ -38,6 +39,32 @@ TPndcaSimulator::TPndcaSimulator(const ReactionModel& model, Configuration confi
         std::lround(mean_chunks / static_cast<double>(subsets_.size())));
     if (sweeps_per_step_ == 0) sweeps_per_step_ = 1;
   }
+  if (weighting_ == ChunkWeighting::kRateWeighted) {
+    rate_cache_ = std::make_unique<EnabledRateCache>(model_, config_);
+    for (const TypeSubset& sub : subsets_) rate_cache_->add_partition(sub.chunks);
+  }
+}
+
+ChunkId TPndcaSimulator::select_chunk(std::size_t subset_index, ReactionIndex chosen) {
+  const TypeSubset& sub = subsets_[subset_index];
+  const std::size_t m = sub.chunks.num_chunks();
+  if (rate_cache_) {
+    // Weight each chunk of the subset's sub-partition by the cached number
+    // of sites where the chosen type is enabled; zero-count chunks are
+    // unselectable. Enabled-nowhere types keep the uniform draw so the
+    // sweep (and its time advance) still happens.
+    weight_scratch_.resize(m);
+    double total = 0;
+    for (ChunkId c = 0; c < m; ++c) {
+      weight_scratch_[c] = static_cast<double>(rate_cache_->count(subset_index, c, chosen));
+      total += weight_scratch_[c];
+    }
+    if (total > 0) {
+      sampler_scratch_.assign(weight_scratch_);
+      return sampler_scratch_.sample(uniform01(rng_));
+    }
+  }
+  return static_cast<ChunkId>(uniform_below(rng_, m));
 }
 
 void TPndcaSimulator::mc_step() {
@@ -63,11 +90,19 @@ void TPndcaSimulator::mc_step() {
     // select P_i from the subset's partition, then execute the chosen type
     // at every enabled site of the chunk. Same-chunk anchors of a single
     // type never overlap, so this whole sweep is a parallel batch.
-    const auto c = static_cast<ChunkId>(uniform_below(rng_, sub.chunks.num_chunks()));
+    const ChunkId c = select_chunk(j, chosen);
+    const Lattice& lat = config_.lattice();
     for (const SiteIndex s : sub.chunks.chunk(c)) {
       if (rt.enabled(config_, s)) {
         rt.execute(config_, s);
         record_execution(chosen);
+        if (rate_cache_) {
+          for (const Transform& t : rt.transforms()) {
+            if (t.tg != kKeep) {
+              rate_cache_->refresh_after(config_, lat.neighbor(s, t.offset));
+            }
+          }
+        }
       }
       ++counters_.trials;
     }

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
+#include "ca/rate_cache.hpp"
 #include "core/simulator.hpp"
 #include "partition/type_partition.hpp"
 #include "rng/xoshiro.hpp"
@@ -19,27 +21,48 @@ namespace casurf {
 ///
 /// Per step, `sweeps_per_step` inner sweeps run; each selects a subset T_j
 /// with probability K_Tj / K, a type within it with probability k_i / K_Tj,
-/// a chunk of the subset's partition uniformly, and executes the type at
-/// every enabled site of the chunk. The default sweeps count (the average
-/// chunk count over subsets) makes the expected number of executions per
-/// step match RSM's MC step for every type.
+/// a chunk of the subset's partition, and executes the type at every
+/// enabled site of the chunk. The default sweeps count (the average chunk
+/// count over subsets) makes the expected number of executions per step
+/// match RSM's MC step for every type.
+///
+/// Chunk selection within a subset is uniform by default. With
+/// `ChunkWeighting::kRateWeighted` it is weighted by the number of sites
+/// where the *chosen type* is currently enabled in each chunk of the
+/// subset's sub-partition (the rate factor k_i is common to the chunks, so
+/// the enabled counts alone give the right distribution), served by the
+/// incremental `EnabledRateCache` — one slot per subset. A type enabled
+/// nowhere falls back to the uniform draw.
 class TPndcaSimulator final : public Simulator {
  public:
   TPndcaSimulator(const ReactionModel& model, Configuration config,
                   std::vector<TypeSubset> subsets, std::uint64_t seed,
-                  std::uint32_t sweeps_per_step = 0 /* 0 = auto */);
+                  std::uint32_t sweeps_per_step = 0 /* 0 = auto */,
+                  ChunkWeighting weighting = ChunkWeighting::kStructural);
 
   void mc_step() override;
   [[nodiscard]] std::string name() const override { return "TPNDCA"; }
 
   [[nodiscard]] const std::vector<TypeSubset>& subsets() const { return subsets_; }
   [[nodiscard]] std::uint32_t sweeps_per_step() const { return sweeps_per_step_; }
+  [[nodiscard]] ChunkWeighting weighting() const { return weighting_; }
+
+  /// The incremental enabled-rate cache (slot j == subset j's
+  /// sub-partition), or nullptr under uniform chunk selection. For the
+  /// invariant tests.
+  [[nodiscard]] const EnabledRateCache* rate_cache() const { return rate_cache_.get(); }
 
  private:
+  [[nodiscard]] ChunkId select_chunk(std::size_t subset_index, ReactionIndex chosen);
+
   std::vector<TypeSubset> subsets_;
   Xoshiro256 rng_;
   std::uint32_t sweeps_per_step_;
+  ChunkWeighting weighting_;
   std::vector<double> subset_cumulative_;  // cumulative K_Tj
+  std::unique_ptr<EnabledRateCache> rate_cache_;  // kRateWeighted only
+  std::vector<double> weight_scratch_;
+  ChunkSampler sampler_scratch_;
 };
 
 }  // namespace casurf

@@ -33,21 +33,14 @@ double VssmSimulator::total_enabled_rate() const {
 }
 
 void VssmSimulator::refresh_around(SiteIndex changed) {
-  // A change at z can only flip enabledness of type i anchored at z - o for
-  // offsets o in the type's neighborhood. Rechecks are idempotent, so
-  // duplicate candidates across several changed sites are harmless.
-  const Lattice& lat = config_.lattice();
-  for (ReactionIndex i = 0; i < model_.num_reactions(); ++i) {
-    const ReactionType& rt = model_.reaction(i);
-    for (const Vec2 o : rt.neighborhood()) {
-      const SiteIndex anchor = lat.neighbor(changed, -o);
-      if (rt.enabled(config_, anchor)) {
-        enabled_[i].insert(anchor);
-      } else {
-        enabled_[i].erase(anchor);
-      }
-    }
-  }
+  visit_recheck_anchors(model_, config_, changed,
+                        [&](ReactionIndex i, SiteIndex anchor, bool now) {
+                          if (now) {
+                            enabled_[i].insert(anchor);
+                          } else {
+                            enabled_[i].erase(anchor);
+                          }
+                        });
 }
 
 void VssmSimulator::mc_step() {
@@ -59,21 +52,32 @@ void VssmSimulator::mc_step() {
   execute_event(total);
 }
 
+ReactionIndex VssmSimulator::select_type(double u, double total) const {
+  // Direct-method band selection: type i with probability k_i |E_i| / total.
+  // Empty bands are skipped entirely, and when rounding leaves the target
+  // unconsumed past the last band, the fall-through goes to the last type
+  // with a *nonzero* band — never to one whose enabled set is empty, which
+  // would silently drop the event after time was already advanced.
+  double target = u * total;
+  const auto num = static_cast<ReactionIndex>(model_.num_reactions());
+  ReactionIndex fallback = num;
+  for (ReactionIndex i = 0; i < num; ++i) {
+    const double band =
+        model_.reaction(i).rate() * static_cast<double>(enabled_[i].size());
+    if (!(band > 0.0)) continue;
+    fallback = i;
+    if (target < band) return i;
+    target -= band;
+  }
+  return fallback;  // == num_reactions() only when nothing is enabled at all
+}
+
 void VssmSimulator::execute_event(double total) {
   // Type with probability proportional to k_i |E_i|, anchor uniform within
   // the type's set.
-  double target = uniform01(rng_) * total;
-  ReactionIndex chosen = 0;
-  for (ReactionIndex i = 0; i < model_.num_reactions(); ++i) {
-    const double band = model_.reaction(i).rate() * static_cast<double>(enabled_[i].size());
-    if (target < band || i + 1 == model_.num_reactions()) {
-      chosen = i;
-      break;
-    }
-    target -= band;
-  }
+  const ReactionIndex chosen = select_type(uniform01(rng_), total);
+  if (chosen == model_.num_reactions()) return;  // possible only if total ~ 0
   const EnabledSet& set = enabled_[chosen];
-  if (set.empty()) return;  // numerically possible only if total ~ 0
   const SiteIndex s = set.at(static_cast<std::size_t>(uniform_below(rng_, set.size())));
 
   const ReactionType& rt = model_.reaction(chosen);

@@ -34,6 +34,14 @@ class VssmSimulator final : public Simulator {
   /// True when no reaction is enabled (absorbing state).
   [[nodiscard]] bool stalled() const { return total_enabled_rate() <= 0.0; }
 
+  /// The type-selection kernel of the direct method: given u in [0, 1) and
+  /// total == total_enabled_rate() > 0, returns the type with probability
+  /// k_i |E_i| / total. Never returns a type whose enabled set is empty
+  /// (rounding can push u * total past the last band; the fall-through goes
+  /// to the last *nonzero* band). Returns num_reactions() only when no type
+  /// is enabled at all. Exposed for the rounding-overflow regression test.
+  [[nodiscard]] ReactionIndex select_type(double u, double total) const;
+
   /// The most recently executed event (valid once counters().executed > 0).
   /// Event-driven analyses — e.g. the Time-Warp rollback study — replay
   /// the exact trajectory from this record.

@@ -27,19 +27,29 @@ ParallelPndcaEngine::ParallelPndcaEngine(const ReactionModel& model,
   }
   deltas_.assign(pool_.size(), std::vector<std::int64_t>(model.species().size(), 0));
   tallies_.assign(pool_.size(), std::vector<std::uint64_t>(model.num_reactions(), 0));
+  fired_.assign(pool_.size(), {});
 }
 
 void ParallelPndcaEngine::execute_chunk(std::uint64_t sweep,
                                         const std::vector<SiteIndex>& sites) {
+  const bool track_fired = rate_cache_active();
   for (auto& d : deltas_) std::ranges::fill(d, 0);
   for (auto& t : tallies_) std::ranges::fill(t, 0);
+  if (track_fired) {
+    for (auto& f : fired_) f.clear();
+  }
 
   pool_.parallel_for(sites.size(), [&](unsigned tid, std::size_t begin, std::size_t end) {
     std::int64_t* deltas = deltas_[tid].data();
     std::uint64_t* tally = tallies_[tid].data();
     for (std::size_t i = begin; i < end; ++i) {
       const std::int32_t fired = trial_at(sweep, sites[i], deltas);
-      if (fired != kNoReaction) ++tally[fired];
+      if (fired != kNoReaction) {
+        ++tally[fired];
+        if (track_fired) {
+          fired_[tid].push_back({sites[i], static_cast<ReactionIndex>(fired)});
+        }
+      }
     }
   });
 
@@ -50,6 +60,17 @@ void ParallelPndcaEngine::execute_chunk(std::uint64_t sweep,
       const std::uint64_t n = tallies_[tid][rt];
       counters_.executed += n;
       counters_.executed_per_type[rt] += n;
+    }
+  }
+
+  // Enabled-rate cache deltas merge at the same barrier. Rechecks run
+  // against the post-sweep configuration and are idempotent, so the counts
+  // land exactly where the sequential simulator's per-event updates do.
+  if (track_fired) {
+    for (unsigned tid = 0; tid < pool_.size(); ++tid) {
+      for (const FiredReaction& f : fired_[tid]) {
+        refresh_rate_cache(model_.reaction(f.type), f.site);
+      }
     }
   }
 }

@@ -39,6 +39,15 @@ class ParallelPndcaEngine final : public PndcaSimulator {
   // Per-thread scratch, reused every sweep: [species deltas..., type tallies...]
   std::vector<std::vector<std::int64_t>> deltas_;
   std::vector<std::vector<std::uint64_t>> tallies_;
+  // Under kRateWeighted, each worker also records its executed (site, type)
+  // pairs; the enabled-rate cache deltas are folded in at the sweep barrier
+  // in worker order — like the species deltas, this keeps the trajectory
+  // bit-identical across thread counts.
+  struct FiredReaction {
+    SiteIndex site;
+    ReactionIndex type;
+  };
+  std::vector<std::vector<FiredReaction>> fired_;
 };
 
 }  // namespace casurf

@@ -38,10 +38,13 @@ class CounterRng {
         (static_cast<u128>(next()) * static_cast<u128>(bound)) >> 64);
   }
 
-  /// Pack a (step, site, salt) triple into a stream key.
+  /// Pack a (step, site, salt) triple into a stream key. The salt runs
+  /// through the finalizer like the other words: the previous `salt << 1`
+  /// dropped the top salt bit (salts s and s | 2^63 collided outright) and
+  /// left salts s and s ^ b one pre-finalization bit apart.
   static constexpr std::uint64_t key(std::uint64_t step, std::uint64_t site,
                                      std::uint64_t salt = 0) {
-    return mix64(step * 0xd1342543de82ef95ULL + site) ^ (salt << 1);
+    return mix64(step * 0xd1342543de82ef95ULL + site) ^ mix64(salt);
   }
 
  private:

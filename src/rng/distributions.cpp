@@ -63,6 +63,12 @@ std::size_t sample_cumulative(const std::vector<double>& cumulative, double u) {
       lo = mid + 1;
     }
   }
+  // When target reaches cumulative.back() (u == 1.0 from a caller, or
+  // u * total rounding up for subnormal totals), no entry compares greater
+  // and the search falls through to the last index regardless of its
+  // weight. Walk back over duplicate cumulative values so a zero-weight
+  // band is never selected.
+  while (lo > 0 && cumulative[lo] == cumulative[lo - 1]) --lo;
   return lo;
 }
 

@@ -54,6 +54,59 @@ TEST_P(ThreadCountSweep, TrajectoryIdenticalToSequentialPndca) {
 
 INSTANTIATE_TEST_SUITE_P(Threads, ThreadCountSweep, ::testing::Values(1u, 2u, 3u, 4u, 7u));
 
+class RateWeightedThreadSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RateWeightedThreadSweep, TrajectoryIdenticalToSequentialPndca) {
+  // Under kRateWeighted the schedule depends on the enabled-rate cache, so
+  // this additionally pins down the barrier-merged cache maintenance: any
+  // divergence in the counts shows up as a diverging chunk schedule.
+  const unsigned threads = GetParam();
+  auto zgb = models::make_zgb(models::ZgbParams::from_y(0.45, 10.0));
+  const Lattice lat(20, 20);
+
+  PndcaSimulator seq(zgb.model, Configuration(lat, 3, zgb.vacant), five_chunks(lat), 57,
+                     ChunkPolicy::kRateWeighted);
+  ParallelPndcaEngine par(zgb.model, Configuration(lat, 3, zgb.vacant), five_chunks(lat),
+                          57, threads, ChunkPolicy::kRateWeighted);
+
+  for (int step = 0; step < 40; ++step) {
+    seq.mc_step();
+    par.mc_step();
+    ASSERT_EQ(seq.last_schedule(), par.last_schedule()) << "step " << step;
+    ASSERT_TRUE(seq.configuration() == par.configuration()) << "step " << step;
+    ASSERT_DOUBLE_EQ(seq.time(), par.time()) << "step " << step;
+  }
+  EXPECT_EQ(seq.counters().executed, par.counters().executed);
+  EXPECT_EQ(seq.counters().executed_per_type, par.counters().executed_per_type);
+  EXPECT_EQ(seq.counters().trials, par.counters().trials);
+}
+
+TEST_P(RateWeightedThreadSweep, MoreThreadsThanChunkSites) {
+  // 5x5 with the five-chunk linear form: every chunk holds 5 sites, fewer
+  // than the 7-thread pool — the fork-join leaves workers idle and the
+  // barrier replay must still reproduce the serial cache exactly.
+  const unsigned threads = GetParam();
+  auto zgb = models::make_zgb(models::ZgbParams::from_y(0.45, 10.0));
+  const Lattice lat(5, 5);
+
+  PndcaSimulator seq(zgb.model, Configuration(lat, 3, zgb.vacant), five_chunks(lat), 61,
+                     ChunkPolicy::kRateWeighted);
+  ParallelPndcaEngine par(zgb.model, Configuration(lat, 3, zgb.vacant), five_chunks(lat),
+                          61, threads, ChunkPolicy::kRateWeighted);
+
+  for (int step = 0; step < 30; ++step) {
+    seq.mc_step();
+    par.mc_step();
+    ASSERT_EQ(seq.last_schedule(), par.last_schedule()) << "step " << step;
+    ASSERT_TRUE(seq.configuration() == par.configuration()) << "step " << step;
+    ASSERT_DOUBLE_EQ(seq.time(), par.time()) << "step " << step;
+  }
+  EXPECT_EQ(seq.counters().executed, par.counters().executed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, RateWeightedThreadSweep,
+                         ::testing::Values(1u, 2u, 4u, 7u));
+
 TEST(ParallelPndca, DeterministicAcrossPolicies) {
   auto zgb = models::make_zgb();
   const Lattice lat(15, 15);

@@ -99,6 +99,24 @@ TEST(Pndca, RateWeightedPolicyRuns) {
   EXPECT_GT(sim.counters().executed, 0u);
 }
 
+TEST(Pndca, RateWeightedNeverSchedulesZeroWeightChunk) {
+  // Chunk 0 is pre-filled with A and the only reaction is adsorption onto
+  // vacant sites, so chunk 0 carries zero enabled rate. It must never
+  // appear in a rate-weighted schedule — previously the duplicate
+  // cumulative values let the selection fall into its zero-width band.
+  ReactionModel m(SpeciesSet({"*", "A"}));
+  m.add(ReactionType("ads", 1.0, {exact({0, 0}, 0, 1)}));
+  const Lattice lat(10, 10);
+  const Partition p = five_chunks(lat);
+  Configuration cfg(lat, 2, 0);
+  for (const SiteIndex s : p.chunk(0)) cfg.set(s, 1);
+  PndcaSimulator sim(m, std::move(cfg), {p}, 13, ChunkPolicy::kRateWeighted);
+  sim.mc_step();
+  ASSERT_NE(sim.rate_cache(), nullptr);
+  EXPECT_DOUBLE_EQ(sim.rate_cache()->chunk_rate(0, 0), 0.0);
+  for (const ChunkId c : sim.last_schedule()) EXPECT_NE(c, 0u);
+}
+
 TEST(Pndca, SameSeedSameTrajectory) {
   auto zgb = models::make_zgb();
   const Lattice lat(10, 10);

@@ -1,0 +1,272 @@
+#include "ca/rate_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ca/lpndca.hpp"
+#include "ca/pndca.hpp"
+#include "ca/tpndca.hpp"
+#include "models/zgb.hpp"
+#include "parallel/parallel_pndca.hpp"
+#include "partition/type_partition.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace casurf {
+namespace {
+
+ReactionModel ads_des_model(double k_a, double k_d) {
+  ReactionModel m(SpeciesSet({"*", "A"}));
+  m.add(ReactionType("ads", k_a, {exact({0, 0}, 0, 1)}));
+  m.add(ReactionType("des", k_d, {exact({0, 0}, 1, 0)}));
+  return m;
+}
+
+/// Brute-force recount of the cache invariant: count(slot, c, t) must equal
+/// the number of sites s with chunk_of(s) == c and reaction t enabled at s.
+void expect_counts_match_brute_force(const EnabledRateCache& cache, std::size_t slot,
+                                     const Partition& p, const ReactionModel& model,
+                                     const Configuration& cfg, const char* context) {
+  const auto num_types = static_cast<ReactionIndex>(model.num_reactions());
+  std::vector<std::uint32_t> brute(p.num_chunks() * num_types, 0);
+  for (ReactionIndex t = 0; t < num_types; ++t) {
+    const ReactionType& rt = model.reaction(t);
+    for (SiteIndex s = 0; s < cfg.size(); ++s) {
+      if (rt.enabled(cfg, s)) ++brute[p.chunk_of(s) * num_types + t];
+    }
+  }
+  for (ChunkId c = 0; c < p.num_chunks(); ++c) {
+    for (ReactionIndex t = 0; t < num_types; ++t) {
+      ASSERT_EQ(cache.count(slot, c, t), brute[c * num_types + t])
+          << context << ": chunk " << c << " type " << model.reaction(t).name();
+    }
+  }
+}
+
+TEST(ChunkSampler, MatchesWeights) {
+  ChunkSampler sampler;
+  sampler.assign({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(sampler.total(), 10.0);
+  Xoshiro256 rng(1);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(uniform01(rng))];
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(n), (i + 1) / 10.0, 0.005) << i;
+  }
+}
+
+TEST(ChunkSampler, ZeroWeightChunksUnselectable) {
+  ChunkSampler sampler;
+  sampler.assign({1.0, 0.0, 2.0, 0.0, 1.0});
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 50000; ++i) {
+    const ChunkId c = sampler.sample(uniform01(rng));
+    ASSERT_NE(c, 1u);
+    ASSERT_NE(c, 3u);
+  }
+}
+
+TEST(ChunkSampler, BoundaryOverflowNeverLandsOnTrailingZeroWeight) {
+  // When the scaled target reaches the total (u == 1.0 from a misbehaving
+  // caller, or u * total rounding up for subnormal totals), the Fenwick
+  // descent consumes the whole tree and the clamp lands on the last chunk
+  // regardless of its weight. The sampler must walk back to the last chunk
+  // whose weight is nonzero.
+  ChunkSampler sampler;
+  sampler.assign({4.0, 0.0});
+  EXPECT_EQ(sampler.sample(1.0), 0u);
+  EXPECT_EQ(sampler.sample(std::nextafter(1.0, 0.0)), 0u);
+
+  sampler.assign({1.0, 3.0, 0.0, 0.0});
+  EXPECT_EQ(sampler.sample(1.0), 1u);
+  EXPECT_EQ(sampler.sample(std::nextafter(1.0, 0.0)), 1u);
+}
+
+TEST(ChunkSampler, SingleChunk) {
+  ChunkSampler sampler;
+  sampler.assign({0.5});
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.sample(uniform01(rng)), 0u);
+  EXPECT_EQ(sampler.sample(std::nextafter(1.0, 0.0)), 0u);
+}
+
+TEST(RateCache, InitialCountsMatchBruteForce) {
+  auto zgb = models::make_zgb();
+  const Lattice lat(10, 10);
+  Configuration cfg(lat, 3, zgb.vacant);
+  cfg.set(Vec2{1, 1}, zgb.co);
+  cfg.set(Vec2{2, 1}, zgb.o);
+  cfg.set(Vec2{5, 5}, zgb.o);
+
+  EnabledRateCache cache(zgb.model, cfg);
+  const Partition p = Partition::linear_form(lat, 1, 3, 5);
+  ASSERT_EQ(cache.add_partition(p), 0u);
+  expect_counts_match_brute_force(cache, 0, p, zgb.model, cfg, "initial");
+
+  // Chunk rates are the k-weighted counts.
+  for (ChunkId c = 0; c < p.num_chunks(); ++c) {
+    double expected = 0;
+    for (ReactionIndex t = 0; t < zgb.model.num_reactions(); ++t) {
+      expected += zgb.model.reaction(t).rate() * static_cast<double>(cache.count(0, c, t));
+    }
+    EXPECT_DOUBLE_EQ(cache.chunk_rate(0, c), expected);
+  }
+}
+
+TEST(RateCache, RefusesMismatchedPartition) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  const Configuration cfg(Lattice(6, 6), 2, 0);
+  EnabledRateCache cache(m, cfg);
+  EXPECT_THROW(cache.add_partition(Partition::single_chunk(Lattice(5, 5))),
+               std::invalid_argument);
+}
+
+TEST(RateCache, IncrementalRefreshTracksWrites) {
+  auto zgb = models::make_zgb();
+  const Lattice lat(10, 10);
+  Configuration cfg(lat, 3, zgb.vacant);
+  EnabledRateCache cache(zgb.model, cfg);
+  const Partition p = Partition::linear_form(lat, 1, 3, 5);
+  cache.add_partition(p);
+
+  // Random walk of single-site writes, refreshing after each; the counts
+  // must track the brute-force recount the whole way.
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 400; ++i) {
+    const auto s = static_cast<SiteIndex>(uniform_below(rng, cfg.size()));
+    cfg.set(s, static_cast<Species>(uniform_below(rng, 3)));
+    cache.refresh_after(cfg, s);
+    if (i % 25 == 0) {
+      expect_counts_match_brute_force(cache, 0, p, zgb.model, cfg, "write walk");
+    }
+  }
+  expect_counts_match_brute_force(cache, 0, p, zgb.model, cfg, "write walk end");
+}
+
+TEST(RateCache, InvariantHoldsOver1000ZgbSteps) {
+  // The acceptance-criterion test: counts == brute-force recount after
+  // every MC step of a rate-weighted ZGB trajectory, >= 1000 steps.
+  auto zgb = models::make_zgb(models::ZgbParams::from_y(0.45, 10.0));
+  const Lattice lat(10, 10);
+  const Partition p = Partition::linear_form(lat, 1, 3, 5);
+  PndcaSimulator sim(zgb.model, Configuration(lat, 3, zgb.vacant), {p}, 21,
+                     ChunkPolicy::kRateWeighted);
+  ASSERT_NE(sim.rate_cache(), nullptr);
+  for (int step = 0; step < 1000; ++step) {
+    sim.mc_step();
+    expect_counts_match_brute_force(*sim.rate_cache(), 0, p, zgb.model,
+                                    sim.configuration(), "ZGB step");
+  }
+  // The brute-force reference and the cache agree on the chunk rates too.
+  for (ChunkId c = 0; c < p.num_chunks(); ++c) {
+    EXPECT_NEAR(sim.rate_cache()->chunk_rate(0, c), sim.enabled_rate_in_chunk(p, c),
+                1e-9 * (1.0 + sim.enabled_rate_in_chunk(p, c)));
+  }
+}
+
+TEST(RateCache, InvariantHoldsAcrossCyclingPartitions) {
+  const ReactionModel m = ads_des_model(1.5, 0.5);
+  const Lattice lat(6, 6);
+  const Partition p0 = Partition::blocks(lat, 3, 3);
+  const Partition p1 = Partition::blocks(lat, 3, 3, {1, 1});
+  PndcaSimulator sim(m, Configuration(lat, 2, 0), {p0, p1}, 23,
+                     ChunkPolicy::kRateWeighted);
+  ASSERT_EQ(sim.rate_cache()->num_slots(), 2u);
+  for (int step = 0; step < 200; ++step) {
+    sim.mc_step();
+    expect_counts_match_brute_force(*sim.rate_cache(), 0, p0, m, sim.configuration(),
+                                    "slot 0");
+    expect_counts_match_brute_force(*sim.rate_cache(), 1, p1, m, sim.configuration(),
+                                    "slot 1");
+  }
+}
+
+TEST(RateCache, InvariantHoldsUnderThreadedEngine) {
+  auto zgb = models::make_zgb(models::ZgbParams::from_y(0.45, 10.0));
+  const Lattice lat(15, 15);
+  const Partition p = Partition::linear_form(lat, 1, 3, 5);
+  ParallelPndcaEngine sim(zgb.model, Configuration(lat, 3, zgb.vacant), {p}, 29, 4,
+                          ChunkPolicy::kRateWeighted);
+  for (int step = 0; step < 300; ++step) {
+    sim.mc_step();
+    if (step % 10 == 0) {
+      expect_counts_match_brute_force(*sim.rate_cache(), 0, p, zgb.model,
+                                      sim.configuration(), "threaded step");
+    }
+  }
+  expect_counts_match_brute_force(*sim.rate_cache(), 0, p, zgb.model,
+                                  sim.configuration(), "threaded end");
+}
+
+TEST(RateCache, OtherPoliciesDoNotPayForTheCache) {
+  auto zgb = models::make_zgb();
+  const Lattice lat(10, 10);
+  PndcaSimulator sim(zgb.model, Configuration(lat, 3, zgb.vacant),
+                     {Partition::linear_form(lat, 1, 3, 5)}, 31,
+                     ChunkPolicy::kRandomOrder);
+  EXPECT_EQ(sim.rate_cache(), nullptr);
+}
+
+TEST(RateCache, RebuildRecoversFromExternalWrites) {
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  const Lattice lat(6, 6);
+  Configuration cfg(lat, 2, 0);
+  EnabledRateCache cache(m, cfg);
+  const Partition p = Partition::blocks(lat, 3, 3);
+  cache.add_partition(p);
+  // Mutate without refreshing, then rebuild.
+  for (SiteIndex s = 0; s < cfg.size(); s += 2) cfg.set(s, 1);
+  cache.rebuild(cfg);
+  expect_counts_match_brute_force(cache, 0, p, m, cfg, "rebuild");
+}
+
+TEST(LPndcaRateWeighted, InvariantAndEquilibrium) {
+  // With k_a == k_d every site always carries exactly one enabled reaction
+  // at a common rate, so rate-weighted chunk selection coincides with the
+  // size-proportional draw and the independent-site equilibrium must hold.
+  const ReactionModel m = ads_des_model(1.0, 1.0);
+  const Lattice lat(20, 20);
+  const Partition p = Partition::linear_form(lat, 1, 3, 5);
+  LPndcaSimulator sim(m, Configuration(lat, 2, 0), p, 41, 16, TimeMode::kStochastic,
+                      ChunkWeighting::kRateWeighted);
+  ASSERT_NE(sim.rate_cache(), nullptr);
+  sim.advance_to(25.0);
+  expect_counts_match_brute_force(*sim.rate_cache(), 0, p, m, sim.configuration(),
+                                  "L-PNDCA");
+  double avg = 0;
+  const int samples = 60;
+  for (int i = 0; i < samples; ++i) {
+    sim.mc_step();
+    avg += sim.configuration().coverage(1);
+  }
+  EXPECT_NEAR(avg / samples, 0.5, 0.03);
+  expect_counts_match_brute_force(*sim.rate_cache(), 0, p, m, sim.configuration(),
+                                  "L-PNDCA end");
+}
+
+TEST(TPndcaRateWeighted, InvariantAcrossSubsetSlots) {
+  auto zgb = models::make_zgb(models::ZgbParams::from_y(0.45, 10.0));
+  const Lattice lat(12, 12);
+  const std::vector<TypeSubset> subsets = make_type_partition(lat, zgb.model);
+  TPndcaSimulator sim(zgb.model, Configuration(lat, 3, zgb.vacant), subsets, 43, 0,
+                      ChunkWeighting::kRateWeighted);
+  ASSERT_NE(sim.rate_cache(), nullptr);
+  ASSERT_EQ(sim.rate_cache()->num_slots(), subsets.size());
+  for (int step = 0; step < 500; ++step) sim.mc_step();
+  EXPECT_GT(sim.counters().executed, 0u);
+  for (std::size_t j = 0; j < subsets.size(); ++j) {
+    expect_counts_match_brute_force(*sim.rate_cache(), j, sim.subsets()[j].chunks,
+                                    zgb.model, sim.configuration(), "TPNDCA slot");
+  }
+  // Maintained species counts survive the cached path too.
+  std::vector<std::uint64_t> recount(3, 0);
+  for (SiteIndex s = 0; s < sim.configuration().size(); ++s) {
+    ++recount[sim.configuration().get(s)];
+  }
+  for (Species s = 0; s < 3; ++s) EXPECT_EQ(sim.configuration().count(s), recount[s]);
+}
+
+}  // namespace
+}  // namespace casurf

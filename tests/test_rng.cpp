@@ -157,6 +157,25 @@ TEST(CounterRng, KeySaltSeparatesStreams) {
   EXPECT_NE(a.next(), b.next());
 }
 
+TEST(CounterRng, KeySaltHighBitSeparatesStreams) {
+  // Regression: the key used to fold in `salt << 1`, which drops bit 63 —
+  // salts s and s | 2^63 produced the same stream.
+  CounterRng a(9, CounterRng::key(1, 2, 5));
+  CounterRng b(9, CounterRng::key(1, 2, 5 | (1ULL << 63)));
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(CounterRng, DefaultSaltKeysUnchanged) {
+  // mix64(0) == 0, so salt-0 keys — the library-wide default — kept their
+  // pre-fix values and golden trajectories are unaffected.
+  EXPECT_EQ(mix64(0), 0u);
+  EXPECT_EQ(CounterRng::key(3, 17, 0), CounterRng::key(3, 17));
+}
+
 TEST(AliasTable, SingleEntry) {
   const AliasTable t({3.0});
   Xoshiro256 rng(1);
@@ -196,6 +215,23 @@ TEST(SampleCumulative, PicksCorrectBand) {
   EXPECT_EQ(sample_cumulative(cum, 0.49), 1u);
   EXPECT_EQ(sample_cumulative(cum, 0.51), 2u);
   EXPECT_EQ(sample_cumulative(cum, 0.999), 2u);
+}
+
+TEST(SampleCumulative, ZeroWidthBandsNeverSelected) {
+  // Zero-weight entries duplicate their predecessor's cumulative value.
+  // When the target reaches the top of the table (u == 1.0, or rounding on
+  // subnormal totals) the search falls through to the last entry regardless
+  // of its width; the walk-back must land on the last nonzero band.
+  const std::vector<double> trailing = {4.0, 4.0};
+  EXPECT_EQ(sample_cumulative(trailing, 1.0), 0u);
+  EXPECT_EQ(sample_cumulative(trailing, std::nextafter(1.0, 0.0)), 0u);
+
+  const std::vector<double> cum = {1.0, 3.0, 3.0, 3.0};
+  EXPECT_EQ(sample_cumulative(cum, 1.0), 1u);
+  for (int i = 0; i <= 32; ++i) {
+    const std::size_t band = sample_cumulative(cum, i / 32.0);
+    EXPECT_LE(band, 1u) << "u = " << i / 32.0;
+  }
 }
 
 TEST(SampleCumulative, EmptyThrows) {
