@@ -1,13 +1,19 @@
 // casurf_run — command-line driver for the library: pick a bundled model
 // (or load one from a .model file), pick an algorithm, run, and dump
-// coverage series / snapshots / images.
+// coverage series / snapshots / images. Long runs can checkpoint
+// periodically and resume bit-identically after a crash.
 //
 //   casurf_run --model zgb --y 0.45 --algorithm pndca --size 128x128 \
 //              --t-end 50 --dt 1 --csv coverage.csv --ppm final.ppm
 //
 //   casurf_run --model-file my.model --fill "*" --algorithm rsm --t-end 10
+//
+//   casurf_run --model zgb --t-end 100 --checkpoint run.ck --checkpoint-every 5
+//   casurf_run --model zgb --t-end 100 --checkpoint run.ck --resume run.ck
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -15,8 +21,10 @@
 #include <string>
 #include <vector>
 
+#include "core/audit.hpp"
 #include "core/observer.hpp"
 #include "core/simulation.hpp"
+#include "io/checkpoint.hpp"
 #include "io/snapshot.hpp"
 #include "model/parser.hpp"
 #include "models/diffusion.hpp"
@@ -46,6 +54,12 @@ struct Options {
   unsigned threads = 2;
   std::string fill;      // species name to fill the lattice with
   std::string csv, ppm, snapshot_out, snapshot_in;
+  std::string checkpoint;       // periodic checkpoint target
+  double checkpoint_every = 0;  // 0 = every sampling interval
+  std::string resume;           // checkpoint to resume from
+  std::uint64_t audit_every = 0;  // audit each N samples (0 = off)
+  AuditPolicy audit_policy = AuditPolicy::kAbort;
+  double die_at = -1;  // crash-test aid: _Exit mid-run once time() >= die_at
   bool quiet = false;
 };
 
@@ -68,13 +82,49 @@ struct Options {
                "  --L N               L-PNDCA trials per batch (default 1)\n"
                "  --threads N         threads for the parallel engine (default 2)\n"
                "  --fill NAME         species to fill the lattice with\n"
-               "  --load PATH         start from a snapshot\n"
+               "  --load PATH         start from a snapshot (species matched by name)\n"
                "  --csv PATH          write the coverage time series\n"
                "  --ppm PATH          write the final state as a PPM image\n"
                "  --snapshot PATH     write the final state as a snapshot\n"
+               "  --checkpoint PATH   periodically save a crash-safe checkpoint;\n"
+               "                      the previous one is kept as PATH.bak\n"
+               "  --checkpoint-every T  simulated time between checkpoints\n"
+               "                      (default: the sampling interval)\n"
+               "  --resume PATH       restore state from a checkpoint and continue;\n"
+               "                      falls back to PATH.bak if PATH is corrupt\n"
+               "  --audit-every N     verify derived state every N samples\n"
+               "  --audit-policy P    abort (default) | repair\n"
                "  --quiet             suppress the progress table\n",
                argv0);
   std::exit(error ? 2 : 0);
+}
+
+/// strtod with the full error protocol: no partial parses ("5x" is an
+/// error, atof would read 5), no empty input, no overflow.
+double parse_double(const char* flag, const char* value, const char* argv0) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (end == value || *end != '\0' || errno == ERANGE) {
+    usage(argv0,
+          (std::string(flag) + " expects a number, got '" + value + "'").c_str());
+  }
+  return v;
+}
+
+std::uint64_t parse_u64(const char* flag, const char* value, const char* argv0) {
+  // strtoull silently wraps negatives ("-1" parses as 2^64-1); reject them.
+  const char* p = value;
+  while (*p == ' ' || *p == '\t') ++p;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || *p == '-') {
+    usage(argv0, (std::string(flag) + " expects a non-negative integer, got '" +
+                  value + "'")
+                     .c_str());
+  }
+  return v;
 }
 
 Options parse_args(int argc, char** argv) {
@@ -82,6 +132,12 @@ Options parse_args(int argc, char** argv) {
   const auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage(argv[0], "missing value for flag");
     return argv[++i];
+  };
+  const auto num = [&](int& i, const char* flag) {
+    return parse_double(flag, need_value(i), argv[0]);
+  };
+  const auto integer = [&](int& i, const char* flag) {
+    return parse_u64(flag, need_value(i), argv[0]);
   };
   for (int i = 1; i < argc; ++i) {
     const std::string_view flag = argv[i];
@@ -91,27 +147,48 @@ Options parse_args(int argc, char** argv) {
     else if (flag == "--algorithm") opt.algorithm = need_value(i);
     else if (flag == "--size") {
       const char* v = need_value(i);
-      if (std::sscanf(v, "%dx%d", &opt.width, &opt.height) != 2 || opt.width <= 0 ||
-          opt.height <= 0) {
-        usage(argv[0], "--size expects WxH");
+      char trailing = '\0';
+      if (std::sscanf(v, "%dx%d%c", &opt.width, &opt.height, &trailing) != 2 ||
+          opt.width <= 0 || opt.height <= 0) {
+        usage(argv[0], "--size expects WxH with positive dimensions");
       }
     }
-    else if (flag == "--t-end") opt.t_end = std::atof(need_value(i));
-    else if (flag == "--dt") opt.dt = std::atof(need_value(i));
-    else if (flag == "--seed") opt.seed = std::strtoull(need_value(i), nullptr, 10);
-    else if (flag == "--y") opt.y = std::atof(need_value(i));
-    else if (flag == "--beta") opt.beta = std::atof(need_value(i));
-    else if (flag == "--hop") opt.hop = std::atof(need_value(i));
-    else if (flag == "--coverage0") opt.coverage0 = std::atof(need_value(i));
-    else if (flag == "--L") opt.l_trials = std::strtoul(need_value(i), nullptr, 10);
-    else if (flag == "--threads") opt.threads = std::strtoul(need_value(i), nullptr, 10);
+    else if (flag == "--t-end") opt.t_end = num(i, "--t-end");
+    else if (flag == "--dt") opt.dt = num(i, "--dt");
+    else if (flag == "--seed") opt.seed = integer(i, "--seed");
+    else if (flag == "--y") opt.y = num(i, "--y");
+    else if (flag == "--beta") opt.beta = num(i, "--beta");
+    else if (flag == "--hop") opt.hop = num(i, "--hop");
+    else if (flag == "--coverage0") opt.coverage0 = num(i, "--coverage0");
+    else if (flag == "--L") opt.l_trials = static_cast<std::uint32_t>(integer(i, "--L"));
+    else if (flag == "--threads") opt.threads = static_cast<unsigned>(integer(i, "--threads"));
     else if (flag == "--fill") opt.fill = need_value(i);
     else if (flag == "--load") opt.snapshot_in = need_value(i);
     else if (flag == "--csv") opt.csv = need_value(i);
     else if (flag == "--ppm") opt.ppm = need_value(i);
     else if (flag == "--snapshot") opt.snapshot_out = need_value(i);
+    else if (flag == "--checkpoint") opt.checkpoint = need_value(i);
+    else if (flag == "--checkpoint-every") opt.checkpoint_every = num(i, "--checkpoint-every");
+    else if (flag == "--resume") opt.resume = need_value(i);
+    else if (flag == "--audit-every") opt.audit_every = integer(i, "--audit-every");
+    else if (flag == "--audit-policy") {
+      const std::string_view v = need_value(i);
+      if (v == "abort") opt.audit_policy = AuditPolicy::kAbort;
+      else if (v == "repair") opt.audit_policy = AuditPolicy::kRepair;
+      else usage(argv[0], "--audit-policy expects 'abort' or 'repair'");
+    }
+    else if (flag == "--die-at") opt.die_at = num(i, "--die-at");  // crash-test aid
     else if (flag == "--quiet") opt.quiet = true;
     else usage(argv[0], ("unknown flag: " + std::string(flag)).c_str());
+  }
+
+  if (!(opt.t_end > 0)) usage(argv[0], "--t-end must be a positive number");
+  if (!(opt.dt > 0)) usage(argv[0], "--dt must be a positive number");
+  if (opt.checkpoint_every < 0) usage(argv[0], "--checkpoint-every must be positive");
+  if (opt.l_trials == 0) usage(argv[0], "--L must be at least 1");
+  if (opt.threads == 0) usage(argv[0], "--threads must be at least 1");
+  if (opt.checkpoint_every > 0 && opt.checkpoint.empty()) {
+    usage(argv[0], "--checkpoint-every requires --checkpoint PATH");
   }
   return opt;
 }
@@ -134,6 +211,35 @@ void scatter(Configuration& cfg, Species what, double coverage, std::uint64_t se
   for (SiteIndex s = 0; s < cfg.size(); ++s) {
     if (rng.next_double() < coverage) cfg.set(s, what);
   }
+}
+
+/// App-level state stored in the checkpoint's user section: the next sample
+/// time and the full coverage history, so the resumed run's CSV equals the
+/// uninterrupted run's byte for byte.
+std::string encode_run_state(double next, const CoverageRecorder& recorder) {
+  StateWriter w;
+  w.section("casurf-run");
+  w.f64(next);
+  recorder.save_state(w);
+  return {reinterpret_cast<const char*>(w.buffer().data()), w.size()};
+}
+
+void decode_run_state(const std::string& blob, double& next,
+                      CoverageRecorder& recorder) {
+  StateReader r(std::span(reinterpret_cast<const std::uint8_t*>(blob.data()),
+                          blob.size()));
+  r.expect_section("casurf-run");
+  next = r.f64();
+  recorder.restore_state(r);
+  r.expect_end();
+}
+
+/// Rotate the previous checkpoint to PATH.bak, then atomically publish the
+/// new one. At every instant at least one intact checkpoint exists.
+void write_checkpoint(const Options& opt, const Simulator& sim, double next,
+                      const CoverageRecorder& recorder) {
+  std::rename(opt.checkpoint.c_str(), (opt.checkpoint + ".bak").c_str());
+  io::save_checkpoint(opt.checkpoint, sim, encode_run_state(next, recorder));
 }
 
 }  // namespace
@@ -169,20 +275,31 @@ int main(int argc, char** argv) {
       fill_species = model->species().require(opt.fill);
     }
 
-    // --- Initial configuration ---------------------------------------
     const std::int32_t height = opt.model == "single-file" ? 1 : opt.height;
-    Configuration cfg(Lattice(opt.width, height), model->species().size(),
-                      fill_species);
-    if (!opt.snapshot_in.empty()) {
-      io::Snapshot snap = io::load_snapshot(opt.snapshot_in);
-      if (snap.config.num_species() != model->species().size()) {
-        std::fprintf(stderr, "error: snapshot species count mismatch\n");
-        return 1;
+
+    // --- Initial configuration ---------------------------------------
+    const auto build_config = [&]() -> Configuration {
+      Configuration cfg(Lattice(opt.width, height), model->species().size(),
+                        fill_species);
+      if (!opt.snapshot_in.empty()) {
+        const io::Snapshot snap = io::load_snapshot(opt.snapshot_in);
+        if (snap.config.lattice().width() != opt.width ||
+            snap.config.lattice().height() != height) {
+          throw std::runtime_error("snapshot lattice is " +
+                                   std::to_string(snap.config.lattice().width()) + "x" +
+                                   std::to_string(snap.config.lattice().height()) +
+                                   ", run is " + std::to_string(opt.width) + "x" +
+                                   std::to_string(height) + " (pass a matching --size)");
+        }
+        // Species are matched by NAME: a snapshot written under a model
+        // that orders the same species differently is re-indexed, and one
+        // mentioning an unknown species is rejected with its name.
+        cfg = io::remap_species(snap, model->species());
+      } else if (opt.coverage0 > 0 && model->species().size() >= 2) {
+        scatter(cfg, 1, opt.coverage0, opt.seed);
       }
-      cfg = std::move(snap.config);
-    } else if (opt.coverage0 > 0 && model->species().size() >= 2) {
-      scatter(cfg, 1, opt.coverage0, opt.seed);
-    }
+      return cfg;
+    };
 
     // --- Simulator -----------------------------------------------------
     SimulationOptions sim_opt;
@@ -190,12 +307,42 @@ int main(int argc, char** argv) {
     sim_opt.seed = opt.seed;
     sim_opt.l_trials = opt.l_trials;
     sim_opt.threads = opt.threads;
-    auto sim = make_simulator(*model, std::move(cfg), sim_opt);
+    const auto build_sim = [&] {
+      return make_simulator(*model, build_config(), sim_opt);
+    };
+    std::unique_ptr<Simulator> sim = build_sim();
+
+    // --- Resume ------------------------------------------------------
+    CoverageRecorder recorder;
+    double next = opt.dt;
+    bool resumed = false;
+    if (!opt.resume.empty()) {
+      // A failed restore may leave the simulator partially modified, so
+      // each attempt gets a freshly constructed one. After a successful
+      // restore an abort-policy audit cross-checks every derived cache
+      // against the raw configuration — a checkpoint can be intact
+      // byte-wise (CRC passes) yet semantically inconsistent.
+      std::string blob;
+      try {
+        blob = io::restore_checkpoint(opt.resume, *sim);
+        StateAuditor(AuditPolicy::kAbort).run(*sim);
+      } catch (const std::exception& primary) {
+        const std::string bak = opt.resume + ".bak";
+        std::fprintf(stderr, "warning: %s\nwarning: falling back to %s\n",
+                     primary.what(), bak.c_str());
+        sim = build_sim();
+        blob = io::restore_checkpoint(bak, *sim);
+        StateAuditor(AuditPolicy::kAbort).run(*sim);
+      }
+      decode_run_state(blob, next, recorder);
+      resumed = true;
+    }
 
     if (!opt.quiet) {
       std::printf("# %s, %zu reaction types, K = %.3f, %d x %d, seed %llu\n",
                   sim->name().c_str(), model->num_reactions(), model->total_rate(),
                   opt.width, height, static_cast<unsigned long long>(opt.seed));
+      if (resumed) std::printf("# resumed at t = %.6g\n", sim->time());
       std::printf("%-10s", "time");
       for (const std::string& name : model->species().names()) {
         std::printf(" %-8s", name.c_str());
@@ -203,9 +350,14 @@ int main(int argc, char** argv) {
       std::printf("\n");
     }
 
-    CoverageRecorder recorder;
-    recorder.sample(*sim);
-    double next = opt.dt;
+    // --- Main loop ---------------------------------------------------
+    StateAuditor auditor(opt.audit_policy);
+    const double ckpt_every =
+        opt.checkpoint_every > 0 ? opt.checkpoint_every : opt.dt;
+    double next_ckpt = sim->time() + ckpt_every;
+    std::uint64_t samples = 0;
+
+    if (!resumed) recorder.sample(*sim);
     while (next <= opt.t_end) {
       sim->advance_to(next);
       recorder.sample(*sim);
@@ -217,7 +369,27 @@ int main(int argc, char** argv) {
         std::printf("\n");
       }
       next = sim->time() + opt.dt;
+
+      if (opt.audit_every > 0 && ++samples % opt.audit_every == 0) {
+        const AuditReport report = auditor.run(*sim);  // throws under kAbort
+        if (report.repaired) {
+          std::fprintf(stderr, "warning: audit repaired inconsistent state:\n%s",
+                       report.to_string().c_str());
+        }
+      }
+      if (!opt.checkpoint.empty() && sim->time() >= next_ckpt) {
+        write_checkpoint(opt, *sim, next, recorder);
+        next_ckpt = sim->time() + ckpt_every;
+      }
+      if (opt.die_at >= 0 && sim->time() >= opt.die_at) {
+        std::fprintf(stderr, "simulated crash at t = %.6g\n", sim->time());
+        std::_Exit(42);  // no destructors, no final outputs — as a crash would
+      }
     }
+
+    // A final checkpoint at t_end makes `--resume` idempotent: resuming a
+    // finished run just rewrites the outputs.
+    if (!opt.checkpoint.empty()) write_checkpoint(opt, *sim, next, recorder);
 
     if (!opt.quiet) {
       const SimCounters& c = sim->counters();
@@ -225,6 +397,11 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(c.trials),
                   static_cast<unsigned long long>(c.executed),
                   100 * c.acceptance());
+      if (opt.audit_every > 0) {
+        std::printf("# %llu audits, %llu found issues\n",
+                    static_cast<unsigned long long>(auditor.audits_run()),
+                    static_cast<unsigned long long>(auditor.audits_failed()));
+      }
     }
 
     // --- Outputs ---------------------------------------------------------

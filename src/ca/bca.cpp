@@ -31,6 +31,25 @@ void BlockCA::run(std::uint64_t steps) {
   for (std::uint64_t i = 0; i < steps; ++i) step();
 }
 
+void BlockCA::save_state(StateWriter& w) const {
+  w.section("bca");
+  w.u64(steps_);
+  w.u64(static_cast<std::uint64_t>(current_.size()));
+  w.bytes(current_.raw().data(), current_.raw().size());
+}
+
+void BlockCA::restore_state(StateReader& r) {
+  r.expect_section("bca");
+  steps_ = r.u64();
+  const std::uint64_t n = r.u64();
+  if (n != static_cast<std::uint64_t>(current_.size())) {
+    throw StateFormatError("bca configuration size mismatch");
+  }
+  std::vector<Species> state(static_cast<std::size_t>(n));
+  r.bytes(state.data(), state.size());
+  current_.assign(state);
+}
+
 BlockRule fig3_zero_spreads_rule() {
   return [](const Configuration& cfg, const Partition& phase, SiteIndex s) -> Species {
     const Lattice& lat = cfg.lattice();

@@ -3,6 +3,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/state_io.hpp"
 #include "lattice/configuration.hpp"
 #include "partition/partition.hpp"
 
@@ -36,6 +37,11 @@ class BlockCA {
     return phases_[steps_ % phases_.size()];
   }
   [[nodiscard]] std::uint64_t steps_done() const { return steps_; }
+
+  /// Checkpointing: the configuration and the step counter (which selects
+  /// the next phase) are the whole state — the rule is stateless.
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
 
  private:
   Configuration current_;

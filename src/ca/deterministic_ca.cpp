@@ -23,4 +23,23 @@ void DeterministicCA::run(std::uint64_t steps) {
   for (std::uint64_t i = 0; i < steps; ++i) step();
 }
 
+void DeterministicCA::save_state(StateWriter& w) const {
+  w.section("dca");
+  w.u64(steps_);
+  w.u64(static_cast<std::uint64_t>(current_.size()));
+  w.bytes(current_.raw().data(), current_.raw().size());
+}
+
+void DeterministicCA::restore_state(StateReader& r) {
+  r.expect_section("dca");
+  steps_ = r.u64();
+  const std::uint64_t n = r.u64();
+  if (n != static_cast<std::uint64_t>(current_.size())) {
+    throw StateFormatError("dca configuration size mismatch");
+  }
+  std::vector<Species> state(static_cast<std::size_t>(n));
+  r.bytes(state.data(), state.size());
+  current_.assign(state);
+}
+
 }  // namespace casurf

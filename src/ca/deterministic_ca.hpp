@@ -2,6 +2,7 @@
 
 #include <functional>
 
+#include "core/state_io.hpp"
 #include "lattice/configuration.hpp"
 
 namespace casurf {
@@ -27,6 +28,10 @@ class DeterministicCA {
   [[nodiscard]] const Configuration& configuration() const { return current_; }
   [[nodiscard]] Configuration& configuration() { return current_; }
   [[nodiscard]] std::uint64_t steps_done() const { return steps_; }
+
+  /// Checkpointing: configuration plus step counter (the rule is stateless).
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
 
  private:
   Configuration current_;

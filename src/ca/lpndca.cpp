@@ -53,6 +53,29 @@ void LPndcaSimulator::trial_at(SiteIndex s) {
   ++counters_.trials;
 }
 
+void LPndcaSimulator::save_state(StateWriter& w) const {
+  Simulator::save_state(w);
+  w.section("lpndca");
+  rng_.save(w);
+}
+
+void LPndcaSimulator::restore_state(StateReader& r) {
+  Simulator::restore_state(r);
+  r.expect_section("lpndca");
+  rng_.restore(r);
+  if (rate_cache_) rate_cache_->rebuild(config_);
+}
+
+void LPndcaSimulator::audit_derived_state(AuditReport& report, bool repair) {
+  Simulator::audit_derived_state(report, repair);
+  if (!rate_cache_) return;
+  std::vector<std::string> details;
+  if (!rate_cache_->verify(config_, details)) {
+    for (std::string& d : details) report.issues.push_back({"rate-cache", std::move(d)});
+    if (repair) rate_cache_->rebuild(config_);
+  }
+}
+
 ChunkId LPndcaSimulator::select_chunk() {
   if (rate_cache_) {
     // Rate-weighted draw over the live per-chunk enabled rates; unlike

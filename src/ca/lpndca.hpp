@@ -52,6 +52,19 @@ class LPndcaSimulator final : public Simulator {
   /// nullptr under size-proportional weighting. For the invariant tests.
   [[nodiscard]] const EnabledRateCache* rate_cache() const { return rate_cache_.get(); }
 
+  /// Checkpointing; the rate cache is rebuilt from the restored
+  /// configuration rather than serialized.
+  void save_state(StateWriter& w) const override;
+  void restore_state(StateReader& r) override;
+
+  /// Brute-force verifies the enabled-rate cache; repair rebuilds it.
+  void audit_derived_state(AuditReport& report, bool repair) override;
+
+  /// Test-only mutable cache access for the audit suite.
+  [[nodiscard]] EnabledRateCache* mutable_rate_cache_for_test() {
+    return rate_cache_.get();
+  }
+
  private:
   void trial_at(SiteIndex s);
   [[nodiscard]] ChunkId select_chunk();

@@ -29,6 +29,27 @@ void NdcaSimulator::trial_at(SiteIndex s) {
   ++counters_.trials;
 }
 
+void NdcaSimulator::save_state(StateWriter& w) const {
+  Simulator::save_state(w);
+  w.section("ndca");
+  rng_.save(w);
+  w.vec_u64(visit_order_);
+}
+
+void NdcaSimulator::restore_state(StateReader& r) {
+  Simulator::restore_state(r);
+  r.expect_section("ndca");
+  rng_.restore(r);
+  visit_order_ = r.vec_u64<SiteIndex>(config_.size(), "ndca visit order");
+  std::vector<std::uint8_t> seen(config_.size(), 0);
+  for (const SiteIndex s : visit_order_) {
+    if (s >= config_.size() || seen[s]) {
+      throw StateFormatError("ndca visit order is not a permutation of the sites");
+    }
+    seen[s] = 1;
+  }
+}
+
 void NdcaSimulator::mc_step() {
   if (order_ == SweepOrder::kShuffled) {
     // Fisher-Yates with the simulator's own generator.

@@ -28,6 +28,12 @@ class NdcaSimulator final : public Simulator {
   void mc_step() override;
   [[nodiscard]] std::string name() const override { return "NDCA"; }
 
+  /// Checkpointing: besides the RNG, the visit order is saved — under
+  /// kShuffled it carries the permutation state the next shuffle starts
+  /// from.
+  void save_state(StateWriter& w) const override;
+  void restore_state(StateReader& r) override;
+
  private:
   void trial_at(SiteIndex s);
 

@@ -50,6 +50,45 @@ void PndcaSimulator::refresh_rate_cache(const ReactionType& reaction, SiteIndex 
   }
 }
 
+void PndcaSimulator::save_state(StateWriter& w) const {
+  Simulator::save_state(w);
+  w.section("pndca");
+  rng_.save(w);
+  w.u64(sweep_);
+  w.u64(partition_cursor_);
+  w.vec_u64(schedule_);
+}
+
+void PndcaSimulator::restore_state(StateReader& r) {
+  Simulator::restore_state(r);
+  r.expect_section("pndca");
+  rng_.restore(r);
+  sweep_ = r.u64();
+  partition_cursor_ = static_cast<std::size_t>(r.u64());
+  if (partition_cursor_ >= partitions_.size()) {
+    throw StateFormatError("pndca partition cursor out of range");
+  }
+  schedule_ = r.vec_u64<ChunkId>(SIZE_MAX, "pndca schedule");
+  for (const ChunkId c : schedule_) {
+    if (c >= partitions_[partition_cursor_].num_chunks()) {
+      throw StateFormatError("pndca schedule references chunk out of range");
+    }
+  }
+  // Derived, not serialized: recompute the enabled-rate cache from the
+  // restored configuration.
+  if (rate_cache_) rate_cache_->rebuild(config_);
+}
+
+void PndcaSimulator::audit_derived_state(AuditReport& report, bool repair) {
+  Simulator::audit_derived_state(report, repair);
+  if (!rate_cache_) return;
+  std::vector<std::string> details;
+  if (!rate_cache_->verify(config_, details)) {
+    for (std::string& d : details) report.issues.push_back({"rate-cache", std::move(d)});
+    if (repair) rate_cache_->rebuild(config_);
+  }
+}
+
 std::vector<ChunkId> PndcaSimulator::plan_schedule() {
   const Partition& p = partitions_[partition_cursor_];
   const std::size_t m = p.num_chunks();

@@ -69,6 +69,23 @@ class PndcaSimulator : public Simulator {
   /// throughput benchmarks. Never called on the simulation hot path.
   [[nodiscard]] double enabled_rate_in_chunk(const Partition& p, ChunkId c) const;
 
+  /// Checkpointing. The enabled-rate cache is a pure function of the
+  /// configuration, so it is not serialized — restore rebuilds it from the
+  /// restored lattice state; the per-site counter-RNG streams are keyed by
+  /// (seed, sweep), so saving the sweep counter is what resumes them.
+  void save_state(StateWriter& w) const override;
+  void restore_state(StateReader& r) override;
+
+  /// Brute-force verifies the enabled-rate cache (kRateWeighted only);
+  /// repair rebuilds it from the configuration.
+  void audit_derived_state(AuditReport& report, bool repair) override;
+
+  /// Test-only mutable cache access for injecting corruption in the audit
+  /// suite; nullptr under the structural policies.
+  [[nodiscard]] EnabledRateCache* mutable_rate_cache_for_test() {
+    return rate_cache_.get();
+  }
+
  protected:
   static constexpr std::int32_t kNoReaction = -1;
 

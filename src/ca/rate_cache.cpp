@@ -106,6 +106,52 @@ void EnabledRateCache::refresh_after(const Configuration& config, SiteIndex writ
       });
 }
 
+bool EnabledRateCache::verify(const Configuration& config,
+                              std::vector<std::string>& out,
+                              std::size_t max_issues) const {
+  bool ok = true;
+  // Recompute the enabledness table and compare bit by bit.
+  for (std::size_t t = 0; t < num_types_; ++t) {
+    const ReactionType& rt = model_.reaction(static_cast<ReactionIndex>(t));
+    const std::uint8_t* row = enabled_.data() + t * num_sites_;
+    for (SiteIndex s = 0; s < num_sites_; ++s) {
+      const bool truth = rt.enabled(config, s);
+      if (truth == (row[s] != 0)) continue;
+      ok = false;
+      if (out.size() < max_issues) {
+        out.push_back("enabledness bit (type " + std::to_string(t) + ", site " +
+                      std::to_string(s) + "): cached " + (row[s] ? "1" : "0") +
+                      ", recomputed " + (truth ? "1" : "0"));
+      }
+    }
+  }
+  // Recount every slot from the recomputed ground truth and compare counts.
+  for (std::size_t slot_index = 0; slot_index < slots_.size(); ++slot_index) {
+    const Slot& slot = slots_[slot_index];
+    std::vector<std::uint32_t> fresh(slot.num_chunks * num_types_, 0);
+    for (std::size_t t = 0; t < num_types_; ++t) {
+      const ReactionType& rt = model_.reaction(static_cast<ReactionIndex>(t));
+      for (SiteIndex s = 0; s < num_sites_; ++s) {
+        if (rt.enabled(config, s)) {
+          ++fresh[static_cast<std::size_t>(slot.chunk_of[s]) * num_types_ + t];
+        }
+      }
+    }
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      if (fresh[i] == slot.counts[i]) continue;
+      ok = false;
+      if (out.size() < max_issues) {
+        out.push_back("slot " + std::to_string(slot_index) + " count (chunk " +
+                      std::to_string(i / num_types_) + ", type " +
+                      std::to_string(i % num_types_) + "): cached " +
+                      std::to_string(slot.counts[i]) + ", recomputed " +
+                      std::to_string(fresh[i]));
+      }
+    }
+  }
+  return ok;
+}
+
 double EnabledRateCache::chunk_rate(std::size_t slot_index, ChunkId c) const {
   const Slot& slot = slots_[slot_index];
   double rate = 0.0;

@@ -111,6 +111,22 @@ class EnabledRateCache {
   /// testing; never needed on the hot path).
   void rebuild(const Configuration& config);
 
+  /// Brute-force verification against `config`: recomputes every
+  /// enabledness bit and per-(chunk, type) count and appends one
+  /// description per mismatch to `out` (capped at `max_issues`). Returns
+  /// true when the cache is consistent. The audit ground truth.
+  bool verify(const Configuration& config, std::vector<std::string>& out,
+              std::size_t max_issues = 64) const;
+
+  /// Test-only corruption hook for the audit suite: adds `delta` to one
+  /// stored count without touching the enabledness bits.
+  void corrupt_count_for_test(std::size_t slot, ChunkId c, ReactionIndex t,
+                              std::int32_t delta) {
+    slots_[slot].counts[static_cast<std::size_t>(c) * num_types_ + t] +=
+        static_cast<std::uint32_t>(delta);
+    slots_[slot].sampler_dirty = true;
+  }
+
  private:
   struct Slot {
     std::vector<ChunkId> chunk_of;      // copied site -> chunk map

@@ -45,6 +45,29 @@ TPndcaSimulator::TPndcaSimulator(const ReactionModel& model, Configuration confi
   }
 }
 
+void TPndcaSimulator::save_state(StateWriter& w) const {
+  Simulator::save_state(w);
+  w.section("tpndca");
+  rng_.save(w);
+}
+
+void TPndcaSimulator::restore_state(StateReader& r) {
+  Simulator::restore_state(r);
+  r.expect_section("tpndca");
+  rng_.restore(r);
+  if (rate_cache_) rate_cache_->rebuild(config_);
+}
+
+void TPndcaSimulator::audit_derived_state(AuditReport& report, bool repair) {
+  Simulator::audit_derived_state(report, repair);
+  if (!rate_cache_) return;
+  std::vector<std::string> details;
+  if (!rate_cache_->verify(config_, details)) {
+    for (std::string& d : details) report.issues.push_back({"rate-cache", std::move(d)});
+    if (repair) rate_cache_->rebuild(config_);
+  }
+}
+
 ChunkId TPndcaSimulator::select_chunk(std::size_t subset_index, ReactionIndex chosen) {
   const TypeSubset& sub = subsets_[subset_index];
   const std::size_t m = sub.chunks.num_chunks();

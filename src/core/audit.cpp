@@ -1,0 +1,32 @@
+#include "core/audit.hpp"
+
+#include "core/simulator.hpp"
+
+namespace casurf {
+
+std::string AuditReport::to_string() const {
+  if (issues.empty()) return "audit: clean";
+  std::string out = "audit: " + std::to_string(issues.size()) + " inconsistency(ies)";
+  out += repaired ? " (repaired)\n" : "\n";
+  for (const AuditIssue& issue : issues) {
+    out += "  [" + issue.component + "] " + issue.detail + "\n";
+  }
+  return out;
+}
+
+AuditError::AuditError(AuditReport report)
+    : std::runtime_error(report.to_string()), report_(std::move(report)) {}
+
+AuditReport StateAuditor::run(Simulator& sim) {
+  AuditReport report;
+  sim.audit_derived_state(report, policy_ == AuditPolicy::kRepair);
+  ++audits_;
+  if (!report.clean()) {
+    ++failures_;
+    if (policy_ == AuditPolicy::kAbort) throw AuditError(std::move(report));
+    report.repaired = true;
+  }
+  return report;
+}
+
+}  // namespace casurf

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace casurf {
+
+class Simulator;
+
+/// What StateAuditor does when a derived cache disagrees with the raw
+/// configuration.
+enum class AuditPolicy {
+  kAbort,   ///< throw AuditError carrying the full diff report
+  kRepair,  ///< rebuild the derived caches in place, log, continue
+};
+
+/// One detected inconsistency between a derived structure and the ground
+/// truth recomputed from the raw configuration.
+struct AuditIssue {
+  std::string component;  ///< "config-counts", "vssm-enabled", "rate-cache", "frm-queue"
+  std::string detail;     ///< human-readable expected-vs-actual description
+};
+
+/// Outcome of one audit pass.
+struct AuditReport {
+  std::vector<AuditIssue> issues;
+  bool repaired = false;
+
+  [[nodiscard]] bool clean() const { return issues.empty(); }
+
+  /// Multi-line diff report, one line per issue.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thrown under AuditPolicy::kAbort when an audit finds inconsistencies.
+class AuditError : public std::runtime_error {
+ public:
+  explicit AuditError(AuditReport report);
+  [[nodiscard]] const AuditReport& report() const { return report_; }
+
+ private:
+  AuditReport report_;
+};
+
+/// Opt-in invariant checker: recomputes every derived structure a simulator
+/// maintains incrementally (per-species configuration counts, VSSM enabled
+/// sets, FRM event-queue bookkeeping, the PNDCA enabled-rate cache) from the
+/// raw configuration and compares. A mismatch means memory corruption, a
+/// bookkeeping bug, or a tampered checkpoint; under kAbort the auditor
+/// throws with a diff report, under kRepair it rebuilds the caches in place
+/// (graceful degradation: the trajectory continues from a consistent state)
+/// and records the discrepancy.
+///
+/// The per-algorithm recompute logic lives in Simulator::audit_derived_state
+/// overrides; this class drives it, aggregates history, and applies the
+/// policy.
+class StateAuditor {
+ public:
+  explicit StateAuditor(AuditPolicy policy = AuditPolicy::kAbort) : policy_(policy) {}
+
+  /// Audit one simulator. Returns the report (repaired == true when issues
+  /// were found under kRepair); throws AuditError on issues under kAbort.
+  AuditReport run(Simulator& sim);
+
+  [[nodiscard]] AuditPolicy policy() const { return policy_; }
+  [[nodiscard]] std::uint64_t audits_run() const { return audits_; }
+  [[nodiscard]] std::uint64_t audits_failed() const { return failures_; }
+
+ private:
+  AuditPolicy policy_;
+  std::uint64_t audits_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace casurf

@@ -15,4 +15,51 @@ void Simulator::advance_to(double t) {
   }
 }
 
+void Simulator::save_state(StateWriter& w) const {
+  w.section("sim-core");
+  w.f64(time_);
+  w.u64(counters_.trials);
+  w.u64(counters_.executed);
+  w.u64(counters_.steps);
+  w.vec_u64(counters_.executed_per_type);
+  w.section("config");
+  w.u64(static_cast<std::uint64_t>(config_.size()));
+  w.bytes(config_.raw().data(), config_.raw().size());
+}
+
+void Simulator::restore_state(StateReader& r) {
+  r.expect_section("sim-core");
+  time_ = r.f64();
+  counters_.trials = r.u64();
+  counters_.executed = r.u64();
+  counters_.steps = r.u64();
+  counters_.executed_per_type =
+      r.vec_u64<std::uint64_t>(model_.num_reactions(), "executed_per_type");
+  r.expect_section("config");
+  const std::uint64_t n = r.u64();
+  if (n != static_cast<std::uint64_t>(config_.size())) {
+    throw StateFormatError("configuration has " + std::to_string(n) +
+                           " sites, simulator expects " + std::to_string(config_.size()));
+  }
+  std::vector<Species> state(static_cast<std::size_t>(n));
+  r.bytes(state.data(), state.size());
+  for (const Species s : state) {
+    if (s >= config_.num_species()) {
+      throw StateFormatError("species value " + std::to_string(int{s}) +
+                             " out of domain (" + std::to_string(config_.num_species()) +
+                             " species)");
+    }
+  }
+  config_.assign(state);
+}
+
+void Simulator::audit_derived_state(AuditReport& report, bool repair) {
+  if (!config_.counts_consistent()) {
+    report.issues.push_back(
+        {"config-counts",
+         "per-species site counts disagree with a recount of the raw state"});
+    if (repair) config_.recount();
+  }
+}
+
 }  // namespace casurf

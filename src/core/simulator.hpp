@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "core/audit.hpp"
+#include "core/state_io.hpp"
 #include "lattice/configuration.hpp"
 #include "model/reaction_model.hpp"
 
@@ -64,6 +66,27 @@ class Simulator {
 
   /// Human-readable algorithm name ("RSM", "PNDCA", ...).
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Serialize the full simulator state — configuration, simulated time,
+  /// counters, RNG state, and every algorithm-internal structure whose
+  /// content is not a pure function of the configuration (event queues,
+  /// enabled-set orderings, sweep counters). Overrides call the base first,
+  /// then append their own sections; restore_state on an identically
+  /// constructed simulator must reproduce the trajectory bit for bit.
+  virtual void save_state(StateWriter& w) const;
+
+  /// Inverse of save_state. The simulator must have been constructed with
+  /// the same model, lattice, and constructor options as the saved one
+  /// (the checkpoint layer validates this); throws StateFormatError on a
+  /// stream that is truncated, misaligned, or inconsistent with them.
+  virtual void restore_state(StateReader& r);
+
+  /// Recompute every derived structure from the raw configuration and
+  /// compare (see StateAuditor). Appends one AuditIssue per mismatch; when
+  /// `repair`, also rebuilds the offending structure in place. The base
+  /// implementation audits the configuration's per-species counts;
+  /// overrides add their own caches.
+  virtual void audit_derived_state(AuditReport& report, bool repair);
 
  protected:
   Simulator(const ReactionModel& model, Configuration config)

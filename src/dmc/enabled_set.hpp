@@ -55,6 +55,13 @@ class EnabledSet {
     items_.push_back(s);
   }
 
+  /// Remove every element (audit repair / state restore keep the set's
+  /// capacity and rebuild membership in a chosen order).
+  void clear() {
+    for (const SiteIndex s : items_) pos_[s] = kAbsent;
+    items_.clear();
+  }
+
   /// Idempotent erase (swap-with-last).
   void erase(SiteIndex s) {
     const std::uint32_t p = pos_[s];

@@ -1,5 +1,7 @@
 #include "dmc/frm.hpp"
 
+#include <algorithm>
+
 #include "rng/distributions.hpp"
 
 namespace casurf {
@@ -15,6 +17,16 @@ FrmSimulator::FrmSimulator(const ReactionModel& model, Configuration config,
   }
 }
 
+void FrmSimulator::push_event(const Event& ev) {
+  queue_.push_back(ev);
+  std::push_heap(queue_.begin(), queue_.end());
+}
+
+void FrmSimulator::pop_event() {
+  std::pop_heap(queue_.begin(), queue_.end());
+  queue_.pop_back();
+}
+
 void FrmSimulator::sync_pair(ReactionIndex rt, SiteIndex s) {
   const std::size_t p = pair_index(rt, s);
   const bool now = model_.reaction(rt).enabled(config_, s);
@@ -26,8 +38,8 @@ void FrmSimulator::sync_pair(ReactionIndex rt, SiteIndex s) {
     ++enabled_pairs_;
     // Memorylessness of the exponential lets us draw the tentative firing
     // time fresh from "now" at every disabled->enabled transition.
-    queue_.push(Event{time_ + exponential(rng_, model_.reaction(rt).rate()),
-                      s, rt, generation_[p]});
+    push_event(Event{time_ + exponential(rng_, model_.reaction(rt).rate()),
+                     s, rt, generation_[p]});
   } else {
     --enabled_pairs_;
   }
@@ -46,10 +58,10 @@ bool FrmSimulator::drop_stale_heads() {
   // Pop until the head is a live event: generation matches and the pair is
   // still flagged enabled. Returns false when no live event remains.
   while (!queue_.empty()) {
-    const Event& ev = queue_.top();
+    const Event& ev = queue_.front();
     const std::size_t p = pair_index(ev.type, ev.site);
     if (ev.generation != generation_[p] || enabled_flag_[p] == 0) {
-      queue_.pop();
+      pop_event();
       continue;
     }
     return true;
@@ -58,8 +70,8 @@ bool FrmSimulator::drop_stale_heads() {
 }
 
 void FrmSimulator::execute_head() {
-  const Event ev = queue_.top();
-  queue_.pop();
+  const Event ev = queue_.front();
+  pop_event();
   time_ = ev.when;
   const std::size_t p = pair_index(ev.type, ev.site);
 
@@ -97,12 +109,156 @@ void FrmSimulator::advance_to(double t) {
       time_ = t;
       return;
     }
-    if (queue_.top().when > t) {
+    if (queue_.front().when > t) {
       time_ = t;
       return;
     }
     execute_head();
   }
+}
+
+void FrmSimulator::save_state(StateWriter& w) const {
+  Simulator::save_state(w);
+  w.section("frm");
+  rng_.save(w);
+  w.vec_u64(generation_);
+  w.u64(enabled_flag_.size());
+  w.bytes(enabled_flag_.data(), enabled_flag_.size());
+  w.u64(enabled_pairs_);
+  w.u64(queue_.size());
+  for (const Event& ev : queue_) {
+    w.f64(ev.when);
+    w.u64(ev.site);
+    w.u64(ev.type);
+    w.u64(ev.generation);
+  }
+}
+
+void FrmSimulator::restore_state(StateReader& r) {
+  Simulator::restore_state(r);
+  r.expect_section("frm");
+  rng_.restore(r);
+  const std::size_t pairs = generation_.size();
+  generation_ = r.vec_u64<std::uint32_t>(pairs, "frm generations");
+  const std::uint64_t nflags = r.u64();
+  if (nflags != pairs) {
+    throw StateFormatError("frm enabled-flag table has " + std::to_string(nflags) +
+                           " entries, expected " + std::to_string(pairs));
+  }
+  enabled_flag_.assign(pairs, 0);
+  r.bytes(enabled_flag_.data(), pairs);
+  enabled_pairs_ = r.u64();
+  std::uint64_t live = 0;
+  for (const std::uint8_t f : enabled_flag_) live += f;
+  if (live != enabled_pairs_) {
+    throw StateFormatError("frm enabled-pair count " + std::to_string(enabled_pairs_) +
+                           " disagrees with flag table (" + std::to_string(live) + ")");
+  }
+  const std::uint64_t nq = r.u64();
+  if (nq > static_cast<std::uint64_t>(r.remaining()) / 32) {
+    throw StateFormatError("frm queue length " + std::to_string(nq) +
+                           " exceeds remaining stream");
+  }
+  queue_.clear();
+  queue_.reserve(static_cast<std::size_t>(nq));
+  for (std::uint64_t i = 0; i < nq; ++i) {
+    Event ev;
+    ev.when = r.f64();
+    ev.site = static_cast<SiteIndex>(r.u64());
+    ev.type = static_cast<ReactionIndex>(r.u64());
+    ev.generation = static_cast<std::uint32_t>(r.u64());
+    if (ev.site >= config_.size() || ev.type >= model_.num_reactions()) {
+      throw StateFormatError("frm queued event references (type " +
+                             std::to_string(ev.type) + ", site " +
+                             std::to_string(ev.site) + ") out of range");
+    }
+    // Saved verbatim from a valid heap, so the array is restored verbatim —
+    // no re-heapify, preserving pop order even among equal keys.
+    queue_.push_back(ev);
+  }
+  if (!std::is_heap(queue_.begin(), queue_.end())) {
+    throw StateFormatError("frm queue is not a valid heap");
+  }
+}
+
+void FrmSimulator::audit_derived_state(AuditReport& report, bool repair) {
+  Simulator::audit_derived_state(report, repair);
+  bool any = false;
+
+  // Flags vs recomputed enabledness, and the flag-count invariant.
+  std::uint64_t live_flags = 0;
+  for (ReactionIndex i = 0; i < model_.num_reactions(); ++i) {
+    const ReactionType& rt = model_.reaction(i);
+    for (SiteIndex s = 0; s < config_.size(); ++s) {
+      const bool truth = rt.enabled(config_, s);
+      const bool cached = enabled_flag_[pair_index(i, s)] != 0;
+      if (cached) ++live_flags;
+      if (truth == cached) continue;
+      any = true;
+      if (report.issues.size() < 64) {
+        report.issues.push_back(
+            {"frm-queue", "pair (type " + std::to_string(i) + ", site " +
+                              std::to_string(s) + "): flag says " +
+                              (cached ? "enabled" : "disabled") +
+                              ", recompute says " + (truth ? "enabled" : "disabled")});
+      }
+    }
+  }
+  if (live_flags != enabled_pairs_) {
+    any = true;
+    report.issues.push_back(
+        {"frm-queue", "enabled-pair counter " + std::to_string(enabled_pairs_) +
+                          " disagrees with flag table (" + std::to_string(live_flags) +
+                          ")"});
+  }
+
+  // Every enabled pair must be covered by exactly one live queued event.
+  std::vector<std::uint8_t> covered(generation_.size(), 0);
+  for (const Event& ev : queue_) {
+    const std::size_t p = pair_index(ev.type, ev.site);
+    if (ev.generation != generation_[p] || enabled_flag_[p] == 0) continue;  // stale
+    if (covered[p]) {
+      any = true;
+      report.issues.push_back(
+          {"frm-queue", "pair (type " + std::to_string(ev.type) + ", site " +
+                            std::to_string(ev.site) + ") has multiple live events"});
+    }
+    covered[p] = 1;
+  }
+  for (std::size_t p = 0; p < covered.size() && report.issues.size() < 96; ++p) {
+    if (enabled_flag_[p] != 0 && !covered[p]) {
+      any = true;
+      report.issues.push_back(
+          {"frm-queue", "enabled pair index " + std::to_string(p) +
+                            " has no live queued event"});
+    }
+  }
+
+  if (any && repair) {
+    // Full resynchronization: recompute flags from the configuration, drop
+    // the whole queue, and redraw a tentative time for every enabled pair.
+    // The redraw consumes fresh randomness — correct kinetics from here on,
+    // though not the trajectory an uncorrupted run would have taken.
+    queue_.clear();
+    enabled_pairs_ = 0;
+    for (ReactionIndex i = 0; i < model_.num_reactions(); ++i) {
+      const ReactionType& rt = model_.reaction(i);
+      for (SiteIndex s = 0; s < config_.size(); ++s) {
+        const std::size_t p = pair_index(i, s);
+        ++generation_[p];  // invalidate anything that referenced the old state
+        const bool now = rt.enabled(config_, s);
+        enabled_flag_[p] = now ? 1 : 0;
+        if (now) {
+          ++enabled_pairs_;
+          push_event(Event{time_ + exponential(rng_, rt.rate()), s, i, generation_[p]});
+        }
+      }
+    }
+  }
+}
+
+void FrmSimulator::corrupt_pair_for_test(ReactionIndex rt, SiteIndex s) {
+  enabled_flag_[pair_index(rt, s)] ^= 1;
 }
 
 }  // namespace casurf

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "core/simulator.hpp"
@@ -34,6 +33,21 @@ class FrmSimulator final : public Simulator {
   /// lazy-invalidation bound.
   [[nodiscard]] std::size_t queue_size() const { return queue_.size(); }
 
+  /// Checkpointing: the heap array is serialized verbatim (not as a sorted
+  /// event list), so the restored queue pops ties and lays out future
+  /// pushes exactly as the uninterrupted run would.
+  void save_state(StateWriter& w) const override;
+  void restore_state(StateReader& r) override;
+
+  /// Recomputes per-pair enabledness and the queue's live-event cover from
+  /// the configuration; repair resynchronizes flags and redraws tentative
+  /// times for every enabled pair.
+  void audit_derived_state(AuditReport& report, bool repair) override;
+
+  /// Test-only corruption hook for the audit suite: flips the enabled flag
+  /// of one (type, site) pair without touching the queue.
+  void corrupt_pair_for_test(ReactionIndex rt, SiteIndex s);
+
  private:
   struct Event {
     double when;
@@ -47,13 +61,18 @@ class FrmSimulator final : public Simulator {
   [[nodiscard]] std::size_t pair_index(ReactionIndex rt, SiteIndex s) const {
     return static_cast<std::size_t>(rt) * config_.size() + s;
   }
+  void push_event(const Event& ev);
+  void pop_event();
   void sync_pair(ReactionIndex rt, SiteIndex s);
   void refresh_around(SiteIndex changed);
   bool drop_stale_heads();
   void execute_head();
 
   Xoshiro256 rng_;
-  std::priority_queue<Event> queue_;
+  // Explicit binary heap via std::push_heap/pop_heap — the same algorithms
+  // std::priority_queue is specified to use, but with the underlying array
+  // accessible for verbatim checkpointing.
+  std::vector<Event> queue_;
   std::vector<std::uint32_t> generation_;  // per (type, site)
   std::vector<std::uint8_t> enabled_flag_;  // per (type, site)
   std::uint64_t enabled_pairs_ = 0;

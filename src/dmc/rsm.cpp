@@ -38,6 +38,18 @@ void RsmSimulator::mc_step() {
   ++counters_.steps;
 }
 
+void RsmSimulator::save_state(StateWriter& w) const {
+  Simulator::save_state(w);
+  w.section("rsm");
+  rng_.save(w);
+}
+
+void RsmSimulator::restore_state(StateReader& r) {
+  Simulator::restore_state(r);
+  r.expect_section("rsm");
+  rng_.restore(r);
+}
+
 void RsmSimulator::advance_to(double t) {
   while (time_ < t) {
     const double dt = time_mode_ == TimeMode::kStochastic

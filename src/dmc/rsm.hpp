@@ -26,6 +26,9 @@ class RsmSimulator final : public Simulator {
 
   [[nodiscard]] std::string name() const override { return "RSM"; }
 
+  void save_state(StateWriter& w) const override;
+  void restore_state(StateReader& r) override;
+
   /// One trial (steps 1-5 of the paper's RSM listing). Exposed so tests can
   /// probe the per-trial statistics directly.
   void trial();

@@ -95,6 +95,66 @@ void VssmSimulator::execute_event(double total) {
   for (const SiteIndex z : write_buffer_) refresh_around(z);
 }
 
+void VssmSimulator::save_state(StateWriter& w) const {
+  Simulator::save_state(w);
+  w.section("vssm");
+  rng_.save(w);
+  for (const EnabledSet& set : enabled_) w.vec_u64(set.items());
+  w.f64(last_event_.time);
+  w.u64(last_event_.type);
+  w.u64(last_event_.site);
+}
+
+void VssmSimulator::restore_state(StateReader& r) {
+  Simulator::restore_state(r);
+  r.expect_section("vssm");
+  rng_.restore(r);
+  for (ReactionIndex i = 0; i < model_.num_reactions(); ++i) {
+    const auto items = r.vec_u64<SiteIndex>(SIZE_MAX, "enabled set");
+    enabled_[i].clear();
+    for (const SiteIndex s : items) {
+      if (s >= config_.size()) {
+        throw StateFormatError("enabled-set site " + std::to_string(s) +
+                               " out of range");
+      }
+      enabled_[i].insert(s);
+    }
+    // Membership must agree with the restored configuration; a checkpoint
+    // whose sets disagree with its own lattice state is corrupt.
+    if (enabled_[i].size() != items.size()) {
+      throw StateFormatError("enabled set for reaction " + std::to_string(i) +
+                             " contains duplicates");
+    }
+  }
+  last_event_.time = r.f64();
+  last_event_.type = static_cast<ReactionIndex>(r.u64());
+  last_event_.site = static_cast<SiteIndex>(r.u64());
+}
+
+void VssmSimulator::audit_derived_state(AuditReport& report, bool repair) {
+  Simulator::audit_derived_state(report, repair);
+  bool any = false;
+  for (ReactionIndex i = 0; i < model_.num_reactions() && report.issues.size() < 64; ++i) {
+    const ReactionType& rt = model_.reaction(i);
+    for (SiteIndex s = 0; s < config_.size(); ++s) {
+      const bool truth = rt.enabled(config_, s);
+      const bool cached = enabled_[i].contains(s);
+      if (truth == cached) continue;
+      any = true;
+      report.issues.push_back(
+          {"vssm-enabled", "reaction " + std::to_string(i) + " at site " +
+                               std::to_string(s) + ": cache says " +
+                               (cached ? "enabled" : "disabled") + ", recompute says " +
+                               (truth ? "enabled" : "disabled")});
+      if (report.issues.size() >= 64) break;  // cap the diff report
+    }
+  }
+  if (any && repair) {
+    for (EnabledSet& set : enabled_) set.clear();
+    rebuild_enabled();
+  }
+}
+
 void VssmSimulator::advance_to(double t) {
   // Unlike the default implementation, never executes an event whose
   // firing time lies beyond t: by memorylessness, conditioning on "no

@@ -52,6 +52,23 @@ class VssmSimulator final : public Simulator {
   };
   [[nodiscard]] const Event& last_event() const { return last_event_; }
 
+  /// Checkpointing. The enabled sets are serialized in their exact internal
+  /// order: membership alone is not enough, because event selection samples
+  /// a set by dense position, so the order is part of the trajectory.
+  void save_state(StateWriter& w) const override;
+  void restore_state(StateReader& r) override;
+
+  /// Recomputes the enabled sets from the configuration and compares
+  /// membership; repair rebuilds them (in raster order — consistent, though
+  /// not the historical order a never-corrupted run would carry).
+  void audit_derived_state(AuditReport& report, bool repair) override;
+
+  /// Test-only mutable access for injecting cache corruption in the audit
+  /// suite. Never used by the library itself.
+  [[nodiscard]] EnabledSet& mutable_enabled_for_test(ReactionIndex i) {
+    return enabled_[i];
+  }
+
  private:
   void rebuild_enabled();
   void refresh_around(SiteIndex changed);

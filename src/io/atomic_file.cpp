@@ -1,0 +1,64 @@
+#include "io/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace casurf::io {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " for " + path + ": " + std::strerror(errno));
+}
+
+/// Best-effort directory fsync so the rename is durable; ignored on
+/// filesystems that refuse to open directories.
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) fail("atomic_write_file: cannot open temporary", tmp);
+
+  bool ok = contents.empty() ||
+            std::fwrite(contents.data(), 1, contents.size(), f) == contents.size();
+  ok = std::fflush(f) == 0 && ok;
+  ok = ::fsync(::fileno(f)) == 0 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    fail("atomic_write_file: write failed", tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail("atomic_write_file: rename failed", path);
+  }
+  sync_parent_dir(path);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_file: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) throw std::runtime_error("read_file: read failed for " + path);
+  return std::move(buf).str();
+}
+
+}  // namespace casurf::io

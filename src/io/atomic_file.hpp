@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace casurf::io {
+
+/// Crash-safe whole-file write: the contents go to a temporary sibling
+/// (`path.tmp.<pid>`), are flushed and fsync'd, and only then renamed over
+/// `path` — so readers (and a restarted run) see either the complete old
+/// file or the complete new file, never a truncated mix. The containing
+/// directory is fsync'd best-effort so the rename itself survives a crash.
+/// Throws std::runtime_error on any I/O failure (the temporary is removed).
+void atomic_write_file(const std::string& path, std::string_view contents);
+
+/// Read a whole file into a string (binary-exact). Throws std::runtime_error
+/// when the file cannot be opened or read.
+[[nodiscard]] std::string read_file(const std::string& path);
+
+}  // namespace casurf::io

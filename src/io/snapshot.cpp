@@ -1,8 +1,11 @@
 #include "io/snapshot.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#include "io/atomic_file.hpp"
 
 namespace casurf::io {
 
@@ -11,8 +14,7 @@ void save_snapshot(const std::string& path, const Configuration& config,
   if (species.size() != config.num_species()) {
     throw std::runtime_error("save_snapshot: species set does not match configuration");
   }
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("save_snapshot: cannot open " + path);
+  std::ostringstream out;
   const Lattice& lat = config.lattice();
   out << "casurf-snapshot 1\n";
   out << "lattice " << lat.width() << ' ' << lat.height() << '\n';
@@ -26,7 +28,7 @@ void save_snapshot(const std::string& path, const Configuration& config,
     }
     out << '\n';
   }
-  if (!out) throw std::runtime_error("save_snapshot: write failed for " + path);
+  atomic_write_file(path, out.view());
 }
 
 Snapshot load_snapshot(const std::string& path) {
@@ -76,6 +78,36 @@ Snapshot load_snapshot(const std::string& path) {
   return Snapshot{std::move(config), std::move(names)};
 }
 
+Configuration remap_species(const Snapshot& snap, const SpeciesSet& target) {
+  // One entry per snapshot species index: the target index of the species
+  // with the same NAME. Species identity is the name, not the position —
+  // a snapshot written under a model that lists the same species in a
+  // different order is still valid.
+  std::vector<Species> to_target(snap.species.size());
+  for (std::size_t i = 0; i < snap.species.size(); ++i) {
+    const std::string& name = snap.species[i];
+    const auto& names = target.names();
+    const auto it = std::find(names.begin(), names.end(), name);
+    if (it == names.end()) {
+      throw std::runtime_error("remap_species: snapshot species '" + name +
+                               "' does not exist in the model (model species:" +
+                               [&] {
+                                 std::string list;
+                                 for (const auto& n : names) list += " " + n;
+                                 return list;
+                               }() +
+                               ")");
+    }
+    to_target[i] = static_cast<Species>(it - names.begin());
+  }
+
+  Configuration out(snap.config.lattice(), target.size(), 0);
+  for (SiteIndex s = 0; s < snap.config.size(); ++s) {
+    out.set(s, to_target[snap.config.get(s)]);
+  }
+  return out;
+}
+
 Rgb default_palette(Species s) {
   static constexpr std::array<Rgb, 8> kColors = {{
       {245, 245, 245},  // vacant: near-white
@@ -93,8 +125,7 @@ Rgb default_palette(Species s) {
 void write_ppm(const std::string& path, const Configuration& config,
                Rgb (*palette)(Species)) {
   if (palette == nullptr) palette = default_palette;
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("write_ppm: cannot open " + path);
+  std::ostringstream out;
   const Lattice& lat = config.lattice();
   out << "P6\n" << lat.width() << ' ' << lat.height() << "\n255\n";
   std::vector<char> row(static_cast<std::size_t>(lat.width()) * 3);
@@ -107,7 +138,7 @@ void write_ppm(const std::string& path, const Configuration& config,
     }
     out.write(row.data(), static_cast<std::streamsize>(row.size()));
   }
-  if (!out) throw std::runtime_error("write_ppm: write failed for " + path);
+  atomic_write_file(path, out.view());
 }
 
 }  // namespace casurf::io

@@ -32,6 +32,13 @@ void save_snapshot(const std::string& path, const Configuration& config,
 /// I/O or format errors (with a description of what was malformed).
 [[nodiscard]] Snapshot load_snapshot(const std::string& path);
 
+/// Re-index a loaded snapshot onto `target`'s species domain by NAME: a
+/// snapshot whose species list is a (possibly reordered) subset of the
+/// model's loads cleanly, with every site translated to the model's index
+/// for the same name. Throws std::runtime_error naming the offending
+/// species when the snapshot mentions one the model does not have.
+[[nodiscard]] Configuration remap_species(const Snapshot& snap, const SpeciesSet& target);
+
 /// 8-bit RGB color.
 struct Rgb {
   std::uint8_t r = 0, g = 0, b = 0;

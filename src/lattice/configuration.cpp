@@ -27,6 +27,30 @@ void Configuration::fill(Species s) {
   counts_[s] = state_.size();
 }
 
+void Configuration::assign(std::span<const Species> state) {
+  if (state.size() != state_.size()) {
+    throw std::invalid_argument("Configuration::assign: site count mismatch");
+  }
+  for (const Species s : state) {
+    if (s >= counts_.size()) {
+      throw std::invalid_argument("Configuration::assign: species out of range");
+    }
+  }
+  std::copy(state.begin(), state.end(), state_.begin());
+  recount();
+}
+
+void Configuration::recount() {
+  std::ranges::fill(counts_, 0);
+  for (const Species s : state_) ++counts_[s];
+}
+
+bool Configuration::counts_consistent() const {
+  std::vector<std::uint64_t> fresh(counts_.size(), 0);
+  for (const Species s : state_) ++fresh[s];
+  return fresh == counts_;
+}
+
 std::string Configuration::render(std::span<const char> glyphs) const {
   std::string out;
   out.reserve((lattice_.width() + 1) * lattice_.height());

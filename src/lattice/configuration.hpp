@@ -71,6 +71,26 @@ class Configuration {
   /// Reset every site to `fill`.
   void fill(Species s);
 
+  /// Replace the full site assignment (same lattice) and recompute the
+  /// per-species counts. Throws std::invalid_argument on a size mismatch or
+  /// an out-of-domain species value — the checkpoint-restore entry point,
+  /// which must never accept a corrupt state silently.
+  void assign(std::span<const Species> state);
+
+  /// Recompute the per-species counts from the raw state (audit repair).
+  void recount();
+
+  /// True when the incremental per-species counts agree with a fresh
+  /// recount of the raw state (the audit ground truth).
+  [[nodiscard]] bool counts_consistent() const;
+
+  /// Test hook: skew one per-species count without touching any site —
+  /// simulated memory corruption for the auditor tests.
+  void corrupt_count_for_test(Species s, std::int64_t delta) {
+    counts_.at(s) = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(counts_.at(s)) + delta);
+  }
+
   [[nodiscard]] std::span<const Species> raw() const { return state_; }
 
   /// Render as text, one row per lattice row, using the given per-species

@@ -1,8 +1,17 @@
 #include "rng/xoshiro.hpp"
 
+#include <stdexcept>
+
 #include "rng/splitmix64.hpp"
 
 namespace casurf {
+
+void Xoshiro256::set_state(const std::array<std::uint64_t, 4>& s) {
+  if (s[0] == 0 && s[1] == 0 && s[2] == 0 && s[3] == 0) {
+    throw std::invalid_argument("Xoshiro256::set_state: all-zero state");
+  }
+  s_ = s;
+}
 
 Xoshiro256::Xoshiro256(std::uint64_t seed) {
   // Seed the 256-bit state from SplitMix64 per the authors' recommendation;

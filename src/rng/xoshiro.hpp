@@ -3,6 +3,8 @@
 #include <array>
 #include <cstdint>
 
+#include "core/state_io.hpp"
+
 namespace casurf {
 
 /// xoshiro256** 1.0 (Blackman & Vigna). The library's workhorse sequential
@@ -32,6 +34,22 @@ class Xoshiro256 {
   /// Advance 2^128 steps: partitions the period into non-overlapping
   /// subsequences for independent parallel streams.
   void long_jump();
+
+  /// The raw 256-bit state, for checkpointing. set_state with an all-zero
+  /// array is rejected (the zero state is a fixed point of the generator).
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const { return s_; }
+  void set_state(const std::array<std::uint64_t, 4>& s);
+
+  /// Checkpoint the generator mid-stream: restore resumes the identical
+  /// output sequence.
+  void save(StateWriter& w) const {
+    for (const std::uint64_t word : s_) w.u64(word);
+  }
+  void restore(StateReader& r) {
+    std::array<std::uint64_t, 4> s;
+    for (std::uint64_t& word : s) word = r.u64();
+    set_state(s);
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t v, int k) {

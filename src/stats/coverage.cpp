@@ -30,6 +30,32 @@ const TimeSeries& CoverageRecorder::series(Species s) const {
   return per_species_[static_cast<std::size_t>(it - tracked_.begin())];
 }
 
+void CoverageRecorder::save_state(StateWriter& w) const {
+  w.section("coverage");
+  w.vec_u64(tracked_);
+  w.u64(per_species_.size());
+  for (const TimeSeries& ts : per_species_) {
+    w.vec_f64(ts.times());
+    w.vec_f64(ts.values());
+  }
+}
+
+void CoverageRecorder::restore_state(StateReader& r) {
+  r.expect_section("coverage");
+  tracked_ = r.vec_u64<Species>(SIZE_MAX, "tracked species");
+  const std::uint64_t n = r.u64();
+  if (n != tracked_.size()) {
+    throw StateFormatError("coverage recorder: series/tracked count mismatch");
+  }
+  per_species_.clear();
+  per_species_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::vector<double> times = r.vec_f64(SIZE_MAX, "coverage times");
+    std::vector<double> values = r.vec_f64(times.size(), "coverage values");
+    per_species_.emplace_back(std::move(times), std::move(values));
+  }
+}
+
 TimeSeries CoverageRecorder::combined(const std::vector<Species>& group) const {
   if (group.empty()) throw std::invalid_argument("CoverageRecorder::combined: empty group");
   const TimeSeries& first = series(group.front());

@@ -30,6 +30,11 @@ class CoverageRecorder final : public Observer {
 
   [[nodiscard]] const std::vector<Species>& tracked() const { return tracked_; }
 
+  /// Checkpointing: tracked species + every recorded (t, v) pair, bit-exact,
+  /// so a resumed run's CSV equals the uninterrupted run's byte for byte.
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
+
  private:
   std::vector<Species> tracked_;           // empty = all (filled on first sample)
   std::vector<TimeSeries> per_species_;    // parallel to tracked_

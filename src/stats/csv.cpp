@@ -1,7 +1,9 @@
 #include "stats/csv.hpp"
 
-#include <fstream>
+#include <sstream>
 #include <stdexcept>
+
+#include "io/atomic_file.hpp"
 
 namespace casurf::stats {
 
@@ -10,8 +12,7 @@ void write_csv(const std::string& path, const std::vector<std::string>& headers,
   if (headers.size() != columns.size()) {
     throw std::invalid_argument("write_csv: header/column count mismatch");
   }
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("write_csv: cannot open " + path);
+  std::ostringstream out;
   for (std::size_t c = 0; c < headers.size(); ++c) {
     out << (c ? "," : "") << headers[c];
   }
@@ -25,6 +26,7 @@ void write_csv(const std::string& path, const std::vector<std::string>& headers,
     }
     out << '\n';
   }
+  io::atomic_write_file(path, out.view());
 }
 
 void write_csv_series(const std::string& path, const std::vector<std::string>& names,

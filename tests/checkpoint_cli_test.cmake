@@ -1,0 +1,65 @@
+# Kill-and-restart test for casurf_run's checkpoint/resume flags, driven as
+#   cmake -DAPP=<casurf_run binary> -DWORKDIR=<scratch dir> -P checkpoint_cli_test.cmake
+#
+# Scenario: a run crashes mid-flight (--die-at calls _Exit, so no
+# destructors, no final outputs — exactly what a power loss leaves behind),
+# is resumed from its periodic checkpoint, and must produce outputs
+# byte-identical to a run that was never interrupted. Then the primary
+# checkpoint is corrupted and the resume must fall back to the rotated
+# .bak copy — and still match.
+
+if(NOT DEFINED APP OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "usage: cmake -DAPP=... -DWORKDIR=... -P checkpoint_cli_test.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+set(COMMON --model zgb --algorithm vssm --size 32x32 --t-end 6 --dt 1 --seed 11 --quiet)
+
+function(run_expecting code)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rv)
+  if(NOT rv EQUAL ${code})
+    message(FATAL_ERROR "expected exit ${code}, got '${rv}' from: ${ARGN}")
+  endif()
+endfunction()
+
+function(require_identical a b what)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files "${a}" "${b}"
+                  RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "${what}: resumed output differs from the uninterrupted run")
+  endif()
+endfunction()
+
+# 1. The reference: an uninterrupted run.
+run_expecting(0 ${APP} ${COMMON}
+              --csv "${WORKDIR}/full.csv" --snapshot "${WORKDIR}/full.snap")
+
+# 2. The same run, checkpointing every dt, killed at t = 3 (exit 42).
+run_expecting(42 ${APP} ${COMMON} --checkpoint "${WORKDIR}/run.ck" --die-at 3)
+
+# 3. Restart from the checkpoint; outputs must match byte for byte.
+run_expecting(0 ${APP} ${COMMON} --resume "${WORKDIR}/run.ck"
+              --csv "${WORKDIR}/resumed.csv" --snapshot "${WORKDIR}/resumed.snap")
+require_identical("${WORKDIR}/full.csv" "${WORKDIR}/resumed.csv" "csv after resume")
+require_identical("${WORKDIR}/full.snap" "${WORKDIR}/resumed.snap" "snapshot after resume")
+
+# 4. Corrupt the primary checkpoint; the resume must reject it, fall back
+#    to run.ck.bak, and still reproduce the uninterrupted outputs.
+if(NOT EXISTS "${WORKDIR}/run.ck.bak")
+  message(FATAL_ERROR "checkpoint rotation left no run.ck.bak")
+endif()
+file(WRITE "${WORKDIR}/run.ck" "this is not a checkpoint")
+run_expecting(0 ${APP} ${COMMON} --resume "${WORKDIR}/run.ck"
+              --csv "${WORKDIR}/fallback.csv" --snapshot "${WORKDIR}/fallback.snap")
+require_identical("${WORKDIR}/full.csv" "${WORKDIR}/fallback.csv" "csv after fallback")
+require_identical("${WORKDIR}/full.snap" "${WORKDIR}/fallback.snap" "snapshot after fallback")
+
+# 5. With the fallback also gone, the resume must fail loudly, not start over.
+file(REMOVE "${WORKDIR}/run.ck.bak")
+run_expecting(1 ${APP} ${COMMON} --resume "${WORKDIR}/run.ck"
+              --csv "${WORKDIR}/never.csv")
+if(EXISTS "${WORKDIR}/never.csv")
+  message(FATAL_ERROR "failed resume still wrote outputs")
+endif()

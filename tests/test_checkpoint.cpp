@@ -1,0 +1,239 @@
+#include "io/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "core/simulation.hpp"
+#include "io/atomic_file.hpp"
+#include "models/zgb.hpp"
+
+namespace casurf {
+namespace {
+
+std::uint64_t bits(double v) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, 8);
+  return b;
+}
+
+class CheckpointTest : public ::testing::TestWithParam<Algorithm> {
+ protected:
+  CheckpointTest() : zgb_(models::make_zgb()) {}
+
+  std::unique_ptr<Simulator> make(std::int32_t size = 24, unsigned threads = 3) const {
+    Configuration cfg(Lattice(size, size), zgb_.model.species().size(), zgb_.vacant);
+    SimulationOptions opt;
+    opt.algorithm = GetParam();
+    opt.seed = 5;
+    opt.l_trials = 2;
+    opt.threads = threads;
+    return make_simulator(zgb_.model, std::move(cfg), opt);
+  }
+
+  void TearDown() override {
+    std::remove(path_.c_str());
+  }
+
+  models::ZgbModel zgb_;
+  std::string path_ = ::testing::TempDir() + "casurf_checkpoint_test.ck";
+};
+
+/// The core guarantee: interrupt at T/2, restore into a freshly
+/// constructed simulator, continue — and land on exactly the state the
+/// uninterrupted run reaches: same configuration, same counters, and the
+/// same simulated time to the last mantissa bit.
+TEST_P(CheckpointTest, ResumeIsBitIdentical) {
+  auto uninterrupted = make();
+  uninterrupted->advance_to(2.0);
+  uninterrupted->advance_to(4.0);
+
+  auto first_half = make();
+  first_half->advance_to(2.0);
+  io::save_checkpoint(path_, *first_half, "user-payload");
+
+  auto resumed = make();
+  EXPECT_EQ(io::restore_checkpoint(path_, *resumed), "user-payload");
+  EXPECT_EQ(bits(resumed->time()), bits(first_half->time()));
+  resumed->advance_to(4.0);
+
+  EXPECT_EQ(resumed->configuration(), uninterrupted->configuration());
+  EXPECT_EQ(bits(resumed->time()), bits(uninterrupted->time()));
+  EXPECT_EQ(resumed->counters().trials, uninterrupted->counters().trials);
+  EXPECT_EQ(resumed->counters().executed, uninterrupted->counters().executed);
+  EXPECT_EQ(resumed->counters().steps, uninterrupted->counters().steps);
+  EXPECT_EQ(resumed->counters().executed_per_type,
+            uninterrupted->counters().executed_per_type);
+}
+
+TEST_P(CheckpointTest, PeekReportsMetadataWithoutASimulator) {
+  auto sim = make();
+  sim->advance_to(1.0);
+  io::save_checkpoint(path_, *sim);
+
+  const io::CheckpointInfo info = io::peek_checkpoint(path_);
+  EXPECT_EQ(info.version, io::kCheckpointVersion);
+  EXPECT_EQ(info.algorithm, sim->name());
+  EXPECT_EQ(info.width, 24);
+  EXPECT_EQ(info.height, 24);
+  EXPECT_EQ(info.species, zgb_.model.species().names());
+  EXPECT_EQ(bits(info.time), bits(sim->time()));
+  EXPECT_EQ(info.steps, sim->counters().steps);
+}
+
+TEST_P(CheckpointTest, TruncatedFileIsRejected) {
+  auto sim = make();
+  sim->advance_to(1.0);
+  io::save_checkpoint(path_, *sim);
+
+  const std::string raw = io::read_file(path_);
+  for (const std::size_t keep : {raw.size() - 1, raw.size() / 2, std::size_t{10}}) {
+    std::ofstream(path_, std::ios::binary).write(raw.data(),
+                                                 static_cast<std::streamsize>(keep));
+    auto fresh = make();
+    EXPECT_THROW((void)io::restore_checkpoint(path_, *fresh), io::CheckpointError)
+        << "kept " << keep << " of " << raw.size() << " bytes";
+  }
+}
+
+TEST_P(CheckpointTest, BitFlipIsCaughtByCrc) {
+  auto sim = make();
+  sim->advance_to(1.0);
+  io::save_checkpoint(path_, *sim);
+
+  std::string raw = io::read_file(path_);
+  raw[raw.size() / 2] ^= 0x40;  // one flipped bit, deep in the payload
+  std::ofstream(path_, std::ios::binary).write(raw.data(),
+                                               static_cast<std::streamsize>(raw.size()));
+  auto fresh = make();
+  try {
+    (void)io::restore_checkpoint(path_, *fresh);
+    FAIL() << "corrupt checkpoint accepted";
+  } catch (const io::CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos) << e.what();
+  }
+}
+
+TEST_P(CheckpointTest, WrongLatticeSizeIsRejected) {
+  auto sim = make(24);
+  io::save_checkpoint(path_, *sim);
+  auto smaller = make(16);
+  EXPECT_THROW((void)io::restore_checkpoint(path_, *smaller), io::CheckpointError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, CheckpointTest,
+    ::testing::Values(Algorithm::kRsm, Algorithm::kVssm, Algorithm::kFrm,
+                      Algorithm::kNdca, Algorithm::kPndca, Algorithm::kLPndca,
+                      Algorithm::kTPndca, Algorithm::kParallelPndca),
+    [](const auto& info) {
+      switch (info.param) {
+        case Algorithm::kRsm: return "RSM";
+        case Algorithm::kVssm: return "VSSM";
+        case Algorithm::kFrm: return "FRM";
+        case Algorithm::kNdca: return "NDCA";
+        case Algorithm::kPndca: return "PNDCA";
+        case Algorithm::kLPndca: return "LPNDCA";
+        case Algorithm::kTPndca: return "TPNDCA";
+        case Algorithm::kParallelPndca: return "Parallel";
+      }
+      return "unknown";
+    });
+
+class CheckpointFileTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  models::ZgbModel zgb_ = models::make_zgb();
+  std::string path_ = ::testing::TempDir() + "casurf_checkpoint_file_test.ck";
+
+  std::unique_ptr<Simulator> make(Algorithm alg, unsigned threads = 2) const {
+    Configuration cfg(Lattice(16, 16), zgb_.model.species().size(), zgb_.vacant);
+    SimulationOptions opt;
+    opt.algorithm = alg;
+    opt.seed = 9;
+    opt.threads = threads;
+    return make_simulator(zgb_.model, std::move(cfg), opt);
+  }
+};
+
+TEST_F(CheckpointFileTest, Crc32MatchesTheReferenceVector) {
+  // The standard check value of CRC-32/ISO-HDLC over "123456789".
+  const char* s = "123456789";
+  EXPECT_EQ(io::crc32(std::span(reinterpret_cast<const std::uint8_t*>(s), 9)),
+            0xCBF43926u);
+  EXPECT_EQ(io::crc32({}), 0u);
+}
+
+TEST_F(CheckpointFileTest, WrongAlgorithmIsRejectedByName) {
+  auto vssm = make(Algorithm::kVssm);
+  vssm->advance_to(1.0);
+  io::save_checkpoint(path_, *vssm);
+
+  auto frm = make(Algorithm::kFrm);
+  try {
+    (void)io::restore_checkpoint(path_, *frm);
+    FAIL() << "cross-algorithm restore accepted";
+  } catch (const io::CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("VSSM"), std::string::npos) << e.what();
+  }
+}
+
+TEST_F(CheckpointFileTest, NotACheckpointFileIsRejected) {
+  std::ofstream(path_) << "casurf-snapshot 1\nlattice 4 4\n";
+  auto sim = make(Algorithm::kRsm);
+  EXPECT_THROW((void)io::restore_checkpoint(path_, *sim), io::CheckpointError);
+  EXPECT_THROW((void)io::peek_checkpoint(path_), io::CheckpointError);
+}
+
+TEST_F(CheckpointFileTest, MissingFileIsACheckpointError) {
+  auto sim = make(Algorithm::kRsm);
+  EXPECT_THROW((void)io::restore_checkpoint("/nonexistent/x.ck", *sim),
+               io::CheckpointError);
+}
+
+TEST_F(CheckpointFileTest, LargeUserSectionRoundTrips) {
+  // Larger than the StateReader string sanity cap: the user blob must not
+  // be subject to it.
+  std::string blob(3u << 20, 'x');
+  blob[42] = '\0';  // embedded NUL survives
+  auto sim = make(Algorithm::kRsm);
+  io::save_checkpoint(path_, *sim, blob);
+  auto fresh = make(Algorithm::kRsm);
+  EXPECT_EQ(io::restore_checkpoint(path_, *fresh), blob);
+}
+
+TEST_F(CheckpointFileTest, SaveLeavesNoTemporaryBehind) {
+  auto sim = make(Algorithm::kRsm);
+  io::save_checkpoint(path_, *sim);
+  io::save_checkpoint(path_, *sim);  // overwrite goes through the same rename
+  EXPECT_EQ(std::ifstream(path_ + ".tmp." + std::to_string(getpid())).good(), false);
+  EXPECT_TRUE(std::ifstream(path_).good());
+}
+
+TEST_F(CheckpointFileTest, ParallelEngineResumesAtAnyThreadCount) {
+  auto uninterrupted = make(Algorithm::kParallelPndca, 2);
+  uninterrupted->advance_to(4.0);
+
+  auto writer = make(Algorithm::kParallelPndca, 2);
+  writer->advance_to(2.0);
+  io::save_checkpoint(path_, *writer);
+
+  for (const unsigned threads : {1u, 3u, 5u}) {
+    auto resumed = make(Algorithm::kParallelPndca, threads);
+    (void)io::restore_checkpoint(path_, *resumed);
+    resumed->advance_to(4.0);
+    EXPECT_EQ(resumed->configuration(), uninterrupted->configuration())
+        << threads << " threads";
+    EXPECT_EQ(resumed->counters().executed, uninterrupted->counters().executed)
+        << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace casurf

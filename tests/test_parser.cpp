@@ -153,6 +153,45 @@ TEST(ModelParser, ErrorCarriesLineNumber) {
   }
 }
 
+// The line number must point at the offending line for every failure
+// shape, not just species errors — it is the only thing a user has to go
+// on in a hand-written .model file.
+struct LineCase {
+  const char* text;
+  std::size_t line;
+};
+
+class ParserErrorLines : public ::testing::TestWithParam<LineCase> {};
+
+TEST_P(ParserErrorLines, ReportsTheOffendingLine) {
+  try {
+    (void)parse_model(GetParam().text);
+    FAIL() << "expected ModelParseError";
+  } catch (const ModelParseError& e) {
+    EXPECT_EQ(e.line(), GetParam().line) << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParserErrorLines,
+    ::testing::Values(
+        // reaction before species: flagged at the reaction line
+        LineCase{"reaction r rate=1\n(0,0) A -> B\nend\n", 1},
+        // duplicate species block: flagged at the second one
+        LineCase{"species * A\n\nspecies * B\nreaction r rate=1\n(0,0) * -> A\nend\n",
+                 3},
+        // missing rate: flagged at the reaction header
+        LineCase{"species * A\nreaction r\n(0,0) * -> A\nend\n", 2},
+        // malformed transform after blank lines: line count includes them
+        LineCase{"species * A\n\n\nreaction r rate=1\n\n0,0 * -> A\nend\n", 6},
+        // unclosed reaction: flagged at the reaction header it belongs to
+        LineCase{"species * A\nreaction r rate=1\n(0,0) * -> A\n", 2},
+        // stray 'end': flagged where it appears
+        LineCase{"species * A\nend\n", 2},
+        // unknown target species deep in a multi-transform reaction
+        LineCase{"species * A\nreaction r rate=1\n(0,0) * -> A\n(0,1) * -> Z\nend\n",
+                 4}));
+
 TEST(ModelParser, FileRoundTrip) {
   const std::string path = ::testing::TempDir() + "casurf_parser_test.model";
   {

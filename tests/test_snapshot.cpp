@@ -60,6 +60,74 @@ TEST_F(SnapshotTest, MissingFileThrows) {
   EXPECT_THROW((void)load_snapshot("/nonexistent/zzz.snap"), std::runtime_error);
 }
 
+TEST_F(SnapshotTest, BitFlippedDataCellIsRejectedWithCoordinates) {
+  const auto zgb = models::make_zgb();
+  const Configuration cfg(Lattice(6, 4), 3, zgb.vacant);
+  save_snapshot(path_, cfg, zgb.model.species());
+
+  // Flip a data digit into a non-numeric byte — the parse must fail and
+  // name the cell, not silently read a wrong lattice.
+  std::ifstream in(path_);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const std::size_t data_pos = text.find("data\n") + 5;
+  text[data_pos] = '@';
+  std::ofstream(path_) << text;
+
+  try {
+    (void)load_snapshot(path_);
+    FAIL() << "corrupted snapshot accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("(0,0)"), std::string::npos) << e.what();
+  }
+}
+
+TEST_F(SnapshotTest, RemapTranslatesReorderedSpeciesByName) {
+  // A snapshot written with species order {*, CO, O}, loaded into a model
+  // that lists the same names as {O, *, CO}: every site must be translated
+  // to the loader's index for the same name.
+  const auto zgb = models::make_zgb();
+  Configuration cfg(Lattice(4, 3), 3, zgb.vacant);
+  cfg.set(Vec2{1, 1}, zgb.co);
+  cfg.set(Vec2{2, 2}, zgb.o);
+  save_snapshot(path_, cfg, zgb.model.species());
+
+  const Snapshot snap = load_snapshot(path_);
+  const SpeciesSet reordered({"O", "*", "CO"});
+  const Configuration remapped = remap_species(snap, reordered);
+
+  EXPECT_EQ(remapped.get(remapped.lattice().index({1, 1})), 2);  // CO
+  EXPECT_EQ(remapped.get(remapped.lattice().index({2, 2})), 0);  // O
+  EXPECT_EQ(remapped.get(remapped.lattice().index({0, 0})), 1);  // vacant
+  EXPECT_EQ(remapped.count(1), cfg.count(zgb.vacant));
+  EXPECT_EQ(remapped.count(2), cfg.count(zgb.co));
+  EXPECT_EQ(remapped.count(0), cfg.count(zgb.o));
+}
+
+TEST_F(SnapshotTest, RemapIsIdentityWhenOrdersAgree) {
+  const auto zgb = models::make_zgb();
+  Configuration cfg(Lattice(5, 5), 3, zgb.vacant);
+  cfg.set(Vec2{3, 3}, zgb.o);
+  save_snapshot(path_, cfg, zgb.model.species());
+  const Snapshot snap = load_snapshot(path_);
+  EXPECT_EQ(remap_species(snap, zgb.model.species()), cfg);
+}
+
+TEST_F(SnapshotTest, RemapRejectsUnknownSpeciesByName) {
+  const auto zgb = models::make_zgb();
+  const Configuration cfg(Lattice(3, 3), 3, zgb.vacant);
+  save_snapshot(path_, cfg, zgb.model.species());
+  const Snapshot snap = load_snapshot(path_);
+
+  const SpeciesSet other({"*", "CO", "N2"});  // no "O"
+  try {
+    (void)remap_species(snap, other);
+    FAIL() << "unknown species accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("'O'"), std::string::npos) << e.what();
+  }
+}
+
 TEST_F(SnapshotTest, PpmHasCorrectHeaderAndSize) {
   const Configuration cfg(Lattice(5, 3), 2, 0);
   write_ppm(ppm_, cfg);
