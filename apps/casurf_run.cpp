@@ -12,6 +12,8 @@
 //   casurf_run --model zgb --t-end 100 --checkpoint run.ck --resume run.ck
 
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +28,8 @@
 #include "core/simulation.hpp"
 #include "io/checkpoint.hpp"
 #include "io/snapshot.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
 #include "model/parser.hpp"
 #include "models/diffusion.hpp"
 #include "models/ising.hpp"
@@ -59,6 +63,8 @@ struct Options {
   std::string resume;           // checkpoint to resume from
   std::uint64_t audit_every = 0;  // audit each N samples (0 = off)
   AuditPolicy audit_policy = AuditPolicy::kAbort;
+  std::string metrics;            // JSON run-report target ("" = metrics off)
+  std::uint64_t metrics_every = 0;  // refresh report each N samples (0 = at end)
   double die_at = -1;  // crash-test aid: _Exit mid-run once time() >= die_at
   bool quiet = false;
 };
@@ -94,6 +100,10 @@ struct Options {
                "                      falls back to PATH.bak if PATH is corrupt\n"
                "  --audit-every N     verify derived state every N samples\n"
                "  --audit-policy P    abort (default) | repair\n"
+               "  --metrics PATH      record phase timers/counters and write a\n"
+               "                      JSON run-report (docs/OBSERVABILITY.md)\n"
+               "  --metrics-every N   atomically refresh the report every N\n"
+               "                      samples (default: only at the end)\n"
                "  --quiet             suppress the progress table\n",
                argv0);
   std::exit(error ? 2 : 0);
@@ -177,6 +187,8 @@ Options parse_args(int argc, char** argv) {
       else if (v == "repair") opt.audit_policy = AuditPolicy::kRepair;
       else usage(argv[0], "--audit-policy expects 'abort' or 'repair'");
     }
+    else if (flag == "--metrics") opt.metrics = need_value(i);
+    else if (flag == "--metrics-every") opt.metrics_every = integer(i, "--metrics-every");
     else if (flag == "--die-at") opt.die_at = num(i, "--die-at");  // crash-test aid
     else if (flag == "--quiet") opt.quiet = true;
     else usage(argv[0], ("unknown flag: " + std::string(flag)).c_str());
@@ -189,6 +201,9 @@ Options parse_args(int argc, char** argv) {
   if (opt.threads == 0) usage(argv[0], "--threads must be at least 1");
   if (opt.checkpoint_every > 0 && opt.checkpoint.empty()) {
     usage(argv[0], "--checkpoint-every requires --checkpoint PATH");
+  }
+  if (opt.metrics_every > 0 && opt.metrics.empty()) {
+    usage(argv[0], "--metrics-every requires --metrics PATH");
   }
   return opt;
 }
@@ -338,6 +353,28 @@ int main(int argc, char** argv) {
       resumed = true;
     }
 
+    // --- Metrics ------------------------------------------------------
+    // Attached after any resume: a restore fallback rebuilds the
+    // simulator, which would drop probe handles attached earlier.
+    obs::MetricsRegistry registry;
+    if (!opt.metrics.empty()) sim->set_metrics(&registry);
+    const auto wall_start = std::chrono::steady_clock::now();
+    const auto report_info = [&] {
+      obs::RunInfo info;
+      info.algorithm = sim->name();
+      info.model = opt.model_file.empty() ? opt.model : opt.model_file;
+      info.width = opt.width;
+      info.height = opt.model == "single-file" ? 1 : opt.height;
+      info.seed = opt.seed;
+      info.t_end = opt.t_end;
+      info.dt = opt.dt;
+      info.threads = opt.algorithm == "parallel" ? opt.threads : 1;
+      info.wall_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - wall_start)
+                              .count();
+      return info;
+    };
+
     if (!opt.quiet) {
       std::printf("# %s, %zu reaction types, K = %.3f, %d x %d, seed %llu\n",
                   sim->name().c_str(), model->num_reactions(), model->total_rate(),
@@ -358,6 +395,10 @@ int main(int argc, char** argv) {
     std::uint64_t samples = 0;
 
     if (!resumed) recorder.sample(*sim);
+    // Sampling targets form the fixed grid k * dt, indexed by integer k so
+    // an overshooting advance never drifts later samples off the grid (and
+    // a resumed run recovers its k from the checkpointed grid time).
+    auto sample_k = static_cast<std::uint64_t>(std::llround(next / opt.dt));
     while (next <= opt.t_end) {
       sim->advance_to(next);
       recorder.sample(*sim);
@@ -368,9 +409,14 @@ int main(int argc, char** argv) {
         }
         std::printf("\n");
       }
-      next = sim->time() + opt.dt;
+      ++sample_k;
+      next = static_cast<double>(sample_k) * opt.dt;
 
-      if (opt.audit_every > 0 && ++samples % opt.audit_every == 0) {
+      ++samples;
+      if (opt.metrics_every > 0 && samples % opt.metrics_every == 0) {
+        obs::write_run_report(opt.metrics, report_info(), sim.get(), &registry);
+      }
+      if (opt.audit_every > 0 && samples % opt.audit_every == 0) {
         const AuditReport report = auditor.run(*sim);  // throws under kAbort
         if (report.repaired) {
           std::fprintf(stderr, "warning: audit repaired inconsistent state:\n%s",
@@ -390,6 +436,11 @@ int main(int argc, char** argv) {
     // A final checkpoint at t_end makes `--resume` idempotent: resuming a
     // finished run just rewrites the outputs.
     if (!opt.checkpoint.empty()) write_checkpoint(opt, *sim, next, recorder);
+
+    if (!opt.metrics.empty()) {
+      obs::write_run_report(opt.metrics, report_info(), sim.get(), &registry);
+      if (!opt.quiet) std::printf("# metrics report: %s\n", opt.metrics.c_str());
+    }
 
     if (!opt.quiet) {
       const SimCounters& c = sim->counters();

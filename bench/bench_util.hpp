@@ -10,6 +10,9 @@
 #include <string>
 #include <vector>
 
+#include "core/simulator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
 #include "stats/csv.hpp"
 #include "stats/timeseries.hpp"
 
@@ -39,6 +42,18 @@ inline void print_series(const char* label, const TimeSeries& ts, std::size_t ro
   for (std::size_t i = 0; i < ts.size(); i += stride) {
     std::printf("    %-7.1f %.4f\n", ts.time(i), ts.value(i));
   }
+}
+
+/// Dump an instrumented bench run as bench_out/BENCH_<name>.json — the
+/// same schema casurf_run --metrics emits, written through the atomic
+/// path. Attach the registry (sim.set_metrics) before the timed section
+/// so the per-phase timers cover it.
+inline void write_bench_report(const std::string& name, const obs::RunInfo& info,
+                               const Simulator& sim,
+                               const obs::MetricsRegistry& registry) {
+  const std::string path = out_dir() + "/BENCH_" + name + ".json";
+  obs::write_run_report(path, info, &sim, &registry);
+  std::printf("  [json] %s\n", path.c_str());
 }
 
 /// Scale factor for quick smoke runs: CASURF_BENCH_FAST=1 shrinks the

@@ -77,12 +77,26 @@ int main() {
   for (const unsigned threads : {1u, 2u, 4u}) {
     ParallelPndcaEngine engine(zgb.model, Configuration(small, 3, zgb.vacant),
                                {make_partition(small, zgb.model)}, 7, threads);
+    obs::MetricsRegistry registry;
+    engine.set_metrics(&registry);
     const auto t0 = std::chrono::steady_clock::now();
     for (int i = 0; i < steps; ++i) engine.mc_step();
     const double dt = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - t0).count();
     std::printf("  threads=%u  wall=%.3fs  executed=%llu\n", threads, dt,
                 static_cast<unsigned long long>(engine.counters().executed));
+
+    obs::RunInfo info;
+    info.algorithm = engine.name();
+    info.model = "zgb";
+    info.width = small.width();
+    info.height = small.height();
+    info.seed = 7;
+    info.t_end = engine.time();
+    info.threads = threads;
+    info.wall_seconds = dt;
+    bench::write_bench_report("fig7_threads" + std::to_string(threads), info, engine,
+                              registry);
   }
   return 0;
 }

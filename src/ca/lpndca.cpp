@@ -76,7 +76,14 @@ void LPndcaSimulator::audit_derived_state(AuditReport& report, bool repair) {
   }
 }
 
+void LPndcaSimulator::set_metrics(obs::MetricsRegistry* registry) {
+  Simulator::set_metrics(registry);
+  step_timer_ = registry ? &registry->timer("lpndca/step") : nullptr;
+  select_timer_ = registry ? &registry->timer("lpndca/select") : nullptr;
+}
+
 ChunkId LPndcaSimulator::select_chunk() {
+  const obs::ScopedTimer span(select_timer_);
   if (rate_cache_) {
     // Rate-weighted draw over the live per-chunk enabled rates; unlike
     // PNDCA's per-step freeze, each batch sees the counts updated by the
@@ -89,6 +96,7 @@ ChunkId LPndcaSimulator::select_chunk() {
 }
 
 void LPndcaSimulator::mc_step() {
+  const obs::ScopedTimer span(step_timer_);
   const std::uint64_t budget = config_.size();  // N trials per step
   std::uint64_t trials = 0;
   while (trials < budget) {

@@ -5,6 +5,7 @@
 
 #include "ca/rate_cache.hpp"
 #include "core/simulator.hpp"
+#include "obs/metrics.hpp"
 #include "partition/partition.hpp"
 #include "rng/xoshiro.hpp"
 
@@ -44,6 +45,8 @@ class LPndcaSimulator final : public Simulator {
   void mc_step() override;
   [[nodiscard]] std::string name() const override { return "L-PNDCA"; }
 
+  void set_metrics(obs::MetricsRegistry* registry) override;
+
   [[nodiscard]] const Partition& partition() const { return partition_; }
   [[nodiscard]] std::uint32_t trials_per_batch() const { return trials_per_batch_; }
   [[nodiscard]] ChunkWeighting weighting() const { return weighting_; }
@@ -77,6 +80,8 @@ class LPndcaSimulator final : public Simulator {
   double rate_nk_;
   std::vector<double> chunk_cumulative_;  // cumulative chunk sizes for selection
   std::unique_ptr<EnabledRateCache> rate_cache_;  // kRateWeighted only
+  obs::Timer* step_timer_ = nullptr;    // lpndca/step
+  obs::Timer* select_timer_ = nullptr;  // lpndca/select
 };
 
 }  // namespace casurf

@@ -51,7 +51,9 @@ void NdcaSimulator::restore_state(StateReader& r) {
 }
 
 void NdcaSimulator::mc_step() {
+  const obs::ScopedTimer span(step_timer_);
   if (order_ == SweepOrder::kShuffled) {
+    const obs::ScopedTimer shuffle_span(shuffle_timer_);
     // Fisher-Yates with the simulator's own generator.
     for (std::size_t i = visit_order_.size(); i > 1; --i) {
       const auto j = static_cast<std::size_t>(uniform_below(rng_, i));
@@ -60,6 +62,12 @@ void NdcaSimulator::mc_step() {
   }
   for (const SiteIndex s : visit_order_) trial_at(s);
   ++counters_.steps;
+}
+
+void NdcaSimulator::set_metrics(obs::MetricsRegistry* registry) {
+  Simulator::set_metrics(registry);
+  step_timer_ = registry ? &registry->timer("ndca/step") : nullptr;
+  shuffle_timer_ = registry ? &registry->timer("ndca/shuffle") : nullptr;
 }
 
 }  // namespace casurf

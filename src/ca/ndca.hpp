@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "core/simulator.hpp"
+#include "obs/metrics.hpp"
 #include "rng/xoshiro.hpp"
 
 namespace casurf {
@@ -28,6 +29,8 @@ class NdcaSimulator final : public Simulator {
   void mc_step() override;
   [[nodiscard]] std::string name() const override { return "NDCA"; }
 
+  void set_metrics(obs::MetricsRegistry* registry) override;
+
   /// Checkpointing: besides the RNG, the visit order is saved — under
   /// kShuffled it carries the permutation state the next shuffle starts
   /// from.
@@ -42,6 +45,8 @@ class NdcaSimulator final : public Simulator {
   SweepOrder order_;
   double rate_nk_;
   std::vector<SiteIndex> visit_order_;
+  obs::Timer* step_timer_ = nullptr;     // ndca/step
+  obs::Timer* shuffle_timer_ = nullptr;  // ndca/shuffle
 };
 
 }  // namespace casurf

@@ -46,8 +46,20 @@ double PndcaSimulator::enabled_rate_in_chunk(const Partition& p, ChunkId c) cons
 void PndcaSimulator::refresh_rate_cache(const ReactionType& reaction, SiteIndex s) {
   const Lattice& lat = config_.lattice();
   for (const Transform& t : reaction.transforms()) {
-    if (t.tg != kKeep) rate_cache_->refresh_after(config_, lat.neighbor(s, t.offset));
+    if (t.tg != kKeep) {
+      rate_cache_->refresh_after(config_, lat.neighbor(s, t.offset));
+      if (rate_rechecks_ != nullptr) rate_rechecks_->add();
+    }
   }
+}
+
+void PndcaSimulator::set_metrics(obs::MetricsRegistry* registry) {
+  Simulator::set_metrics(registry);
+  step_timer_ = registry ? &registry->timer("pndca/step") : nullptr;
+  plan_timer_ = registry ? &registry->timer("pndca/plan") : nullptr;
+  sweep_timer_ = registry ? &registry->timer("pndca/sweep") : nullptr;
+  rate_rechecks_ = registry ? &registry->counter("pndca/rate_rechecks") : nullptr;
+  chunk_sites_ = registry ? &registry->histogram("pndca/chunk_sites") : nullptr;
 }
 
 void PndcaSimulator::save_state(StateWriter& w) const {
@@ -151,13 +163,21 @@ std::int32_t PndcaSimulator::trial_at(std::uint64_t sweep, SiteIndex s,
 }
 
 void PndcaSimulator::mc_step() {
+  const obs::ScopedTimer step_span(step_timer_);
   partition_cursor_ = static_cast<std::size_t>(counters_.steps % partitions_.size());
-  schedule_ = plan_schedule();
+  {
+    const obs::ScopedTimer plan_span(plan_timer_);
+    schedule_ = plan_schedule();
+  }
   const Partition& p = partitions_[partition_cursor_];
 
   for (const ChunkId c : schedule_) {
     ++sweep_;
-    execute_chunk(sweep_, p.chunk(c));
+    if (chunk_sites_ != nullptr) chunk_sites_->record(p.chunk(c).size());
+    {
+      const obs::ScopedTimer sweep_span(sweep_timer_);
+      execute_chunk(sweep_, p.chunk(c));
+    }
 
     // Time advances once per trial, drawn from the schedule-level
     // generator in a fixed order — identical under any thread scheduling.

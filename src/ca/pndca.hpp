@@ -6,6 +6,7 @@
 
 #include "ca/rate_cache.hpp"
 #include "core/simulator.hpp"
+#include "obs/metrics.hpp"
 #include "partition/partition.hpp"
 #include "rng/counter_rng.hpp"
 #include "rng/xoshiro.hpp"
@@ -44,6 +45,8 @@ class PndcaSimulator : public Simulator {
 
   void mc_step() override;
   [[nodiscard]] std::string name() const override { return "PNDCA"; }
+
+  void set_metrics(obs::MetricsRegistry* registry) override;
 
   [[nodiscard]] const Partition& current_partition() const {
     return partitions_[partition_cursor_];
@@ -124,6 +127,11 @@ class PndcaSimulator : public Simulator {
   std::size_t partition_cursor_ = 0;
   std::vector<ChunkId> schedule_;
   std::unique_ptr<EnabledRateCache> rate_cache_;  // kRateWeighted only
+  obs::Timer* step_timer_ = nullptr;          // pndca/step
+  obs::Timer* plan_timer_ = nullptr;          // pndca/plan
+  obs::Timer* sweep_timer_ = nullptr;         // pndca/sweep
+  obs::Counter* rate_rechecks_ = nullptr;     // pndca/rate_rechecks
+  obs::Histogram* chunk_sites_ = nullptr;     // pndca/chunk_sites
 };
 
 }  // namespace casurf

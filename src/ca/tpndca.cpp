@@ -90,9 +90,17 @@ ChunkId TPndcaSimulator::select_chunk(std::size_t subset_index, ReactionIndex ch
   return static_cast<ChunkId>(uniform_below(rng_, m));
 }
 
+void TPndcaSimulator::set_metrics(obs::MetricsRegistry* registry) {
+  Simulator::set_metrics(registry);
+  step_timer_ = registry ? &registry->timer("tpndca/step") : nullptr;
+  sweep_timer_ = registry ? &registry->timer("tpndca/sweep") : nullptr;
+}
+
 void TPndcaSimulator::mc_step() {
+  const obs::ScopedTimer step_span(step_timer_);
   const double total_k = model_.total_rate();
   for (std::uint32_t sweep = 0; sweep < sweeps_per_step_; ++sweep) {
+    const obs::ScopedTimer sweep_span(sweep_timer_);
     // select T_j with probability K_Tj / K
     const std::size_t j = sample_cumulative(subset_cumulative_, uniform01(rng_));
     const TypeSubset& sub = subsets_[j];

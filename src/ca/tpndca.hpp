@@ -5,6 +5,7 @@
 
 #include "ca/rate_cache.hpp"
 #include "core/simulator.hpp"
+#include "obs/metrics.hpp"
 #include "partition/type_partition.hpp"
 #include "rng/xoshiro.hpp"
 
@@ -43,6 +44,8 @@ class TPndcaSimulator final : public Simulator {
   void mc_step() override;
   [[nodiscard]] std::string name() const override { return "TPNDCA"; }
 
+  void set_metrics(obs::MetricsRegistry* registry) override;
+
   [[nodiscard]] const std::vector<TypeSubset>& subsets() const { return subsets_; }
   [[nodiscard]] std::uint32_t sweeps_per_step() const { return sweeps_per_step_; }
   [[nodiscard]] ChunkWeighting weighting() const { return weighting_; }
@@ -76,6 +79,8 @@ class TPndcaSimulator final : public Simulator {
   std::unique_ptr<EnabledRateCache> rate_cache_;  // kRateWeighted only
   std::vector<double> weight_scratch_;
   ChunkSampler sampler_scratch_;
+  obs::Timer* step_timer_ = nullptr;   // tpndca/step
+  obs::Timer* sweep_timer_ = nullptr;  // tpndca/sweep
 };
 
 }  // namespace casurf

@@ -1,5 +1,6 @@
 #include "core/observer.hpp"
 
+#include <cstdint>
 #include <stdexcept>
 
 #include "core/simulator.hpp"
@@ -9,11 +10,16 @@ namespace casurf {
 void run_sampled(Simulator& sim, double t_end, double dt, Observer& obs) {
   if (!(dt > 0)) throw std::invalid_argument("run_sampled: dt must be positive");
   obs.sample(sim);
-  double next = sim.time() + dt;
-  while (next <= t_end) {
+  // True fixed grid t0 + k*dt, integer-indexed: the k-th target is computed
+  // directly (never from the simulator's possibly-overshot time, which
+  // would let the grid drift by up to one step per sample), and never by
+  // repeated addition (which accumulates rounding error over long runs).
+  const double t0 = sim.time();
+  for (std::uint64_t k = 1;; ++k) {
+    const double next = t0 + static_cast<double>(k) * dt;
+    if (next > t_end) break;
     sim.advance_to(next);
     obs.sample(sim);
-    next = sim.time() + dt;
   }
 }
 

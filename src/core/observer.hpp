@@ -11,9 +11,14 @@ class Observer {
   virtual void sample(const Simulator& sim) = 0;
 };
 
-/// Drive `sim` until `t_end`, invoking `obs.sample` at t = 0, dt, 2 dt, ...
-/// (the simulator state observed is the first state at or past each grid
-/// point; trial-based methods resolve the grid to one MC step).
+/// Drive `sim` until `t_end`, invoking `obs.sample` on the fixed grid
+/// t0 + k*dt, k = 0, 1, 2, ... (t0 = the simulator's starting time). The
+/// grid is integer-indexed: an advance that overshoots its grid point never
+/// shifts later targets, so every run samples the same instants. The state
+/// observed is the first state at or past each grid point; trial-based
+/// methods resolve the grid to one MC step, and a state that jumps past
+/// several grid points is observed once per point (time-aware observers
+/// such as CoverageRecorder deduplicate by timestamp).
 void run_sampled(Simulator& sim, double t_end, double dt, Observer& obs);
 
 }  // namespace casurf

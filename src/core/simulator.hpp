@@ -11,6 +11,10 @@
 
 namespace casurf {
 
+namespace obs {
+class MetricsRegistry;
+}
+
 /// How simulated time advances per trial (paper section 3).
 enum class TimeMode {
   /// Draw each increment from the exponential distribution 1 - exp(-N K t),
@@ -67,6 +71,16 @@ class Simulator {
   /// Human-readable algorithm name ("RSM", "PNDCA", ...).
   [[nodiscard]] virtual std::string name() const = 0;
 
+  /// Attach a metrics registry (nullptr detaches). Implementations resolve
+  /// their probes by name once, here, and keep raw pointers; the hot path
+  /// then pays one branch per probe when detached. Probes never read or
+  /// write simulation state or RNG streams, so trajectories are
+  /// bit-identical with metrics on or off. The registry is borrowed and
+  /// must outlive the simulator (or be detached first).
+  virtual void set_metrics(obs::MetricsRegistry* registry) { metrics_ = registry; }
+
+  [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
+
   /// Serialize the full simulator state — configuration, simulated time,
   /// counters, RNG state, and every algorithm-internal structure whose
   /// content is not a pure function of the configuration (event queues,
@@ -104,6 +118,7 @@ class Simulator {
   Configuration config_;
   SimCounters counters_;
   double time_ = 0.0;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace casurf

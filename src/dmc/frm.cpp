@@ -62,11 +62,18 @@ bool FrmSimulator::drop_stale_heads() {
     const std::size_t p = pair_index(ev.type, ev.site);
     if (ev.generation != generation_[p] || enabled_flag_[p] == 0) {
       pop_event();
+      if (stale_dropped_ != nullptr) stale_dropped_->add();
       continue;
     }
     return true;
   }
   return false;
+}
+
+void FrmSimulator::set_metrics(obs::MetricsRegistry* registry) {
+  Simulator::set_metrics(registry);
+  step_timer_ = registry ? &registry->timer("frm/step") : nullptr;
+  stale_dropped_ = registry ? &registry->counter("frm/stale_dropped") : nullptr;
 }
 
 void FrmSimulator::execute_head() {
@@ -97,6 +104,7 @@ void FrmSimulator::execute_head() {
 }
 
 void FrmSimulator::mc_step() {
+  const obs::ScopedTimer span(step_timer_);
   if (drop_stale_heads()) execute_head();
   // Empty queue: absorbing state; advance_to() handles time.
 }
@@ -113,6 +121,7 @@ void FrmSimulator::advance_to(double t) {
       time_ = t;
       return;
     }
+    const obs::ScopedTimer span(step_timer_);
     execute_head();
   }
 }

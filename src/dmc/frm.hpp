@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/simulator.hpp"
+#include "obs/metrics.hpp"
 #include "rng/xoshiro.hpp"
 
 namespace casurf {
@@ -24,6 +25,8 @@ class FrmSimulator final : public Simulator {
   void mc_step() override;
   void advance_to(double t) override;
   [[nodiscard]] std::string name() const override { return "FRM"; }
+
+  void set_metrics(obs::MetricsRegistry* registry) override;
 
   /// Number of (type, site) pairs currently enabled.
   [[nodiscard]] std::uint64_t enabled_pairs() const { return enabled_pairs_; }
@@ -77,6 +80,8 @@ class FrmSimulator final : public Simulator {
   std::vector<std::uint8_t> enabled_flag_;  // per (type, site)
   std::uint64_t enabled_pairs_ = 0;
   std::vector<SiteIndex> write_buffer_;
+  obs::Timer* step_timer_ = nullptr;         // frm/step
+  obs::Counter* stale_dropped_ = nullptr;    // frm/stale_dropped
 };
 
 }  // namespace casurf

@@ -33,9 +33,16 @@ void RsmSimulator::trial() {
 }
 
 void RsmSimulator::mc_step() {
+  const obs::ScopedTimer span(step_timer_);
   const SiteIndex n = config_.size();
   for (SiteIndex i = 0; i < n; ++i) trial();
   ++counters_.steps;
+}
+
+void RsmSimulator::set_metrics(obs::MetricsRegistry* registry) {
+  Simulator::set_metrics(registry);
+  step_timer_ = registry ? &registry->timer("rsm/step") : nullptr;
+  advance_timer_ = registry ? &registry->timer("rsm/advance") : nullptr;
 }
 
 void RsmSimulator::save_state(StateWriter& w) const {
@@ -51,6 +58,7 @@ void RsmSimulator::restore_state(StateReader& r) {
 }
 
 void RsmSimulator::advance_to(double t) {
+  const obs::ScopedTimer span(advance_timer_);
   while (time_ < t) {
     const double dt = time_mode_ == TimeMode::kStochastic
                           ? exponential(rng_, rate_nk_)

@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "core/simulator.hpp"
+#include "obs/metrics.hpp"
 #include "rng/xoshiro.hpp"
 
 namespace casurf {
@@ -26,6 +27,8 @@ class RsmSimulator final : public Simulator {
 
   [[nodiscard]] std::string name() const override { return "RSM"; }
 
+  void set_metrics(obs::MetricsRegistry* registry) override;
+
   void save_state(StateWriter& w) const override;
   void restore_state(StateReader& r) override;
 
@@ -39,6 +42,8 @@ class RsmSimulator final : public Simulator {
   Xoshiro256 rng_;
   TimeMode time_mode_;
   double rate_nk_;  // N * K: the rate of the per-trial waiting time
+  obs::Timer* step_timer_ = nullptr;     // rsm/step
+  obs::Timer* advance_timer_ = nullptr;  // rsm/advance
 };
 
 }  // namespace casurf

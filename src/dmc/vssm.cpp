@@ -24,7 +24,14 @@ void VssmSimulator::rebuild_enabled() {
   }
 }
 
+void VssmSimulator::set_metrics(obs::MetricsRegistry* registry) {
+  Simulator::set_metrics(registry);
+  step_timer_ = registry ? &registry->timer("vssm/step") : nullptr;
+  rate_scan_timer_ = registry ? &registry->timer("vssm/rate_scan") : nullptr;
+}
+
 double VssmSimulator::total_enabled_rate() const {
+  const obs::ScopedTimer span(rate_scan_timer_);
   double r = 0;
   for (ReactionIndex i = 0; i < model_.num_reactions(); ++i) {
     r += model_.reaction(i).rate() * static_cast<double>(enabled_[i].size());
@@ -44,6 +51,7 @@ void VssmSimulator::refresh_around(SiteIndex changed) {
 }
 
 void VssmSimulator::mc_step() {
+  const obs::ScopedTimer span(step_timer_);
   const double total = total_enabled_rate();
   if (total <= 0.0) return;  // absorbing state; advance_to() handles time
 
@@ -172,6 +180,7 @@ void VssmSimulator::advance_to(double t) {
       return;
     }
     time_ += dt;
+    const obs::ScopedTimer span(step_timer_);
     execute_event(total);
   }
 }

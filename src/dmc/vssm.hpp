@@ -5,6 +5,7 @@
 
 #include "core/simulator.hpp"
 #include "dmc/enabled_set.hpp"
+#include "obs/metrics.hpp"
 #include "rng/xoshiro.hpp"
 
 namespace casurf {
@@ -22,6 +23,8 @@ class VssmSimulator final : public Simulator {
   void mc_step() override;
   void advance_to(double t) override;
   [[nodiscard]] std::string name() const override { return "VSSM"; }
+
+  void set_metrics(obs::MetricsRegistry* registry) override;
 
   /// Sum over types of k_i * |enabled_i|: the total propensity R(S).
   [[nodiscard]] double total_enabled_rate() const;
@@ -78,6 +81,8 @@ class VssmSimulator final : public Simulator {
   std::vector<EnabledSet> enabled_;      // one per reaction type
   std::vector<SiteIndex> write_buffer_;  // scratch: sites changed by an event
   Event last_event_;
+  obs::Timer* step_timer_ = nullptr;       // vssm/step
+  obs::Timer* rate_scan_timer_ = nullptr;  // vssm/rate_scan
 };
 
 }  // namespace casurf

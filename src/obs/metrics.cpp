@@ -1,0 +1,75 @@
+#include "obs/metrics.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace casurf::obs {
+
+// std::map keeps node addresses stable across inserts (hot code caches the
+// probe pointers) and iterates in name order (deterministic reports).
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Timer>> timers;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+MetricsRegistry::~MetricsRegistry() { delete impl_; }
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(impl_->mutex);
+  auto& slot = impl_->counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Timer& MetricsRegistry::timer(const std::string& name) {
+  std::lock_guard lock(impl_->mutex);
+  auto& slot = impl_->timers[name];
+  if (!slot) slot = std::make_unique<Timer>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(impl_->mutex);
+  auto& slot = impl_->histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<MetricsRegistry::CounterSample> MetricsRegistry::counters() const {
+  std::lock_guard lock(impl_->mutex);
+  std::vector<CounterSample> out;
+  out.reserve(impl_->counters.size());
+  for (const auto& [name, c] : impl_->counters) out.push_back({name, c->value()});
+  return out;
+}
+
+std::vector<MetricsRegistry::TimerSample> MetricsRegistry::timers() const {
+  std::lock_guard lock(impl_->mutex);
+  std::vector<TimerSample> out;
+  out.reserve(impl_->timers.size());
+  for (const auto& [name, t] : impl_->timers) {
+    out.push_back({name, t->total_ns(), t->count(), t->max_ns()});
+  }
+  return out;
+}
+
+std::vector<MetricsRegistry::HistogramSample> MetricsRegistry::histograms() const {
+  std::lock_guard lock(impl_->mutex);
+  std::vector<HistogramSample> out;
+  out.reserve(impl_->histograms.size());
+  for (const auto& [name, h] : impl_->histograms) {
+    HistogramSample s;
+    s.name = name;
+    s.count = h->count();
+    s.sum = h->sum();
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) s.buckets[b] = h->bucket(b);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace casurf::obs

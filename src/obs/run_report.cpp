@@ -1,0 +1,300 @@
+#include "obs/run_report.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "core/simulator.hpp"
+#include "io/atomic_file.hpp"
+
+namespace casurf::obs {
+
+namespace {
+
+/// Minimal JSON emitter: only what the report needs, no dependency.
+class Json {
+ public:
+  [[nodiscard]] std::string str() && { return std::move(out_); }
+
+  void raw(const char* s) {
+    comma();
+    out_ += s;
+  }
+  void key(const char* name) {
+    comma();
+    quote(name);
+    out_ += ':';
+    fresh_ = true;
+  }
+  void begin_object() {
+    comma();
+    out_ += '{';
+    fresh_ = true;
+  }
+  void end_object() {
+    out_ += '}';
+    fresh_ = false;
+  }
+  void begin_array() {
+    comma();
+    out_ += '[';
+    fresh_ = true;
+  }
+  void end_array() {
+    out_ += ']';
+    fresh_ = false;
+  }
+  void string(const std::string& s) {
+    comma();
+    quote(s.c_str());
+  }
+  void u64(std::uint64_t v) {
+    comma();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    out_ += buf;
+  }
+  void i64(std::int64_t v) {
+    comma();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRId64, v);
+    out_ += buf;
+  }
+  void number(double v) {
+    comma();
+    if (std::isfinite(v)) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", v);
+      out_ += buf;
+    } else {
+      out_ += "null";  // JSON has no NaN/Inf
+    }
+  }
+
+ private:
+  void comma() {
+    if (!fresh_ && !out_.empty() && out_.back() != '{' && out_.back() != '[' &&
+        out_.back() != ':') {
+      out_ += ',';
+    }
+    fresh_ = false;
+  }
+  void quote(const char* s) {
+    out_ += '"';
+    for (; *s != '\0'; ++s) {
+      const char c = *s;
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        case '\r': out_ += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+};
+
+void emit_run(Json& j, const RunInfo& info) {
+  j.key("run");
+  j.begin_object();
+  j.key("algorithm");
+  j.string(info.algorithm);
+  j.key("model");
+  j.string(info.model);
+  j.key("width");
+  j.i64(info.width);
+  j.key("height");
+  j.i64(info.height);
+  j.key("seed");
+  j.u64(info.seed);
+  j.key("t_end");
+  j.number(info.t_end);
+  j.key("dt");
+  j.number(info.dt);
+  j.key("threads");
+  j.u64(info.threads);
+  j.key("wall_seconds");
+  j.number(info.wall_seconds);
+  j.end_object();
+}
+
+void emit_counters(Json& j, const Simulator* sim) {
+  j.key("counters");
+  j.begin_object();
+  if (sim != nullptr) {
+    const SimCounters& c = sim->counters();
+    j.key("time");
+    j.number(sim->time());
+    j.key("trials");
+    j.u64(c.trials);
+    j.key("executed");
+    j.u64(c.executed);
+    j.key("steps");
+    j.u64(c.steps);
+    j.key("acceptance");
+    j.number(c.acceptance());
+    j.key("per_reaction");
+    j.begin_array();
+    for (ReactionIndex i = 0; i < sim->model().num_reactions(); ++i) {
+      j.begin_object();
+      j.key("name");
+      j.string(sim->model().reaction(i).name());
+      j.key("rate");
+      j.number(sim->model().reaction(i).rate());
+      j.key("executed");
+      j.u64(c.executed_per_type[i]);
+      j.end_object();
+    }
+    j.end_array();
+  }
+  j.end_object();
+}
+
+void emit_registry(Json& j, const MetricsRegistry* reg) {
+  j.key("metrics");
+  j.begin_object();
+  j.key("counters");
+  j.begin_object();
+  if (reg != nullptr) {
+    for (const auto& c : reg->counters()) {
+      j.key(c.name.c_str());
+      j.u64(c.value);
+    }
+  }
+  j.end_object();
+  j.key("timers");
+  j.begin_object();
+  if (reg != nullptr) {
+    for (const auto& t : reg->timers()) {
+      j.key(t.name.c_str());
+      j.begin_object();
+      j.key("count");
+      j.u64(t.count);
+      j.key("total_ns");
+      j.u64(t.total_ns);
+      j.key("mean_ns");
+      j.number(t.count == 0 ? 0.0
+                            : static_cast<double>(t.total_ns) /
+                                  static_cast<double>(t.count));
+      j.key("max_ns");
+      j.u64(t.max_ns);
+      j.end_object();
+    }
+  }
+  j.end_object();
+  j.key("histograms");
+  j.begin_object();
+  if (reg != nullptr) {
+    for (const auto& h : reg->histograms()) {
+      j.key(h.name.c_str());
+      j.begin_object();
+      j.key("count");
+      j.u64(h.count);
+      j.key("sum");
+      j.u64(h.sum);
+      j.key("buckets");
+      j.begin_array();
+      // Sparse emission: [upper_bound, count] pairs for nonempty buckets.
+      for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+        if (h.buckets[b] == 0) continue;
+        j.begin_array();
+        j.u64(Histogram::bucket_limit(b));
+        j.u64(h.buckets[b]);
+        j.end_array();
+      }
+      j.end_array();
+      j.end_object();
+    }
+  }
+  j.end_object();
+  j.end_object();
+}
+
+/// Thread balance, derived from the per-worker busy timers the threaded
+/// engine registers as "threads/busy/worker<k>". Imbalance is max/mean of
+/// the busy totals (1.0 = perfectly balanced); null when fewer than one
+/// worker reported.
+void emit_threads(Json& j, const MetricsRegistry* reg) {
+  j.key("thread_balance");
+  std::vector<std::uint64_t> busy;
+  if (reg != nullptr) {
+    for (const auto& t : reg->timers()) {
+      if (t.name.rfind("threads/busy/worker", 0) == 0) busy.push_back(t.total_ns);
+    }
+  }
+  if (busy.empty()) {
+    j.raw("null");
+    return;
+  }
+  std::uint64_t max = 0, total = 0;
+  for (const std::uint64_t b : busy) {
+    max = std::max(max, b);
+    total += b;
+  }
+  const double mean = static_cast<double>(total) / static_cast<double>(busy.size());
+  j.begin_object();
+  j.key("workers");
+  j.u64(busy.size());
+  j.key("busy_ns");
+  j.begin_array();
+  for (const std::uint64_t b : busy) j.u64(b);
+  j.end_array();
+  j.key("imbalance");
+  j.number(mean > 0 ? static_cast<double>(max) / mean : 1.0);
+  j.end_object();
+}
+
+void emit_comm(Json& j, const Communicator::Stats* comm) {
+  j.key("communicator");
+  const Communicator::Stats zero{};
+  const Communicator::Stats& s = comm != nullptr ? *comm : zero;
+  j.begin_object();
+  j.key("messages");
+  j.u64(s.messages);
+  j.key("bytes");
+  j.u64(s.bytes);
+  j.key("barriers");
+  j.u64(s.barriers);
+  j.end_object();
+}
+
+}  // namespace
+
+std::string run_report_json(const RunInfo& info, const Simulator* sim,
+                            const MetricsRegistry* registry,
+                            const Communicator::Stats* comm) {
+  Json j;
+  j.begin_object();
+  j.key("schema");
+  j.string("casurf-run-report/1");
+  emit_run(j, info);
+  emit_counters(j, sim);
+  emit_registry(j, registry);
+  emit_threads(j, registry);
+  emit_comm(j, comm);
+  j.end_object();
+  std::string out = std::move(j).str();
+  out += '\n';
+  return out;
+}
+
+void write_run_report(const std::string& path, const RunInfo& info,
+                      const Simulator* sim, const MetricsRegistry* registry,
+                      const Communicator::Stats* comm) {
+  io::atomic_write_file(path, run_report_json(info, sim, registry, comm));
+}
+
+}  // namespace casurf::obs

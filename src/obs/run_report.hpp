@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "parallel/msgpass.hpp"
+
+namespace casurf {
+class Simulator;
+}
+
+namespace casurf::obs {
+
+/// Run-level metadata embedded in the report header (everything the
+/// registry cannot know: what was simulated, with which knobs).
+struct RunInfo {
+  std::string algorithm;
+  std::string model;
+  std::int32_t width = 0;
+  std::int32_t height = 0;
+  std::uint64_t seed = 0;
+  double t_end = 0;
+  double dt = 0;
+  unsigned threads = 0;
+  double wall_seconds = 0;
+};
+
+/// Serialize one run as a structured JSON report (schema
+/// "casurf-run-report/1", documented in docs/OBSERVABILITY.md): run
+/// metadata, the simulator's execution counters with per-reaction
+/// breakdown, every registry probe, a thread-balance section derived from
+/// the `threads/busy/worker<k>` timers, and the communicator stats.
+/// `sim`, `registry`, and `comm` may each be null; the corresponding
+/// sections are emitted empty.
+[[nodiscard]] std::string run_report_json(const RunInfo& info, const Simulator* sim,
+                                          const MetricsRegistry* registry,
+                                          const Communicator::Stats* comm = nullptr);
+
+/// Write the report through the crash-safe atomic-write path, so a report
+/// refreshed periodically (--metrics-every) is never observed truncated.
+void write_run_report(const std::string& path, const RunInfo& info,
+                      const Simulator* sim, const MetricsRegistry* registry,
+                      const Communicator::Stats* comm = nullptr);
+
+}  // namespace casurf::obs

@@ -71,7 +71,7 @@ DomainDecompResult run_domain_decomp(const ReactionModel& model,
   std::mutex result_mutex;
   std::atomic<std::uint64_t> total_trials{0};
 
-  Communicator::run(p, [&](Communicator::Rank& rank) {
+  result.comm = Communicator::run(p, [&](Communicator::Rank& rank) {
     const int me = rank.rank();
     const std::int32_t x0 = me * w;
     const std::int32_t x1 = x0 + w;
@@ -155,7 +155,6 @@ DomainDecompResult run_domain_decomp(const ReactionModel& model,
     total_trials.fetch_add(my_trials, std::memory_order_relaxed);
   });
 
-  result.comm = Communicator::last_run_stats();
   result.total_trials = total_trials.load();
   return result;
 }

@@ -7,15 +7,14 @@
 
 namespace casurf {
 
-Communicator::Stats Communicator::last_stats_{};
-
 Communicator::Communicator(int world_size) : boxes_(world_size) {
   if (world_size < 1) {
     throw std::invalid_argument("Communicator: world size must be >= 1");
   }
 }
 
-void Communicator::run(int world_size, const std::function<void(Rank&)>& rank_main) {
+Communicator::Stats Communicator::run(int world_size,
+                                      const std::function<void(Rank&)>& rank_main) {
   Communicator comm(world_size);
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(world_size);
@@ -31,10 +30,10 @@ void Communicator::run(int world_size, const std::function<void(Rank&)>& rank_ma
     });
   }
   for (std::thread& t : threads) t.join();
-  last_stats_ = Stats{comm.messages_.load(), comm.bytes_.load(), comm.barriers_.load()};
   for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);
   }
+  return Stats{comm.messages_.load(), comm.bytes_.load(), comm.barriers_.load()};
 }
 
 void Communicator::Rank::send(int dest, int tag, std::vector<std::byte> payload) {

@@ -22,18 +22,20 @@ class Communicator {
  public:
   class Rank;
 
-  /// Spawn `world_size` ranks, run `rank_main` on each (rank 0 included),
-  /// join. Exceptions in a rank propagate to the caller after all ranks
-  /// finish or abort.
-  static void run(int world_size, const std::function<void(Rank&)>& rank_main);
-
-  /// Total point-to-point messages and payload bytes of the last run().
+  /// Totals of one run(): point-to-point messages, payload bytes, and
+  /// collective epochs (barriers + allreduces).
   struct Stats {
     std::uint64_t messages = 0;
     std::uint64_t bytes = 0;
     std::uint64_t barriers = 0;
   };
-  [[nodiscard]] static Stats last_run_stats() { return last_stats_; }
+
+  /// Spawn `world_size` ranks, run `rank_main` on each (rank 0 included),
+  /// join, and return this run's communication totals. Stats are
+  /// per-instance — concurrent run() calls (e.g. two simulations on
+  /// different threads) never see each other's counts. Exceptions in a
+  /// rank propagate to the caller after all ranks finish or abort.
+  static Stats run(int world_size, const std::function<void(Rank&)>& rank_main);
 
   /// A rank's endpoint: the handle `rank_main` receives.
   class Rank {
@@ -121,8 +123,6 @@ class Communicator {
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> bytes_{0};
   std::atomic<std::uint64_t> barriers_{0};
-
-  static Stats last_stats_;  // defined in msgpass.cpp
 };
 
 }  // namespace casurf

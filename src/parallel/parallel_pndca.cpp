@@ -30,16 +30,35 @@ ParallelPndcaEngine::ParallelPndcaEngine(const ReactionModel& model,
   fired_.assign(pool_.size(), {});
 }
 
+void ParallelPndcaEngine::set_metrics(obs::MetricsRegistry* registry) {
+  PndcaSimulator::set_metrics(registry);
+  busy_timers_.clear();
+  wait_timers_.clear();
+  if (registry != nullptr) {
+    for (unsigned tid = 0; tid < pool_.size(); ++tid) {
+      busy_timers_.push_back(&registry->timer("threads/busy/worker" + std::to_string(tid)));
+      wait_timers_.push_back(&registry->timer("threads/wait/worker" + std::to_string(tid)));
+    }
+    busy_scratch_.assign(pool_.size(), 0);
+  }
+  merge_timer_ = registry ? &registry->timer("threads/merge") : nullptr;
+  recheck_timer_ = registry ? &registry->timer("threads/recheck") : nullptr;
+}
+
 void ParallelPndcaEngine::execute_chunk(std::uint64_t sweep,
                                         const std::vector<SiteIndex>& sites) {
   const bool track_fired = rate_cache_active();
+  const bool timed = !busy_timers_.empty();
   for (auto& d : deltas_) std::ranges::fill(d, 0);
   for (auto& t : tallies_) std::ranges::fill(t, 0);
   if (track_fired) {
     for (auto& f : fired_) f.clear();
   }
+  if (timed) std::ranges::fill(busy_scratch_, 0);
+  const std::uint64_t wall_start = timed ? obs::now_ns() : 0;
 
   pool_.parallel_for(sites.size(), [&](unsigned tid, std::size_t begin, std::size_t end) {
+    const std::uint64_t busy_start = timed ? obs::now_ns() : 0;
     std::int64_t* deltas = deltas_[tid].data();
     std::uint64_t* tally = tallies_[tid].data();
     for (std::size_t i = begin; i < end; ++i) {
@@ -51,15 +70,31 @@ void ParallelPndcaEngine::execute_chunk(std::uint64_t sweep,
         }
       }
     }
+    if (timed) busy_scratch_[tid] = obs::now_ns() - busy_start;
   });
 
+  if (timed) {
+    // Busy is each worker's own span; wait is the rest of the fork-join
+    // wall time — the time it spent idle at the implicit sweep barrier
+    // (surplus workers of a small chunk count as all-wait). The report's
+    // load-imbalance figure is max/mean over the busy set.
+    const std::uint64_t wall = obs::now_ns() - wall_start;
+    for (unsigned tid = 0; tid < pool_.size(); ++tid) {
+      busy_timers_[tid]->add_ns(busy_scratch_[tid]);
+      wait_timers_[tid]->add_ns(wall - std::min(wall, busy_scratch_[tid]));
+    }
+  }
+
   // Deterministic merge: integer sums are order-independent.
-  for (unsigned tid = 0; tid < pool_.size(); ++tid) {
-    config_.apply_count_delta(deltas_[tid].data());
-    for (ReactionIndex rt = 0; rt < model_.num_reactions(); ++rt) {
-      const std::uint64_t n = tallies_[tid][rt];
-      counters_.executed += n;
-      counters_.executed_per_type[rt] += n;
+  {
+    const obs::ScopedTimer merge_span(merge_timer_);
+    for (unsigned tid = 0; tid < pool_.size(); ++tid) {
+      config_.apply_count_delta(deltas_[tid].data());
+      for (ReactionIndex rt = 0; rt < model_.num_reactions(); ++rt) {
+        const std::uint64_t n = tallies_[tid][rt];
+        counters_.executed += n;
+        counters_.executed_per_type[rt] += n;
+      }
     }
   }
 
@@ -67,6 +102,7 @@ void ParallelPndcaEngine::execute_chunk(std::uint64_t sweep,
   // against the post-sweep configuration and are idempotent, so the counts
   // land exactly where the sequential simulator's per-event updates do.
   if (track_fired) {
+    const obs::ScopedTimer recheck_span(recheck_timer_);
     for (unsigned tid = 0; tid < pool_.size(); ++tid) {
       for (const FiredReaction& f : fired_[tid]) {
         refresh_rate_cache(model_.reaction(f.type), f.site);

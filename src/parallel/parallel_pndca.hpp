@@ -31,6 +31,13 @@ class ParallelPndcaEngine final : public PndcaSimulator {
   [[nodiscard]] std::string name() const override { return "PNDCA(threads)"; }
   [[nodiscard]] unsigned num_threads() const { return pool_.size(); }
 
+  /// Adds the threading probes on top of PNDCA's: per-worker busy and
+  /// barrier-wait timers (threads/busy/worker<k>, threads/wait/worker<k> —
+  /// the run report derives load imbalance from the busy set), the
+  /// post-join merge (threads/merge), and the rate-cache replay
+  /// (threads/recheck).
+  void set_metrics(obs::MetricsRegistry* registry) override;
+
  protected:
   void execute_chunk(std::uint64_t sweep, const std::vector<SiteIndex>& sites) override;
 
@@ -48,6 +55,14 @@ class ParallelPndcaEngine final : public PndcaSimulator {
     ReactionIndex type;
   };
   std::vector<std::vector<FiredReaction>> fired_;
+  // Threading probes; empty/null when no registry is attached. Workers
+  // write only busy_scratch_ (their own slot); the coordinator folds the
+  // scratch into the timers after the join.
+  std::vector<obs::Timer*> busy_timers_;
+  std::vector<obs::Timer*> wait_timers_;
+  obs::Timer* merge_timer_ = nullptr;
+  obs::Timer* recheck_timer_ = nullptr;
+  std::vector<std::uint64_t> busy_scratch_;
 };
 
 }  // namespace casurf

@@ -28,6 +28,7 @@ void ThreadPool::worker_main(unsigned id) {
   for (;;) {
     const std::function<void(unsigned, std::size_t, std::size_t)>* body = nullptr;
     std::size_t n = 0;
+    unsigned active = 0;
     {
       std::unique_lock lock(mutex_);
       wake_.wait(lock, [&] { return stopping_ || generation_ != seen; });
@@ -35,29 +36,43 @@ void ThreadPool::worker_main(unsigned id) {
       seen = generation_;
       body = body_;
       n = job_n_;
+      active = active_;
     }
-    // Contiguous slice for this worker.
-    const std::size_t per = n / workers_.size();
-    const std::size_t extra = n % workers_.size();
+    // Surplus worker for a small job: not counted in remaining_, nothing
+    // to run — go straight back to waiting for the next generation.
+    if (id >= active) continue;
+    // Contiguous slice for this worker; n >= active, so begin < end always.
+    const std::size_t per = n / active;
+    const std::size_t extra = n % active;
     const std::size_t begin = id * per + std::min<std::size_t>(id, extra);
     const std::size_t end = begin + per + (id < extra ? 1 : 0);
-    if (begin < end) (*body)(id, begin, end);
+    (*body)(id, begin, end);
+    bool last;
     {
       std::lock_guard lock(mutex_);
-      if (--remaining_ == 0) done_.notify_one();
+      last = --remaining_ == 0;
     }
+    // Notify after unlocking so the coordinator wakes into a free mutex
+    // instead of immediately blocking on the one we still hold.
+    if (last) done_.notify_one();
   }
 }
 
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(unsigned, std::size_t, std::size_t)>& body) {
   if (n == 0) return;
-  std::unique_lock lock(mutex_);
-  body_ = &body;
-  job_n_ = n;
-  remaining_ = static_cast<unsigned>(workers_.size());
-  ++generation_;
+  {
+    std::lock_guard lock(mutex_);
+    body_ = &body;
+    job_n_ = n;
+    active_ = static_cast<unsigned>(std::min<std::size_t>(n, workers_.size()));
+    remaining_ = active_;
+    ++generation_;
+  }
+  // Wake with the mutex released: workers woken by notify_all would
+  // otherwise immediately block re-acquiring the lock we hold.
   wake_.notify_all();
+  std::unique_lock lock(mutex_);
   done_.wait(lock, [&] { return remaining_ == 0; });
   body_ = nullptr;
 }

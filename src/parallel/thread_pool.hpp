@@ -28,7 +28,9 @@ class ThreadPool {
   [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
   /// Run body(worker_id, begin, end) for a balanced split of [0, n) across
-  /// all workers; returns when every slice completed. Worker ids are
+  /// min(n, size()) workers; returns when every slice completed. When
+  /// n < size() the surplus workers never run the body (no empty slices),
+  /// so every invoked worker receives at least one index. Worker ids are
   /// 0..size()-1 and stable, so callers can index per-thread scratch
   /// buffers. The calling thread only coordinates; re-entrant calls from
   /// within a body are not allowed.
@@ -45,6 +47,7 @@ class ThreadPool {
   const std::function<void(unsigned, std::size_t, std::size_t)>* body_ = nullptr;
   std::size_t job_n_ = 0;
   std::uint64_t generation_ = 0;
+  unsigned active_ = 0;  // workers participating in the current job
   unsigned remaining_ = 0;
   bool stopping_ = false;
 };

@@ -7,6 +7,30 @@
 
 namespace casurf {
 
+namespace {
+
+/// Uniform grid over [t0, t1] with (up to) `points` samples, built by
+/// index — t_i = t0 + (t1 - t0) * i / (points - 1), never by repeated
+/// addition — and guaranteed strictly increasing: when the window is so
+/// small relative to t0 that adjacent grid times collide in double
+/// precision, the colliding points are dropped instead of poisoning every
+/// consumer with a "time must increase" throw. Both endpoints are kept.
+std::vector<double> uniform_grid(double t0, double t1, std::size_t points) {
+  std::vector<double> grid;
+  grid.reserve(points);
+  grid.push_back(t0);
+  for (std::size_t i = 1; i < points; ++i) {
+    const double t = i + 1 == points
+                         ? t1
+                         : t0 + (t1 - t0) * static_cast<double>(i) /
+                                   static_cast<double>(points - 1);
+    if (t > grid.back()) grid.push_back(t);
+  }
+  return grid;
+}
+
+}  // namespace
+
 TimeSeries::TimeSeries(std::vector<double> times, std::vector<double> values)
     : times_(std::move(times)), values_(std::move(values)) {
   if (times_.size() != values_.size()) {
@@ -40,12 +64,9 @@ double TimeSeries::at(double t) const {
 
 TimeSeries TimeSeries::resample(double t0, double t1, std::size_t points) const {
   if (points < 2) throw std::invalid_argument("TimeSeries::resample: need >= 2 points");
+  if (!(t1 > t0)) throw std::invalid_argument("TimeSeries::resample: need t1 > t0");
   TimeSeries out;
-  for (std::size_t i = 0; i < points; ++i) {
-    const double t = t0 + (t1 - t0) * static_cast<double>(i) /
-                              static_cast<double>(points - 1);
-    out.append(t, at(t));
-  }
+  for (const double t : uniform_grid(t0, t1, points)) out.append(t, at(t));
   return out;
 }
 
@@ -73,7 +94,10 @@ double TimeSeries::stddev_after(double t_from) const {
       ++n;
     }
   }
-  return n < 2 ? 0.0 : std::sqrt(sum2 / static_cast<double>(n - 1));
+  // Fewer than two qualifying samples: the estimator is undefined — NaN,
+  // not a silent 0.0 that would read as "perfectly converged".
+  return n < 2 ? std::numeric_limits<double>::quiet_NaN()
+               : std::sqrt(sum2 / static_cast<double>(n - 1));
 }
 
 TimeSeries ensemble_mean(const std::vector<TimeSeries>& runs, std::size_t points) {
@@ -87,9 +111,7 @@ TimeSeries ensemble_mean(const std::vector<TimeSeries>& runs, std::size_t points
   }
   if (!(t1 > t0)) throw std::invalid_argument("ensemble_mean: runs do not overlap");
   TimeSeries out;
-  for (std::size_t i = 0; i < points; ++i) {
-    const double t = t0 + (t1 - t0) * static_cast<double>(i) /
-                              static_cast<double>(points - 1);
+  for (const double t : uniform_grid(t0, t1, points)) {
     double sum = 0;
     for (const TimeSeries& run : runs) sum += run.at(t);
     out.append(t, sum / static_cast<double>(runs.size()));
@@ -104,13 +126,10 @@ double mean_abs_difference(const TimeSeries& a, const TimeSeries& b, std::size_t
   const double t0 = std::max(a.times().front(), b.times().front());
   const double t1 = std::min(a.times().back(), b.times().back());
   if (!(t1 > t0)) throw std::invalid_argument("mean_abs_difference: no overlap");
+  const std::vector<double> grid = uniform_grid(t0, t1, points);
   double sum = 0;
-  for (std::size_t i = 0; i < points; ++i) {
-    const double t = t0 + (t1 - t0) * static_cast<double>(i) /
-                              static_cast<double>(points - 1);
-    sum += std::abs(a.at(t) - b.at(t));
-  }
-  return sum / static_cast<double>(points);
+  for (const double t : grid) sum += std::abs(a.at(t) - b.at(t));
+  return sum / static_cast<double>(grid.size());
 }
 
 }  // namespace casurf

@@ -27,14 +27,21 @@ class TimeSeries {
   /// sampled range. Requires a non-empty series.
   [[nodiscard]] double at(double t) const;
 
-  /// Resample onto a uniform grid [t0, t1] with `points` samples.
+  /// Resample onto a uniform grid over [t0, t1] (requires t1 > t0 and
+  /// points >= 2). Grid times are computed by index, never by accumulation;
+  /// when the window is so narrow relative to t0 that adjacent grid times
+  /// collide in double precision, the collided points are dropped, so the
+  /// result may hold fewer than `points` samples but is always strictly
+  /// increasing with both endpoints present.
   [[nodiscard]] TimeSeries resample(double t0, double t1, std::size_t points) const;
 
   /// Mean of the values with t >= t_from (time-unweighted); the usual
   /// steady-state coverage estimator.
   [[nodiscard]] double mean_after(double t_from) const;
 
-  /// Standard deviation of values with t >= t_from.
+  /// Sample standard deviation of values with t >= t_from; NaN when fewer
+  /// than two samples qualify (the estimator is undefined there — a silent
+  /// 0 would read as perfect convergence).
   [[nodiscard]] double stddev_after(double t_from) const;
 
  private:

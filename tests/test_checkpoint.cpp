@@ -42,7 +42,10 @@ class CheckpointTest : public ::testing::TestWithParam<Algorithm> {
   }
 
   models::ZgbModel zgb_;
-  std::string path_ = ::testing::TempDir() + "casurf_checkpoint_test.ck";
+  // PID-suffixed: ctest -j runs each test case as its own concurrent
+  // process, so a fixed name would be clobbered by sibling cases.
+  std::string path_ = ::testing::TempDir() + "casurf_checkpoint_test." +
+                      std::to_string(::getpid()) + ".ck";
 };
 
 /// The core guarantee: interrupt at T/2, restore into a freshly
@@ -150,7 +153,8 @@ class CheckpointFileTest : public ::testing::Test {
  protected:
   void TearDown() override { std::remove(path_.c_str()); }
   models::ZgbModel zgb_ = models::make_zgb();
-  std::string path_ = ::testing::TempDir() + "casurf_checkpoint_file_test.ck";
+  std::string path_ = ::testing::TempDir() + "casurf_checkpoint_file_test." +
+                      std::to_string(::getpid()) + ".ck";
 
   std::unique_ptr<Simulator> make(Algorithm alg, unsigned threads = 2) const {
     Configuration cfg(Lattice(16, 16), zgb_.model.species().size(), zgb_.vacant);

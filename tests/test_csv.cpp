@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 namespace casurf {
 namespace {
@@ -18,7 +21,10 @@ std::string slurp(const std::string& path) {
 
 class CsvTest : public ::testing::Test {
  protected:
-  std::string path_ = ::testing::TempDir() + "casurf_csv_test.csv";
+  // PID-suffixed: ctest -j runs each test case as its own concurrent
+  // process, so a fixed name would be clobbered by sibling cases.
+  std::string path_ = ::testing::TempDir() + "casurf_csv_test." +
+                      std::to_string(::getpid()) + ".csv";
   void TearDown() override { std::remove(path_.c_str()); }
 };
 

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace casurf {
@@ -120,18 +121,52 @@ TEST(MsgPass, AllreduceSumU64Repeated) {
 }
 
 TEST(MsgPass, StatsCountMessagesAndBytes) {
-  Communicator::run(2, [](Communicator::Rank& rank) {
-    if (rank.rank() == 0) {
-      rank.send_value<std::uint32_t>(1, 1, 7);
-    } else {
-      (void)rank.recv_value<std::uint32_t>(0, 1);
-    }
-    rank.barrier();
-  });
-  const auto stats = Communicator::last_run_stats();
+  const Communicator::Stats stats =
+      Communicator::run(2, [](Communicator::Rank& rank) {
+        if (rank.rank() == 0) {
+          rank.send_value<std::uint32_t>(1, 1, 7);
+        } else {
+          (void)rank.recv_value<std::uint32_t>(0, 1);
+        }
+        rank.barrier();
+      });
   EXPECT_EQ(stats.messages, 1u);
   EXPECT_EQ(stats.bytes, 4u);
   EXPECT_GE(stats.barriers, 1u);
+}
+
+TEST(MsgPass, ConcurrentRunsKeepStatsSeparate) {
+  // Two worlds with different traffic shapes driven from separate threads.
+  // Each run() must report exactly its own totals — the regression this
+  // guards is the old process-wide mutable static, where whichever world
+  // finished last overwrote the other's stats (and the write itself raced).
+  constexpr int kRounds = 50;
+  const auto world = [](int messages, std::size_t payload) {
+    return Communicator::run(2, [=](Communicator::Rank& rank) {
+      const std::vector<std::byte> buf(payload);
+      for (int i = 0; i < messages; ++i) {
+        if (rank.rank() == 0) {
+          rank.send(1, 1, buf);
+        } else {
+          (void)rank.recv(0, 1);
+        }
+      }
+      rank.barrier();
+    });
+  };
+
+  Communicator::Stats small{}, big{};
+  std::thread a([&] { small = world(kRounds, 8); });
+  std::thread b([&] { big = world(2 * kRounds, 64); });
+  a.join();
+  b.join();
+
+  EXPECT_EQ(small.messages, static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(small.bytes, static_cast<std::uint64_t>(kRounds) * 8);
+  EXPECT_GE(small.barriers, 1u);
+  EXPECT_EQ(big.messages, static_cast<std::uint64_t>(2 * kRounds));
+  EXPECT_EQ(big.bytes, static_cast<std::uint64_t>(2 * kRounds) * 64);
+  EXPECT_GE(big.barriers, 1u);
 }
 
 TEST(MsgPass, ExceptionInRankPropagates) {

@@ -1,0 +1,118 @@
+#include "core/observer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "models/diffusion.hpp"
+
+namespace casurf {
+namespace {
+
+/// Lands exactly on every requested target: isolates the grid arithmetic of
+/// run_sampled itself from any simulator overshoot.
+class ExactAdvanceSim final : public Simulator {
+ public:
+  ExactAdvanceSim(const ReactionModel& model, Configuration config)
+      : Simulator(model, std::move(config)) {}
+  void mc_step() override { time_ += 1e-3; }
+  void advance_to(double t) override {
+    if (t > time_) time_ = t;
+  }
+  [[nodiscard]] std::string name() const override { return "exact-advance"; }
+};
+
+/// Overshoots every target by a coarse, irregular amount (an event-driven
+/// method with sparse events does exactly this) and records the targets it
+/// was asked to reach.
+class CoarseJumpSim final : public Simulator {
+ public:
+  CoarseJumpSim(const ReactionModel& model, Configuration config)
+      : Simulator(model, std::move(config)) {}
+  void mc_step() override { time_ += 0.7; }
+  void advance_to(double t) override {
+    targets.push_back(t);
+    if (t > time_) time_ = t + 0.7;  // overshoot well past several grid steps
+  }
+  [[nodiscard]] std::string name() const override { return "coarse-jump"; }
+
+  std::vector<double> targets;
+};
+
+class TimeRecorder final : public Observer {
+ public:
+  void sample(const Simulator& sim) override { times.push_back(sim.time()); }
+  std::vector<double> times;
+};
+
+class ObserverGrid : public ::testing::Test {
+ protected:
+  models::DiffusionModel diff = models::make_diffusion(1.0);
+  Configuration config{Lattice(4, 4), 2, Species{0}};
+};
+
+TEST_F(ObserverGrid, SamplesLandExactlyOnIntegerIndexedGrid) {
+  ExactAdvanceSim sim(diff.model, config);
+  TimeRecorder rec;
+  const double dt = 0.1;  // not representable: repeated addition would drift
+  run_sampled(sim, 100.0, dt, rec);
+
+  // k = 0 sample at the start, then one per grid point: t0 + k*dt <= t_end.
+  ASSERT_EQ(rec.times.size(), 1001u);
+  for (std::size_t k = 0; k < rec.times.size(); ++k) {
+    // Bitwise equality with the index-computed grid — the regression this
+    // guards is the accumulated `next += dt` grid, where rounding error
+    // compounds over hundreds of samples until points shift visibly.
+    EXPECT_EQ(rec.times[k], static_cast<double>(k) * dt) << "sample " << k;
+  }
+}
+
+TEST_F(ObserverGrid, OvershootingAdvanceDoesNotShiftLaterTargets) {
+  CoarseJumpSim sim(diff.model, config);
+  TimeRecorder rec;
+  const double dt = 0.25;
+  run_sampled(sim, 50.0, dt, rec);
+
+  // Every target requested of the simulator is an exact grid point, even
+  // though the simulator lands ~0.7 past each one. The pre-fix behavior
+  // derived the next target from the overshot current time, so the grid
+  // drifted by the cumulative overshoot.
+  ASSERT_EQ(sim.targets.size(), 200u);
+  for (std::size_t i = 0; i < sim.targets.size(); ++i) {
+    EXPECT_EQ(sim.targets[i], static_cast<double>(i + 1) * dt) << "target " << i;
+  }
+  // One sample per grid point (k = 0..200), regardless of the overshoot.
+  EXPECT_EQ(rec.times.size(), 201u);
+}
+
+TEST_F(ObserverGrid, GridAnchorsAtStartTimeNotZero) {
+  ExactAdvanceSim sim(diff.model, config);
+  sim.advance_to(3.0);  // t0 = 3
+  TimeRecorder rec;
+  run_sampled(sim, 5.0, 0.5, rec);
+  const std::vector<double> expected = {3.0, 3.5, 4.0, 4.5, 5.0};
+  ASSERT_EQ(rec.times.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(rec.times[i], expected[i]);
+  }
+}
+
+TEST_F(ObserverGrid, RejectsNonPositiveDt) {
+  ExactAdvanceSim sim(diff.model, config);
+  TimeRecorder rec;
+  EXPECT_THROW(run_sampled(sim, 1.0, 0.0, rec), std::invalid_argument);
+  EXPECT_THROW(run_sampled(sim, 1.0, -0.5, rec), std::invalid_argument);
+}
+
+TEST_F(ObserverGrid, EndBeforeFirstGridPointSamplesOnlyStart) {
+  ExactAdvanceSim sim(diff.model, config);
+  TimeRecorder rec;
+  run_sampled(sim, 0.05, 0.1, rec);
+  ASSERT_EQ(rec.times.size(), 1u);
+  EXPECT_EQ(rec.times[0], 0.0);
+}
+
+}  // namespace
+}  // namespace casurf

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
+#include <string>
 
 #include "models/zgb.hpp"
 
@@ -12,8 +15,12 @@ namespace {
 
 class SnapshotTest : public ::testing::Test {
  protected:
-  std::string path_ = ::testing::TempDir() + "casurf_snapshot_test.txt";
-  std::string ppm_ = ::testing::TempDir() + "casurf_snapshot_test.ppm";
+  // PID-suffixed: ctest -j runs each test case as its own concurrent
+  // process, so a fixed name would be clobbered by sibling cases.
+  std::string path_ = ::testing::TempDir() + "casurf_snapshot_test." +
+                      std::to_string(::getpid()) + ".txt";
+  std::string ppm_ = ::testing::TempDir() + "casurf_snapshot_test." +
+                     std::to_string(::getpid()) + ".ppm";
   void TearDown() override {
     std::remove(path_.c_str());
     std::remove(ppm_.c_str());

@@ -46,6 +46,41 @@ TEST(ThreadPool, HandlesFewerItemsThanWorkers) {
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPool, SmallJobsInvokeOnlyLeadingWorkersWithWork) {
+  // active = min(n, size()): a 3-item job on an 8-worker pool must run the
+  // body on workers 0..2 only, each with a non-empty slice. The regression
+  // this guards is the old one-slice-per-worker split, where five surplus
+  // workers were woken, re-locked the mutex, and decremented the barrier
+  // for nothing — and callers could observe empty [b, e) slices.
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> invoked(8);
+  for (int round = 0; round < 20; ++round) {
+    pool.parallel_for(3, [&](unsigned tid, std::size_t b, std::size_t e) {
+      EXPECT_LT(b, e) << "empty slice handed to worker " << tid;
+      invoked[tid].fetch_add(1);
+    });
+  }
+  for (unsigned tid = 0; tid < 8; ++tid) {
+    EXPECT_EQ(invoked[tid].load(), tid < 3 ? 20 : 0) << "worker " << tid;
+  }
+}
+
+TEST(ThreadPool, AlternatingSmallAndLargeJobs) {
+  // Surplus workers skipping a small job must rejoin the next full one.
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::uint64_t> small{0}, large{0};
+    pool.parallel_for(2, [&](unsigned, std::size_t b, std::size_t e) {
+      small.fetch_add(e - b);
+    });
+    pool.parallel_for(1000, [&](unsigned, std::size_t b, std::size_t e) {
+      large.fetch_add(e - b);
+    });
+    ASSERT_EQ(small.load(), 2u);
+    ASSERT_EQ(large.load(), 1000u);
+  }
+}
+
 TEST(ThreadPool, ZeroItemsIsNoop) {
   ThreadPool pool(2);
   std::atomic<int> calls{0};

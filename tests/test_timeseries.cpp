@@ -57,6 +57,42 @@ TEST(TimeSeries, ResampleUniformGrid) {
   }
 }
 
+TEST(TimeSeries, ResampleRejectsDegenerateWindow) {
+  const TimeSeries ts({0.0, 10.0}, {0.0, 10.0});
+  EXPECT_THROW((void)ts.resample(5.0, 5.0, 4), std::invalid_argument);
+  EXPECT_THROW((void)ts.resample(7.0, 3.0, 4), std::invalid_argument);
+}
+
+TEST(TimeSeries, ResampleTinyWindowAtLargeTimeDropsCollidedPoints) {
+  // At t ~ 1e16 the double spacing is 2, so a 100-point grid over a width-4
+  // window collides most of its points. Pre-fix, the duplicate grid times
+  // hit TimeSeries::append's "time must increase" throw; now collided
+  // points are dropped and both endpoints survive.
+  const double t0 = 1e16;
+  const double t1 = t0 + 4;
+  const TimeSeries ts({t0, t1}, {1.0, 3.0});
+  const TimeSeries grid = ts.resample(t0, t1, 100);
+  EXPECT_GE(grid.size(), 2u);
+  EXPECT_LE(grid.size(), 100u);
+  EXPECT_EQ(grid.times().front(), t0);
+  EXPECT_EQ(grid.times().back(), t1);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_GT(grid.time(i), grid.time(i - 1));
+  }
+}
+
+TEST(EnsembleMean, TinyOverlapAtLargeTimeDoesNotThrow) {
+  const double t0 = 1e16;
+  const TimeSeries a({t0 - 10, t0 + 4}, {1.0, 1.0});
+  const TimeSeries b({t0, t0 + 20}, {3.0, 3.0});
+  const TimeSeries mean = ensemble_mean({a, b}, 50);
+  EXPECT_EQ(mean.times().front(), t0);
+  EXPECT_EQ(mean.times().back(), t0 + 4);
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    EXPECT_DOUBLE_EQ(mean.value(i), 2.0);
+  }
+}
+
 TEST(TimeSeries, MeanAndStddevAfter) {
   TimeSeries ts;
   for (int i = 0; i < 10; ++i) ts.append(i, i < 5 ? 100.0 : (i % 2 ? 1.0 : 3.0));
@@ -68,6 +104,16 @@ TEST(TimeSeries, MeanAndStddevAfter) {
 TEST(TimeSeries, MeanAfterBeyondEndIsNan) {
   const TimeSeries ts({0.0, 1.0}, {1.0, 2.0});
   EXPECT_TRUE(std::isnan(ts.mean_after(5.0)));
+}
+
+TEST(TimeSeries, StddevAfterNeedsTwoSamples) {
+  const TimeSeries ts({0.0, 1.0, 2.0}, {1.0, 2.0, 3.0});
+  // One qualifying sample (t >= 2) or none (t >= 5): the sample standard
+  // deviation is undefined — NaN, not a spurious "perfectly converged" 0.
+  EXPECT_TRUE(std::isnan(ts.stddev_after(2.0)));
+  EXPECT_TRUE(std::isnan(ts.stddev_after(5.0)));
+  // Two samples is the minimum defined case.
+  EXPECT_NEAR(ts.stddev_after(1.0), std::sqrt(0.5), 1e-12);
 }
 
 TEST(EnsembleMean, AveragesAcrossRuns) {
