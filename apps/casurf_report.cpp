@@ -1,0 +1,309 @@
+// casurf_report — human/CI consumer for the observability artifacts:
+//
+//   casurf_report report.json              phase breakdown of one run report
+//   casurf_report a.json b.json            A/B delta table (percent change)
+//   casurf_report --trace trace.json       summarize a Chrome-trace file
+//
+// Accepts both `casurf_run --metrics` reports and the BENCH_*.json files the
+// benchmarks drop in bench_out/ (same "casurf-run-report/1" schema). Exits 0
+// on success, 1 on unreadable/malformed input, 2 on usage errors.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/atomic_file.hpp"
+#include "obs/json.hpp"
+
+using casurf::obs::json::Value;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
+  if (error) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: %s [--trace] FILE [FILE2]\n"
+               "  FILE           a casurf-run-report/1 JSON (casurf_run --metrics,\n"
+               "                 or a BENCH_*.json from bench_out/)\n"
+               "  FILE FILE2     print an A/B comparison with percent deltas\n"
+               "  --trace FILE   summarize a casurf-trace/1 Chrome-trace JSON\n",
+               argv0);
+  std::exit(error ? 2 : 0);
+}
+
+struct TimerRow {
+  std::uint64_t count = 0;
+  double total_ns = 0;
+  double mean_ns = 0;
+  double max_ns = 0;
+};
+
+struct Report {
+  std::string path;
+  Value doc;
+  std::map<std::string, TimerRow> timers;
+  std::map<std::string, double> counters;
+  double wall_seconds = 0;
+  double trials = 0;
+};
+
+Value load_json(const std::string& path) {
+  try {
+    return Value::parse(casurf::io::read_file(path));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), e.what());
+    std::exit(1);
+  }
+}
+
+Report load_report(const std::string& path) {
+  Report r;
+  r.path = path;
+  r.doc = load_json(path);
+  if (r.doc.string_or("schema", "") != "casurf-run-report/1") {
+    std::fprintf(stderr, "error: %s: not a casurf-run-report/1 document\n",
+                 path.c_str());
+    std::exit(1);
+  }
+  try {
+    if (const Value* m = r.doc.find("metrics")) {
+      if (const Value* timers = m->find("timers")) {
+        for (const auto& [name, t] : timers->members()) {
+          TimerRow row;
+          row.count = t.at("count").as_u64();
+          row.total_ns = t.at("total_ns").as_number();
+          row.mean_ns = t.number_or("mean_ns", 0);
+          row.max_ns = t.at("max_ns").as_number();
+          r.timers.emplace(name, row);
+        }
+      }
+      if (const Value* counters = m->find("counters")) {
+        for (const auto& [name, c] : counters->members()) {
+          r.counters.emplace(name, c.as_number());
+        }
+      }
+    }
+    if (const Value* run = r.doc.find("run")) {
+      r.wall_seconds = run->number_or("wall_seconds", 0);
+    }
+    if (const Value* c = r.doc.find("counters")) {
+      r.trials = c->number_or("trials", 0);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), e.what());
+    std::exit(1);
+  }
+  return r;
+}
+
+std::string run_summary(const Report& r) {
+  const Value* run = r.doc.find("run");
+  if (run == nullptr) return "(no run section)";
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "%s on %s, %dx%d, seed %llu, threads %llu",
+                run->string_or("algorithm", "?").c_str(),
+                run->string_or("model", "?").c_str(),
+                static_cast<int>(run->number_or("width", 0)),
+                static_cast<int>(run->number_or("height", 0)),
+                static_cast<unsigned long long>(run->number_or("seed", 0)),
+                static_cast<unsigned long long>(run->number_or("threads", 0)));
+  return buf;
+}
+
+void print_single(const Report& r) {
+  std::printf("report: %s\n", r.path.c_str());
+  std::printf("  run: %s\n", run_summary(r).c_str());
+  if (const Value* c = r.doc.find("counters"); c != nullptr && c->find("trials")) {
+    std::printf("  sim: t = %.6g, %.0f trials, %.0f executed "
+                "(acceptance %.2f%%), %.0f steps, wall %.3fs\n",
+                c->number_or("time", 0), c->number_or("trials", 0),
+                c->number_or("executed", 0), 100 * c->number_or("acceptance", 0),
+                c->number_or("steps", 0), r.wall_seconds);
+    if (r.wall_seconds > 0 && r.trials > 0) {
+      std::printf("  throughput: %.3g trials/s\n", r.trials / r.wall_seconds);
+    }
+  }
+
+  if (!r.timers.empty()) {
+    // Sorted by total time, descending: where did the run go?
+    std::vector<std::pair<std::string, TimerRow>> rows(r.timers.begin(),
+                                                       r.timers.end());
+    std::ranges::sort(rows, [](const auto& a, const auto& b) {
+      return a.second.total_ns > b.second.total_ns;
+    });
+    double grand = 0;
+    for (const auto& [name, row] : rows) grand += row.total_ns;
+    std::printf("  phases:\n");
+    std::printf("    %-28s %10s %12s %12s %12s %6s\n", "timer", "count",
+                "total_ms", "mean_us", "max_us", "%");
+    for (const auto& [name, row] : rows) {
+      std::printf("    %-28s %10llu %12.3f %12.3f %12.3f %5.1f%%\n", name.c_str(),
+                  static_cast<unsigned long long>(row.count), row.total_ns / 1e6,
+                  row.mean_ns / 1e3, row.max_ns / 1e3,
+                  grand > 0 ? 100 * row.total_ns / grand : 0.0);
+    }
+  }
+  if (!r.counters.empty()) {
+    std::printf("  counters:\n");
+    for (const auto& [name, v] : r.counters) {
+      std::printf("    %-28s %14.0f\n", name.c_str(), v);
+    }
+  }
+
+  if (const Value* tb = r.doc.find("thread_balance");
+      tb != nullptr && tb->is_object()) {
+    std::printf("  thread balance: %llu workers, imbalance %.3f (max/mean busy)\n",
+                static_cast<unsigned long long>(tb->number_or("workers", 0)),
+                tb->number_or("imbalance", 1.0));
+  }
+
+  if (const Value* d = r.doc.find("drift"); d != nullptr && d->is_object()) {
+    const Value& alarms = d->at("alarms");
+    std::printf("  drift: %llu windows checked vs %s reference, %zu alarms, "
+                "max z %.2f\n",
+                static_cast<unsigned long long>(d->number_or("windows_checked", 0)),
+                d->string_or("reference_algorithm", "?").c_str(),
+                alarms.items().size(), d->number_or("max_z", 0));
+    for (const Value& a : alarms.items()) {
+      std::printf("    window %llu [%.6g, %.6g) %s: observed %.6g expected %.6g "
+                  "(z = %.2f)\n",
+                  static_cast<unsigned long long>(a.number_or("window", 0)),
+                  a.number_or("t0", 0), a.number_or("t1", 0),
+                  a.string_or("what", "?").c_str(), a.number_or("observed", 0),
+                  a.number_or("expected", 0), a.number_or("z", 0));
+    }
+  }
+}
+
+/// Percent change B vs A; the empty string when A is zero.
+std::string pct(double a, double b) {
+  if (a == 0) return "";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", 100 * (b - a) / a);
+  return buf;
+}
+
+void print_delta(const Report& a, const Report& b) {
+  std::printf("A: %s (%s)\n", a.path.c_str(), run_summary(a).c_str());
+  std::printf("B: %s (%s)\n", b.path.c_str(), run_summary(b).c_str());
+
+  std::printf("  %-28s %14s %14s %9s\n", "", "A", "B", "delta");
+  std::printf("  %-28s %14.3f %14.3f %9s\n", "wall_seconds", a.wall_seconds,
+              b.wall_seconds, pct(a.wall_seconds, b.wall_seconds).c_str());
+  const double ta = a.wall_seconds > 0 ? a.trials / a.wall_seconds : 0;
+  const double tb = b.wall_seconds > 0 ? b.trials / b.wall_seconds : 0;
+  std::printf("  %-28s %14.3g %14.3g %9s\n", "trials_per_second", ta, tb,
+              pct(ta, tb).c_str());
+
+  // Phase-by-phase totals over the union of timer names.
+  std::map<std::string, std::pair<const TimerRow*, const TimerRow*>> phases;
+  for (const auto& [name, row] : a.timers) phases[name].first = &row;
+  for (const auto& [name, row] : b.timers) phases[name].second = &row;
+  if (!phases.empty()) {
+    std::printf("  phases (total_ms):\n");
+    std::printf("    %-28s %14s %14s %9s\n", "timer", "A", "B", "delta");
+    for (const auto& [name, rows] : phases) {
+      const double ma = rows.first != nullptr ? rows.first->total_ns / 1e6 : 0;
+      const double mb = rows.second != nullptr ? rows.second->total_ns / 1e6 : 0;
+      std::printf("    %-28s %14.3f %14.3f %9s\n", name.c_str(), ma, mb,
+                  pct(ma, mb).c_str());
+    }
+  }
+
+  std::map<std::string, std::pair<double, double>> counters;
+  for (const auto& [name, v] : a.counters) counters[name].first = v;
+  for (const auto& [name, v] : b.counters) counters[name].second = v;
+  if (!counters.empty()) {
+    std::printf("  counters:\n");
+    std::printf("    %-28s %14s %14s %9s\n", "counter", "A", "B", "delta");
+    for (const auto& [name, v] : counters) {
+      std::printf("    %-28s %14.0f %14.0f %9s\n", name.c_str(), v.first,
+                  v.second, pct(v.first, v.second).c_str());
+    }
+  }
+}
+
+int print_trace(const std::string& path) {
+  const Value doc = load_json(path);
+  const Value* events = doc.find("traceEvents");
+  const Value* other = doc.find("otherData");
+  if (events == nullptr || other == nullptr ||
+      other->string_or("schema", "") != "casurf-trace/1") {
+    std::fprintf(stderr, "error: %s: not a casurf-trace/1 document\n", path.c_str());
+    return 1;
+  }
+  // Events per name: how often did each phase appear in the retained window?
+  std::map<std::string, std::pair<std::uint64_t, double>> by_name;  // count, total µs
+  std::uint64_t spans = 0, instants = 0;
+  for (const Value& e : events->items()) {
+    const std::string ph = e.string_or("ph", "");
+    if (ph == "X") {
+      ++spans;
+      auto& slot = by_name[e.string_or("name", "?")];
+      ++slot.first;
+      slot.second += e.number_or("dur", 0);
+    } else if (ph == "i") {
+      ++instants;
+      ++by_name[e.string_or("name", "?")].first;
+    }
+  }
+  std::printf("trace: %s\n", path.c_str());
+  std::printf("  %llu spans, %llu instants retained; %llu recorded, %llu "
+              "dropped (ring capacity %llu)\n",
+              static_cast<unsigned long long>(spans),
+              static_cast<unsigned long long>(instants),
+              static_cast<unsigned long long>(other->number_or("recorded_events", 0)),
+              static_cast<unsigned long long>(other->number_or("dropped_events", 0)),
+              static_cast<unsigned long long>(other->number_or("ring_capacity", 0)));
+  if (const Value* rings = other->find("rings")) {
+    for (const Value& ring : rings->items()) {
+      std::printf("  tid %llu (%s): %llu recorded, %llu retained, %llu dropped\n",
+                  static_cast<unsigned long long>(ring.number_or("tid", 0)),
+                  ring.string_or("name", "").c_str(),
+                  static_cast<unsigned long long>(ring.number_or("recorded", 0)),
+                  static_cast<unsigned long long>(ring.number_or("retained", 0)),
+                  static_cast<unsigned long long>(ring.number_or("dropped", 0)));
+    }
+  }
+  std::printf("  events by name:\n");
+  for (const auto& [name, slot] : by_name) {
+    std::printf("    %-28s %10llu %12.3f ms\n", name.c_str(),
+                static_cast<unsigned long long>(slot.first), slot.second / 1e3);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool trace_mode = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") usage(argv[0]);
+    else if (arg == "--trace") trace_mode = true;
+    else if (!arg.empty() && arg.front() == '-') {
+      usage(argv[0], ("unknown flag: " + std::string(arg)).c_str());
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+  if (files.empty()) usage(argv[0], "expected at least one input file");
+  if (files.size() > 2) usage(argv[0], "expected at most two input files");
+  if (trace_mode && files.size() != 1) {
+    usage(argv[0], "--trace takes exactly one file");
+  }
+
+  if (trace_mode) return print_trace(files[0]);
+  if (files.size() == 1) {
+    print_single(load_report(files[0]));
+  } else {
+    print_delta(load_report(files[0]), load_report(files[1]));
+  }
+  return 0;
+}

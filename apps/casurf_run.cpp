@@ -11,12 +11,15 @@
 //   casurf_run --model zgb --t-end 100 --checkpoint run.ck --checkpoint-every 5
 //   casurf_run --model zgb --t-end 100 --checkpoint run.ck --resume run.ck
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <optional>
@@ -28,8 +31,10 @@
 #include "core/simulation.hpp"
 #include "io/checkpoint.hpp"
 #include "io/snapshot.hpp"
+#include "obs/drift.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
+#include "obs/trace.hpp"
 #include "model/parser.hpp"
 #include "models/diffusion.hpp"
 #include "models/ising.hpp"
@@ -65,6 +70,11 @@ struct Options {
   AuditPolicy audit_policy = AuditPolicy::kAbort;
   std::string metrics;            // JSON run-report target ("" = metrics off)
   std::uint64_t metrics_every = 0;  // refresh report each N samples (0 = at end)
+  std::string trace;              // Chrome-trace JSON target ("" = tracing off)
+  std::uint64_t trace_buffer = obs::Tracer::kDefaultCapacity;  // events per ring
+  std::string drift_record;  // write a drift reference profile here
+  std::string drift_ref;     // compare online against this profile
+  double drift_window = 0;   // profile window width (0 = 10 * dt)
   double die_at = -1;  // crash-test aid: _Exit mid-run once time() >= die_at
   bool quiet = false;
 };
@@ -104,8 +114,18 @@ struct Options {
                "                      JSON run-report (docs/OBSERVABILITY.md)\n"
                "  --metrics-every N   atomically refresh the report every N\n"
                "                      samples (default: only at the end)\n"
+               "  --trace PATH        record per-thread phase spans and write a\n"
+               "                      Chrome-trace JSON (load in Perfetto)\n"
+               "  --trace-buffer N    trace ring capacity in events per thread\n"
+               "                      (default %zu; oldest events drop on wrap)\n"
+               "  --drift-record PATH run as a reference: write a windowed\n"
+               "                      coverage/rate profile (casurf-drift-profile/1)\n"
+               "  --drift-window T    profile window width in simulated time\n"
+               "                      (with --drift-record; default 10*dt)\n"
+               "  --drift-ref PATH    compare this run online against a recorded\n"
+               "                      profile; alarms go to stdout + the report\n"
                "  --quiet             suppress the progress table\n",
-               argv0);
+               argv0, obs::Tracer::kDefaultCapacity);
   std::exit(error ? 2 : 0);
 }
 
@@ -189,6 +209,11 @@ Options parse_args(int argc, char** argv) {
     }
     else if (flag == "--metrics") opt.metrics = need_value(i);
     else if (flag == "--metrics-every") opt.metrics_every = integer(i, "--metrics-every");
+    else if (flag == "--trace") opt.trace = need_value(i);
+    else if (flag == "--trace-buffer") opt.trace_buffer = integer(i, "--trace-buffer");
+    else if (flag == "--drift-record") opt.drift_record = need_value(i);
+    else if (flag == "--drift-ref") opt.drift_ref = need_value(i);
+    else if (flag == "--drift-window") opt.drift_window = num(i, "--drift-window");
     else if (flag == "--die-at") opt.die_at = num(i, "--die-at");  // crash-test aid
     else if (flag == "--quiet") opt.quiet = true;
     else usage(argv[0], ("unknown flag: " + std::string(flag)).c_str());
@@ -204,6 +229,33 @@ Options parse_args(int argc, char** argv) {
   }
   if (opt.metrics_every > 0 && opt.metrics.empty()) {
     usage(argv[0], "--metrics-every requires --metrics PATH");
+  }
+  if (opt.trace_buffer == 0) usage(argv[0], "--trace-buffer must be at least 1");
+  if (!opt.drift_record.empty() && !opt.drift_ref.empty()) {
+    usage(argv[0], "--drift-record and --drift-ref are mutually exclusive");
+  }
+  if (opt.drift_window != 0 && opt.drift_record.empty()) {
+    usage(argv[0],
+          "--drift-window only applies with --drift-record (a reference "
+          "profile fixes the window width)");
+  }
+  if (opt.drift_window < 0) usage(argv[0], "--drift-window must be positive");
+  // Fail fast on output/input paths the run would only touch at the end:
+  // a multi-hour run must not die on a typo after the fact.
+  if (!opt.trace.empty()) {
+    std::filesystem::path dir = std::filesystem::path(opt.trace).parent_path();
+    if (dir.empty()) dir = ".";
+    std::error_code ec;
+    if (!std::filesystem::is_directory(dir, ec) ||
+        ::access(dir.c_str(), W_OK) != 0) {
+      usage(argv[0], ("--trace directory is not writable: " + dir.string()).c_str());
+    }
+  }
+  if (!opt.drift_ref.empty() && ::access(opt.drift_ref.c_str(), R_OK) != 0) {
+    usage(argv[0],
+          ("--drift-ref reference file does not exist or is unreadable: " +
+           opt.drift_ref)
+              .c_str());
   }
   return opt;
 }
@@ -353,11 +405,28 @@ int main(int argc, char** argv) {
       resumed = true;
     }
 
-    // --- Metrics ------------------------------------------------------
+    // --- Metrics / tracing / drift ------------------------------------
     // Attached after any resume: a restore fallback rebuilds the
     // simulator, which would drop probe handles attached earlier.
     obs::MetricsRegistry registry;
     if (!opt.metrics.empty()) sim->set_metrics(&registry);
+    obs::Tracer tracer(static_cast<std::size_t>(opt.trace_buffer));
+    if (!opt.trace.empty()) sim->set_tracer(&tracer);
+    std::optional<obs::DriftRecorder> drift_rec;
+    if (!opt.drift_record.empty()) {
+      drift_rec.emplace(opt.drift_window > 0 ? opt.drift_window : 10 * opt.dt);
+    }
+    std::optional<obs::DriftMonitor> drift_mon;
+    if (!opt.drift_ref.empty()) {
+      drift_mon.emplace(obs::DriftProfile::load(opt.drift_ref));
+      if (!opt.trace.empty()) drift_mon->set_trace(&tracer.ring(0));
+    }
+    const obs::DriftMonitor* drift_for_report =
+        drift_mon.has_value() ? &*drift_mon : nullptr;
+    const auto drift_sample = [&](const Simulator& s) {
+      if (drift_rec) drift_rec->sample(s);
+      if (drift_mon) drift_mon->sample(s);
+    };
     const auto wall_start = std::chrono::steady_clock::now();
     const auto report_info = [&] {
       obs::RunInfo info;
@@ -394,7 +463,10 @@ int main(int argc, char** argv) {
     double next_ckpt = sim->time() + ckpt_every;
     std::uint64_t samples = 0;
 
-    if (!resumed) recorder.sample(*sim);
+    if (!resumed) {
+      recorder.sample(*sim);
+      drift_sample(*sim);
+    }
     // Sampling targets form the fixed grid k * dt, indexed by integer k so
     // an overshooting advance never drifts later samples off the grid (and
     // a resumed run recovers its k from the checkpointed grid time).
@@ -402,6 +474,10 @@ int main(int argc, char** argv) {
     while (next <= opt.t_end) {
       sim->advance_to(next);
       recorder.sample(*sim);
+      drift_sample(*sim);
+      if (!opt.trace.empty()) {
+        tracer.ring(0).instant("run/sample", sim->time(), sample_k);
+      }
       if (!opt.quiet) {
         std::printf("%-10.2f", sim->time());
         for (Species s = 0; s < model->species().size(); ++s) {
@@ -414,7 +490,8 @@ int main(int argc, char** argv) {
 
       ++samples;
       if (opt.metrics_every > 0 && samples % opt.metrics_every == 0) {
-        obs::write_run_report(opt.metrics, report_info(), sim.get(), &registry);
+        obs::write_run_report(opt.metrics, report_info(), sim.get(), &registry,
+                              nullptr, drift_for_report);
       }
       if (opt.audit_every > 0 && samples % opt.audit_every == 0) {
         const AuditReport report = auditor.run(*sim);  // throws under kAbort
@@ -437,9 +514,44 @@ int main(int argc, char** argv) {
     // finished run just rewrites the outputs.
     if (!opt.checkpoint.empty()) write_checkpoint(opt, *sim, next, recorder);
 
+    if (drift_mon) {
+      drift_mon->finish();
+      std::printf("# drift: %llu windows checked vs %s reference, %zu alarms, "
+                  "max z %.2f\n",
+                  static_cast<unsigned long long>(drift_mon->windows_checked()),
+                  drift_mon->reference().algorithm.c_str(),
+                  drift_mon->alarms().size(), drift_mon->max_z());
+      for (const obs::DriftAlarm& a : drift_mon->alarms()) {
+        std::printf("# drift alarm: window %llu [%.6g, %.6g) %s observed %.6g "
+                    "expected %.6g (z = %.2f)\n",
+                    static_cast<unsigned long long>(a.window), a.t0, a.t1,
+                    a.what.c_str(), a.observed, a.expected, a.z);
+      }
+    }
+    if (drift_rec) {
+      obs::DriftProfile profile = drift_rec->take_profile(
+          sim->name(), opt.model_file.empty() ? opt.model : opt.model_file);
+      profile.write(opt.drift_record);
+      if (!opt.quiet) {
+        std::printf("# drift profile: %s (%zu windows of %.6g)\n",
+                    opt.drift_record.c_str(), profile.windows.size(),
+                    profile.window);
+      }
+    }
+
     if (!opt.metrics.empty()) {
-      obs::write_run_report(opt.metrics, report_info(), sim.get(), &registry);
+      obs::write_run_report(opt.metrics, report_info(), sim.get(), &registry,
+                            nullptr, drift_for_report);
       if (!opt.quiet) std::printf("# metrics report: %s\n", opt.metrics.c_str());
+    }
+
+    if (!opt.trace.empty()) {
+      tracer.write(opt.trace);
+      if (!opt.quiet) {
+        std::printf("# trace: %s (%llu events, %llu dropped)\n", opt.trace.c_str(),
+                    static_cast<unsigned long long>(tracer.total_recorded()),
+                    static_cast<unsigned long long>(tracer.total_dropped()));
+      }
     }
 
     if (!opt.quiet) {

@@ -1,0 +1,46 @@
+# End-to-end drift pipeline: record a reference coverage/rate profile from a
+# VSSM run, replay the same model under the monitor, and check that the run
+# report carries the drift section and casurf_report prints it.
+#
+# Driven by ctest as:  cmake -DCASURF_RUN=... -DCASURF_REPORT=... -DWORK_DIR=... -P this
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(common --model zgb --size 32x32 --t-end 4 --dt 0.25 --quiet)
+
+execute_process(COMMAND ${CASURF_RUN} ${common} --algorithm vssm --seed 7
+                        --drift-record ${WORK_DIR}/ref.json --drift-window 1
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "reference recording failed (exit ${rc})")
+endif()
+if(NOT EXISTS ${WORK_DIR}/ref.json)
+  message(FATAL_ERROR "--drift-record did not write the profile")
+endif()
+
+# Same algorithm, different seed: statistically equivalent, so the monitor
+# must run its windows without blowing up.
+execute_process(COMMAND ${CASURF_RUN} ${common} --algorithm vssm --seed 8
+                        --drift-ref ${WORK_DIR}/ref.json
+                        --metrics ${WORK_DIR}/report.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "monitored run failed (exit ${rc})")
+endif()
+if(NOT out MATCHES "# drift:")
+  message(FATAL_ERROR "monitored run did not print a drift summary:\n${out}")
+endif()
+
+file(READ ${WORK_DIR}/report.json report)
+if(NOT report MATCHES "\"drift\": *\\{")
+  message(FATAL_ERROR "run report is missing the drift section")
+endif()
+
+execute_process(COMMAND ${CASURF_REPORT} ${WORK_DIR}/report.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "casurf_report rejected the run report (exit ${rc})")
+endif()
+if(NOT out MATCHES "drift:.*windows checked")
+  message(FATAL_ERROR "casurf_report did not print the drift summary:\n${out}")
+endif()

@@ -97,12 +97,31 @@ int main() {
   using clock = std::chrono::steady_clock;
   const int throughput_steps = fast ? 40 : 150;
 
+  const auto run_info = [&](const Simulator& sim, double wall) {
+    obs::RunInfo info;
+    info.algorithm = sim.name();
+    info.model = "pt100";
+    info.width = side;
+    info.height = side;
+    info.seed = 5;
+    info.t_end = sim.time();
+    info.threads = 1;
+    info.wall_seconds = wall;
+    return info;
+  };
+
   PndcaSimulator cached(pt.model, initial, {five}, 5, ChunkPolicy::kRateWeighted);
+  obs::MetricsRegistry cached_reg;
+  cached.set_metrics(&cached_reg);
   const auto t_after0 = clock::now();
   for (int i = 0; i < throughput_steps; ++i) cached.mc_step();
   const double after_s = std::chrono::duration<double>(clock::now() - t_after0).count();
+  bench::write_bench_report("fig9_rate_weighted_cached", run_info(cached, after_s),
+                            cached, cached_reg);
 
   PndcaSimulator brute(pt.model, initial, {five}, 5, ChunkPolicy::kRateWeighted);
+  obs::MetricsRegistry brute_reg;
+  brute.set_metrics(&brute_reg);
   std::vector<double> weights(five.num_chunks());
   const auto t_before0 = clock::now();
   for (int i = 0; i < throughput_steps; ++i) {
@@ -112,6 +131,8 @@ int main() {
     brute.mc_step();
   }
   const double before_s = std::chrono::duration<double>(clock::now() - t_before0).count();
+  bench::write_bench_report("fig9_rate_weighted_brute", run_info(brute, before_s),
+                            brute, brute_reg);
 
   std::printf("\nRate-weighted selection cost (%d PNDCA steps, %d x %d):\n",
               throughput_steps, side, side);

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "rng/distributions.hpp"
 
 namespace casurf {
@@ -84,6 +85,7 @@ void LPndcaSimulator::set_metrics(obs::MetricsRegistry* registry) {
 
 ChunkId LPndcaSimulator::select_chunk() {
   const obs::ScopedTimer span(select_timer_);
+  const obs::ScopedSpan trace(trace_, "lpndca/select", time_, counters_.steps);
   if (rate_cache_) {
     // Rate-weighted draw over the live per-chunk enabled rates; unlike
     // PNDCA's per-step freeze, each batch sees the counts updated by the
@@ -97,6 +99,7 @@ ChunkId LPndcaSimulator::select_chunk() {
 
 void LPndcaSimulator::mc_step() {
   const obs::ScopedTimer span(step_timer_);
+  const obs::ScopedSpan trace(trace_, "lpndca/step", time_, counters_.steps);
   const std::uint64_t budget = config_.size();  // N trials per step
   std::uint64_t trials = 0;
   while (trials < budget) {

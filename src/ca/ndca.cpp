@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "obs/trace.hpp"
 #include "rng/distributions.hpp"
 
 namespace casurf {
@@ -52,8 +53,10 @@ void NdcaSimulator::restore_state(StateReader& r) {
 
 void NdcaSimulator::mc_step() {
   const obs::ScopedTimer span(step_timer_);
+  const obs::ScopedSpan trace(trace_, "ndca/step", time_, counters_.steps);
   if (order_ == SweepOrder::kShuffled) {
     const obs::ScopedTimer shuffle_span(shuffle_timer_);
+    const obs::ScopedSpan shuffle_trace(trace_, "ndca/shuffle", time_, counters_.steps);
     // Fisher-Yates with the simulator's own generator.
     for (std::size_t i = visit_order_.size(); i > 1; --i) {
       const auto j = static_cast<std::size_t>(uniform_below(rng_, i));

@@ -3,6 +3,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "rng/distributions.hpp"
 
 namespace casurf {
@@ -164,9 +165,11 @@ std::int32_t PndcaSimulator::trial_at(std::uint64_t sweep, SiteIndex s,
 
 void PndcaSimulator::mc_step() {
   const obs::ScopedTimer step_span(step_timer_);
+  const obs::ScopedSpan step_trace(trace_, "pndca/step", time_, counters_.steps);
   partition_cursor_ = static_cast<std::size_t>(counters_.steps % partitions_.size());
   {
     const obs::ScopedTimer plan_span(plan_timer_);
+    const obs::ScopedSpan plan_trace(trace_, "pndca/plan", time_, counters_.steps);
     schedule_ = plan_schedule();
   }
   const Partition& p = partitions_[partition_cursor_];
@@ -176,6 +179,7 @@ void PndcaSimulator::mc_step() {
     if (chunk_sites_ != nullptr) chunk_sites_->record(p.chunk(c).size());
     {
       const obs::ScopedTimer sweep_span(sweep_timer_);
+      const obs::ScopedSpan sweep_trace(trace_, "pndca/sweep", time_, sweep_);
       execute_chunk(sweep_, p.chunk(c));
     }
 

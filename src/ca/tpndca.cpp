@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "rng/distributions.hpp"
 
 namespace casurf {
@@ -98,9 +99,11 @@ void TPndcaSimulator::set_metrics(obs::MetricsRegistry* registry) {
 
 void TPndcaSimulator::mc_step() {
   const obs::ScopedTimer step_span(step_timer_);
+  const obs::ScopedSpan step_trace(trace_, "tpndca/step", time_, counters_.steps);
   const double total_k = model_.total_rate();
   for (std::uint32_t sweep = 0; sweep < sweeps_per_step_; ++sweep) {
     const obs::ScopedTimer sweep_span(sweep_timer_);
+    const obs::ScopedSpan sweep_trace(trace_, "tpndca/sweep", time_, counters_.steps);
     // select T_j with probability K_Tj / K
     const std::size_t j = sample_cumulative(subset_cumulative_, uniform01(rng_));
     const TypeSubset& sub = subsets_[j];

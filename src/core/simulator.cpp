@@ -1,6 +1,18 @@
 #include "core/simulator.hpp"
 
+#include "obs/trace.hpp"
+
 namespace casurf {
+
+void Simulator::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer != nullptr) {
+    trace_ = &tracer->ring(0);
+    tracer->set_thread_name(0, "main");
+  } else {
+    trace_ = nullptr;
+  }
+}
 
 void Simulator::advance_to(double t) {
   while (time_ < t) {

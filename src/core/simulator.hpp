@@ -13,6 +13,8 @@ namespace casurf {
 
 namespace obs {
 class MetricsRegistry;
+class Tracer;
+class TraceRing;
 }
 
 /// How simulated time advances per trial (paper section 3).
@@ -81,6 +83,17 @@ class Simulator {
 
   [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
 
+  /// Attach a structured-event tracer (nullptr detaches). Same contract as
+  /// set_metrics: the base resolves ring 0 (the simulation thread) once and
+  /// the hot path pays one branch per span when detached; span recording
+  /// never touches simulation state or RNG streams, so trajectories are
+  /// bit-identical with tracing on or off. The threaded engine override
+  /// additionally resolves one ring per worker. The tracer is borrowed and
+  /// must outlive the simulator (or be detached first).
+  virtual void set_tracer(obs::Tracer* tracer);
+
+  [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
+
   /// Serialize the full simulator state — configuration, simulated time,
   /// counters, RNG state, and every algorithm-internal structure whose
   /// content is not a pure function of the configuration (event queues,
@@ -119,6 +132,8 @@ class Simulator {
   SimCounters counters_;
   double time_ = 0.0;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::TraceRing* trace_ = nullptr;  ///< ring 0; null = tracing off
 };
 
 }  // namespace casurf

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "rng/distributions.hpp"
 
 namespace casurf {
@@ -105,6 +106,7 @@ void FrmSimulator::execute_head() {
 
 void FrmSimulator::mc_step() {
   const obs::ScopedTimer span(step_timer_);
+  const obs::ScopedSpan trace(trace_, "frm/step", time_, counters_.steps);
   if (drop_stale_heads()) execute_head();
   // Empty queue: absorbing state; advance_to() handles time.
 }
@@ -122,6 +124,7 @@ void FrmSimulator::advance_to(double t) {
       return;
     }
     const obs::ScopedTimer span(step_timer_);
+    const obs::ScopedSpan trace(trace_, "frm/step", time_, counters_.steps);
     execute_head();
   }
 }

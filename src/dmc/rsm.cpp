@@ -1,5 +1,6 @@
 #include "dmc/rsm.hpp"
 
+#include "obs/trace.hpp"
 #include "rng/distributions.hpp"
 
 namespace casurf {
@@ -34,6 +35,7 @@ void RsmSimulator::trial() {
 
 void RsmSimulator::mc_step() {
   const obs::ScopedTimer span(step_timer_);
+  const obs::ScopedSpan trace(trace_, "rsm/step", time_, counters_.steps);
   const SiteIndex n = config_.size();
   for (SiteIndex i = 0; i < n; ++i) trial();
   ++counters_.steps;
@@ -59,6 +61,7 @@ void RsmSimulator::restore_state(StateReader& r) {
 
 void RsmSimulator::advance_to(double t) {
   const obs::ScopedTimer span(advance_timer_);
+  const obs::ScopedSpan trace(trace_, "rsm/advance", time_, counters_.steps);
   while (time_ < t) {
     const double dt = time_mode_ == TimeMode::kStochastic
                           ? exponential(rng_, rate_nk_)

@@ -1,5 +1,6 @@
 #include "dmc/vssm.hpp"
 
+#include "obs/trace.hpp"
 #include "rng/distributions.hpp"
 
 namespace casurf {
@@ -52,6 +53,7 @@ void VssmSimulator::refresh_around(SiteIndex changed) {
 
 void VssmSimulator::mc_step() {
   const obs::ScopedTimer span(step_timer_);
+  const obs::ScopedSpan trace(trace_, "vssm/step", time_, counters_.steps);
   const double total = total_enabled_rate();
   if (total <= 0.0) return;  // absorbing state; advance_to() handles time
 

@@ -1,0 +1,274 @@
+#include "obs/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "core/simulator.hpp"
+#include "io/atomic_file.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace casurf::obs {
+
+namespace {
+
+constexpr const char* kProfileSchema = "casurf-drift-profile/1";
+
+/// Variance of the window mean from the within-window sample variance.
+double mean_se2(double var, std::uint64_t n) {
+  return n == 0 ? 0.0 : var / static_cast<double>(n);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- profile
+
+const DriftWindow* DriftProfile::find_window(std::uint64_t index) const {
+  const auto it = std::lower_bound(
+      windows.begin(), windows.end(), index,
+      [](const DriftWindow& w, std::uint64_t i) { return w.index < i; });
+  return (it != windows.end() && it->index == index) ? &*it : nullptr;
+}
+
+std::string DriftProfile::to_json() const {
+  json::Writer j;
+  j.begin_object();
+  j.key("schema");
+  j.string(kProfileSchema);
+  j.key("algorithm");
+  j.string(algorithm);
+  j.key("model");
+  j.string(model);
+  j.key("window");
+  j.number(window);
+  j.key("species");
+  j.begin_array();
+  for (const auto& s : species) j.string(s);
+  j.end_array();
+  j.key("windows");
+  j.begin_array();
+  for (const DriftWindow& w : windows) {
+    j.begin_object();
+    j.key("index");
+    j.u64(w.index);
+    j.key("t0");
+    j.number(w.t0);
+    j.key("t1");
+    j.number(w.t1);
+    j.key("samples");
+    j.u64(w.samples);
+    j.key("coverage_mean");
+    j.begin_array();
+    for (const double v : w.coverage_mean) j.number(v);
+    j.end_array();
+    j.key("coverage_var");
+    j.begin_array();
+    for (const double v : w.coverage_var) j.number(v);
+    j.end_array();
+    j.key("rate_mean");
+    j.number(w.rate_mean);
+    j.key("rate_var");
+    j.number(w.rate_var);
+    j.key("rate_samples");
+    j.u64(w.rate_samples);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  std::string out = std::move(j).str();
+  out += '\n';
+  return out;
+}
+
+DriftProfile DriftProfile::from_json(std::string_view text) {
+  const json::Value doc = json::Value::parse(text);
+  if (doc.string_or("schema", "") != kProfileSchema) {
+    throw std::runtime_error("drift profile: missing or unknown schema (want " +
+                             std::string(kProfileSchema) + ")");
+  }
+  DriftProfile p;
+  p.algorithm = doc.string_or("algorithm", "");
+  p.model = doc.string_or("model", "");
+  p.window = doc.at("window").as_number();
+  if (!(p.window > 0)) throw std::runtime_error("drift profile: window must be > 0");
+  for (const auto& s : doc.at("species").items()) p.species.push_back(s.as_string());
+  for (const auto& wv : doc.at("windows").items()) {
+    DriftWindow w;
+    w.index = wv.at("index").as_u64();
+    w.t0 = wv.at("t0").as_number();
+    w.t1 = wv.at("t1").as_number();
+    w.samples = wv.at("samples").as_u64();
+    for (const auto& v : wv.at("coverage_mean").items()) {
+      w.coverage_mean.push_back(v.as_number());
+    }
+    for (const auto& v : wv.at("coverage_var").items()) {
+      w.coverage_var.push_back(v.as_number());
+    }
+    if (w.coverage_mean.size() != p.species.size() ||
+        w.coverage_var.size() != p.species.size()) {
+      throw std::runtime_error("drift profile: coverage arrays do not match species");
+    }
+    w.rate_mean = wv.number_or("rate_mean", 0.0);
+    w.rate_var = wv.number_or("rate_var", 0.0);
+    w.rate_samples = wv.at("rate_samples").as_u64();
+    if (!p.windows.empty() && w.index <= p.windows.back().index) {
+      throw std::runtime_error("drift profile: windows must ascend by index");
+    }
+    p.windows.push_back(std::move(w));
+  }
+  return p;
+}
+
+void DriftProfile::write(const std::string& path) const {
+  io::atomic_write_file(path, to_json());
+}
+
+DriftProfile DriftProfile::load(const std::string& path) {
+  return from_json(io::read_file(path));
+}
+
+// ---------------------------------------------------------------- sampler
+
+DriftSampler::DriftSampler(double window_width) : width_(window_width) {
+  if (!(width_ > 0)) {
+    throw std::invalid_argument("drift: window width must be > 0");
+  }
+}
+
+void DriftSampler::sample(const Simulator& sim) {
+  const double t = sim.time();
+  if (started_ && t <= last_t_) return;  // dedupe repeated grid observations
+  const auto idx = static_cast<std::uint64_t>(std::floor(t / width_));
+  if (!started_) {
+    species_ = sim.model().species().names();
+    cov_.assign(species_.size(), Welford{});
+    cur_index_ = idx;
+    started_ = true;
+  } else if (idx != cur_index_) {
+    if (cur_samples_ > 0) on_window(snapshot());
+    for (Welford& w : cov_) w.reset();
+    rate_.reset();
+    cur_samples_ = 0;
+    cur_index_ = idx;
+  }
+  const std::uint64_t executed = sim.counters().executed;
+  // The first observation ever has no predecessor to difference against.
+  if (have_prev_) {
+    const double dt = t - last_t_;
+    if (dt > 0) {
+      const double de = static_cast<double>(executed - last_executed_);
+      rate_.add(de / (dt * static_cast<double>(sim.configuration().size())));
+    }
+  }
+  for (std::size_t s = 0; s < cov_.size(); ++s) {
+    cov_[s].add(sim.configuration().coverage(static_cast<Species>(s)));
+  }
+  ++cur_samples_;
+  last_t_ = t;
+  last_executed_ = executed;
+  have_prev_ = true;
+}
+
+DriftWindow DriftSampler::snapshot() const {
+  DriftWindow w;
+  w.index = cur_index_;
+  w.t0 = static_cast<double>(cur_index_) * width_;
+  w.t1 = w.t0 + width_;
+  w.samples = cur_samples_;
+  w.coverage_mean.reserve(cov_.size());
+  w.coverage_var.reserve(cov_.size());
+  for (const Welford& c : cov_) {
+    w.coverage_mean.push_back(c.mean());
+    w.coverage_var.push_back(c.variance());
+  }
+  w.rate_mean = rate_.mean();
+  w.rate_var = rate_.variance();
+  w.rate_samples = rate_.count();
+  return w;
+}
+
+void DriftSampler::close_pending(std::uint64_t min_samples) {
+  if (cur_samples_ >= min_samples && min_samples > 0) on_window(snapshot());
+  for (Welford& w : cov_) w.reset();
+  rate_.reset();
+  cur_samples_ = 0;
+}
+
+// --------------------------------------------------------------- recorder
+
+DriftProfile DriftRecorder::take_profile(std::string algorithm, std::string model) {
+  close_pending(1);
+  DriftProfile p;
+  p.algorithm = std::move(algorithm);
+  p.model = std::move(model);
+  p.window = window_width();
+  p.species = species();
+  p.windows = std::move(windows_);
+  windows_.clear();
+  return p;
+}
+
+// ---------------------------------------------------------------- monitor
+
+DriftMonitor::DriftMonitor(DriftProfile reference, DriftConfig config)
+    : DriftSampler(reference.window), ref_(std::move(reference)), config_(config) {}
+
+void DriftMonitor::finish() { close_pending(2); }
+
+void DriftMonitor::on_window(const DriftWindow& run) {
+  const DriftWindow* ref = ref_.find_window(run.index);
+  if (ref == nullptr) {
+    ++unmatched_;
+    return;
+  }
+  // A 1-sample window has no variance estimate: the z-score would be pure
+  // epsilon division. Such windows are neither checked nor alarmed.
+  if (run.samples < 2 || ref->samples < 2) return;
+  ++checked_;
+  check(run, *ref);
+}
+
+void DriftMonitor::check(const DriftWindow& run, const DriftWindow& ref) {
+  const std::size_t ns = std::min(run.coverage_mean.size(), ref.coverage_mean.size());
+  for (std::size_t s = 0; s < ns; ++s) {
+    const double diff = std::abs(run.coverage_mean[s] - ref.coverage_mean[s]);
+    const double se2 = mean_se2(ref.coverage_var[s], ref.samples) +
+                       mean_se2(run.coverage_var[s], run.samples);
+    const double z = diff / std::sqrt(se2 + 1e-12);
+    max_z_ = std::max(max_z_, z);
+    if (diff > config_.coverage_abs_tol && z > config_.z_threshold) {
+      const std::string name =
+          s < ref_.species.size() ? ref_.species[s] : std::to_string(s);
+      raise(run, "coverage:" + name, run.coverage_mean[s], ref.coverage_mean[s], z);
+    }
+  }
+  if (run.rate_samples >= 2 && ref.rate_samples >= 2) {
+    const double diff = std::abs(run.rate_mean - ref.rate_mean);
+    const double rel = diff / std::max(std::abs(ref.rate_mean), config_.rate_floor);
+    const double se2 = mean_se2(ref.rate_var, ref.rate_samples) +
+                       mean_se2(run.rate_var, run.rate_samples);
+    const double z = diff / std::sqrt(se2 + 1e-12);
+    max_z_ = std::max(max_z_, z);
+    if (rel > config_.rate_rel_tol && z > config_.z_threshold) {
+      raise(run, "rate", run.rate_mean, ref.rate_mean, z);
+    }
+  }
+}
+
+void DriftMonitor::raise(const DriftWindow& run, std::string what, double observed,
+                         double expected, double z) {
+  DriftAlarm a;
+  a.window = run.index;
+  a.t0 = run.t0;
+  a.t1 = run.t1;
+  a.what = std::move(what);
+  a.observed = observed;
+  a.expected = expected;
+  a.z = z;
+  if (trace_ != nullptr) trace_->instant("drift/alarm", run.t1, run.index);
+  alarms_.push_back(std::move(a));
+}
+
+}  // namespace casurf::obs

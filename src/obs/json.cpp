@@ -1,0 +1,347 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace casurf::obs::json {
+
+void append_quoted(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void Writer::u64(std::uint64_t v) {
+  comma();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out_ += buf;
+}
+
+void Writer::i64(std::int64_t v) {
+  comma();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out_ += buf;
+}
+
+void Writer::number(double v) {
+  comma();
+  if (std::isfinite(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out_ += buf;
+  } else {
+    out_ += "null";  // JSON has no NaN/Inf
+  }
+}
+
+namespace {
+
+[[noreturn]] void fail(std::size_t pos, const std::string& what) {
+  throw std::runtime_error("json: " + what + " at byte " + std::to_string(pos));
+}
+
+}  // namespace
+
+/// Recursive-descent parser over a string_view; depth-limited so a hostile
+/// file cannot blow the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    skip_ws();
+    Value v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail(pos_, "trailing characters");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail(pos_, "nesting too deep");
+    if (pos_ >= text_.size()) fail(pos_, "unexpected end of input");
+    Value v;
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': parse_object(v, depth); break;
+      case '[': parse_array(v, depth); break;
+      case '"':
+        v.kind_ = Value::Kind::kString;
+        v.str_ = parse_string();
+        break;
+      case 't':
+        expect("true");
+        v.kind_ = Value::Kind::kBool;
+        v.bool_ = true;
+        break;
+      case 'f':
+        expect("false");
+        v.kind_ = Value::Kind::kBool;
+        v.bool_ = false;
+        break;
+      case 'n':
+        expect("null");
+        v.kind_ = Value::Kind::kNull;
+        break;
+      default:
+        v.kind_ = Value::Kind::kNumber;
+        v.num_ = parse_number();
+    }
+    return v;
+  }
+
+  void parse_object(Value& v, int depth) {
+    v.kind_ = Value::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    for (;;) {
+      skip_ws();
+      if (peek() != '"') fail(pos_, "expected object key");
+      std::string key = parse_string();
+      skip_ws();
+      if (peek() != ':') fail(pos_, "expected ':'");
+      ++pos_;
+      skip_ws();
+      v.obj_.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return;
+      }
+      fail(pos_, "expected ',' or '}'");
+    }
+  }
+
+  void parse_array(Value& v, int depth) {
+    v.kind_ = Value::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return;
+    }
+    for (;;) {
+      skip_ws();
+      v.arr_.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return;
+      }
+      fail(pos_, "expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail(pos_, "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail(pos_, "unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': append_codepoint(out, parse_hex4()); break;
+        default: fail(pos_ - 1, "bad escape");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail(pos_, "truncated \\u escape");
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v += static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v += static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v += static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail(pos_ - 1, "bad hex digit in \\u escape");
+      }
+    }
+    return v;
+  }
+
+  void append_codepoint(std::string& out, unsigned cp) {
+    // Surrogate pair: a high surrogate must be followed by \uDC00..\uDFFF.
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+        fail(pos_, "unpaired surrogate");
+      }
+      pos_ += 2;
+      const unsigned lo = parse_hex4();
+      if (lo < 0xDC00 || lo > 0xDFFF) fail(pos_, "bad low surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail(pos_, "unpaired surrogate");
+    }
+    // UTF-8 encode.
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail(start, "expected value");
+    const std::string tok(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail(start, "bad number");
+    return v;
+  }
+
+  void expect(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) fail(pos_, "expected literal");
+    }
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Value Value::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::kBool) throw std::runtime_error("json: not a bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (kind_ != Kind::kNumber) throw std::runtime_error("json: not a number");
+  return num_;
+}
+
+std::uint64_t Value::as_u64() const {
+  const double v = as_number();
+  if (v < 0 || std::floor(v) != v) throw std::runtime_error("json: not a u64");
+  return static_cast<std::uint64_t>(v);
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::kString) throw std::runtime_error("json: not a string");
+  return str_;
+}
+
+const std::vector<Value>& Value::items() const {
+  if (kind_ != Kind::kArray) throw std::runtime_error("json: not an array");
+  return arr_;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::members() const {
+  if (kind_ != Kind::kObject) throw std::runtime_error("json: not an object");
+  return obj_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Value& Value::at(std::string_view key) const {
+  const Value* v = find(key);
+  if (v == nullptr) {
+    throw std::runtime_error("json: missing key \"" + std::string(key) + '"');
+  }
+  return *v;
+}
+
+double Value::number_or(std::string_view key, double fallback) const {
+  const Value* v = find(key);
+  return (v == nullptr || v->is_null()) ? fallback : v->as_number();
+}
+
+std::string Value::string_or(std::string_view key, std::string fallback) const {
+  const Value* v = find(key);
+  return (v == nullptr || v->is_null()) ? fallback : v->as_string();
+}
+
+}  // namespace casurf::obs::json

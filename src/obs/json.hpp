@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace casurf::obs::json {
+
+/// Minimal JSON layer shared by the run report, the trace writer, and the
+/// `casurf_report` CLI: one emitter (`Writer`), one escaper, and one
+/// recursive-descent parser (`Value::parse`). No external dependency; only
+/// what the observability formats need.
+
+/// Append the JSON string-escaped form of `s` to `out`, surrounding quotes
+/// included. Escapes `"`, `\`, and every control byte < 0x20 (so hostile
+/// reaction/species names can never break the document).
+void append_quoted(std::string& out, std::string_view s);
+
+/// Streaming emitter. Caller is responsible for balanced begin/end calls;
+/// commas are inserted automatically.
+class Writer {
+ public:
+  [[nodiscard]] std::string str() && { return std::move(out_); }
+
+  void raw(const char* s) {
+    comma();
+    out_ += s;
+  }
+  void key(std::string_view name) {
+    comma();
+    append_quoted(out_, name);
+    out_ += ':';
+    fresh_ = true;
+  }
+  void begin_object() {
+    comma();
+    out_ += '{';
+    fresh_ = true;
+  }
+  void end_object() {
+    out_ += '}';
+    fresh_ = false;
+  }
+  void begin_array() {
+    comma();
+    out_ += '[';
+    fresh_ = true;
+  }
+  void end_array() {
+    out_ += ']';
+    fresh_ = false;
+  }
+  void string(std::string_view s) {
+    comma();
+    append_quoted(out_, s);
+  }
+  void boolean(bool v) { raw(v ? "true" : "false"); }
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  /// Finite doubles round-trip (%.17g); NaN/Inf become null (JSON has no NaN).
+  void number(double v);
+
+ private:
+  void comma() {
+    if (!fresh_ && !out_.empty() && out_.back() != '{' && out_.back() != '[' &&
+        out_.back() != ':') {
+      out_ += ',';
+    }
+    fresh_ = false;
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+};
+
+/// Parsed JSON value. Numbers are doubles (the report formats stay within
+/// the 2^53 exactly-representable range); objects preserve member order.
+/// Parse errors throw std::runtime_error with a byte offset.
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+
+  /// Parse a complete document; trailing non-whitespace is an error.
+  static Value parse(std::string_view text);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+
+  /// Typed accessors; throw std::runtime_error on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::uint64_t as_u64() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Value>& items() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& members() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+  /// Like find, but throws std::runtime_error naming the missing key.
+  [[nodiscard]] const Value& at(std::string_view key) const;
+
+  /// Convenience: member `key` as number/string, or `fallback` when the
+  /// member is absent/null (kind mismatch still throws).
+  [[nodiscard]] double number_or(std::string_view key, double fallback) const;
+  [[nodiscard]] std::string string_or(std::string_view key,
+                                      std::string fallback) const;
+
+ private:
+  friend class Parser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::vector<std::pair<std::string, Value>> obj_;
+};
+
+}  // namespace casurf::obs::json

@@ -1,111 +1,20 @@
 #include "obs/run_report.hpp"
 
 #include <algorithm>
-#include <cinttypes>
-#include <cmath>
-#include <cstdio>
 
 #include "core/simulator.hpp"
 #include "io/atomic_file.hpp"
+#include "obs/drift.hpp"
+#include "obs/json.hpp"
 
 namespace casurf::obs {
 
 namespace {
 
-/// Minimal JSON emitter: only what the report needs, no dependency.
-class Json {
- public:
-  [[nodiscard]] std::string str() && { return std::move(out_); }
-
-  void raw(const char* s) {
-    comma();
-    out_ += s;
-  }
-  void key(const char* name) {
-    comma();
-    quote(name);
-    out_ += ':';
-    fresh_ = true;
-  }
-  void begin_object() {
-    comma();
-    out_ += '{';
-    fresh_ = true;
-  }
-  void end_object() {
-    out_ += '}';
-    fresh_ = false;
-  }
-  void begin_array() {
-    comma();
-    out_ += '[';
-    fresh_ = true;
-  }
-  void end_array() {
-    out_ += ']';
-    fresh_ = false;
-  }
-  void string(const std::string& s) {
-    comma();
-    quote(s.c_str());
-  }
-  void u64(std::uint64_t v) {
-    comma();
-    char buf[24];
-    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
-    out_ += buf;
-  }
-  void i64(std::int64_t v) {
-    comma();
-    char buf[24];
-    std::snprintf(buf, sizeof buf, "%" PRId64, v);
-    out_ += buf;
-  }
-  void number(double v) {
-    comma();
-    if (std::isfinite(v)) {
-      char buf[32];
-      std::snprintf(buf, sizeof buf, "%.17g", v);
-      out_ += buf;
-    } else {
-      out_ += "null";  // JSON has no NaN/Inf
-    }
-  }
-
- private:
-  void comma() {
-    if (!fresh_ && !out_.empty() && out_.back() != '{' && out_.back() != '[' &&
-        out_.back() != ':') {
-      out_ += ',';
-    }
-    fresh_ = false;
-  }
-  void quote(const char* s) {
-    out_ += '"';
-    for (; *s != '\0'; ++s) {
-      const char c = *s;
-      switch (c) {
-        case '"': out_ += "\\\""; break;
-        case '\\': out_ += "\\\\"; break;
-        case '\n': out_ += "\\n"; break;
-        case '\t': out_ += "\\t"; break;
-        case '\r': out_ += "\\r"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x", c);
-            out_ += buf;
-          } else {
-            out_ += c;
-          }
-      }
-    }
-    out_ += '"';
-  }
-
-  std::string out_;
-  bool fresh_ = true;
-};
+// The emitter (and, crucially, its escaper — reaction/species names are
+// user-supplied and may contain anything) is shared with the trace writer
+// and the drift profile: obs/json.hpp.
+using Json = json::Writer;
 
 void emit_run(Json& j, const RunInfo& info) {
   j.key("run");
@@ -257,6 +166,55 @@ void emit_threads(Json& j, const MetricsRegistry* reg) {
   j.end_object();
 }
 
+/// Drift-monitor verdict: null when no monitor was attached. Alarms carry
+/// enough to act on without the reference file at hand.
+void emit_drift(Json& j, const DriftMonitor* drift) {
+  j.key("drift");
+  if (drift == nullptr) {
+    j.raw("null");
+    return;
+  }
+  j.begin_object();
+  j.key("reference_algorithm");
+  j.string(drift->reference().algorithm);
+  j.key("window");
+  j.number(drift->reference().window);
+  j.key("z_threshold");
+  j.number(drift->config().z_threshold);
+  j.key("coverage_abs_tol");
+  j.number(drift->config().coverage_abs_tol);
+  j.key("rate_rel_tol");
+  j.number(drift->config().rate_rel_tol);
+  j.key("windows_checked");
+  j.u64(drift->windows_checked());
+  j.key("windows_unmatched");
+  j.u64(drift->windows_unmatched());
+  j.key("max_z");
+  j.number(drift->max_z());
+  j.key("alarms");
+  j.begin_array();
+  for (const DriftAlarm& a : drift->alarms()) {
+    j.begin_object();
+    j.key("window");
+    j.u64(a.window);
+    j.key("t0");
+    j.number(a.t0);
+    j.key("t1");
+    j.number(a.t1);
+    j.key("what");
+    j.string(a.what);
+    j.key("observed");
+    j.number(a.observed);
+    j.key("expected");
+    j.number(a.expected);
+    j.key("z");
+    j.number(a.z);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+}
+
 void emit_comm(Json& j, const Communicator::Stats* comm) {
   j.key("communicator");
   const Communicator::Stats zero{};
@@ -275,7 +233,8 @@ void emit_comm(Json& j, const Communicator::Stats* comm) {
 
 std::string run_report_json(const RunInfo& info, const Simulator* sim,
                             const MetricsRegistry* registry,
-                            const Communicator::Stats* comm) {
+                            const Communicator::Stats* comm,
+                            const DriftMonitor* drift) {
   Json j;
   j.begin_object();
   j.key("schema");
@@ -284,6 +243,7 @@ std::string run_report_json(const RunInfo& info, const Simulator* sim,
   emit_counters(j, sim);
   emit_registry(j, registry);
   emit_threads(j, registry);
+  emit_drift(j, drift);
   emit_comm(j, comm);
   j.end_object();
   std::string out = std::move(j).str();
@@ -293,8 +253,8 @@ std::string run_report_json(const RunInfo& info, const Simulator* sim,
 
 void write_run_report(const std::string& path, const RunInfo& info,
                       const Simulator* sim, const MetricsRegistry* registry,
-                      const Communicator::Stats* comm) {
-  io::atomic_write_file(path, run_report_json(info, sim, registry, comm));
+                      const Communicator::Stats* comm, const DriftMonitor* drift) {
+  io::atomic_write_file(path, run_report_json(info, sim, registry, comm, drift));
 }
 
 }  // namespace casurf::obs

@@ -26,21 +26,25 @@ struct RunInfo {
   double wall_seconds = 0;
 };
 
+class DriftMonitor;
+
 /// Serialize one run as a structured JSON report (schema
 /// "casurf-run-report/1", documented in docs/OBSERVABILITY.md): run
 /// metadata, the simulator's execution counters with per-reaction
 /// breakdown, every registry probe, a thread-balance section derived from
-/// the `threads/busy/worker<k>` timers, and the communicator stats.
-/// `sim`, `registry`, and `comm` may each be null; the corresponding
-/// sections are emitted empty.
+/// the `threads/busy/worker<k>` timers, the drift-monitor verdict, and the
+/// communicator stats. `sim`, `registry`, `comm`, and `drift` may each be
+/// null; the corresponding sections are emitted empty (drift: null).
 [[nodiscard]] std::string run_report_json(const RunInfo& info, const Simulator* sim,
                                           const MetricsRegistry* registry,
-                                          const Communicator::Stats* comm = nullptr);
+                                          const Communicator::Stats* comm = nullptr,
+                                          const DriftMonitor* drift = nullptr);
 
 /// Write the report through the crash-safe atomic-write path, so a report
 /// refreshed periodically (--metrics-every) is never observed truncated.
 void write_run_report(const std::string& path, const RunInfo& info,
                       const Simulator* sim, const MetricsRegistry* registry,
-                      const Communicator::Stats* comm = nullptr);
+                      const Communicator::Stats* comm = nullptr,
+                      const DriftMonitor* drift = nullptr);
 
 }  // namespace casurf::obs

@@ -1,0 +1,177 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace casurf::obs {
+
+/// Structured event tracing: fixed-capacity per-thread ring buffers of
+/// timestamped spans, exported as Chrome Trace Event Format JSON
+/// (chrome://tracing / Perfetto).
+///
+/// Same discipline as the metrics probes (metrics.hpp): the simulator
+/// resolves its ring ONCE at `Simulator::set_tracer` and holds a raw
+/// pointer; a null ring means "tracing off" — one branch per span site,
+/// never touching RNG or simulation state, so the traced trajectory is
+/// bit-identical to the bare run. Each ring has exactly one writer (its
+/// logical thread), so recording is lock- and atomic-free; when a ring
+/// wraps, the oldest events are overwritten and a drop counter keeps the
+/// loss visible in the exported footer (no silent truncation).
+///
+/// Under -DCASURF_NO_METRICS the record paths compile out entirely and
+/// `ScopedSpan` becomes an empty type (checked by a static_assert below).
+
+/// One recorded event. `name` must point at a string with static storage
+/// duration (phase names are literals) — recording never allocates.
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kSpan, kInstant };
+
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;  ///< steady-clock ns (same epoch as now_ns()).
+  std::uint64_t dur_ns = 0;    ///< 0 for instants.
+  double sim_time = 0;         ///< simulated time when the event began.
+  std::uint64_t step = 0;      ///< step/sweep index when the event began.
+  Kind kind = Kind::kSpan;
+};
+
+/// Fixed-capacity overwrite-oldest ring of TraceEvents. Single-writer:
+/// only the owning thread may call span()/instant(); readers (export) run
+/// after the run, or between steps on the coordinating thread.
+class TraceRing {
+ public:
+  TraceRing(unsigned tid, std::size_t capacity)
+      : tid_(tid), capacity_(capacity == 0 ? 1 : capacity) {
+    buf_.reserve(capacity_);
+  }
+
+  void span(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns,
+            double sim_time, std::uint64_t step) {
+#ifndef CASURF_NO_METRICS
+    push({name, start_ns, dur_ns, sim_time, step, TraceEvent::Kind::kSpan});
+#else
+    (void)name, (void)start_ns, (void)dur_ns, (void)sim_time, (void)step;
+#endif
+  }
+
+  void instant(const char* name, double sim_time, std::uint64_t step) {
+#ifndef CASURF_NO_METRICS
+    push({name, now_ns(), 0, sim_time, step, TraceEvent::Kind::kInstant});
+#else
+    (void)name, (void)sim_time, (void)step;
+#endif
+  }
+
+  [[nodiscard]] unsigned tid() const { return tid_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Events currently retained (≤ capacity).
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  /// Total events offered to the ring since construction.
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  /// Events lost to wrap-around (recorded − retained).
+  [[nodiscard]] std::uint64_t dropped() const {
+    return recorded_ - static_cast<std::uint64_t>(buf_.size());
+  }
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+ private:
+  void push(const TraceEvent& e) {
+    if (buf_.size() < capacity_) {
+      buf_.push_back(e);
+    } else {
+      buf_[next_] = e;  // overwrite the oldest
+      next_ = (next_ + 1) % capacity_;
+    }
+    ++recorded_;
+  }
+
+  unsigned tid_;
+  std::size_t capacity_;
+  std::vector<TraceEvent> buf_;
+  std::size_t next_ = 0;  ///< index of the oldest event once wrapped
+  std::uint64_t recorded_ = 0;
+};
+
+/// RAII span: records [construction, destruction) into a ring. A null ring
+/// costs one branch — the "tracing off" fast path mirroring ScopedTimer.
+#ifdef CASURF_NO_METRICS
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRing* /*ring*/, const char* /*name*/, double /*sim_time*/,
+             std::uint64_t /*step*/) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+};
+/// The zero-cost-when-off guarantee: with CASURF_METRICS=OFF a span site
+/// must compile down to nothing a trajectory (or profile) could notice.
+static_assert(std::is_empty_v<ScopedSpan>,
+              "ScopedSpan must compile out to a no-op under CASURF_NO_METRICS");
+#else
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRing* ring, const char* name, double sim_time, std::uint64_t step)
+      : ring_(ring), name_(name), sim_time_(sim_time), step_(step),
+        start_(ring != nullptr ? now_ns() : 0) {}
+  ~ScopedSpan() {
+    if (ring_ != nullptr) {
+      ring_->span(name_, start_, now_ns() - start_, sim_time_, step_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceRing* ring_;
+  const char* name_;
+  double sim_time_;
+  std::uint64_t step_;
+  std::uint64_t start_;
+};
+#endif
+
+/// Owns one ring per logical thread (tid 0 = the simulation/coordinator
+/// thread, tid k+1 = threaded-engine worker k). Ring creation is
+/// mutex-guarded with stable references, mirroring MetricsRegistry;
+/// recording into a ring is uncontended single-writer.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+  explicit Tracer(std::size_t ring_capacity = kDefaultCapacity);
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The ring for logical thread `tid`, created on first use. The
+  /// reference stays valid for the tracer's lifetime.
+  TraceRing& ring(unsigned tid);
+  /// Label a ring in the exported trace ("main", "worker3", ...).
+  void set_thread_name(unsigned tid, std::string name);
+
+  [[nodiscard]] std::size_t ring_capacity() const { return ring_capacity_; }
+  [[nodiscard]] std::uint64_t total_recorded() const;
+  [[nodiscard]] std::uint64_t total_dropped() const;
+
+  /// The whole trace as Chrome Trace Event Format JSON: "X" complete
+  /// events (ts/dur in microseconds relative to tracer construction),
+  /// "i" instants, "M" thread_name metadata, and an `otherData` footer
+  /// (schema "casurf-trace/1") carrying per-ring recorded/retained/dropped
+  /// counts so wrap-around loss is never silent.
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+  /// Write chrome_trace_json() through the atomic tmp+fsync+rename path.
+  void write(const std::string& path) const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  std::size_t ring_capacity_;
+  std::uint64_t t0_ns_;
+};
+
+}  // namespace casurf::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "partition/conflict.hpp"
 
 namespace casurf {
@@ -45,20 +46,35 @@ void ParallelPndcaEngine::set_metrics(obs::MetricsRegistry* registry) {
   recheck_timer_ = registry ? &registry->timer("threads/recheck") : nullptr;
 }
 
+void ParallelPndcaEngine::set_tracer(obs::Tracer* tracer) {
+  PndcaSimulator::set_tracer(tracer);  // resolves ring 0 for the coordinator
+  worker_rings_.clear();
+  if (tracer != nullptr) {
+    for (unsigned tid = 0; tid < pool_.size(); ++tid) {
+      worker_rings_.push_back(&tracer->ring(tid + 1));
+      tracer->set_thread_name(tid + 1, "worker" + std::to_string(tid));
+    }
+    trace_busy_end_.assign(pool_.size(), 0);
+  }
+}
+
 void ParallelPndcaEngine::execute_chunk(std::uint64_t sweep,
                                         const std::vector<SiteIndex>& sites) {
   const bool track_fired = rate_cache_active();
   const bool timed = !busy_timers_.empty();
+  const bool traced = !worker_rings_.empty();
+  const bool clocked = timed || traced;
   for (auto& d : deltas_) std::ranges::fill(d, 0);
   for (auto& t : tallies_) std::ranges::fill(t, 0);
   if (track_fired) {
     for (auto& f : fired_) f.clear();
   }
   if (timed) std::ranges::fill(busy_scratch_, 0);
-  const std::uint64_t wall_start = timed ? obs::now_ns() : 0;
+  if (traced) std::ranges::fill(trace_busy_end_, 0);
+  const std::uint64_t wall_start = clocked ? obs::now_ns() : 0;
 
   pool_.parallel_for(sites.size(), [&](unsigned tid, std::size_t begin, std::size_t end) {
-    const std::uint64_t busy_start = timed ? obs::now_ns() : 0;
+    const std::uint64_t busy_start = clocked ? obs::now_ns() : 0;
     std::int64_t* deltas = deltas_[tid].data();
     std::uint64_t* tally = tallies_[tid].data();
     for (std::size_t i = begin; i < end; ++i) {
@@ -70,24 +86,47 @@ void ParallelPndcaEngine::execute_chunk(std::uint64_t sweep,
         }
       }
     }
-    if (timed) busy_scratch_[tid] = obs::now_ns() - busy_start;
+    if (clocked) {
+      const std::uint64_t busy_end = obs::now_ns();
+      if (timed) busy_scratch_[tid] = busy_end - busy_start;
+      if (traced) {
+        // Each worker writes its own ring: single-writer, race-free.
+        worker_rings_[tid]->span("threads/busy", busy_start, busy_end - busy_start,
+                                 time_, sweep);
+        trace_busy_end_[tid] = busy_end;
+      }
+    }
   });
 
-  if (timed) {
+  if (clocked) {
     // Busy is each worker's own span; wait is the rest of the fork-join
     // wall time — the time it spent idle at the implicit sweep barrier
     // (surplus workers of a small chunk count as all-wait). The report's
     // load-imbalance figure is max/mean over the busy set.
-    const std::uint64_t wall = obs::now_ns() - wall_start;
-    for (unsigned tid = 0; tid < pool_.size(); ++tid) {
-      busy_timers_[tid]->add_ns(busy_scratch_[tid]);
-      wait_timers_[tid]->add_ns(wall - std::min(wall, busy_scratch_[tid]));
+    const std::uint64_t wall_end = obs::now_ns();
+    if (timed) {
+      const std::uint64_t wall = wall_end - wall_start;
+      for (unsigned tid = 0; tid < pool_.size(); ++tid) {
+        busy_timers_[tid]->add_ns(busy_scratch_[tid]);
+        wait_timers_[tid]->add_ns(wall - std::min(wall, busy_scratch_[tid]));
+      }
+    }
+    if (traced) {
+      // The join happened-before this point, so appending the wait span to
+      // each worker's ring from the coordinator cannot race the worker.
+      for (unsigned tid = 0; tid < pool_.size(); ++tid) {
+        const std::uint64_t from =
+            trace_busy_end_[tid] != 0 ? trace_busy_end_[tid] : wall_start;
+        worker_rings_[tid]->span("threads/wait", from,
+                                 wall_end - std::min(wall_end, from), time_, sweep);
+      }
     }
   }
 
   // Deterministic merge: integer sums are order-independent.
   {
     const obs::ScopedTimer merge_span(merge_timer_);
+    const obs::ScopedSpan merge_trace(trace_, "threads/merge", time_, sweep);
     for (unsigned tid = 0; tid < pool_.size(); ++tid) {
       config_.apply_count_delta(deltas_[tid].data());
       for (ReactionIndex rt = 0; rt < model_.num_reactions(); ++rt) {
@@ -103,6 +142,7 @@ void ParallelPndcaEngine::execute_chunk(std::uint64_t sweep,
   // land exactly where the sequential simulator's per-event updates do.
   if (track_fired) {
     const obs::ScopedTimer recheck_span(recheck_timer_);
+    const obs::ScopedSpan recheck_trace(trace_, "threads/recheck", time_, sweep);
     for (unsigned tid = 0; tid < pool_.size(); ++tid) {
       for (const FiredReaction& f : fired_[tid]) {
         refresh_rate_cache(model_.reaction(f.type), f.site);

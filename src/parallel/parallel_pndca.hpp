@@ -38,6 +38,12 @@ class ParallelPndcaEngine final : public PndcaSimulator {
   /// (threads/recheck).
   void set_metrics(obs::MetricsRegistry* registry) override;
 
+  /// Adds per-worker trace rings on top of PNDCA's ring 0: worker k writes
+  /// its threads/busy spans into ring k+1 (single-writer, race-free); the
+  /// coordinator appends the matching threads/wait span after the join and
+  /// records threads/merge + threads/recheck on ring 0.
+  void set_tracer(obs::Tracer* tracer) override;
+
  protected:
   void execute_chunk(std::uint64_t sweep, const std::vector<SiteIndex>& sites) override;
 
@@ -63,6 +69,12 @@ class ParallelPndcaEngine final : public PndcaSimulator {
   obs::Timer* merge_timer_ = nullptr;
   obs::Timer* recheck_timer_ = nullptr;
   std::vector<std::uint64_t> busy_scratch_;
+  // Per-worker trace rings (empty when no tracer). Workers record their own
+  // busy span and leave the busy-end timestamp in trace_busy_end_ (own slot
+  // only); the coordinator turns it into the wait span after the join, so
+  // ring writes stay single-writer.
+  std::vector<obs::TraceRing*> worker_rings_;
+  std::vector<std::uint64_t> trace_busy_end_;
 };
 
 }  // namespace casurf

@@ -1,0 +1,234 @@
+// Drift monitor: Welford units, windowed accumulation, profile JSON
+// round-trip, alarm logic against doctored references, and the paper-level
+// acceptance check — a coarse-partition L-PNDCA run (large L) drifts away
+// from a VSSM reference and must alarm, while a fine run (L = 1) stays
+// quiet.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <string>
+
+#include "ca/lpndca.hpp"
+#include "core/observer.hpp"
+#include "dmc/rsm.hpp"
+#include "dmc/vssm.hpp"
+#include "models/zgb.hpp"
+#include "obs/drift.hpp"
+#include "partition/partition.hpp"
+
+namespace casurf::obs {
+namespace {
+
+TEST(Welford, MatchesClosedFormMoments) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  w.add(2.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);  // n < 2
+  w.add(4.0);
+  w.add(6.0);
+  EXPECT_EQ(w.count(), 3u);
+  EXPECT_DOUBLE_EQ(w.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 4.0);  // sample variance of {2,4,6}
+  w.reset();
+  EXPECT_EQ(w.count(), 0u);
+}
+
+TEST(Welford, StableUnderLargeOffset) {
+  // The classic catastrophic-cancellation case the streaming form avoids.
+  Welford w;
+  const double base = 1e9;
+  for (const double x : {base + 4, base + 7, base + 13, base + 16}) w.add(x);
+  EXPECT_NEAR(w.mean(), base + 10, 1e-6);
+  EXPECT_NEAR(w.variance(), 30.0, 1e-6);
+}
+
+TEST(DriftSampler, RejectsNonPositiveWindow) {
+  EXPECT_THROW(DriftRecorder(0.0), std::invalid_argument);
+  EXPECT_THROW(DriftRecorder(-1.0), std::invalid_argument);
+}
+
+TEST(DriftRecorder, WindowsAlignToAbsoluteSimTimeGrid) {
+  const auto zgb = models::make_zgb(models::ZgbParams::from_y(0.45, 20.0));
+  RsmSimulator sim(zgb.model, Configuration(Lattice(16, 16), 3, zgb.vacant), 11);
+
+  DriftRecorder rec(1.0);
+  run_sampled(sim, 5.0, 0.25, rec);
+  DriftProfile profile = rec.take_profile(sim.name(), "zgb");
+
+  EXPECT_EQ(profile.algorithm, sim.name());
+  EXPECT_EQ(profile.model, "zgb");
+  EXPECT_DOUBLE_EQ(profile.window, 1.0);
+  ASSERT_EQ(profile.species.size(), zgb.model.species().size());
+  ASSERT_GE(profile.windows.size(), 4u);
+  for (const DriftWindow& w : profile.windows) {
+    EXPECT_DOUBLE_EQ(w.t0, static_cast<double>(w.index) * 1.0);
+    EXPECT_DOUBLE_EQ(w.t1, w.t0 + 1.0);
+    EXPECT_GT(w.samples, 0u);
+    ASSERT_EQ(w.coverage_mean.size(), profile.species.size());
+    double total = 0;
+    for (const double c : w.coverage_mean) total += c;
+    EXPECT_NEAR(total, 1.0, 1e-9);  // coverages partition the lattice
+  }
+  // find_window is index-keyed, not position-keyed.
+  ASSERT_NE(profile.find_window(2), nullptr);
+  EXPECT_EQ(profile.find_window(2)->index, 2u);
+  EXPECT_EQ(profile.find_window(9999), nullptr);
+}
+
+TEST(DriftProfile, JsonRoundTripPreservesEverything) {
+  DriftProfile p;
+  p.algorithm = "VSSM \"exact\"";  // hostile name through the shared escaper
+  p.model = "zgb";
+  p.window = 0.5;
+  p.species = {"*", "O", "CO\t"};
+  DriftWindow w;
+  w.index = 3;
+  w.t0 = 1.5;
+  w.t1 = 2.0;
+  w.samples = 7;
+  w.coverage_mean = {0.25, 0.5, 0.25};
+  w.coverage_var = {0.01, 0.02, 0.005};
+  w.rate_mean = 1.25e-3;
+  w.rate_var = 4e-8;
+  w.rate_samples = 6;
+  p.windows.push_back(w);
+
+  const DriftProfile q = DriftProfile::from_json(p.to_json());
+  EXPECT_EQ(q.algorithm, p.algorithm);
+  EXPECT_EQ(q.model, p.model);
+  EXPECT_DOUBLE_EQ(q.window, p.window);
+  EXPECT_EQ(q.species, p.species);
+  ASSERT_EQ(q.windows.size(), 1u);
+  EXPECT_EQ(q.windows[0].index, 3u);
+  EXPECT_DOUBLE_EQ(q.windows[0].t0, 1.5);
+  EXPECT_EQ(q.windows[0].samples, 7u);
+  EXPECT_DOUBLE_EQ(q.windows[0].coverage_mean[1], 0.5);
+  EXPECT_DOUBLE_EQ(q.windows[0].coverage_var[2], 0.005);
+  EXPECT_DOUBLE_EQ(q.windows[0].rate_mean, 1.25e-3);
+  EXPECT_EQ(q.windows[0].rate_samples, 6u);
+}
+
+TEST(DriftProfile, RejectsWrongSchemaAndMalformedShapes) {
+  EXPECT_THROW((void)DriftProfile::from_json("{}"), std::runtime_error);
+  EXPECT_THROW((void)DriftProfile::from_json(R"({"schema":"other/1"})"),
+               std::runtime_error);
+  DriftProfile p;
+  p.window = 1.0;
+  p.species = {"a", "b"};
+  DriftWindow w;
+  w.coverage_mean = {0.5};  // wrong arity vs species
+  w.coverage_var = {0.5};
+  p.windows.push_back(w);
+  EXPECT_THROW((void)DriftProfile::from_json(p.to_json()), std::runtime_error);
+}
+
+/// Record a ZGB reference profile with the given simulator.
+template <typename Sim>
+DriftProfile record_profile(Sim& sim, double t_end, double dt, double window) {
+  DriftRecorder rec(window);
+  run_sampled(sim, t_end, dt, rec);
+  return rec.take_profile(sim.name(), "zgb");
+}
+
+TEST(DriftMonitor, EquivalentRunStaysQuietDoctoredReferenceAlarms) {
+  const auto zgb = models::make_zgb(models::ZgbParams::from_y(0.45, 20.0));
+  const Lattice lat(48, 48);
+
+  RsmSimulator ref_sim(zgb.model, Configuration(lat, 3, zgb.vacant), 21);
+  const DriftProfile profile = record_profile(ref_sim, 8.0, 0.2, 1.0);
+
+  // Same algorithm, different seed: statistically the same process, so the
+  // default gates (material AND significant) must not fire.
+  {
+    DriftMonitor mon(profile);
+    RsmSimulator run(zgb.model, Configuration(lat, 3, zgb.vacant), 22);
+    run_sampled(run, 8.0, 0.2, mon);
+    mon.finish();
+    EXPECT_GE(mon.windows_checked(), 6u);
+    EXPECT_TRUE(mon.alarms().empty())
+        << "first alarm: " << mon.alarms()[0].what << " z=" << mon.alarms()[0].z;
+  }
+
+  // Doctor the reference: shift every coverage mean far outside tolerance
+  // with near-zero variance. Every checked window must now alarm.
+  DriftProfile doctored = profile;
+  for (DriftWindow& w : doctored.windows) {
+    for (std::size_t s = 0; s < w.coverage_mean.size(); ++s) {
+      w.coverage_mean[s] = w.coverage_mean[s] < 0.5 ? w.coverage_mean[s] + 0.4
+                                                    : w.coverage_mean[s] - 0.4;
+      w.coverage_var[s] = 1e-8;
+    }
+  }
+  DriftMonitor mon(doctored);
+  RsmSimulator run(zgb.model, Configuration(lat, 3, zgb.vacant), 23);
+  run_sampled(run, 8.0, 0.2, mon);
+  mon.finish();
+  EXPECT_FALSE(mon.alarms().empty());
+  EXPECT_GT(mon.max_z(), mon.config().z_threshold);
+  // Alarm metadata names the drifted statistic.
+  EXPECT_EQ(mon.alarms()[0].what.rfind("coverage:", 0), 0u);
+}
+
+TEST(DriftMonitor, UnmatchedWindowsAreCountedNotChecked) {
+  const auto zgb = models::make_zgb(models::ZgbParams::from_y(0.45, 20.0));
+  const Lattice lat(16, 16);
+  RsmSimulator ref_sim(zgb.model, Configuration(lat, 3, zgb.vacant), 5);
+  DriftProfile profile = record_profile(ref_sim, 2.0, 0.1, 1.0);
+
+  // Monitor a run that outlives the reference: the extra windows must be
+  // reported as unmatched, never silently compared against nothing.
+  DriftMonitor mon(profile);
+  RsmSimulator run(zgb.model, Configuration(lat, 3, zgb.vacant), 6);
+  run_sampled(run, 6.0, 0.1, mon);
+  mon.finish();
+  EXPECT_GT(mon.windows_unmatched(), 0u);
+  EXPECT_GT(mon.windows_checked(), 0u);
+}
+
+// The acceptance check behind the whole subsystem: the paper's
+// accuracy-vs-parallelism trade made visible. A VSSM (exact DMC) reference
+// on ZGB; a fine-grained L-PNDCA run (L = 1) is statistically faithful and
+// stays quiet, while a coarse run (L = N on a 16-chunk partition — a whole
+// lattice worth of trials hammered into one chunk per batch, ~16x
+// oversampling while the rest stays frozen) skews the kinetics and must
+// alarm. The 80x80 lattice keeps finite-size trajectory noise (~1/sqrt(N))
+// well under the coarse bias: measured fine max|Δcoverage| ≤ 0.024 across
+// seeds vs ≥ 0.054 coarse, so abs_tol 0.03 separates with margin on both
+// sides.
+TEST(DriftMonitor, CoarsePartitionAlarmsFinePartitionQuiet) {
+  const auto zgb = models::make_zgb(models::ZgbParams::from_y(0.45, 20.0));
+  const Lattice lat(80, 80);
+  const Configuration initial(lat, 3, zgb.vacant);
+  const Partition part = Partition::linear_form(lat, 1, 3, 16);
+
+  VssmSimulator ref_sim(zgb.model, initial, 31);
+  const DriftProfile profile = record_profile(ref_sim, 10.0, 0.2, 1.0);
+
+  DriftConfig config;
+  config.coverage_abs_tol = 0.03;
+  const auto monitor_l = [&](std::uint32_t l_param, std::uint64_t seed) {
+    DriftMonitor mon(profile, config);
+    LPndcaSimulator sim(zgb.model, initial, part, seed, l_param);
+    run_sampled(sim, 10.0, 0.2, mon);
+    mon.finish();
+    return mon;
+  };
+
+  const DriftMonitor fine = monitor_l(1, 32);
+  EXPECT_GE(fine.windows_checked(), 8u);
+  EXPECT_TRUE(fine.alarms().empty())
+      << "fine run alarmed: " << fine.alarms()[0].what << " window "
+      << fine.alarms()[0].window << " z=" << fine.alarms()[0].z;
+
+  const DriftMonitor coarse =
+      monitor_l(static_cast<std::uint32_t>(lat.size()), 33);
+  EXPECT_FALSE(coarse.alarms().empty())
+      << "coarse run (L=N) failed to alarm; max z=" << coarse.max_z();
+}
+
+}  // namespace
+}  // namespace casurf::obs

@@ -1,0 +1,136 @@
+// The shared JSON layer (obs/json.hpp): the emitter every report artifact
+// goes through — run reports, traces, drift profiles — and the parser
+// casurf_report reads them back with. The escaper is the security-relevant
+// bit: reaction/species/probe names are user-supplied (model files) and may
+// contain anything.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
+
+namespace casurf::obs {
+namespace {
+
+std::string quoted(std::string_view s) {
+  std::string out;
+  json::append_quoted(out, s);
+  return out;
+}
+
+TEST(JsonWriter, EscapesHostileStrings) {
+  EXPECT_EQ(quoted("plain"), "\"plain\"");
+  EXPECT_EQ(quoted("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(quoted("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(quoted("nl\ntab\tcr\r"), "\"nl\\ntab\\tcr\\r\"");
+  EXPECT_EQ(quoted(std::string_view("\x01\x1f", 2)), "\"\\u0001\\u001f\"");
+  EXPECT_EQ(quoted(std::string_view("nul\0byte", 8)), "\"nul\\u0000byte\"");
+}
+
+TEST(JsonWriter, EmitsStructuredDocument) {
+  json::Writer j;
+  j.begin_object();
+  j.key("name");
+  j.string("x");
+  j.key("n");
+  j.u64(42);
+  j.key("neg");
+  j.i64(-7);
+  j.key("pi");
+  j.number(3.25);
+  j.key("bad");
+  j.number(std::nan(""));  // not representable: emitted as null
+  j.key("flag");
+  j.boolean(true);
+  j.key("list");
+  j.begin_array();
+  j.u64(1);
+  j.u64(2);
+  j.end_array();
+  j.end_object();
+  EXPECT_EQ(std::move(j).str(),
+            "{\"name\":\"x\",\"n\":42,\"neg\":-7,\"pi\":3.25,"
+            "\"bad\":null,\"flag\":true,\"list\":[1,2]}");
+}
+
+TEST(JsonParser, ParsesScalarsAndContainers) {
+  const json::Value v = json::Value::parse(
+      R"({"a": 1.5, "b": [true, false, null], "s": "hi", "o": {"k": -2}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.at("a").as_number(), 1.5);
+  ASSERT_EQ(v.at("b").items().size(), 3u);
+  EXPECT_TRUE(v.at("b").items()[0].as_bool());
+  EXPECT_FALSE(v.at("b").items()[1].as_bool());
+  EXPECT_TRUE(v.at("b").items()[2].is_null());
+  EXPECT_EQ(v.at("s").as_string(), "hi");
+  EXPECT_DOUBLE_EQ(v.at("o").at("k").as_number(), -2.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(v.number_or("missing", 9.0), 9.0);
+  EXPECT_EQ(v.string_or("missing", "dflt"), "dflt");
+  EXPECT_THROW((void)v.at("missing"), std::runtime_error);
+}
+
+TEST(JsonParser, DecodesEscapesAndSurrogates) {
+  const json::Value v =
+      json::Value::parse(R"(["A\n\t\"\\", "é", "😀"])");
+  EXPECT_EQ(v.items()[0].as_string(), "A\n\t\"\\");
+  EXPECT_EQ(v.items()[1].as_string(), "\xc3\xa9");          // é
+  EXPECT_EQ(v.items()[2].as_string(), "\xf0\x9f\x98\x80");  // 😀 via pair
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+  EXPECT_THROW((void)json::Value::parse(""), std::runtime_error);
+  EXPECT_THROW((void)json::Value::parse("{"), std::runtime_error);
+  EXPECT_THROW((void)json::Value::parse("{\"a\": }"), std::runtime_error);
+  EXPECT_THROW((void)json::Value::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW((void)json::Value::parse("nul"), std::runtime_error);
+  EXPECT_THROW((void)json::Value::parse("1 2"), std::runtime_error);
+  EXPECT_THROW((void)json::Value::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW((void)json::Value::parse("\"bad\\q\""), std::runtime_error);
+  // Depth bomb: deeper than the parser's recursion limit must throw, not
+  // overflow the stack.
+  EXPECT_THROW((void)json::Value::parse(std::string(100, '[')), std::runtime_error);
+}
+
+TEST(JsonRoundTrip, HostileStringsSurviveWriterThenParser) {
+  const std::string hostile[] = {
+      "CO\"ads\"", "a\\b\nc\td\re", std::string("embedded\0nul", 12),
+      "\x01\x02\x1f", "caf\xc3\xa9 \xf0\x9f\x98\x80"};
+  for (const std::string& s : hostile) {
+    json::Writer j;
+    j.begin_array();
+    j.string(s);
+    j.end_array();
+    const json::Value v = json::Value::parse(std::move(j).str());
+    EXPECT_EQ(v.items()[0].as_string(), s);
+  }
+}
+
+// The satellite's end-to-end guarantee: a probe registered under a hostile
+// name must come back byte-identical through the full run-report path
+// (emit → parse), not corrupt the document around it.
+TEST(JsonRoundTrip, HostileProbeNamesSurviveRunReport) {
+  const std::string evil = "timer \"quoted\"\\\n\tname\x01";
+  MetricsRegistry reg;
+  reg.timer(evil).add_ns(123);
+  reg.counter("ctr\n\"x\"").add(7);
+
+  RunInfo info;
+  info.algorithm = "alg\"\\\n";
+  info.model = "model\twith\ttabs";
+  const json::Value doc = json::Value::parse(run_report_json(info, nullptr, &reg));
+  EXPECT_EQ(doc.at("schema").as_string(), "casurf-run-report/1");
+  EXPECT_EQ(doc.at("run").at("algorithm").as_string(), info.algorithm);
+  EXPECT_EQ(doc.at("run").at("model").as_string(), info.model);
+  const json::Value& timers = doc.at("metrics").at("timers");
+  ASSERT_NE(timers.find(evil), nullptr);
+  EXPECT_EQ(timers.at(evil).at("count").as_u64(), 1u);
+  ASSERT_NE(doc.at("metrics").at("counters").find("ctr\n\"x\""), nullptr);
+}
+
+}  // namespace
+}  // namespace casurf::obs

@@ -1,0 +1,133 @@
+// Tracing must be observation-only, exactly like the metrics probes:
+// attaching a Tracer may not perturb any simulator's trajectory by a single
+// bit. Mirrors test_metrics_identity across all eight algorithms, plus the
+// threaded engine's per-worker rings (part of the TSan surface via the
+// "parallel" label).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <memory>
+#include <string>
+
+#include "core/simulation.hpp"
+#include "models/zgb.hpp"
+#include "obs/trace.hpp"
+#include "parallel/parallel_pndca.hpp"
+#include "partition/coloring.hpp"
+
+namespace casurf {
+namespace {
+
+class TraceIdentity : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(TraceIdentity, TrajectoryBitIdenticalWithAndWithoutTracer) {
+  const auto zgb = models::make_zgb(models::ZgbParams::from_y(0.45, 20.0));
+  const Lattice lat(20, 20);
+  SimulationOptions opt;
+  opt.algorithm = GetParam();
+  opt.seed = 4321;
+  opt.chunk_policy = ChunkPolicy::kRateWeighted;
+
+  const auto run = [&](obs::Tracer* tracer) {
+    auto sim = make_simulator(zgb.model, Configuration(lat, 3, zgb.vacant), opt);
+    if (tracer != nullptr) sim->set_tracer(tracer);
+    for (int i = 0; i < 5; ++i) sim->mc_step();
+    sim->advance_to(sim->time() + 0.01);
+    return sim;
+  };
+
+  obs::Tracer tracer;
+  const auto bare = run(nullptr);
+  const auto traced = run(&tracer);
+
+  EXPECT_TRUE(std::ranges::equal(bare->configuration().raw(),
+                                 traced->configuration().raw()));
+  EXPECT_EQ(bare->time(), traced->time());
+  EXPECT_EQ(bare->counters().trials, traced->counters().trials);
+  EXPECT_EQ(bare->counters().executed, traced->counters().executed);
+  EXPECT_EQ(bare->counters().steps, traced->counters().steps);
+  EXPECT_EQ(bare->counters().executed_per_type,
+            traced->counters().executed_per_type);
+
+#ifndef CASURF_NO_METRICS
+  // The traced run must have recorded spans on the main ring.
+  EXPECT_GT(tracer.ring(0).recorded(), 0u);
+#endif
+}
+
+TEST_P(TraceIdentity, DetachRestoresUntracedOperation) {
+  const auto zgb = models::make_zgb(models::ZgbParams::from_y(0.45, 20.0));
+  SimulationOptions opt;
+  opt.algorithm = GetParam();
+  opt.seed = 77;
+  auto sim =
+      make_simulator(zgb.model, Configuration(Lattice(10, 10), 3, zgb.vacant), opt);
+
+  obs::Tracer tracer;
+  sim->set_tracer(&tracer);
+  sim->mc_step();
+  sim->set_tracer(nullptr);
+  EXPECT_EQ(sim->tracer(), nullptr);
+  const std::uint64_t recorded = tracer.total_recorded();
+  sim->mc_step();  // must not touch the detached tracer
+  EXPECT_EQ(tracer.total_recorded(), recorded);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, TraceIdentity,
+                         ::testing::Values(Algorithm::kRsm, Algorithm::kVssm,
+                                           Algorithm::kFrm, Algorithm::kNdca,
+                                           Algorithm::kPndca, Algorithm::kLPndca,
+                                           Algorithm::kTPndca,
+                                           Algorithm::kParallelPndca),
+                         [](const ::testing::TestParamInfo<Algorithm>& info) {
+                           std::string name = algorithm_name(info.param);
+                           std::erase_if(name, [](char c) {
+                             return (std::isalnum(static_cast<unsigned char>(c)) == 0);
+                           });
+                           return name;
+                         });
+
+// The 7-thread engine: bit-identity again, and the per-worker rings must
+// carry both halves of the fork-join accounting (busy from the worker,
+// wait appended by the coordinator after the join).
+TEST(TraceIdentityThreaded, SevenWorkersBitIdenticalAndRingsPopulated) {
+  const auto zgb = models::make_zgb(models::ZgbParams::from_y(0.45, 20.0));
+  const Lattice lat(28, 28);
+  const std::vector<Partition> parts = {make_partition(lat, zgb.model)};
+
+  const auto run = [&](obs::Tracer* tracer) {
+    ParallelPndcaEngine engine(zgb.model, Configuration(lat, 3, zgb.vacant), parts,
+                               5, 7);
+    if (tracer != nullptr) engine.set_tracer(tracer);
+    for (int i = 0; i < 4; ++i) engine.mc_step();
+    const auto raw = engine.configuration().raw();
+    return std::make_pair(std::vector<unsigned char>(raw.begin(), raw.end()),
+                          engine.counters().executed);
+  };
+
+  obs::Tracer tracer;
+  const auto bare = run(nullptr);
+  const auto traced = run(&tracer);
+  EXPECT_EQ(bare.first, traced.first);
+  EXPECT_EQ(bare.second, traced.second);
+
+#ifndef CASURF_NO_METRICS
+  for (unsigned tid = 1; tid <= 7; ++tid) {
+    std::uint64_t busy = 0, wait = 0;
+    for (const obs::TraceEvent& e : tracer.ring(tid).events()) {
+      if (std::string_view(e.name) == "threads/busy") ++busy;
+      if (std::string_view(e.name) == "threads/wait") ++wait;
+    }
+    EXPECT_GT(busy, 0u) << "worker " << tid - 1 << " recorded no busy span";
+    EXPECT_GT(wait, 0u) << "worker " << tid - 1 << " recorded no wait span";
+    // The coordinator appends one wait span per fork-join for every worker;
+    // busy spans only for workers that received a range.
+    EXPECT_GE(wait, busy);
+  }
+#endif
+}
+
+}  // namespace
+}  // namespace casurf
