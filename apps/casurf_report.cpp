@@ -50,6 +50,9 @@ struct Report {
   std::map<std::string, double> counters;
   double wall_seconds = 0;
   double trials = 0;
+  bool has_spatial = false;
+  double spatial_imbalance = 0;
+  double seam_ratio = 0;
 };
 
 Value load_json(const std::string& path) {
@@ -93,6 +96,11 @@ Report load_report(const std::string& path) {
     }
     if (const Value* c = r.doc.find("counters")) {
       r.trials = c->number_or("trials", 0);
+    }
+    if (const Value* sp = r.doc.find("spatial"); sp != nullptr && sp->is_object()) {
+      r.has_spatial = true;
+      r.spatial_imbalance = sp->number_or("chunk_fire_imbalance", 1.0);
+      r.seam_ratio = sp->number_or("seam_interior_fire_ratio", 0.0);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s: %s\n", path.c_str(), e.what());
@@ -162,6 +170,24 @@ void print_single(const Report& r) {
                 tb->number_or("imbalance", 1.0));
   }
 
+  if (const Value* sp = r.doc.find("spatial"); sp != nullptr && sp->is_object()) {
+    const double seam_sites = sp->number_or("seam_sites", 0);
+    const double interior_sites = sp->number_or("interior_sites", 0);
+    const double seam_fires = sp->number_or("seam_fires", 0);
+    const double interior_fires = sp->number_or("interior_fires", 0);
+    std::printf("  spatial: %llu chunks, fire imbalance %.3f (max/mean), "
+                "seam/interior fire ratio %.3f\n",
+                static_cast<unsigned long long>(sp->number_or("chunks", 0)),
+                sp->number_or("chunk_fire_imbalance", 1.0),
+                sp->number_or("seam_interior_fire_ratio", 0.0));
+    std::printf("    seam: %.0f sites, %.0f fires (%.4g/site); interior: %.0f "
+                "sites, %.0f fires (%.4g/site)\n",
+                seam_sites, seam_fires,
+                seam_sites > 0 ? seam_fires / seam_sites : 0.0, interior_sites,
+                interior_fires,
+                interior_sites > 0 ? interior_fires / interior_sites : 0.0);
+  }
+
   if (const Value* d = r.doc.find("drift"); d != nullptr && d->is_object()) {
     const Value& alarms = d->at("alarms");
     std::printf("  drift: %llu windows checked vs %s reference, %zu alarms, "
@@ -199,6 +225,13 @@ void print_delta(const Report& a, const Report& b) {
   const double tb = b.wall_seconds > 0 ? b.trials / b.wall_seconds : 0;
   std::printf("  %-28s %14.3g %14.3g %9s\n", "trials_per_second", ta, tb,
               pct(ta, tb).c_str());
+  if (a.has_spatial || b.has_spatial) {
+    std::printf("  %-28s %14.3f %14.3f %9s\n", "spatial_fire_imbalance",
+                a.spatial_imbalance, b.spatial_imbalance,
+                pct(a.spatial_imbalance, b.spatial_imbalance).c_str());
+    std::printf("  %-28s %14.3f %14.3f %9s\n", "seam_interior_fire_ratio",
+                a.seam_ratio, b.seam_ratio, pct(a.seam_ratio, b.seam_ratio).c_str());
+  }
 
   // Phase-by-phase totals over the union of timer names.
   std::map<std::string, std::pair<const TimerRow*, const TimerRow*>> phases;

@@ -34,7 +34,9 @@
 #include "obs/drift.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
+#include "obs/spatial.hpp"
 #include "obs/trace.hpp"
+#include "partition/conflict.hpp"
 #include "model/parser.hpp"
 #include "models/diffusion.hpp"
 #include "models/ising.hpp"
@@ -75,6 +77,11 @@ struct Options {
   std::string drift_record;  // write a drift reference profile here
   std::string drift_ref;     // compare online against this profile
   double drift_window = 0;   // profile window width (0 = 10 * dt)
+  bool drift_corr = false;   // include pair correlations in the profile
+  std::uint64_t drift_corr_rmax = 8;  // decay-length truncation radius
+  bool drift_corr_rmax_set = false;
+  std::string heatmap;       // spatial-artifact prefix ("" = off)
+  std::uint64_t heatmap_every = 0;  // refresh each N samples (0 = at end)
   double die_at = -1;  // crash-test aid: _Exit mid-run once time() >= die_at
   bool quiet = false;
 };
@@ -124,6 +131,16 @@ struct Options {
                "                      (with --drift-record; default 10*dt)\n"
                "  --drift-ref PATH    compare this run online against a recorded\n"
                "                      profile; alarms go to stdout + the report\n"
+               "  --drift-corr        with --drift-record: add windowed pair\n"
+               "                      correlations g_ab and axial decay lengths\n"
+               "                      to the profile (a --drift-ref monitor picks\n"
+               "                      them up from the reference automatically)\n"
+               "  --drift-corr-rmax N decay-length truncation radius in sites\n"
+               "                      (with --drift-corr; default 8)\n"
+               "  --heatmap PREFIX    write spatial activity artifacts at the end:\n"
+               "                      PREFIX.json (casurf-heatmap/1) plus\n"
+               "                      PREFIX.{attempts,fires,occupancy}.ppm images\n"
+               "  --heatmap-every N   also refresh the artifacts every N samples\n"
                "  --quiet             suppress the progress table\n",
                argv0, obs::Tracer::kDefaultCapacity);
   std::exit(error ? 2 : 0);
@@ -214,6 +231,13 @@ Options parse_args(int argc, char** argv) {
     else if (flag == "--drift-record") opt.drift_record = need_value(i);
     else if (flag == "--drift-ref") opt.drift_ref = need_value(i);
     else if (flag == "--drift-window") opt.drift_window = num(i, "--drift-window");
+    else if (flag == "--drift-corr") opt.drift_corr = true;
+    else if (flag == "--drift-corr-rmax") {
+      opt.drift_corr_rmax = integer(i, "--drift-corr-rmax");
+      opt.drift_corr_rmax_set = true;
+    }
+    else if (flag == "--heatmap") opt.heatmap = need_value(i);
+    else if (flag == "--heatmap-every") opt.heatmap_every = integer(i, "--heatmap-every");
     else if (flag == "--die-at") opt.die_at = num(i, "--die-at");  // crash-test aid
     else if (flag == "--quiet") opt.quiet = true;
     else usage(argv[0], ("unknown flag: " + std::string(flag)).c_str());
@@ -240,6 +264,20 @@ Options parse_args(int argc, char** argv) {
           "profile fixes the window width)");
   }
   if (opt.drift_window < 0) usage(argv[0], "--drift-window must be positive");
+  if (opt.drift_corr && opt.drift_record.empty()) {
+    usage(argv[0],
+          "--drift-corr requires --drift-record (a --drift-ref monitor "
+          "enables correlations from the reference profile)");
+  }
+  if (opt.drift_corr_rmax_set && !opt.drift_corr) {
+    usage(argv[0], "--drift-corr-rmax requires --drift-corr");
+  }
+  if (opt.drift_corr_rmax == 0) {
+    usage(argv[0], "--drift-corr-rmax must be at least 1");
+  }
+  if (opt.heatmap_every > 0 && opt.heatmap.empty()) {
+    usage(argv[0], "--heatmap-every requires --heatmap PREFIX");
+  }
   // Fail fast on output/input paths the run would only touch at the end:
   // a multi-hour run must not die on a typo after the fact.
   if (!opt.trace.empty()) {
@@ -249,6 +287,16 @@ Options parse_args(int argc, char** argv) {
     if (!std::filesystem::is_directory(dir, ec) ||
         ::access(dir.c_str(), W_OK) != 0) {
       usage(argv[0], ("--trace directory is not writable: " + dir.string()).c_str());
+    }
+  }
+  if (!opt.heatmap.empty()) {
+    std::filesystem::path dir = std::filesystem::path(opt.heatmap).parent_path();
+    if (dir.empty()) dir = ".";
+    std::error_code ec;
+    if (!std::filesystem::is_directory(dir, ec) ||
+        ::access(dir.c_str(), W_OK) != 0) {
+      usage(argv[0],
+            ("--heatmap directory is not writable: " + dir.string()).c_str());
     }
   }
   if (!opt.drift_ref.empty() && ::access(opt.drift_ref.c_str(), R_OK) != 0) {
@@ -412,9 +460,42 @@ int main(int argc, char** argv) {
     if (!opt.metrics.empty()) sim->set_metrics(&registry);
     obs::Tracer tracer(static_cast<std::size_t>(opt.trace_buffer));
     if (!opt.trace.empty()) sim->set_tracer(&tracer);
+    std::optional<obs::SpatialMap> spatial_map;
+    if (!opt.heatmap.empty()) {
+      spatial_map.emplace(sim->configuration().size());
+      sim->set_spatial(&*spatial_map);
+#ifdef CASURF_NO_METRICS
+      std::fprintf(stderr,
+                   "note: built with CASURF_METRICS=OFF; activity grids in the "
+                   "heatmap artifacts will be empty\n");
+#endif
+    }
+    // Partition-level aggregation happens at export time only; algorithms
+    // without a partition (the DMC family, plain NDCA) get a null summary.
+    const auto spatial_summary = [&]() -> std::optional<obs::SpatialSummary> {
+      if (!spatial_map || sim->spatial_partition() == nullptr) return std::nullopt;
+      return obs::summarize(*spatial_map, *sim->spatial_partition(),
+                            conflict_offsets(*model));
+    };
+    const auto write_heatmap = [&] {
+      const std::optional<obs::SpatialSummary> ssum = spatial_summary();
+      obs::write_heatmap_json(opt.heatmap + ".json", sim->configuration(),
+                              model->species().names(), sim->time(),
+                              &*spatial_map, ssum ? &*ssum : nullptr);
+      obs::write_activity_ppm(opt.heatmap + ".attempts.ppm", *spatial_map,
+                              sim->configuration().lattice(),
+                              obs::ActivityChannel::kAttempts);
+      obs::write_activity_ppm(opt.heatmap + ".fires.ppm", *spatial_map,
+                              sim->configuration().lattice(),
+                              obs::ActivityChannel::kFires);
+      io::write_ppm(opt.heatmap + ".occupancy.ppm", sim->configuration());
+    };
     std::optional<obs::DriftRecorder> drift_rec;
     if (!opt.drift_record.empty()) {
-      drift_rec.emplace(opt.drift_window > 0 ? opt.drift_window : 10 * opt.dt);
+      drift_rec.emplace(opt.drift_window > 0 ? opt.drift_window : 10 * opt.dt,
+                        obs::CorrelationOptions{
+                            opt.drift_corr,
+                            static_cast<std::int32_t>(opt.drift_corr_rmax)});
     }
     std::optional<obs::DriftMonitor> drift_mon;
     if (!opt.drift_ref.empty()) {
@@ -490,8 +571,13 @@ int main(int argc, char** argv) {
 
       ++samples;
       if (opt.metrics_every > 0 && samples % opt.metrics_every == 0) {
+        const std::optional<obs::SpatialSummary> ssum = spatial_summary();
         obs::write_run_report(opt.metrics, report_info(), sim.get(), &registry,
-                              nullptr, drift_for_report);
+                              nullptr, drift_for_report,
+                              ssum ? &*ssum : nullptr);
+      }
+      if (opt.heatmap_every > 0 && samples % opt.heatmap_every == 0) {
+        write_heatmap();
       }
       if (opt.audit_every > 0 && samples % opt.audit_every == 0) {
         const AuditReport report = auditor.run(*sim);  // throws under kAbort
@@ -539,9 +625,18 @@ int main(int argc, char** argv) {
       }
     }
 
+    if (!opt.heatmap.empty()) {
+      write_heatmap();
+      if (!opt.quiet) {
+        std::printf("# heatmap: %s.json (+ attempts/fires/occupancy PPMs)\n",
+                    opt.heatmap.c_str());
+      }
+    }
+
     if (!opt.metrics.empty()) {
+      const std::optional<obs::SpatialSummary> ssum = spatial_summary();
       obs::write_run_report(opt.metrics, report_info(), sim.get(), &registry,
-                            nullptr, drift_for_report);
+                            nullptr, drift_for_report, ssum ? &*ssum : nullptr);
       if (!opt.quiet) std::printf("# metrics report: %s\n", opt.metrics.c_str());
     }
 

@@ -47,12 +47,15 @@ inline void print_series(const char* label, const TimeSeries& ts, std::size_t ro
 /// Dump an instrumented bench run as bench_out/BENCH_<name>.json — the
 /// same schema casurf_run --metrics emits, written through the atomic
 /// path. Attach the registry (sim.set_metrics) before the timed section
-/// so the per-phase timers cover it.
+/// so the per-phase timers cover it. Pass a SpatialSummary to fill the
+/// report's "spatial" section (null leaves it null, as casurf_run does
+/// without --heatmap).
 inline void write_bench_report(const std::string& name, const obs::RunInfo& info,
                                const Simulator& sim,
-                               const obs::MetricsRegistry& registry) {
+                               const obs::MetricsRegistry& registry,
+                               const obs::SpatialSummary* spatial = nullptr) {
   const std::string path = out_dir() + "/BENCH_" + name + ".json";
-  obs::write_run_report(path, info, &sim, &registry);
+  obs::write_run_report(path, info, &sim, &registry, nullptr, nullptr, spatial);
   std::printf("  [json] %s\n", path.c_str());
 }
 

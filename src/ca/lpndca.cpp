@@ -39,13 +39,24 @@ LPndcaSimulator::LPndcaSimulator(const ReactionModel& model, Configuration confi
 void LPndcaSimulator::trial_at(SiteIndex s) {
   const ReactionIndex rt = model_.sample_type(rng_);
   const ReactionType& reaction = model_.reaction(rt);
+  spatial_.attempt(s);
   if (reaction.enabled(config_, s)) {
     reaction.execute(config_, s);
     record_execution(rt);
+    spatial_.fire(s);
     if (rate_cache_) {
       const Lattice& lat = config_.lattice();
       for (const Transform& t : reaction.transforms()) {
-        if (t.tg != kKeep) rate_cache_->refresh_after(config_, lat.neighbor(s, t.offset));
+        if (t.tg != kKeep) {
+          const SiteIndex written = lat.neighbor(s, t.offset);
+          rate_cache_->refresh_after(config_, written);
+          if (rate_rechecks_ != nullptr) rate_rechecks_->add();
+          // Cross-seam cache invalidation: the measured boundary conflict.
+          if (boundary_rechecks_ != nullptr &&
+              partition_.chunk_of(written) != partition_.chunk_of(s)) {
+            boundary_rechecks_->add();
+          }
+        }
       }
     }
   }
@@ -81,6 +92,8 @@ void LPndcaSimulator::set_metrics(obs::MetricsRegistry* registry) {
   Simulator::set_metrics(registry);
   step_timer_ = registry ? &registry->timer("lpndca/step") : nullptr;
   select_timer_ = registry ? &registry->timer("lpndca/select") : nullptr;
+  rate_rechecks_ = registry ? &registry->counter("lpndca/rate_rechecks") : nullptr;
+  boundary_rechecks_ = registry ? &registry->counter("lpndca/boundary_rechecks") : nullptr;
 }
 
 ChunkId LPndcaSimulator::select_chunk() {

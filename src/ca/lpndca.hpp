@@ -48,6 +48,9 @@ class LPndcaSimulator final : public Simulator {
   void set_metrics(obs::MetricsRegistry* registry) override;
 
   [[nodiscard]] const Partition& partition() const { return partition_; }
+  [[nodiscard]] const Partition* spatial_partition() const override {
+    return &partition_;
+  }
   [[nodiscard]] std::uint32_t trials_per_batch() const { return trials_per_batch_; }
   [[nodiscard]] ChunkWeighting weighting() const { return weighting_; }
 
@@ -80,8 +83,10 @@ class LPndcaSimulator final : public Simulator {
   double rate_nk_;
   std::vector<double> chunk_cumulative_;  // cumulative chunk sizes for selection
   std::unique_ptr<EnabledRateCache> rate_cache_;  // kRateWeighted only
-  obs::Timer* step_timer_ = nullptr;    // lpndca/step
-  obs::Timer* select_timer_ = nullptr;  // lpndca/select
+  obs::Timer* step_timer_ = nullptr;             // lpndca/step
+  obs::Timer* select_timer_ = nullptr;           // lpndca/select
+  obs::Counter* rate_rechecks_ = nullptr;        // lpndca/rate_rechecks
+  obs::Counter* boundary_rechecks_ = nullptr;    // lpndca/boundary_rechecks
 };
 
 }  // namespace casurf

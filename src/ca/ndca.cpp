@@ -21,9 +21,11 @@ NdcaSimulator::NdcaSimulator(const ReactionModel& model, Configuration config,
 void NdcaSimulator::trial_at(SiteIndex s) {
   const ReactionIndex rt = model_.sample_type(rng_);
   const ReactionType& reaction = model_.reaction(rt);
+  spatial_.attempt(s);
   if (reaction.enabled(config_, s)) {
     reaction.execute(config_, s);
     record_execution(rt);
+    spatial_.fire(s);
   }
   time_ += time_mode_ == TimeMode::kStochastic ? exponential(rng_, rate_nk_)
                                                : 1.0 / rate_nk_;

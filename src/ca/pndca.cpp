@@ -46,10 +46,18 @@ double PndcaSimulator::enabled_rate_in_chunk(const Partition& p, ChunkId c) cons
 
 void PndcaSimulator::refresh_rate_cache(const ReactionType& reaction, SiteIndex s) {
   const Lattice& lat = config_.lattice();
+  const Partition& p = partitions_[partition_cursor_];
   for (const Transform& t : reaction.transforms()) {
     if (t.tg != kKeep) {
-      rate_cache_->refresh_after(config_, lat.neighbor(s, t.offset));
+      const SiteIndex written = lat.neighbor(s, t.offset);
+      rate_cache_->refresh_after(config_, written);
       if (rate_rechecks_ != nullptr) rate_rechecks_->add();
+      // A write landing outside the anchor's chunk is a measured boundary
+      // conflict: the reaction invalidated cached rates across a partition
+      // seam (exactly the coupling the non-overlap rule serializes).
+      if (boundary_rechecks_ != nullptr && p.chunk_of(written) != p.chunk_of(s)) {
+        boundary_rechecks_->add();
+      }
     }
   }
 }
@@ -60,6 +68,7 @@ void PndcaSimulator::set_metrics(obs::MetricsRegistry* registry) {
   plan_timer_ = registry ? &registry->timer("pndca/plan") : nullptr;
   sweep_timer_ = registry ? &registry->timer("pndca/sweep") : nullptr;
   rate_rechecks_ = registry ? &registry->counter("pndca/rate_rechecks") : nullptr;
+  boundary_rechecks_ = registry ? &registry->counter("pndca/boundary_rechecks") : nullptr;
   chunk_sites_ = registry ? &registry->histogram("pndca/chunk_sites") : nullptr;
 }
 
@@ -152,7 +161,11 @@ std::int32_t PndcaSimulator::trial_at(std::uint64_t sweep, SiteIndex s,
   CounterRng crng(seed_, CounterRng::key(sweep, s));
   const ReactionIndex rt = model_.sample_type(crng.next_double(), crng.next_double());
   const ReactionType& reaction = model_.reaction(rt);
+  // Per-site recording is race-free under the threaded engine: same-chunk
+  // sites are disjoint by the non-overlap rule, same as set_raw writes.
+  spatial_.attempt(s);
   if (!reaction.enabled(config_, s)) return kNoReaction;
+  spatial_.fire(s);
   if (deltas == nullptr) {
     reaction.execute(config_, s);
     record_execution(rt);

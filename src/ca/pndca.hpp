@@ -51,6 +51,9 @@ class PndcaSimulator : public Simulator {
   [[nodiscard]] const Partition& current_partition() const {
     return partitions_[partition_cursor_];
   }
+  [[nodiscard]] const Partition* spatial_partition() const override {
+    return &partitions_.front();
+  }
   [[nodiscard]] const std::vector<Partition>& partitions() const { return partitions_; }
   [[nodiscard]] ChunkPolicy policy() const { return policy_; }
 
@@ -131,6 +134,7 @@ class PndcaSimulator : public Simulator {
   obs::Timer* plan_timer_ = nullptr;          // pndca/plan
   obs::Timer* sweep_timer_ = nullptr;         // pndca/sweep
   obs::Counter* rate_rechecks_ = nullptr;     // pndca/rate_rechecks
+  obs::Counter* boundary_rechecks_ = nullptr; // pndca/boundary_rechecks
   obs::Histogram* chunk_sites_ = nullptr;     // pndca/chunk_sites
 };
 

@@ -95,6 +95,8 @@ void TPndcaSimulator::set_metrics(obs::MetricsRegistry* registry) {
   Simulator::set_metrics(registry);
   step_timer_ = registry ? &registry->timer("tpndca/step") : nullptr;
   sweep_timer_ = registry ? &registry->timer("tpndca/sweep") : nullptr;
+  rate_rechecks_ = registry ? &registry->counter("tpndca/rate_rechecks") : nullptr;
+  boundary_rechecks_ = registry ? &registry->counter("tpndca/boundary_rechecks") : nullptr;
 }
 
 void TPndcaSimulator::mc_step() {
@@ -127,13 +129,23 @@ void TPndcaSimulator::mc_step() {
     const ChunkId c = select_chunk(j, chosen);
     const Lattice& lat = config_.lattice();
     for (const SiteIndex s : sub.chunks.chunk(c)) {
+      spatial_.attempt(s);
       if (rt.enabled(config_, s)) {
         rt.execute(config_, s);
         record_execution(chosen);
+        spatial_.fire(s);
         if (rate_cache_) {
           for (const Transform& t : rt.transforms()) {
             if (t.tg != kKeep) {
-              rate_cache_->refresh_after(config_, lat.neighbor(s, t.offset));
+              const SiteIndex written = lat.neighbor(s, t.offset);
+              rate_cache_->refresh_after(config_, written);
+              if (rate_rechecks_ != nullptr) rate_rechecks_->add();
+              // Cross-seam cache invalidation, classified against the
+              // subset's own sub-partition (each subset has its own seams).
+              if (boundary_rechecks_ != nullptr &&
+                  sub.chunks.chunk_of(written) != sub.chunks.chunk_of(s)) {
+                boundary_rechecks_->add();
+              }
             }
           }
         }

@@ -47,6 +47,9 @@ class TPndcaSimulator final : public Simulator {
   void set_metrics(obs::MetricsRegistry* registry) override;
 
   [[nodiscard]] const std::vector<TypeSubset>& subsets() const { return subsets_; }
+  [[nodiscard]] const Partition* spatial_partition() const override {
+    return &subsets_.front().chunks;
+  }
   [[nodiscard]] std::uint32_t sweeps_per_step() const { return sweeps_per_step_; }
   [[nodiscard]] ChunkWeighting weighting() const { return weighting_; }
 
@@ -79,8 +82,10 @@ class TPndcaSimulator final : public Simulator {
   std::unique_ptr<EnabledRateCache> rate_cache_;  // kRateWeighted only
   std::vector<double> weight_scratch_;
   ChunkSampler sampler_scratch_;
-  obs::Timer* step_timer_ = nullptr;   // tpndca/step
-  obs::Timer* sweep_timer_ = nullptr;  // tpndca/sweep
+  obs::Timer* step_timer_ = nullptr;           // tpndca/step
+  obs::Timer* sweep_timer_ = nullptr;          // tpndca/sweep
+  obs::Counter* rate_rechecks_ = nullptr;      // tpndca/rate_rechecks
+  obs::Counter* boundary_rechecks_ = nullptr;  // tpndca/boundary_rechecks
 };
 
 }  // namespace casurf

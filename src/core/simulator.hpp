@@ -8,8 +8,11 @@
 #include "core/state_io.hpp"
 #include "lattice/configuration.hpp"
 #include "model/reaction_model.hpp"
+#include "obs/spatial.hpp"
 
 namespace casurf {
+
+class Partition;
 
 namespace obs {
 class MetricsRegistry;
@@ -94,6 +97,24 @@ class Simulator {
 
   [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
 
+  /// Attach a per-site activity map (nullptr detaches). Same contract as
+  /// set_metrics/set_tracer: the probe is resolved once, recording is a
+  /// pair of plain increments that never touch simulation state or RNG
+  /// streams, so trajectories are bit-identical with the map on or off
+  /// (and the whole thing compiles out under CASURF_METRICS=OFF). The map
+  /// is borrowed and must outlive the simulator (or be detached first).
+  virtual void set_spatial(obs::SpatialMap* map) { spatial_.attach(map); }
+
+  [[nodiscard]] const obs::SpatialMap* spatial_map() const { return spatial_.map(); }
+
+  /// The partition that spatial accounting (per-chunk activity, seam
+  /// classification) should aggregate on, or nullptr for unpartitioned
+  /// algorithms (DMC, NDCA). Multi-partition simulators return their first
+  /// partition — chunk aggregation is a diagnostic view, not a trajectory
+  /// input, and one representative seam geometry is what a heatmap can
+  /// meaningfully overlay.
+  [[nodiscard]] virtual const Partition* spatial_partition() const { return nullptr; }
+
   /// Serialize the full simulator state — configuration, simulated time,
   /// counters, RNG state, and every algorithm-internal structure whose
   /// content is not a pure function of the configuration (event queues,
@@ -134,6 +155,7 @@ class Simulator {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   obs::TraceRing* trace_ = nullptr;  ///< ring 0; null = tracing off
+  obs::SpatialProbe spatial_;        ///< per-site activity; empty when off
 };
 
 }  // namespace casurf

@@ -91,6 +91,9 @@ void FrmSimulator::execute_head() {
   }
   rt.execute(config_, ev.site);
   record_execution(ev.type);
+  // Event-driven selection never rejects: every attempt fires.
+  spatial_.attempt(ev.site);
+  spatial_.fire(ev.site);
   ++counters_.trials;
   ++counters_.steps;
 

@@ -19,9 +19,11 @@ void RsmSimulator::select_and_execute() {
   const ReactionIndex rt = model_.sample_type(rng_);
   // 3-4. check enabledness; execute
   const ReactionType& reaction = model_.reaction(rt);
+  spatial_.attempt(s);
   if (reaction.enabled(config_, s)) {
     reaction.execute(config_, s);
     record_execution(rt);
+    spatial_.fire(s);
   }
   ++counters_.trials;
 }

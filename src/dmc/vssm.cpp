@@ -98,6 +98,9 @@ void VssmSimulator::execute_event(double total) {
   }
   rt.execute(config_, s);
   record_execution(chosen);
+  // Event-driven selection never rejects: every attempt fires.
+  spatial_.attempt(s);
+  spatial_.fire(s);
   last_event_ = Event{time_, chosen, s};
   ++counters_.trials;
   ++counters_.steps;

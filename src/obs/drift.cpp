@@ -9,6 +9,7 @@
 #include "io/atomic_file.hpp"
 #include "obs/json.hpp"
 #include "obs/trace.hpp"
+#include "stats/correlations.hpp"
 
 namespace casurf::obs {
 
@@ -19,6 +20,24 @@ constexpr const char* kProfileSchema = "casurf-drift-profile/1";
 /// Variance of the window mean from the within-window sample variance.
 double mean_se2(double var, std::uint64_t n) {
   return n == 0 ? 0.0 : var / static_cast<double>(n);
+}
+
+void emit_number_array(json::Writer& j, const char* key,
+                       const std::vector<double>& v) {
+  j.key(key);
+  j.begin_array();
+  for (const double x : v) j.number(x);
+  j.end_array();
+}
+
+/// Optional per-window array: absent/null means "not tracked".
+std::vector<double> parse_optional_numbers(const json::Value& obj, const char* key) {
+  std::vector<double> out;
+  const json::Value* v = obj.find(key);
+  if (v != nullptr && !v->is_null()) {
+    for (const auto& x : v->items()) out.push_back(x.as_number());
+  }
+  return out;
 }
 
 }  // namespace
@@ -47,6 +66,21 @@ std::string DriftProfile::to_json() const {
   j.begin_array();
   for (const auto& s : species) j.string(s);
   j.end_array();
+  // Correlation metadata only when tracked, so scalar-only profiles keep
+  // the exact shape older readers expect.
+  if (!corr_pairs.empty()) {
+    j.key("corr_pairs");
+    j.begin_array();
+    for (const auto& [a, b] : corr_pairs) {
+      j.begin_array();
+      j.string(a);
+      j.string(b);
+      j.end_array();
+    }
+    j.end_array();
+    j.key("corr_max_r");
+    j.i64(corr_max_r);
+  }
   j.key("windows");
   j.begin_array();
   for (const DriftWindow& w : windows) {
@@ -73,6 +107,14 @@ std::string DriftProfile::to_json() const {
     j.number(w.rate_var);
     j.key("rate_samples");
     j.u64(w.rate_samples);
+    if (!w.corr_mean.empty()) {
+      emit_number_array(j, "corr_mean", w.corr_mean);
+      emit_number_array(j, "corr_var", w.corr_var);
+    }
+    if (!w.decay_mean.empty()) {
+      emit_number_array(j, "decay_mean", w.decay_mean);
+      emit_number_array(j, "decay_var", w.decay_var);
+    }
     j.end_object();
   }
   j.end_array();
@@ -94,6 +136,21 @@ DriftProfile DriftProfile::from_json(std::string_view text) {
   p.window = doc.at("window").as_number();
   if (!(p.window > 0)) throw std::runtime_error("drift profile: window must be > 0");
   for (const auto& s : doc.at("species").items()) p.species.push_back(s.as_string());
+  if (const json::Value* pairs = doc.find("corr_pairs");
+      pairs != nullptr && !pairs->is_null()) {
+    for (const auto& pv : pairs->items()) {
+      if (pv.items().size() != 2) {
+        throw std::runtime_error("drift profile: corr_pairs entries must be [a, b]");
+      }
+      p.corr_pairs.emplace_back(pv.items()[0].as_string(), pv.items()[1].as_string());
+    }
+    p.corr_max_r = static_cast<std::int32_t>(doc.number_or("corr_max_r", 0));
+    const std::size_t want = p.species.size() * (p.species.size() + 1) / 2;
+    if (p.corr_pairs.size() != want) {
+      throw std::runtime_error(
+          "drift profile: corr_pairs does not cover every unordered species pair");
+    }
+  }
   for (const auto& wv : doc.at("windows").items()) {
     DriftWindow w;
     w.index = wv.at("index").as_u64();
@@ -113,6 +170,18 @@ DriftProfile DriftProfile::from_json(std::string_view text) {
     w.rate_mean = wv.number_or("rate_mean", 0.0);
     w.rate_var = wv.number_or("rate_var", 0.0);
     w.rate_samples = wv.at("rate_samples").as_u64();
+    w.corr_mean = parse_optional_numbers(wv, "corr_mean");
+    w.corr_var = parse_optional_numbers(wv, "corr_var");
+    w.decay_mean = parse_optional_numbers(wv, "decay_mean");
+    w.decay_var = parse_optional_numbers(wv, "decay_var");
+    if (w.corr_mean.size() != w.corr_var.size() ||
+        (!w.corr_mean.empty() && w.corr_mean.size() != p.corr_pairs.size())) {
+      throw std::runtime_error("drift profile: corr arrays do not match corr_pairs");
+    }
+    if (w.decay_mean.size() != w.decay_var.size() ||
+        (!w.decay_mean.empty() && w.decay_mean.size() != p.species.size())) {
+      throw std::runtime_error("drift profile: decay arrays do not match species");
+    }
     if (!p.windows.empty() && w.index <= p.windows.back().index) {
       throw std::runtime_error("drift profile: windows must ascend by index");
     }
@@ -131,9 +200,13 @@ DriftProfile DriftProfile::load(const std::string& path) {
 
 // ---------------------------------------------------------------- sampler
 
-DriftSampler::DriftSampler(double window_width) : width_(window_width) {
+DriftSampler::DriftSampler(double window_width, CorrelationOptions corr)
+    : width_(window_width), corr_opts_(corr) {
   if (!(width_ > 0)) {
     throw std::invalid_argument("drift: window width must be > 0");
+  }
+  if (corr_opts_.enabled && corr_opts_.max_r < 1) {
+    throw std::invalid_argument("drift: correlation max_r must be at least 1");
   }
 }
 
@@ -144,12 +217,18 @@ void DriftSampler::sample(const Simulator& sim) {
   if (!started_) {
     species_ = sim.model().species().names();
     cov_.assign(species_.size(), Welford{});
+    if (corr_opts_.enabled) {
+      corr_.assign(stats::pair_count(species_.size()), Welford{});
+      decay_.assign(species_.size(), Welford{});
+    }
     cur_index_ = idx;
     started_ = true;
   } else if (idx != cur_index_) {
     if (cur_samples_ > 0) on_window(snapshot());
     for (Welford& w : cov_) w.reset();
     rate_.reset();
+    for (Welford& w : corr_) w.reset();
+    for (Welford& w : decay_) w.reset();
     cur_samples_ = 0;
     cur_index_ = idx;
   }
@@ -164,6 +243,14 @@ void DriftSampler::sample(const Simulator& sim) {
   }
   for (std::size_t s = 0; s < cov_.size(); ++s) {
     cov_[s].add(sim.configuration().coverage(static_cast<Species>(s)));
+  }
+  if (corr_opts_.enabled) {
+    const std::vector<double> g = stats::pair_correlation_matrix(sim.configuration());
+    for (std::size_t p = 0; p < corr_.size(); ++p) corr_[p].add(g[p]);
+    for (std::size_t s = 0; s < decay_.size(); ++s) {
+      decay_[s].add(stats::axial_decay_length(
+          sim.configuration(), static_cast<Species>(s), corr_opts_.max_r));
+    }
   }
   ++cur_samples_;
   last_t_ = t;
@@ -186,6 +273,18 @@ DriftWindow DriftSampler::snapshot() const {
   w.rate_mean = rate_.mean();
   w.rate_var = rate_.variance();
   w.rate_samples = rate_.count();
+  w.corr_mean.reserve(corr_.size());
+  w.corr_var.reserve(corr_.size());
+  for (const Welford& c : corr_) {
+    w.corr_mean.push_back(c.mean());
+    w.corr_var.push_back(c.variance());
+  }
+  w.decay_mean.reserve(decay_.size());
+  w.decay_var.reserve(decay_.size());
+  for (const Welford& d : decay_) {
+    w.decay_mean.push_back(d.mean());
+    w.decay_var.push_back(d.variance());
+  }
   return w;
 }
 
@@ -193,6 +292,8 @@ void DriftSampler::close_pending(std::uint64_t min_samples) {
   if (cur_samples_ >= min_samples && min_samples > 0) on_window(snapshot());
   for (Welford& w : cov_) w.reset();
   rate_.reset();
+  for (Welford& w : corr_) w.reset();
+  for (Welford& w : decay_) w.reset();
   cur_samples_ = 0;
 }
 
@@ -205,6 +306,14 @@ DriftProfile DriftRecorder::take_profile(std::string algorithm, std::string mode
   p.model = std::move(model);
   p.window = window_width();
   p.species = species();
+  if (correlations().enabled) {
+    for (std::size_t a = 0; a < p.species.size(); ++a) {
+      for (std::size_t b = a; b < p.species.size(); ++b) {
+        p.corr_pairs.emplace_back(p.species[a], p.species[b]);
+      }
+    }
+    p.corr_max_r = correlations().max_r;
+  }
   p.windows = std::move(windows_);
   windows_.clear();
   return p;
@@ -212,8 +321,16 @@ DriftProfile DriftRecorder::take_profile(std::string algorithm, std::string mode
 
 // ---------------------------------------------------------------- monitor
 
+// Correlation tracking switches on automatically when the reference carries
+// correlation data: the profile IS the request, and tracking the statistics
+// the reference lacks would be wasted work.
 DriftMonitor::DriftMonitor(DriftProfile reference, DriftConfig config)
-    : DriftSampler(reference.window), ref_(std::move(reference)), config_(config) {}
+    : DriftSampler(reference.window,
+                   CorrelationOptions{!reference.corr_pairs.empty(),
+                                      reference.corr_max_r > 0 ? reference.corr_max_r
+                                                               : 8}),
+      ref_(std::move(reference)),
+      config_(config) {}
 
 void DriftMonitor::finish() { close_pending(2); }
 
@@ -253,6 +370,38 @@ void DriftMonitor::check(const DriftWindow& run, const DriftWindow& ref) {
     max_z_ = std::max(max_z_, z);
     if (rel > config_.rate_rel_tol && z > config_.z_threshold) {
       raise(run, "rate", run.rate_mean, ref.rate_mean, z);
+    }
+  }
+  // Spatial statistics: pair correlations and decay lengths, present only
+  // when both sides tracked them (a scalar-only run against a correlation
+  // reference, or vice versa, silently skips — the scalar checks above
+  // still apply either way).
+  const std::size_t np = std::min(run.corr_mean.size(), ref.corr_mean.size());
+  for (std::size_t p = 0; p < np; ++p) {
+    const double diff = std::abs(run.corr_mean[p] - ref.corr_mean[p]);
+    const double se2 = mean_se2(ref.corr_var[p], ref.samples) +
+                       mean_se2(run.corr_var[p], run.samples);
+    const double z = diff / std::sqrt(se2 + 1e-12);
+    max_z_ = std::max(max_z_, z);
+    if (diff > config_.corr_abs_tol && z > config_.z_threshold) {
+      const std::string name = p < ref_.corr_pairs.size()
+                                   ? ref_.corr_pairs[p].first + "," +
+                                         ref_.corr_pairs[p].second
+                                   : std::to_string(p);
+      raise(run, "corr:" + name, run.corr_mean[p], ref.corr_mean[p], z);
+    }
+  }
+  const std::size_t nd = std::min(run.decay_mean.size(), ref.decay_mean.size());
+  for (std::size_t s = 0; s < nd; ++s) {
+    const double diff = std::abs(run.decay_mean[s] - ref.decay_mean[s]);
+    const double se2 = mean_se2(ref.decay_var[s], ref.samples) +
+                       mean_se2(run.decay_var[s], run.samples);
+    const double z = diff / std::sqrt(se2 + 1e-12);
+    max_z_ = std::max(max_z_, z);
+    if (diff > config_.decay_abs_tol && z > config_.z_threshold) {
+      const std::string name =
+          s < ref_.species.size() ? ref_.species[s] : std::to_string(s);
+      raise(run, "decay:" + name, run.decay_mean[s], ref.decay_mean[s], z);
     }
   }
 }

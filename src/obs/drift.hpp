@@ -4,6 +4,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/observer.hpp"
@@ -61,6 +62,14 @@ struct DriftWindow {
   /// consecutive samples; mean/variance over the window's estimates.
   double rate_mean = 0, rate_var = 0;
   std::uint64_t rate_samples = 0;
+  /// Windowed nearest-neighbor pair correlations g_ab, one entry per
+  /// unordered species pair in stats::pair_index packing. Empty when
+  /// correlation tracking is off (scalar-only profiles stay loadable).
+  std::vector<double> corr_mean;
+  std::vector<double> corr_var;
+  /// Axial decay length per species (coverage arity). Empty when off.
+  std::vector<double> decay_mean;
+  std::vector<double> decay_var;
 };
 
 /// A recorded reference: what an exact run looked like, window by window.
@@ -71,6 +80,10 @@ struct DriftProfile {
   std::string model;
   double window = 0;  ///< sim-time width of each window (> 0)
   std::vector<std::string> species;
+  /// Species-name pairs behind the per-window corr_* arrays, in
+  /// stats::pair_index order; empty when correlations were not tracked.
+  std::vector<std::pair<std::string, std::string>> corr_pairs;
+  std::int32_t corr_max_r = 0;  ///< decay-length truncation radius (0 = off)
   std::vector<DriftWindow> windows;  ///< ascending by index (gaps allowed)
 
   [[nodiscard]] std::string to_json() const;
@@ -86,13 +99,22 @@ struct DriftProfile {
 /// every species plus the inter-sample executed-event rate, folded into the
 /// window owning each sample's timestamp (absolute index floor(t/width), so
 /// a resumed run lines up with the reference regardless of start time).
+/// Optional spatial statistics for the drift layer. Pair correlations and
+/// decay lengths cost O(N) to O(N * max_r) per observation — cheap next to
+/// a simulation step, but not free, hence opt-in.
+struct CorrelationOptions {
+  bool enabled = false;
+  std::int32_t max_r = 8;  ///< truncation radius for the decay length
+};
+
 class DriftSampler : public Observer {
  public:
-  explicit DriftSampler(double window_width);
+  explicit DriftSampler(double window_width, CorrelationOptions corr = {});
 
   void sample(const Simulator& sim) override;
 
   [[nodiscard]] double window_width() const { return width_; }
+  [[nodiscard]] const CorrelationOptions& correlations() const { return corr_opts_; }
   [[nodiscard]] const std::vector<std::string>& species() const { return species_; }
 
  protected:
@@ -107,6 +129,7 @@ class DriftSampler : public Observer {
   [[nodiscard]] DriftWindow snapshot() const;
 
   double width_;
+  CorrelationOptions corr_opts_;
   std::vector<std::string> species_;  // captured at first sample
   bool started_ = false;
   bool have_prev_ = false;
@@ -116,12 +139,15 @@ class DriftSampler : public Observer {
   std::uint64_t cur_samples_ = 0;
   std::vector<Welford> cov_;
   Welford rate_;
+  std::vector<Welford> corr_;   // pair_index packing; empty when off
+  std::vector<Welford> decay_;  // per species; empty when off
 };
 
 /// Records a reference profile (wire as `casurf_run --drift-record`).
 class DriftRecorder final : public DriftSampler {
  public:
-  explicit DriftRecorder(double window_width) : DriftSampler(window_width) {}
+  explicit DriftRecorder(double window_width, CorrelationOptions corr = {})
+      : DriftSampler(window_width, corr) {}
 
   /// Close the trailing window and hand over the profile, labelled with
   /// the producing algorithm/model. Call once, after the run (windows
@@ -144,12 +170,18 @@ struct DriftConfig {
   double coverage_abs_tol = 0.02;  ///< minimum |Δcoverage| that can alarm
   double rate_rel_tol = 0.15;      ///< minimum relative rate error
   double rate_floor = 1e-9;        ///< reference rate magnitude floor
+  /// Minimum |Δg_ab| that can alarm. g is a ratio against random mixing
+  /// (1 = uncorrelated); 0.10 corresponds to a 10-point shift in local
+  /// ordering — far above the window-to-window noise on lattices ≥ 64².
+  double corr_abs_tol = 0.10;
+  /// Minimum |Δxi| (in sites) of the axial decay length.
+  double decay_abs_tol = 0.5;
 };
 
 struct DriftAlarm {
   std::uint64_t window = 0;  ///< window index
   double t0 = 0, t1 = 0;
-  std::string what;  ///< "coverage:<species>" or "rate"
+  std::string what;  ///< "coverage:<species>", "rate", "corr:<a>,<b>", "decay:<species>"
   double observed = 0, expected = 0;
   double z = 0;
 };

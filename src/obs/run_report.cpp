@@ -6,6 +6,7 @@
 #include "io/atomic_file.hpp"
 #include "obs/drift.hpp"
 #include "obs/json.hpp"
+#include "obs/spatial.hpp"
 
 namespace casurf::obs {
 
@@ -215,6 +216,17 @@ void emit_drift(Json& j, const DriftMonitor* drift) {
   j.end_object();
 }
 
+/// Spatial activity summary: null when no activity map was attached (or the
+/// algorithm has no partition to aggregate on).
+void emit_spatial(Json& j, const SpatialSummary* spatial) {
+  j.key("spatial");
+  if (spatial == nullptr) {
+    j.raw("null");
+    return;
+  }
+  append_summary_json(j, *spatial);
+}
+
 void emit_comm(Json& j, const Communicator::Stats* comm) {
   j.key("communicator");
   const Communicator::Stats zero{};
@@ -234,7 +246,8 @@ void emit_comm(Json& j, const Communicator::Stats* comm) {
 std::string run_report_json(const RunInfo& info, const Simulator* sim,
                             const MetricsRegistry* registry,
                             const Communicator::Stats* comm,
-                            const DriftMonitor* drift) {
+                            const DriftMonitor* drift,
+                            const SpatialSummary* spatial) {
   Json j;
   j.begin_object();
   j.key("schema");
@@ -244,6 +257,7 @@ std::string run_report_json(const RunInfo& info, const Simulator* sim,
   emit_registry(j, registry);
   emit_threads(j, registry);
   emit_drift(j, drift);
+  emit_spatial(j, spatial);
   emit_comm(j, comm);
   j.end_object();
   std::string out = std::move(j).str();
@@ -253,8 +267,10 @@ std::string run_report_json(const RunInfo& info, const Simulator* sim,
 
 void write_run_report(const std::string& path, const RunInfo& info,
                       const Simulator* sim, const MetricsRegistry* registry,
-                      const Communicator::Stats* comm, const DriftMonitor* drift) {
-  io::atomic_write_file(path, run_report_json(info, sim, registry, comm, drift));
+                      const Communicator::Stats* comm, const DriftMonitor* drift,
+                      const SpatialSummary* spatial) {
+  io::atomic_write_file(path,
+                        run_report_json(info, sim, registry, comm, drift, spatial));
 }
 
 }  // namespace casurf::obs

@@ -27,24 +27,29 @@ struct RunInfo {
 };
 
 class DriftMonitor;
+struct SpatialSummary;
 
 /// Serialize one run as a structured JSON report (schema
 /// "casurf-run-report/1", documented in docs/OBSERVABILITY.md): run
 /// metadata, the simulator's execution counters with per-reaction
 /// breakdown, every registry probe, a thread-balance section derived from
-/// the `threads/busy/worker<k>` timers, the drift-monitor verdict, and the
-/// communicator stats. `sim`, `registry`, `comm`, and `drift` may each be
-/// null; the corresponding sections are emitted empty (drift: null).
+/// the `threads/busy/worker<k>` timers, the drift-monitor verdict, the
+/// spatial activity summary (per-chunk imbalance and seam-vs-interior
+/// accounting), and the communicator stats. `sim`, `registry`, `comm`,
+/// `drift`, and `spatial` may each be null; the corresponding sections are
+/// emitted empty (drift/spatial: null).
 [[nodiscard]] std::string run_report_json(const RunInfo& info, const Simulator* sim,
                                           const MetricsRegistry* registry,
                                           const Communicator::Stats* comm = nullptr,
-                                          const DriftMonitor* drift = nullptr);
+                                          const DriftMonitor* drift = nullptr,
+                                          const SpatialSummary* spatial = nullptr);
 
 /// Write the report through the crash-safe atomic-write path, so a report
 /// refreshed periodically (--metrics-every) is never observed truncated.
 void write_run_report(const std::string& path, const RunInfo& info,
                       const Simulator* sim, const MetricsRegistry* registry,
                       const Communicator::Stats* comm = nullptr,
-                      const DriftMonitor* drift = nullptr);
+                      const DriftMonitor* drift = nullptr,
+                      const SpatialSummary* spatial = nullptr);
 
 }  // namespace casurf::obs

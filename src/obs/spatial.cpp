@@ -1,0 +1,241 @@
+#include "obs/spatial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "io/atomic_file.hpp"
+#include "obs/json.hpp"
+#include "partition/partition.hpp"
+
+namespace casurf::obs {
+
+namespace {
+
+constexpr const char* kHeatmapSchema = "casurf-heatmap/1";
+
+std::uint64_t channel_value(const SpatialMap& map, SiteIndex s,
+                            ActivityChannel channel) {
+  switch (channel) {
+    case ActivityChannel::kAttempts: return map.attempts(s);
+    case ActivityChannel::kFires: return map.fires(s);
+    case ActivityChannel::kRejects: return map.rejects(s);
+  }
+  return 0;
+}
+
+/// Classic "hot" colormap: black -> red -> yellow -> white over t in [0,1].
+void heat_color(double t, std::uint8_t* rgb) {
+  const auto ramp = [](double v) {
+    return static_cast<std::uint8_t>(std::lround(255.0 * std::clamp(v, 0.0, 1.0)));
+  };
+  rgb[0] = ramp(3.0 * t);
+  rgb[1] = ramp(3.0 * t - 1.0);
+  rgb[2] = ramp(3.0 * t - 2.0);
+}
+
+void append_u64_array(json::Writer& j, const std::vector<std::uint64_t>& v) {
+  j.begin_array();
+  for (const std::uint64_t x : v) j.u64(x);
+  j.end_array();
+}
+
+}  // namespace
+
+std::uint64_t SpatialMap::total_attempts() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t a : attempts_) total += a;
+  return total;
+}
+
+std::uint64_t SpatialMap::total_fires() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t f : fires_) total += f;
+  return total;
+}
+
+void SpatialMap::reset() {
+  std::fill(attempts_.begin(), attempts_.end(), 0);
+  std::fill(fires_.begin(), fires_.end(), 0);
+}
+
+std::vector<std::uint8_t> seam_mask(const Partition& part,
+                                    const std::vector<Vec2>& offsets) {
+  const Lattice& lat = part.lattice();
+  std::vector<std::uint8_t> mask(lat.size(), 0);
+  for (SiteIndex s = 0; s < lat.size(); ++s) {
+    const ChunkId c = part.chunk_of(s);
+    for (const Vec2 d : offsets) {
+      if (part.chunk_of(lat.neighbor(s, d)) != c) {
+        mask[s] = 1;
+        break;
+      }
+    }
+  }
+  return mask;
+}
+
+SpatialSummary summarize(const SpatialMap& map, const Partition& part,
+                         const std::vector<Vec2>& offsets) {
+  if (map.size() != part.size()) {
+    throw std::invalid_argument("spatial: map/partition site count mismatch");
+  }
+  SpatialSummary out;
+  out.per_chunk.resize(part.num_chunks());
+  for (SiteIndex s = 0; s < map.size(); ++s) {
+    ChunkActivity& c = out.per_chunk[part.chunk_of(s)];
+    ++c.sites;
+    c.attempts += map.attempts(s);
+    c.fires += map.fires(s);
+  }
+  double max_rate = 0, rate_sum = 0;
+  for (const ChunkActivity& c : out.per_chunk) {
+    const double rate =
+        c.sites == 0 ? 0.0
+                     : static_cast<double>(c.fires) / static_cast<double>(c.sites);
+    max_rate = std::max(max_rate, rate);
+    rate_sum += rate;
+  }
+  const double mean_rate =
+      out.per_chunk.empty() ? 0.0 : rate_sum / static_cast<double>(out.per_chunk.size());
+  out.chunk_fire_imbalance = mean_rate > 0 ? max_rate / mean_rate : 1.0;
+
+  const std::vector<std::uint8_t> seam = seam_mask(part, offsets);
+  for (SiteIndex s = 0; s < map.size(); ++s) {
+    if (seam[s] != 0) {
+      ++out.seam_sites;
+      out.seam_attempts += map.attempts(s);
+      out.seam_fires += map.fires(s);
+    } else {
+      ++out.interior_sites;
+      out.interior_attempts += map.attempts(s);
+      out.interior_fires += map.fires(s);
+    }
+  }
+  if (out.seam_sites > 0 && out.interior_sites > 0 && out.interior_fires > 0) {
+    const double seam_rate = static_cast<double>(out.seam_fires) /
+                             static_cast<double>(out.seam_sites);
+    const double interior_rate = static_cast<double>(out.interior_fires) /
+                                 static_cast<double>(out.interior_sites);
+    out.seam_interior_fire_ratio = seam_rate / interior_rate;
+  }
+  return out;
+}
+
+void append_summary_json(json::Writer& j, const SpatialSummary& summary) {
+  j.begin_object();
+  j.key("chunks");
+  j.u64(summary.per_chunk.size());
+  j.key("chunk_fire_imbalance");
+  j.number(summary.chunk_fire_imbalance);
+  j.key("seam_sites");
+  j.u64(summary.seam_sites);
+  j.key("interior_sites");
+  j.u64(summary.interior_sites);
+  j.key("seam_attempts");
+  j.u64(summary.seam_attempts);
+  j.key("seam_fires");
+  j.u64(summary.seam_fires);
+  j.key("interior_attempts");
+  j.u64(summary.interior_attempts);
+  j.key("interior_fires");
+  j.u64(summary.interior_fires);
+  j.key("seam_interior_fire_ratio");
+  j.number(summary.seam_interior_fire_ratio);
+  j.key("per_chunk");
+  j.begin_array();
+  for (const ChunkActivity& c : summary.per_chunk) {
+    j.begin_object();
+    j.key("sites");
+    j.u64(c.sites);
+    j.key("attempts");
+    j.u64(c.attempts);
+    j.key("fires");
+    j.u64(c.fires);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+}
+
+std::string heatmap_json(const Configuration& cfg,
+                         const std::vector<std::string>& species, double sim_time,
+                         const SpatialMap* map, const SpatialSummary* summary) {
+  if (map != nullptr && map->size() != cfg.size()) {
+    throw std::invalid_argument("spatial: map/configuration site count mismatch");
+  }
+  json::Writer j;
+  j.begin_object();
+  j.key("schema");
+  j.string(kHeatmapSchema);
+  j.key("width");
+  j.i64(cfg.lattice().width());
+  j.key("height");
+  j.i64(cfg.lattice().height());
+  j.key("time");
+  j.number(sim_time);
+  j.key("species");
+  j.begin_array();
+  for (const auto& s : species) j.string(s);
+  j.end_array();
+  j.key("occupancy");
+  j.begin_array();
+  for (SiteIndex s = 0; s < cfg.size(); ++s) j.u64(cfg.get(s));
+  j.end_array();
+  j.key("attempts");
+  if (map != nullptr) {
+    append_u64_array(j, map->attempts());
+  } else {
+    j.raw("null");
+  }
+  j.key("fires");
+  if (map != nullptr) {
+    append_u64_array(j, map->fires());
+  } else {
+    j.raw("null");
+  }
+  j.key("summary");
+  if (summary != nullptr) {
+    append_summary_json(j, *summary);
+  } else {
+    j.raw("null");
+  }
+  j.end_object();
+  std::string out = std::move(j).str();
+  out += '\n';
+  return out;
+}
+
+void write_heatmap_json(const std::string& path, const Configuration& cfg,
+                        const std::vector<std::string>& species, double sim_time,
+                        const SpatialMap* map, const SpatialSummary* summary) {
+  io::atomic_write_file(path, heatmap_json(cfg, species, sim_time, map, summary));
+}
+
+void write_activity_ppm(const std::string& path, const SpatialMap& map,
+                        const Lattice& lat, ActivityChannel channel) {
+  if (map.size() != lat.size()) {
+    throw std::invalid_argument("spatial: map/lattice site count mismatch");
+  }
+  std::uint64_t max_v = 0;
+  for (SiteIndex s = 0; s < map.size(); ++s) {
+    max_v = std::max(max_v, channel_value(map, s, channel));
+  }
+  std::string body = "P6\n" + std::to_string(lat.width()) + " " +
+                     std::to_string(lat.height()) + "\n255\n";
+  body.reserve(body.size() + 3u * map.size());
+  for (SiteIndex s = 0; s < map.size(); ++s) {
+    std::uint8_t rgb[3] = {0, 0, 0};
+    if (max_v > 0) {
+      heat_color(static_cast<double>(channel_value(map, s, channel)) /
+                     static_cast<double>(max_v),
+                 rgb);
+    }
+    body.push_back(static_cast<char>(rgb[0]));
+    body.push_back(static_cast<char>(rgb[1]));
+    body.push_back(static_cast<char>(rgb[2]));
+  }
+  io::atomic_write_file(path, body);
+}
+
+}  // namespace casurf::obs

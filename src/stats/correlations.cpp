@@ -1,6 +1,26 @@
 #include "stats/correlations.hpp"
 
+#include <utility>
+
 namespace casurf::stats {
+
+namespace {
+
+/// Normalized same-species covariance at lattice offset `step`.
+double axial_correlation_dir(const Configuration& cfg, Species s, Vec2 step) {
+  const Lattice& lat = cfg.lattice();
+  const double theta = cfg.coverage(s);
+  const double var = theta - theta * theta;
+  if (var <= 0) return 0.0;
+  std::uint64_t both = 0;
+  for (SiteIndex i = 0; i < lat.size(); ++i) {
+    if (cfg.get(i) == s && cfg.get(lat.neighbor(i, step)) == s) ++both;
+  }
+  const double joint = static_cast<double>(both) / static_cast<double>(lat.size());
+  return (joint - theta * theta) / var;
+}
+
+}  // namespace
 
 double bond_fraction(const Configuration& cfg, Species a, Species b) {
   const Lattice& lat = cfg.lattice();
@@ -25,16 +45,70 @@ double pair_correlation(const Configuration& cfg, Species a, Species b) {
 }
 
 double axial_correlation(const Configuration& cfg, Species s, std::int32_t r) {
+  return axial_correlation_dir(cfg, s, {r, 0});
+}
+
+double axial_correlation_y(const Configuration& cfg, Species s, std::int32_t r) {
+  return axial_correlation_dir(cfg, s, {0, r});
+}
+
+double axial_correlation_xy(const Configuration& cfg, Species s, std::int32_t r) {
+  return 0.5 * (axial_correlation_dir(cfg, s, {r, 0}) +
+                axial_correlation_dir(cfg, s, {0, r}));
+}
+
+std::size_t pair_index(std::size_t num_species, Species a, Species b) {
+  auto i = static_cast<std::size_t>(a);
+  auto j = static_cast<std::size_t>(b);
+  if (i > j) std::swap(i, j);
+  // Row-major over the upper triangle: rows 0..i-1 contribute
+  // (num_species - k) entries each.
+  return i * num_species - i * (i - 1) / 2 + (j - i);
+}
+
+std::vector<double> bond_fraction_matrix(const Configuration& cfg) {
   const Lattice& lat = cfg.lattice();
-  const double theta = cfg.coverage(s);
-  const double var = theta - theta * theta;
-  if (var <= 0) return 0.0;
-  std::uint64_t both = 0;
-  for (SiteIndex i = 0; i < lat.size(); ++i) {
-    if (cfg.get(i) == s && cfg.get(lat.neighbor(i, {r, 0})) == s) ++both;
+  const std::size_t ns = cfg.num_species();
+  std::vector<std::uint64_t> hits(pair_count(ns), 0);
+  for (SiteIndex s = 0; s < lat.size(); ++s) {
+    const Species here = cfg.get(s);
+    for (const Vec2 d : {Vec2{1, 0}, Vec2{0, 1}}) {
+      ++hits[pair_index(ns, here, cfg.get(lat.neighbor(s, d)))];
+    }
   }
-  const double joint = static_cast<double>(both) / static_cast<double>(lat.size());
-  return (joint - theta * theta) / var;
+  const auto bonds = static_cast<double>(2ull * lat.size());
+  std::vector<double> out(hits.size());
+  for (std::size_t p = 0; p < hits.size(); ++p) {
+    out[p] = static_cast<double>(hits[p]) / bonds;
+  }
+  return out;
+}
+
+std::vector<double> pair_correlation_matrix(const Configuration& cfg) {
+  const std::size_t ns = cfg.num_species();
+  std::vector<double> g = bond_fraction_matrix(cfg);
+  for (std::size_t a = 0; a < ns; ++a) {
+    const double ta = cfg.coverage(static_cast<Species>(a));
+    for (std::size_t b = a; b < ns; ++b) {
+      const double tb = cfg.coverage(static_cast<Species>(b));
+      const double random = a == b ? ta * ta : 2.0 * ta * tb;
+      double& cell = g[pair_index(ns, static_cast<Species>(a), static_cast<Species>(b))];
+      cell = random <= 0 ? 0.0 : cell / random;
+    }
+  }
+  return g;
+}
+
+double axial_decay_length(const Configuration& cfg, Species s, std::int32_t max_r) {
+  const double theta = cfg.coverage(s);
+  if (theta <= 0 || theta >= 1 || max_r < 1) return 0.0;
+  double xi = 0;
+  for (std::int32_t r = 1; r <= max_r; ++r) {
+    const double c = axial_correlation_xy(cfg, s, r);
+    if (c <= 0) break;
+    xi += c;
+  }
+  return xi;
 }
 
 }  // namespace casurf::stats

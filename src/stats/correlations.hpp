@@ -1,5 +1,8 @@
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "lattice/configuration.hpp"
 
 namespace casurf::stats {
@@ -25,5 +28,43 @@ namespace casurf::stats {
 /// species coverage is 0 or 1.
 [[nodiscard]] double axial_correlation(const Configuration& cfg, Species s,
                                        std::int32_t r);
+
+/// Same statistic along the +y axis. On column-partitioned lattices seam
+/// artifacts are anisotropic: stripes along x leave c_s^x untouched while
+/// c_s^y decays differently, so a +x-only diagnostic can be blind to them.
+[[nodiscard]] double axial_correlation_y(const Configuration& cfg, Species s,
+                                         std::int32_t r);
+
+/// Axis-averaged two-point correlation, (c_s^x(r) + c_s^y(r)) / 2.
+[[nodiscard]] double axial_correlation_xy(const Configuration& cfg, Species s,
+                                          std::int32_t r);
+
+/// Number of unordered species pairs {a, b} (a <= b) for `num_species`.
+[[nodiscard]] constexpr std::size_t pair_count(std::size_t num_species) {
+  return num_species * (num_species + 1) / 2;
+}
+
+/// Index of unordered pair {a, b} in the packed upper-triangular layout
+/// used by bond_fraction_matrix / pair_correlation_matrix: row-major over
+/// a <= b, i.e. (0,0), (0,1), ..., (0,n-1), (1,1), ...
+[[nodiscard]] std::size_t pair_index(std::size_t num_species, Species a, Species b);
+
+/// bond_fraction for every unordered pair in ONE pass over the 2N bonds
+/// (the per-pair function is O(N) each; the drift sampler needs all pairs
+/// every observation). Result is indexed by pair_index.
+[[nodiscard]] std::vector<double> bond_fraction_matrix(const Configuration& cfg);
+
+/// pair_correlation for every unordered pair, same packing as
+/// bond_fraction_matrix; entries with zero random-mixing probability are 0.
+[[nodiscard]] std::vector<double> pair_correlation_matrix(const Configuration& cfg);
+
+/// Axial decay-length estimate from the axis-averaged correlation:
+///   xi_s = sum_{r=1..max_r} c_s^xy(r), truncated at the first r where the
+/// correlation drops to <= 0 (beyond that the tail is noise). For an
+/// exponential profile exp(-r/xi) this sum converges to ~xi; as a drift
+/// diagnostic only its *stability* matters, not the absolute calibration.
+/// Returns 0 when coverage is 0 or 1 (no fluctuations) or max_r < 1.
+[[nodiscard]] double axial_decay_length(const Configuration& cfg, Species s,
+                                        std::int32_t max_r);
 
 }  // namespace casurf::stats

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 namespace casurf::stats {
 namespace {
 
@@ -83,6 +85,138 @@ TEST(AxialCorrelation, DegenerateCoverages) {
   EXPECT_DOUBLE_EQ(axial_correlation(empty, 1, 1), 0.0);
   const Configuration full(Lattice(4, 4), 2, 1);
   EXPECT_DOUBLE_EQ(axial_correlation(full, 1, 1), 0.0);
+}
+
+TEST(AxialCorrelationY, VerticalStripesAreConstantAlongY) {
+  // Vertical width-1 stripes: the occupation never changes along +y, so
+  // c^y(r) = 1 at every distance, while c^x alternates sign.
+  Configuration cfg(Lattice(8, 8), 2, 0);
+  for (SiteIndex s = 0; s < cfg.size(); ++s) {
+    if (cfg.lattice().coord(s).x % 2 == 0) cfg.set(s, 1);
+  }
+  EXPECT_DOUBLE_EQ(axial_correlation_y(cfg, 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(axial_correlation_y(cfg, 1, 3), 1.0);
+  EXPECT_DOUBLE_EQ(axial_correlation(cfg, 1, 1), -1.0);
+  // The axis average cancels exactly: (−1 + 1) / 2.
+  EXPECT_DOUBLE_EQ(axial_correlation_xy(cfg, 1, 1), 0.0);
+}
+
+TEST(AxialCorrelationY, TransposeSymmetry) {
+  // c^y on a pattern equals c^x on its transpose.
+  Configuration cfg(Lattice(6, 6), 2, 0);
+  Configuration t(Lattice(6, 6), 2, 0);
+  std::uint64_t lcg = 12345;
+  for (SiteIndex s = 0; s < cfg.size(); ++s) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    if ((lcg >> 60) % 2 == 0) {
+      const Vec2 p = cfg.lattice().coord(s);
+      cfg.set(s, 1);
+      t.set(t.lattice().index({p.y, p.x}), 1);
+    }
+  }
+  for (std::int32_t r = 0; r <= 3; ++r) {
+    EXPECT_DOUBLE_EQ(axial_correlation_y(cfg, 1, r), axial_correlation(t, 1, r))
+        << "r = " << r;
+  }
+}
+
+TEST(PairIndex, PacksUpperTriangleRowMajor) {
+  static_assert(pair_count(1) == 1);
+  static_assert(pair_count(2) == 3);
+  static_assert(pair_count(3) == 6);
+  EXPECT_EQ(pair_index(3, 0, 0), 0u);
+  EXPECT_EQ(pair_index(3, 0, 1), 1u);
+  EXPECT_EQ(pair_index(3, 0, 2), 2u);
+  EXPECT_EQ(pair_index(3, 1, 1), 3u);
+  EXPECT_EQ(pair_index(3, 1, 2), 4u);
+  EXPECT_EQ(pair_index(3, 2, 2), 5u);
+  // Order-insensitive: {a, b} is unordered.
+  EXPECT_EQ(pair_index(3, 2, 1), pair_index(3, 1, 2));
+}
+
+TEST(CorrelationMatrices, HandComputedFourByFourFixture) {
+  // 4x4, three species, rows 0-1 species 1 and rows 2-3 species 2. Of the
+  // 32 bonds: 16 +x bonds all same-species (8 of each), and the 16 +y
+  // bonds split 4:4:4:4 over (1,1), (1,2), (2,2), (2,1)-wrap. So
+  //   f_11 = f_22 = 12/32 = 0.375, f_12 = 8/32 = 0.25, everything with
+  //   the absent species 0 is 0.
+  Configuration cfg(Lattice(4, 4), 3, 0);
+  for (SiteIndex s = 0; s < cfg.size(); ++s) {
+    cfg.set(s, cfg.lattice().coord(s).y < 2 ? 1 : 2);
+  }
+  const std::vector<double> bf = bond_fraction_matrix(cfg);
+  ASSERT_EQ(bf.size(), pair_count(3));
+  EXPECT_DOUBLE_EQ(bf[pair_index(3, 0, 0)], 0.0);
+  EXPECT_DOUBLE_EQ(bf[pair_index(3, 0, 1)], 0.0);
+  EXPECT_DOUBLE_EQ(bf[pair_index(3, 0, 2)], 0.0);
+  EXPECT_DOUBLE_EQ(bf[pair_index(3, 1, 1)], 0.375);
+  EXPECT_DOUBLE_EQ(bf[pair_index(3, 1, 2)], 0.25);
+  EXPECT_DOUBLE_EQ(bf[pair_index(3, 2, 2)], 0.375);
+
+  // theta_1 = theta_2 = 0.5: random mixing predicts 0.25 same / 0.5 mixed,
+  // so g_11 = g_22 = 1.5 and g_12 = 0.5; pairs with theta = 0 stay 0.
+  const std::vector<double> g = pair_correlation_matrix(cfg);
+  ASSERT_EQ(g.size(), pair_count(3));
+  EXPECT_DOUBLE_EQ(g[pair_index(3, 0, 0)], 0.0);
+  EXPECT_DOUBLE_EQ(g[pair_index(3, 0, 1)], 0.0);
+  EXPECT_DOUBLE_EQ(g[pair_index(3, 1, 1)], 1.5);
+  EXPECT_DOUBLE_EQ(g[pair_index(3, 1, 2)], 0.5);
+  EXPECT_DOUBLE_EQ(g[pair_index(3, 2, 2)], 1.5);
+}
+
+TEST(CorrelationMatrices, MatchPerPairFunctions) {
+  // The one-pass matrices must agree exactly with the per-pair functions.
+  Configuration cfg(Lattice(6, 6), 3, 0);
+  std::uint64_t lcg = 99;
+  for (SiteIndex s = 0; s < cfg.size(); ++s) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    cfg.set(s, static_cast<Species>((lcg >> 59) % 3));
+  }
+  const std::vector<double> bf = bond_fraction_matrix(cfg);
+  const std::vector<double> g = pair_correlation_matrix(cfg);
+  for (Species a = 0; a < 3; ++a) {
+    for (Species b = a; b < 3; ++b) {
+      EXPECT_DOUBLE_EQ(bf[pair_index(3, a, b)], bond_fraction(cfg, a, b));
+      EXPECT_DOUBLE_EQ(g[pair_index(3, a, b)], pair_correlation(cfg, a, b));
+    }
+  }
+}
+
+TEST(CorrelationMatrices, SingleSpeciesFullCoverage) {
+  // Full single-species coverage: every bond is (0,0), and the pair
+  // correlation is exactly the random-mixing value 1.
+  const Configuration cfg(Lattice(4, 4), 1, 0);
+  const std::vector<double> bf = bond_fraction_matrix(cfg);
+  ASSERT_EQ(bf.size(), 1u);
+  EXPECT_DOUBLE_EQ(bf[0], 1.0);
+  EXPECT_DOUBLE_EQ(pair_correlation_matrix(cfg)[0], 1.0);
+}
+
+TEST(AxialDecayLength, DegenerateCoveragesAndRadius) {
+  const Configuration empty(Lattice(8, 8), 2, 0);
+  EXPECT_DOUBLE_EQ(axial_decay_length(empty, 1, 8), 0.0);
+  const Configuration full(Lattice(8, 8), 2, 1);
+  EXPECT_DOUBLE_EQ(axial_decay_length(full, 1, 8), 0.0);
+  Configuration half(Lattice(8, 8), 2, 0);
+  for (SiteIndex s = 0; s < half.size(); ++s) {
+    if (half.lattice().coord(s).x < 4) half.set(s, 1);
+  }
+  EXPECT_DOUBLE_EQ(axial_decay_length(half, 1, 0), 0.0);  // max_r < 1
+}
+
+TEST(AxialDecayLength, ClustersDecaySlowerThanStripes) {
+  // A half-lattice block has positive short-range correlation: xi > 0.
+  Configuration half(Lattice(8, 8), 2, 0);
+  for (SiteIndex s = 0; s < half.size(); ++s) {
+    if (half.lattice().coord(s).x < 4) half.set(s, 1);
+  }
+  EXPECT_GT(axial_decay_length(half, 1, 4), 0.0);
+  // Width-1 stripes: c^xy(1) = 0, so the sum truncates immediately.
+  Configuration stripes(Lattice(8, 8), 2, 0);
+  for (SiteIndex s = 0; s < stripes.size(); ++s) {
+    if (stripes.lattice().coord(s).x % 2 == 0) stripes.set(s, 1);
+  }
+  EXPECT_DOUBLE_EQ(axial_decay_length(stripes, 1, 4), 0.0);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 
 #include "core/simulation.hpp"
 #include "models/zgb.hpp"
+#include "obs/spatial.hpp"
 #include "obs/trace.hpp"
 #include "parallel/parallel_pndca.hpp"
 #include "partition/coloring.hpp"
@@ -54,6 +55,46 @@ TEST_P(TraceIdentity, TrajectoryBitIdenticalWithAndWithoutTracer) {
 #ifndef CASURF_NO_METRICS
   // The traced run must have recorded spans on the main ring.
   EXPECT_GT(tracer.ring(0).recorded(), 0u);
+#endif
+}
+
+// The spatial activity probe rides the same null-off pattern and carries
+// the same guarantee: attaching a SpatialMap may not move the trajectory.
+TEST_P(TraceIdentity, TrajectoryBitIdenticalWithAndWithoutSpatialMap) {
+  const auto zgb = models::make_zgb(models::ZgbParams::from_y(0.45, 20.0));
+  const Lattice lat(20, 20);
+  SimulationOptions opt;
+  opt.algorithm = GetParam();
+  opt.seed = 4321;
+  opt.chunk_policy = ChunkPolicy::kRateWeighted;
+
+  const auto run = [&](obs::SpatialMap* map) {
+    auto sim = make_simulator(zgb.model, Configuration(lat, 3, zgb.vacant), opt);
+    if (map != nullptr) sim->set_spatial(map);
+    for (int i = 0; i < 5; ++i) sim->mc_step();
+    sim->advance_to(sim->time() + 0.01);
+    return sim;
+  };
+
+  obs::SpatialMap map(lat.size());
+  const auto bare = run(nullptr);
+  const auto mapped = run(&map);
+
+  EXPECT_TRUE(std::ranges::equal(bare->configuration().raw(),
+                                 mapped->configuration().raw()));
+  EXPECT_EQ(bare->time(), mapped->time());
+  EXPECT_EQ(bare->counters().trials, mapped->counters().trials);
+  EXPECT_EQ(bare->counters().executed, mapped->counters().executed);
+  EXPECT_EQ(bare->counters().steps, mapped->counters().steps);
+  EXPECT_EQ(bare->counters().executed_per_type,
+            mapped->counters().executed_per_type);
+
+#ifndef CASURF_NO_METRICS
+  // The instrumented run must have recorded exactly its executions.
+  EXPECT_EQ(map.total_fires(), mapped->counters().executed);
+  EXPECT_GT(map.total_attempts(), 0u);
+#else
+  EXPECT_EQ(map.total_fires(), 0u);
 #endif
 }
 
@@ -126,6 +167,36 @@ TEST(TraceIdentityThreaded, SevenWorkersBitIdenticalAndRingsPopulated) {
     // busy spans only for workers that received a range.
     EXPECT_GE(wait, busy);
   }
+#endif
+}
+
+// Threaded engine with the spatial probe: the per-site counters are written
+// from worker threads (disjoint sites per chunk — TSan surface via the
+// "parallel" label), and the trajectory must still replay the serial one.
+TEST(TraceIdentityThreaded, SevenWorkersBitIdenticalWithSpatialMap) {
+  const auto zgb = models::make_zgb(models::ZgbParams::from_y(0.45, 20.0));
+  const Lattice lat(28, 28);
+  const std::vector<Partition> parts = {make_partition(lat, zgb.model)};
+
+  const auto run = [&](obs::SpatialMap* map) {
+    ParallelPndcaEngine engine(zgb.model, Configuration(lat, 3, zgb.vacant), parts,
+                               5, 7);
+    if (map != nullptr) engine.set_spatial(map);
+    for (int i = 0; i < 4; ++i) engine.mc_step();
+    const auto raw = engine.configuration().raw();
+    return std::make_pair(std::vector<unsigned char>(raw.begin(), raw.end()),
+                          engine.counters().executed);
+  };
+
+  obs::SpatialMap map(lat.size());
+  const auto bare = run(nullptr);
+  const auto mapped = run(&map);
+  EXPECT_EQ(bare.first, mapped.first);
+  EXPECT_EQ(bare.second, mapped.second);
+
+#ifndef CASURF_NO_METRICS
+  EXPECT_EQ(map.total_fires(), mapped.second);
+  EXPECT_GE(map.total_attempts(), map.total_fires());
 #endif
 }
 
