@@ -62,6 +62,16 @@ void BM_PndcaMcStep(benchmark::State& state) {
 }
 BENCHMARK(BM_PndcaMcStep)->Unit(benchmark::kMicrosecond);
 
+void BM_PndcaMcStepFast(benchmark::State& state) {
+  const Lattice lat(kSide, kSide);
+  PndcaSimulator sim(zgb().model, initial(),
+                     {Partition::linear_form(lat, 1, 3, 5)}, 3);
+  sim.set_fast_path(true);
+  for (auto _ : state) sim.mc_step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim.counters().trials));
+}
+BENCHMARK(BM_PndcaMcStepFast)->Unit(benchmark::kMicrosecond);
+
 void BM_LPndcaMcStep(benchmark::State& state) {
   const Lattice lat(kSide, kSide);
   LPndcaSimulator sim(zgb().model, initial(), Partition::linear_form(lat, 1, 3, 5),
@@ -71,6 +81,16 @@ void BM_LPndcaMcStep(benchmark::State& state) {
 }
 BENCHMARK(BM_LPndcaMcStep)->Unit(benchmark::kMicrosecond);
 
+void BM_LPndcaMcStepFast(benchmark::State& state) {
+  const Lattice lat(kSide, kSide);
+  LPndcaSimulator sim(zgb().model, initial(), Partition::linear_form(lat, 1, 3, 5),
+                      4, 64);
+  sim.set_fast_path(true);
+  for (auto _ : state) sim.mc_step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim.counters().trials));
+}
+BENCHMARK(BM_LPndcaMcStepFast)->Unit(benchmark::kMicrosecond);
+
 void BM_TPndcaMcStep(benchmark::State& state) {
   const Lattice lat(kSide, kSide);
   TPndcaSimulator sim(zgb().model, initial(), make_type_partition(lat, zgb().model), 5);
@@ -78,6 +98,15 @@ void BM_TPndcaMcStep(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(sim.counters().trials));
 }
 BENCHMARK(BM_TPndcaMcStep)->Unit(benchmark::kMicrosecond);
+
+void BM_TPndcaMcStepFast(benchmark::State& state) {
+  const Lattice lat(kSide, kSide);
+  TPndcaSimulator sim(zgb().model, initial(), make_type_partition(lat, zgb().model), 5);
+  sim.set_fast_path(true);
+  for (auto _ : state) sim.mc_step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim.counters().trials));
+}
+BENCHMARK(BM_TPndcaMcStepFast)->Unit(benchmark::kMicrosecond);
 
 // Rate-weighted chunk selection (paper's policy 4). "Cached" is the
 // incremental enabled-rate cache; "BruteRescan" reproduces the previous
@@ -199,6 +228,58 @@ void BM_ParallelPndcaMcStep(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelPndcaMcStep)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMicrosecond);
 
+void BM_ParallelPndcaMcStepFast(benchmark::State& state) {
+  const Lattice lat(kSide, kSide);
+  ParallelPndcaEngine sim(zgb().model, initial(),
+                          {Partition::linear_form(lat, 1, 3, 5)}, 6,
+                          static_cast<unsigned>(state.range(0)));
+  sim.set_fast_path(true);
+  for (auto _ : state) sim.mc_step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim.counters().trials));
+}
+BENCHMARK(BM_ParallelPndcaMcStepFast)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
+// The headline fast-path pair: scalar vs batched trial loop on the PR-1
+// rate-weighted Pt(100) configuration at 256x256 — the workload where the
+// per-trial pattern match dominates the step. Same partition, same seed,
+// same trajectory; only the trial-evaluation machinery differs.
+// Deterministic time mode keeps the per-trial exponential clock draws out
+// of the measurement — they cost the same on both sides and would dilute
+// the ratio this pair exists to expose.
+void pt100_trial_loop(benchmark::State& state, bool fast) {
+  static const models::Pt100Model pt = models::make_pt100();
+  const auto side = static_cast<std::int32_t>(state.range(0));
+  const Lattice lat(side, side);
+  const Partition p = Partition::linear_form(lat, 1, 3, 16);
+  const Configuration start =
+      equilibrated(pt.model, Configuration(lat, 5, pt.hex_vac), p, 10);
+  std::uint64_t trials = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    PndcaSimulator sim(pt.model, start, {p}, 10, ChunkPolicy::kRateWeighted,
+                       TimeMode::kDeterministic);
+    if (fast) sim.set_fast_path(true);
+    state.ResumeTiming();
+    for (int i = 0; i < kRateWeightedMeasureSteps; ++i) sim.mc_step();
+    trials += sim.counters().trials;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(trials));
+}
+
+void BM_Pt100TrialLoopScalar(benchmark::State& state) {
+  pt100_trial_loop(state, false);
+}
+BENCHMARK(BM_Pt100TrialLoopScalar)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_Pt100TrialLoopFast(benchmark::State& state) {
+  pt100_trial_loop(state, true);
+}
+BENCHMARK(BM_Pt100TrialLoopFast)->Arg(256)->Unit(benchmark::kMillisecond);
+
 void BM_VssmEvent(benchmark::State& state) {
   VssmSimulator sim(zgb().model, initial(), 7);
   for (auto _ : state) sim.mc_step();
@@ -244,9 +325,14 @@ BENCHMARK(BM_MakePartition)->Arg(50)->Arg(100)->Unit(benchmark::kMicrosecond);
 // One instrumented run of `sim` for `steps` MC steps, dumped as
 // bench_out/BENCH_<name>.json so casurf_report (and CI) always have a
 // fresh machine-readable artifact, whatever --benchmark_filter selected.
-void emit_report(const char* name, Simulator& sim, std::uint64_t seed, int steps) {
+void emit_report(const char* name, const char* model, Simulator& sim,
+                 std::uint64_t seed, int steps, bool instrument) {
+  // The scalar/fast A/B pair runs uninstrumented: probes and activity maps
+  // cost the batched path proportionally more than the scalar one, so an
+  // instrumented pair would understate the trial-loop delta the artifact
+  // exists to record.
   obs::MetricsRegistry registry;
-  sim.set_metrics(&registry);
+  if (instrument) sim.set_metrics(&registry);
   const auto t0 = std::chrono::steady_clock::now();
   for (int i = 0; i < steps; ++i) sim.mc_step();
   const double wall = std::chrono::duration<double>(
@@ -254,7 +340,7 @@ void emit_report(const char* name, Simulator& sim, std::uint64_t seed, int steps
 
   obs::RunInfo info;
   info.algorithm = sim.name();
-  info.model = "zgb";
+  info.model = model;
   info.width = sim.configuration().lattice().width();
   info.height = sim.configuration().lattice().height();
   info.seed = seed;
@@ -265,16 +351,35 @@ void emit_report(const char* name, Simulator& sim, std::uint64_t seed, int steps
 }
 
 void emit_reports() {
-  const std::int32_t side = bench::fast_mode() ? 40 : kSide;
+  // The recorded scalar/fast pair is the headline workload: rate-weighted
+  // PNDCA on equilibrated Pt(100) at 256x256 (shrunk under the CI smoke's
+  // fast mode), deterministic time, identical seed and schedule — the
+  // casurf_report A/B of these two files is a pure trial-loop readout.
+  static const models::Pt100Model& pt = models::make_pt100();
+  const std::int32_t side = bench::fast_mode() ? 64 : 256;
   const int steps = bench::fast_mode() ? 3 : 10;
   const Lattice lat(side, side);
-  const Configuration start(lat, 3, zgb().vacant);
+  const Partition p = Partition::linear_form(lat, 1, 3, 16);
+  const Configuration start =
+      equilibrated(pt.model, Configuration(lat, 5, pt.hex_vac), p, 10);
 
-  PndcaSimulator pndca(zgb().model, start, {Partition::linear_form(lat, 1, 3, 5)}, 21);
-  emit_report("micro_throughput", pndca, 21, steps);
+  PndcaSimulator pndca(pt.model, start, {p}, 10, ChunkPolicy::kRateWeighted,
+                       TimeMode::kDeterministic);
+  emit_report("micro_throughput", "pt100", pndca, 10, steps, false);
 
-  ParallelPndcaEngine engine(zgb().model, start,
-                             {Partition::linear_form(lat, 1, 3, 5)}, 21, 2);
+  // The same run with the batched bitplane path engaged; the trajectory is
+  // bit-identical, so a casurf_report A/B against micro_throughput isolates
+  // the trial-loop speedup (the CI smoke asserts on exactly this pair).
+  PndcaSimulator pndca_fast(pt.model, start, {p}, 10,
+                            ChunkPolicy::kRateWeighted,
+                            TimeMode::kDeterministic);
+  pndca_fast.set_fast_path(true);
+  emit_report("micro_fastpath", "pt100", pndca_fast, 10, steps, false);
+
+  const std::int32_t zside = bench::fast_mode() ? 40 : kSide;
+  const Lattice zlat(zside, zside);
+  ParallelPndcaEngine engine(zgb().model, Configuration(zlat, 3, zgb().vacant),
+                             {Partition::linear_form(zlat, 1, 3, 5)}, 21, 2);
   obs::MetricsRegistry registry;
   engine.set_metrics(&registry);
   const auto t0 = std::chrono::steady_clock::now();
@@ -284,8 +389,8 @@ void emit_reports() {
   obs::RunInfo info;
   info.algorithm = engine.name();
   info.model = "zgb";
-  info.width = side;
-  info.height = side;
+  info.width = zside;
+  info.height = zside;
   info.seed = 21;
   info.t_end = engine.time();
   info.threads = 2;

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "ca/fastpath.hpp"
 #include "ca/rate_cache.hpp"
 #include "core/simulator.hpp"
 #include "obs/metrics.hpp"
@@ -92,6 +93,22 @@ class PndcaSimulator : public Simulator {
     return rate_cache_.get();
   }
 
+  /// Batched bitplane trial path: whole 64-site windows of a chunk are
+  /// evaluated at once (vectorized CounterRng lanes, per-type enabled
+  /// masks). Gated on every partition satisfying the non-overlap rule —
+  /// the property that makes all in-chunk trials independent, hence the
+  /// pre-sweep window evaluation exactly equal to the sequential scalar
+  /// loop. Falls back to the scalar path (returns false) when the gate
+  /// fails or the build disabled the fast path.
+  bool set_fast_path(bool on) override;
+  [[nodiscard]] bool fast_path_active() const override { return fast_ != nullptr; }
+
+  /// Test hook: the bitplanes backing the fast path (nullptr when scalar).
+  /// Mutable so the audit suite can corrupt a bit and watch it get caught.
+  [[nodiscard]] SpeciesBitplanes* fast_planes_for_test() {
+    return fast_ ? &fast_->planes : nullptr;
+  }
+
  protected:
   static constexpr std::int32_t kNoReaction = -1;
 
@@ -104,9 +121,12 @@ class PndcaSimulator : public Simulator {
   /// executed reaction type, or kNoReaction.
   std::int32_t trial_at(std::uint64_t sweep, SiteIndex s, std::int64_t* deltas = nullptr);
 
-  /// Run all trials of one chunk sweep. The base class loops sequentially;
-  /// the threaded engine overrides this with a fork-join over the sites.
-  virtual void execute_chunk(std::uint64_t sweep, const std::vector<SiteIndex>& sites);
+  /// Run all trials of one chunk sweep. The base class loops sequentially
+  /// (or window-batched when the fast path is engaged); the threaded engine
+  /// overrides this with a fork-join over the sites. `chunk` identifies the
+  /// chunk within the current partition, keying the cached window lists.
+  virtual void execute_chunk(std::uint64_t sweep, ChunkId chunk,
+                             const std::vector<SiteIndex>& sites);
 
   /// Whether the rate cache is live (kRateWeighted policy).
   [[nodiscard]] bool rate_cache_active() const { return rate_cache_ != nullptr; }
@@ -119,7 +139,45 @@ class PndcaSimulator : public Simulator {
   /// configuration.
   void refresh_rate_cache(const ReactionType& reaction, SiteIndex s);
 
- private:
+  /// Shared state of the batched path: the bitplane mirror of the
+  /// configuration, the compiled per-type probe plans, the per-site
+  /// enabled-type bitset the kernel tests, and scratch for the kernel's
+  /// outputs. The threaded engine shares planes/probes/bitset read-only
+  /// across workers during a sweep and keeps per-worker hit scratch.
+  struct FastState {
+    FastState(const Configuration& config, std::uint64_t seed,
+              const ReactionModel& model)
+        : planes(config),
+          probes(model, config.lattice().width(), config.lattice().height()),
+          seed_hash(CounterRng::seed_hash(seed)) {
+      enabled.rebuild(planes, probes);
+    }
+    SpeciesBitplanes planes;
+    ProbePlans probes;
+    std::uint64_t seed_hash;
+    EnabledTypeSet enabled;  // per-site type bitset: the trial-loop lookup
+    std::vector<TrialHit> hits;     // batch_trials output (serial sweeps)
+    std::vector<Species> old_pre;   // pre-fire species, for recheck pruning
+  };
+
+  /// Post-fire bookkeeping of the batched path, replacing the scalar
+  /// refresh_rate_cache: resyncs the planes for the written sites, then
+  /// rechecks the affected (type, anchor) pairs once via the probe plans,
+  /// folding each outcome into the enabled-type bitset and (under
+  /// kRateWeighted) the rate cache. Mirrors the scalar path's metrics
+  /// counters. The threaded engine replays fired lists through this at the
+  /// barrier — all resyncs first, then all rechecks, so every probe reads
+  /// fully synced planes (`resync` toggles the first phase).
+  ///
+  /// `old_species`, when given, holds each written site's species from
+  /// before the fire (indexed like the reaction's transform list); rechecks
+  /// that can depend on neither the old nor the new species are skipped.
+  /// Pass nullptr when the pre-fire state is gone (barrier replay) — every
+  /// candidate is visited, converging to the same state.
+  void fast_after_fire(const ReactionType& reaction, SiteIndex s, bool resync,
+                       const Species* old_species = nullptr);
+
+  std::unique_ptr<FastState> fast_;
   std::vector<Partition> partitions_;
   Xoshiro256 rng_;  // drives schedule decisions only, never site trials
   ChunkPolicy policy_;

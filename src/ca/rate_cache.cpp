@@ -11,6 +11,15 @@ namespace casurf {
 void ChunkSampler::assign(const std::vector<double>& weights) {
   weights_ = weights;
   const std::size_t m = weights_.size();
+  // Sanitize before building the prefix tree: a negative or NaN weight
+  // would poison every ancestor sum and make the descent's `tree_[next] <=
+  // remaining` comparisons meaningless (a negative weight even makes the
+  // prefix sums non-monotone, so "first chunk whose cumulative exceeds the
+  // target" stops being well-defined). Clamping to zero keeps such chunks
+  // unselectable — the semantics every caller wants — instead of silently
+  // skewing the distribution. `w > 0.0` is false for NaN, so NaN also
+  // clamps.
+  for (double& w : weights_) w = w > 0.0 ? w : 0.0;
   top_bit_ = m == 0 ? 0 : std::bit_floor(m);
   tree_.assign(m + 1, 0.0);
   total_ = 0.0;
@@ -30,7 +39,10 @@ ChunkId ChunkSampler::sample(double u) const {
   // chunk is pos (0-based), the first whose cumulative weight exceeds the
   // target. A zero-weight chunk can never be that first-exceeding index —
   // its cumulative equals its predecessor's — so the only way to land on
-  // one is the rounding overflow u * total == total, caught below.
+  // one is accumulated rounding: tree_ sums the weights in a different
+  // association than the descent subtracts them, so with u just below 1 the
+  // walk can step past the last POSITIVE chunk into a zero tail (or past
+  // the end entirely, pos == m). Both are caught below.
   std::size_t pos = 0;
   for (std::size_t step = top_bit_; step > 0; step >>= 1) {
     const std::size_t next = pos + step;
@@ -39,6 +51,10 @@ ChunkId ChunkSampler::sample(double u) const {
       remaining -= tree_[next];
     }
   }
+  // Clamp into range, then walk down to the nearest selectable chunk.
+  // assign() zeroed every non-positive weight, so total_ > 0 guarantees a
+  // positive-weight chunk exists at or below any landing point the descent
+  // can produce and the walk terminates on it.
   std::size_t c = pos < m ? pos : m - 1;
   while (c > 0 && weights_[c] <= 0.0) --c;
   return static_cast<ChunkId>(c);
@@ -91,19 +107,10 @@ void EnabledRateCache::rebuild(const Configuration& config) {
 }
 
 void EnabledRateCache::refresh_after(const Configuration& config, SiteIndex written) {
-  visit_recheck_anchors(
-      model_, config, written, [&](ReactionIndex t, SiteIndex anchor, bool now) {
-        std::uint8_t& bit = enabled_[static_cast<std::size_t>(t) * num_sites_ + anchor];
-        if (static_cast<bool>(bit) == now) return;
-        bit = now ? 1 : 0;
-        for (Slot& slot : slots_) {
-          std::uint32_t& cnt =
-              slot.counts[static_cast<std::size_t>(slot.chunk_of[anchor]) * num_types_ +
-                          t];
-          now ? ++cnt : --cnt;
-          slot.sampler_dirty = true;
-        }
-      });
+  visit_recheck_anchors(model_, config, written,
+                        [&](ReactionIndex t, SiteIndex anchor, bool now) {
+                          apply_recheck(t, anchor, now);
+                        });
 }
 
 bool EnabledRateCache::verify(const Configuration& config,

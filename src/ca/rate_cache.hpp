@@ -26,15 +26,20 @@ class ChunkSampler {
  public:
   ChunkSampler() = default;
 
-  /// Rebuild from scratch in O(m).
+  /// Rebuild from scratch in O(m). Non-positive and NaN weights are
+  /// clamped to zero (unselectable) — they would otherwise break the
+  /// monotone-prefix invariant sample()'s descent depends on.
   void assign(const std::vector<double>& weights);
 
   [[nodiscard]] std::size_t size() const { return weights_.size(); }
   [[nodiscard]] double total() const { return total_; }
+  /// The sanitized weight actually used (clamped, not the caller's value).
   [[nodiscard]] double weight(ChunkId c) const { return weights_[c]; }
 
   /// Draw chunk c with probability weight(c) / total() given u in [0, 1).
-  /// Precondition: total() > 0.
+  /// Precondition: total() > 0. Never returns a zero-weight chunk, even
+  /// when accumulated rounding pushes u * total() past the last positive
+  /// chunk's cumulative weight.
   [[nodiscard]] ChunkId sample(double u) const;
 
  private:
@@ -106,6 +111,25 @@ class EnabledRateCache {
   /// written site and fold flips into all slots. Call once per written site
   /// after the write is in `config`.
   void refresh_after(const Configuration& config, SiteIndex written);
+
+  /// One recheck outcome, applied directly: sets the cached enabledness of
+  /// `t` anchored at `anchor` to `now` and folds any flip into every
+  /// slot's counts. This is the body refresh_after runs per candidate,
+  /// exposed so the batched trial path can drive the same bookkeeping from
+  /// its bitplane-probe rechecks (which prune candidates that can never
+  /// flip — those applications were no-ops here anyway). Idempotent.
+  void apply_recheck(ReactionIndex t, SiteIndex anchor, bool now) {
+    std::uint8_t& bit = enabled_[static_cast<std::size_t>(t) * num_sites_ + anchor];
+    if (static_cast<bool>(bit) == now) return;
+    bit = now ? 1 : 0;
+    for (Slot& slot : slots_) {
+      std::uint32_t& cnt =
+          slot.counts[static_cast<std::size_t>(slot.chunk_of[anchor]) * num_types_ +
+                      t];
+      now ? ++cnt : --cnt;
+      slot.sampler_dirty = true;
+    }
+  }
 
   /// Full rescan, re-deriving every bit and count from `config` (recovery /
   /// testing; never needed on the hot path).

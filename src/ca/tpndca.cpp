@@ -1,9 +1,11 @@
 #include "ca/tpndca.hpp"
 
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
 #include "obs/trace.hpp"
+#include "partition/conflict.hpp"
 #include "rng/distributions.hpp"
 
 namespace casurf {
@@ -46,6 +48,25 @@ TPndcaSimulator::TPndcaSimulator(const ReactionModel& model, Configuration confi
   }
 }
 
+bool TPndcaSimulator::set_fast_path(bool on) {
+  fast_.reset();
+  if (!kFastPathCompiled || !on) return false;
+  auto state = std::make_unique<FastState>(config_, subsets_.size());
+  state->safe.assign(subsets_.size(),
+                     std::vector<char>(model_.num_reactions(), 0));
+  for (std::size_t j = 0; j < subsets_.size(); ++j) {
+    for (const ReactionIndex i : subsets_[j].types) {
+      // One type at a time means the window batch only has to survive the
+      // type's conflicts with itself — the weaker (two-chunk) condition
+      // this algorithm exists to exploit.
+      const std::vector<Vec2> offsets = self_conflict_offsets(model_.reaction(i));
+      state->safe[j][i] = verify_partition(subsets_[j].chunks, offsets) ? 1 : 0;
+    }
+  }
+  fast_ = std::move(state);
+  return true;
+}
+
 void TPndcaSimulator::save_state(StateWriter& w) const {
   Simulator::save_state(w);
   w.section("tpndca");
@@ -57,10 +78,16 @@ void TPndcaSimulator::restore_state(StateReader& r) {
   r.expect_section("tpndca");
   rng_.restore(r);
   if (rate_cache_) rate_cache_->rebuild(config_);
+  if (fast_) fast_->planes.rebuild(config_);
 }
 
 void TPndcaSimulator::audit_derived_state(AuditReport& report, bool repair) {
   Simulator::audit_derived_state(report, repair);
+  if (fast_ && !fast_->planes.matches(config_)) {
+    report.issues.push_back(
+        {"bitplanes", "species bitplanes disagree with the configuration"});
+    if (repair) fast_->planes.rebuild(config_);
+  }
   if (!rate_cache_) return;
   std::vector<std::string> details;
   if (!rate_cache_->verify(config_, details)) {
@@ -128,29 +155,51 @@ void TPndcaSimulator::mc_step() {
     // type never overlap, so this whole sweep is a parallel batch.
     const ChunkId c = select_chunk(j, chosen);
     const Lattice& lat = config_.lattice();
-    for (const SiteIndex s : sub.chunks.chunk(c)) {
-      spatial_.attempt(s);
-      if (rt.enabled(config_, s)) {
-        rt.execute(config_, s);
-        record_execution(chosen);
-        spatial_.fire(s);
-        if (rate_cache_) {
-          for (const Transform& t : rt.transforms()) {
-            if (t.tg != kKeep) {
-              const SiteIndex written = lat.neighbor(s, t.offset);
-              rate_cache_->refresh_after(config_, written);
-              if (rate_rechecks_ != nullptr) rate_rechecks_->add();
-              // Cross-seam cache invalidation, classified against the
-              // subset's own sub-partition (each subset has its own seams).
-              if (boundary_rechecks_ != nullptr &&
-                  sub.chunks.chunk_of(written) != sub.chunks.chunk_of(s)) {
-                boundary_rechecks_->add();
-              }
+    const auto fire_at = [&](SiteIndex s) {
+      rt.execute(config_, s);
+      record_execution(chosen);
+      spatial_.fire(s);
+      if (rate_cache_) {
+        for (const Transform& t : rt.transforms()) {
+          if (t.tg != kKeep) {
+            const SiteIndex written = lat.neighbor(s, t.offset);
+            rate_cache_->refresh_after(config_, written);
+            if (rate_rechecks_ != nullptr) rate_rechecks_->add();
+            // Cross-seam cache invalidation, classified against the
+            // subset's own sub-partition (each subset has its own seams).
+            if (boundary_rechecks_ != nullptr &&
+                sub.chunks.chunk_of(written) != sub.chunks.chunk_of(s)) {
+              boundary_rechecks_->add();
             }
           }
         }
       }
-      ++counters_.trials;
+      if (fast_) resync_written(fast_->planes, config_, rt, s);
+    };
+    if (fast_ && fast_->safe[j][chosen]) {
+      // One enabled mask per 64-site window replaces 64 scalar pattern
+      // matches; the self-conflict gate above guarantees member bits are
+      // what the scalar mid-sweep checks would have seen.
+      const std::int32_t width = lat.width();
+      for (const BatchWindow& w :
+           fast_->windows.get(j, c, lat, sub.chunks.chunk(c))) {
+        const std::uint64_t en = enabled_window(fast_->planes, rt, w.y, w.x0);
+        for (std::uint64_t m = w.members; m != 0; m &= m - 1) {
+          const auto f = static_cast<std::uint32_t>(std::countr_zero(m));
+          const auto s = static_cast<SiteIndex>(
+              static_cast<std::uint64_t>(w.y) * static_cast<std::uint64_t>(width) +
+              static_cast<std::uint64_t>(w.x0) + f);
+          spatial_.attempt(s);
+          if ((en >> f) & 1u) fire_at(s);
+          ++counters_.trials;
+        }
+      }
+    } else {
+      for (const SiteIndex s : sub.chunks.chunk(c)) {
+        spatial_.attempt(s);
+        if (rt.enabled(config_, s)) fire_at(s);
+        ++counters_.trials;
+      }
     }
 
     // One sweep stands for 1/sweeps_per_step of an MC step: advance by the

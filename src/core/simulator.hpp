@@ -97,6 +97,22 @@ class Simulator {
 
   [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
 
+  /// Request the batched (bitplane) trial path. Returns whether it engaged;
+  /// false means the simulator keeps its scalar reference loop — either the
+  /// algorithm has no batched path, the build disabled it (CASURF_FASTPATH
+  /// =OFF), or a runtime gate failed (e.g. the partition does not satisfy
+  /// the non-overlap rule the batch evaluation relies on). Engaged or not,
+  /// the trajectory is identical: the fast path is an implementation of the
+  /// same per-trial semantics, bit for bit, and the determinism suite
+  /// (test_fastpath) holds every algorithm to that.
+  virtual bool set_fast_path(bool on) {
+    (void)on;
+    return false;
+  }
+
+  /// Whether the batched trial path is currently driving this simulator.
+  [[nodiscard]] virtual bool fast_path_active() const { return false; }
+
   /// Attach a per-site activity map (nullptr detaches). Same contract as
   /// set_metrics/set_tracer: the probe is resolved once, recording is a
   /// pair of plain increments that never touch simulation state or RNG

@@ -119,7 +119,11 @@ Rgb default_palette(Species s) {
       {140, 86, 75},    // brown
       {23, 190, 207},   // cyan
   }};
-  return kColors[s % kColors.size()];
+  // Only the genuinely vacant species may render near-white: cycling the
+  // whole table would hand species 8, 16, ... the vacant color and make
+  // occupied sites vanish from the image. Occupied species cycle over the
+  // seven saturated colors instead.
+  return s == 0 ? kColors[0] : kColors[1 + (s - 1) % (kColors.size() - 1)];
 }
 
 void write_ppm(const std::string& path, const Configuration& config,

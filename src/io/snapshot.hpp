@@ -44,7 +44,10 @@ struct Rgb {
   std::uint8_t r = 0, g = 0, b = 0;
 };
 
-/// A default qualitative palette (up to 8 distinct colors, cycled beyond).
+/// A default qualitative palette: near-white for the vacant species, seven
+/// saturated colors for the rest. Models with more than eight species cycle
+/// deterministically over the seven occupied colors only — the vacant color
+/// is never reused, so occupied sites stay visible in the image.
 [[nodiscard]] Rgb default_palette(Species s);
 
 /// Render a configuration to a binary PPM (P6) image, one pixel per site,

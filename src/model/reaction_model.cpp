@@ -19,15 +19,12 @@ ReactionIndex ReactionModel::add(ReactionType rt) {
   return static_cast<ReactionIndex>(reactions_.size() - 1);
 }
 
-const AliasTable& ReactionModel::alias() const {
-  if (alias_dirty_) {
-    std::vector<double> weights;
-    weights.reserve(reactions_.size());
-    for (const ReactionType& rt : reactions_) weights.push_back(rt.rate());
-    alias_ = AliasTable(weights);
-    alias_dirty_ = false;
-  }
-  return alias_;
+void ReactionModel::rebuild_alias() const {
+  std::vector<double> weights;
+  weights.reserve(reactions_.size());
+  for (const ReactionType& rt : reactions_) weights.push_back(rt.rate());
+  alias_ = AliasTable(weights);
+  alias_dirty_ = false;
 }
 
 void ReactionModel::validate() const {

@@ -45,6 +45,10 @@ class ReactionModel {
     return static_cast<ReactionIndex>(alias().sample(u_slot, u_flip));
   }
 
+  /// The alias table behind sample_type, for samplers that draw whole lanes
+  /// at once (the batched trial kernel gathers from its raw arrays).
+  [[nodiscard]] const AliasTable& alias_table() const { return alias(); }
+
   template <class Rng>
   [[nodiscard]] ReactionIndex sample_type(Rng& rng) const {
     return static_cast<ReactionIndex>(alias().sample(rng));
@@ -63,7 +67,13 @@ class ReactionModel {
   void validate() const;
 
  private:
-  [[nodiscard]] const AliasTable& alias() const;
+  /// Inline fast path — one predictable branch on the trial hot loop; the
+  /// rebuild after a model edit stays out of line.
+  [[nodiscard]] const AliasTable& alias() const {
+    if (alias_dirty_) rebuild_alias();
+    return alias_;
+  }
+  void rebuild_alias() const;
 
   SpeciesSet species_;
   std::vector<ReactionType> reactions_;

@@ -44,11 +44,21 @@ class ParallelPndcaEngine final : public PndcaSimulator {
   /// records threads/merge + threads/recheck on ring 0.
   void set_tracer(obs::Tracer* tracer) override;
 
+  /// The threaded batched path runs the trial kernel per worker slice.
+  /// Workers read the enabled bitset and bitplanes only (they reflect the
+  /// pre-sweep state — exactly what the non-overlap rule licenses) and
+  /// never write them: both pack many sites per word, so concurrent
+  /// per-site updates would race. The coordinator replays the fired lists
+  /// into them at the sweep barrier, the same pattern the rate cache uses.
+  bool set_fast_path(bool on) override;
+
  protected:
-  void execute_chunk(std::uint64_t sweep, const std::vector<SiteIndex>& sites) override;
+  void execute_chunk(std::uint64_t sweep, ChunkId chunk,
+                     const std::vector<SiteIndex>& sites) override;
 
  private:
   ThreadPool pool_;
+  std::vector<std::vector<TrialHit>> fast_hits_;  // kernel output, per worker
   // Per-thread scratch, reused every sweep: [species deltas..., type tallies...]
   std::vector<std::vector<std::int64_t>> deltas_;
   std::vector<std::vector<std::uint64_t>> tallies_;

@@ -63,6 +63,12 @@ class AliasTable {
     return sample(a, b);
   }
 
+  /// Raw table access for samplers that evaluate many draws at once (the
+  /// batched trial kernel gathers straight from both arrays; its lane
+  /// arithmetic reproduces sample() exactly).
+  [[nodiscard]] const double* prob_data() const { return prob_.data(); }
+  [[nodiscard]] const std::uint32_t* alias_data() const { return alias_.data(); }
+
  private:
   std::vector<double> prob_;
   std::vector<std::uint32_t> alias_;

@@ -1,0 +1,139 @@
+#include "lattice/bitplanes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace casurf {
+namespace {
+
+Configuration random_config(std::int32_t w, std::int32_t h, std::size_t species,
+                            std::uint64_t seed) {
+  Configuration cfg(Lattice(w, h), species, 0);
+  Xoshiro256 rng(seed);
+  for (SiteIndex s = 0; s < cfg.size(); ++s) {
+    cfg.set(s, static_cast<Species>(uniform_below(rng, species)));
+  }
+  return cfg;
+}
+
+TEST(Bitplanes, RebuildMatchesConfiguration) {
+  for (const auto [w, h] : {std::pair{10, 7}, {64, 3}, {70, 5}, {128, 4}}) {
+    const Configuration cfg = random_config(w, h, 3, 11);
+    const SpeciesBitplanes planes(cfg);
+    EXPECT_TRUE(planes.matches(cfg)) << w << "x" << h;
+    for (std::int32_t y = 0; y < h; ++y) {
+      for (std::int32_t x = 0; x < w; ++x) {
+        const Species truth = cfg.get(cfg.lattice().index({x, y}));
+        for (Species sp = 0; sp < 3; ++sp) {
+          ASSERT_EQ(planes.bit(sp, x, y), sp == truth)
+              << w << "x" << h << " (" << x << "," << y << ") sp " << int(sp);
+        }
+      }
+    }
+  }
+}
+
+TEST(Bitplanes, WindowBitsMatchWrappedColumns) {
+  // bit f of window(sp, y, x0) must be the occupancy of column
+  // (x0 + f) mod width — across narrow (<64), word-aligned, and ragged
+  // (non-multiple-of-64) widths, for anchors beyond the row and negative.
+  for (const std::int32_t w : {10, 64, 70, 128}) {
+    const Configuration cfg = random_config(w, 6, 4, w * 131u);
+    const SpeciesBitplanes planes(cfg);
+    for (const std::int32_t y : {0, 3, 5, 7, -1}) {
+      for (const std::int32_t x0 : {0, 1, 5, w - 1, w, 2 * w + 3, -1, -63}) {
+        for (Species sp = 0; sp < 4; ++sp) {
+          const std::uint64_t win = planes.window(sp, y, x0);
+          for (std::uint32_t f = 0; f < 64; ++f) {
+            const std::int32_t xc = (((x0 + static_cast<std::int32_t>(f)) % w) + w) % w;
+            const std::int32_t yc = ((y % 6) + 6) % 6;
+            ASSERT_EQ((win >> f) & 1u, planes.bit(sp, xc, yc) ? 1u : 0u)
+                << "w=" << w << " y=" << y << " x0=" << x0 << " f=" << f;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Bitplanes, MaskWindowIsUnionOfSpeciesWindows) {
+  const Configuration cfg = random_config(70, 4, 5, 3);
+  const SpeciesBitplanes planes(cfg);
+  for (const SpeciesMask mask : {SpeciesMask{0b00101}, SpeciesMask{0b10010}}) {
+    for (const std::int32_t x0 : {0, 17, 69, -2}) {
+      std::uint64_t expect = 0;
+      for (Species sp = 0; sp < 5; ++sp) {
+        if (mask & (SpeciesMask{1} << sp)) expect |= planes.window(sp, 2, x0);
+      }
+      EXPECT_EQ(planes.mask_window(mask, 2, x0), expect) << "x0=" << x0;
+    }
+  }
+}
+
+TEST(Bitplanes, FullDomainMaskShortCircuitsToAllOnes) {
+  const Configuration cfg = random_config(40, 4, 3, 5);
+  const SpeciesBitplanes planes(cfg);
+  const SpeciesMask full = (SpeciesMask{1} << 3) - 1;
+  EXPECT_EQ(planes.mask_window(full, 1, 7), ~std::uint64_t{0});
+  // Bits above num_species never contribute: they address no plane.
+  EXPECT_EQ(planes.mask_window(full | 0xF0u, 1, 7), ~std::uint64_t{0});
+  EXPECT_TRUE(planes.mask_bit(full, -5, 100));
+}
+
+TEST(Bitplanes, MaskBitAgreesWithWindow) {
+  const Configuration cfg = random_config(10, 9, 4, 17);
+  const SpeciesBitplanes planes(cfg);
+  const SpeciesMask mask = 0b0110;
+  for (std::int32_t y = -2; y < 11; ++y) {
+    for (std::int32_t x = -12; x < 22; ++x) {
+      const bool via_window = (planes.mask_window(mask, y, x) >> 0) & 1u;
+      EXPECT_EQ(planes.mask_bit(mask, x, y), via_window)
+          << "(" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(Bitplanes, ResyncSiteTracksWritesAndIsIdempotent) {
+  Configuration cfg = random_config(70, 5, 4, 23);
+  SpeciesBitplanes planes(cfg);
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 200; ++i) {
+    const SiteIndex s = static_cast<SiteIndex>(uniform_below(rng, cfg.size()));
+    cfg.set(s, static_cast<Species>(uniform_below(rng, 4)));
+    planes.resync_site(cfg, s);
+    planes.resync_site(cfg, s);  // replaying must be harmless
+    ASSERT_TRUE(planes.matches(cfg)) << "after resync " << i;
+  }
+}
+
+TEST(Bitplanes, MatchesDetectsStaleBit) {
+  Configuration cfg = random_config(12, 12, 3, 31);
+  SpeciesBitplanes planes(cfg);
+  ASSERT_TRUE(planes.matches(cfg));
+  const SiteIndex s = 77;
+  const Species old = cfg.get(s);
+  cfg.set(s, static_cast<Species>((old + 1) % 3));
+  EXPECT_FALSE(planes.matches(cfg));
+  planes.rebuild(cfg);
+  EXPECT_TRUE(planes.matches(cfg));
+}
+
+TEST(Bitplanes, ManySpeciesPlanes) {
+  // More species than the old 8-color assumptions elsewhere: 12 planes,
+  // each site in exactly one.
+  const Configuration cfg = random_config(33, 5, 12, 41);
+  const SpeciesBitplanes planes(cfg);
+  EXPECT_TRUE(planes.matches(cfg));
+  for (std::int32_t x = 0; x < 33; ++x) {
+    int set = 0;
+    for (Species sp = 0; sp < 12; ++sp) set += planes.bit(sp, x, 2) ? 1 : 0;
+    ASSERT_EQ(set, 1) << x;
+  }
+}
+
+}  // namespace
+}  // namespace casurf

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "ca/lpndca.hpp"
@@ -82,6 +83,62 @@ TEST(ChunkSampler, BoundaryOverflowNeverLandsOnTrailingZeroWeight) {
   sampler.assign({1.0, 3.0, 0.0, 0.0});
   EXPECT_EQ(sampler.sample(1.0), 1u);
   EXPECT_EQ(sampler.sample(std::nextafter(1.0, 0.0)), 1u);
+}
+
+TEST(ChunkSampler, NegativeAndNanWeightsClampToZero) {
+  // A negative weight makes the Fenwick prefix sums non-monotone and a NaN
+  // poisons every ancestor sum; both must clamp to zero (unselectable)
+  // instead of skewing or breaking the draw.
+  ChunkSampler sampler;
+  sampler.assign({2.0, -1.0, 2.0, std::numeric_limits<double>::quiet_NaN()});
+  EXPECT_DOUBLE_EQ(sampler.total(), 4.0);
+  EXPECT_DOUBLE_EQ(sampler.weight(1), 0.0);
+  EXPECT_DOUBLE_EQ(sampler.weight(3), 0.0);
+  Xoshiro256 rng(7);
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(uniform01(rng))];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_EQ(counts[3], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.5, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.5, 0.01);
+}
+
+TEST(ChunkSampler, AccumulatedRoundingAdversarial) {
+  // Adversarial accumulated rounding: the descent subtracts node sums in a
+  // different association than assign() added them, so with hundreds of
+  // irrationally-spaced weights and u just below 1 the walk can drift past
+  // the last positive chunk into a long zero tail. Every draw must still
+  // land on a positive-weight chunk.
+  std::vector<double> weights;
+  for (int i = 0; i < 300; ++i) {
+    weights.push_back(0.1 * (1.0 + std::sin(static_cast<double>(i))));
+  }
+  for (int i = 0; i < 200; ++i) weights.push_back(0.0);  // zero tail
+  ChunkSampler sampler;
+  sampler.assign(weights);
+  const ChunkId last_positive = 299;
+  for (double u :
+       {std::nextafter(1.0, 0.0), 1.0 - 1e-16, 1.0 - 1e-12, 0.9999999, 1.0}) {
+    const ChunkId c = sampler.sample(u);
+    EXPECT_LE(c, last_positive) << "u=" << u << " landed in the zero tail";
+    EXPECT_GT(sampler.weight(c), 0.0) << "u=" << u;
+  }
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 200000; ++i) {
+    const ChunkId c = sampler.sample(uniform01(rng));
+    ASSERT_GT(sampler.weight(c), 0.0) << "draw " << i << " chunk " << c;
+  }
+}
+
+TEST(ChunkSampler, TinyTotalsStillExcludeZeroChunks) {
+  // Subnormal-scale totals maximize relative rounding error in u * total.
+  ChunkSampler sampler;
+  sampler.assign({5e-324, 0.0, 5e-324, 0.0, 0.0});
+  for (double u : {0.0, 0.25, 0.5, std::nextafter(1.0, 0.0), 1.0}) {
+    const ChunkId c = sampler.sample(u);
+    EXPECT_TRUE(c == 0u || c == 2u) << "u=" << u << " chose " << c;
+  }
 }
 
 TEST(ChunkSampler, SingleChunk) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "rng/counter_rng.hpp"
@@ -127,6 +128,40 @@ TEST(CounterRng, DifferentSeedsDecorrelated) {
     if (a.next() == b.next()) ++same;
   }
   EXPECT_EQ(same, 0);
+}
+
+TEST(CounterRng, NextBelowZeroThrows) {
+  // Regression: next_below(0) used to compute bound - 1 == UINT64_MAX,
+  // making `r & mask` always pass the rejection test and "uniformly below
+  // zero" silently return arbitrary 64-bit values.
+  CounterRng rng(5, 6);
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+  // The throw must not consume a draw: the stream continues unperturbed.
+  CounterRng witness(5, 6);
+  EXPECT_NO_THROW({
+    CounterRng probe(5, 6);
+    try {
+      probe.next_below(0);
+    } catch (const std::invalid_argument&) {
+    }
+    EXPECT_EQ(probe.next(), witness.next());
+  });
+}
+
+TEST(CounterRng, ClosedFormMatchesStatefulStream) {
+  // The batched lane fill replays streams through the static closed form;
+  // it must agree with the stateful object draw for draw.
+  const std::uint64_t seed = 0xfeedULL;
+  const std::uint64_t key = CounterRng::key(42, 1337);
+  CounterRng rng(seed, key);
+  const std::uint64_t base = CounterRng::stream_base(seed, key);
+  for (std::uint64_t n = 1; n <= 16; ++n) {
+    EXPECT_EQ(rng.next(), CounterRng::nth(base, n)) << n;
+  }
+  CounterRng drng(seed, key);
+  for (std::uint64_t n = 1; n <= 16; ++n) {
+    EXPECT_EQ(drng.next_double(), CounterRng::to_unit(CounterRng::nth(base, n)));
+  }
 }
 
 TEST(CounterRng, DoubleInUnitInterval) {

@@ -175,12 +175,58 @@ TEST_F(SnapshotTest, PpmUsesPalettePerSpecies) {
   EXPECT_EQ(px[5], c1.b);
 }
 
-TEST(DefaultPalette, CyclesBeyondEight) {
-  const Rgb a = default_palette(1);
-  const Rgb b = default_palette(9);
-  EXPECT_EQ(a.r, b.r);
-  EXPECT_EQ(a.g, b.g);
-  EXPECT_EQ(a.b, b.b);
+TEST(DefaultPalette, CyclesOccupiedColorsBeyondEight) {
+  // The cycle covers the seven OCCUPIED colors only: species 8 wraps onto
+  // species 1's color, species 9 onto species 2's, never onto the vacant
+  // near-white (the regression: s % 8 gave species 8 the vacant color).
+  const auto same = [](Rgb a, Rgb b) {
+    return a.r == b.r && a.g == b.g && a.b == b.b;
+  };
+  EXPECT_TRUE(same(default_palette(8), default_palette(1)));
+  EXPECT_TRUE(same(default_palette(9), default_palette(2)));
+  EXPECT_TRUE(same(default_palette(15), default_palette(1)));
+  for (Species s = 1; s < 32; ++s) {
+    EXPECT_FALSE(same(default_palette(s), default_palette(0)))
+        << "occupied species " << int(s) << " renders as vacant";
+  }
+}
+
+TEST(DefaultPalette, DistinctWithinFirstEight) {
+  for (Species a = 0; a < 8; ++a) {
+    for (Species b = a + 1; b < 8; ++b) {
+      const Rgb ca = default_palette(a);
+      const Rgb cb = default_palette(b);
+      EXPECT_FALSE(ca.r == cb.r && ca.g == cb.g && ca.b == cb.b)
+          << "species " << int(a) << " and " << int(b) << " share a color";
+    }
+  }
+}
+
+TEST_F(SnapshotTest, PpmManySpeciesOccupiedSitesVisible) {
+  // A 12-species model: every occupied species must render in a non-vacant
+  // color, deterministically, including the ones past the palette table.
+  constexpr Species kNum = 12;
+  Configuration cfg(Lattice(kNum, 1), kNum, 0);
+  for (Species s = 1; s < kNum; ++s) cfg.set(Vec2{s, 0}, s);
+  write_ppm(ppm_, cfg);
+  std::ifstream in(ppm_, std::ios::binary);
+  std::string line;
+  std::getline(in, line);  // P6
+  std::getline(in, line);  // dims
+  std::getline(in, line);  // maxval
+  unsigned char px[kNum * 3];
+  in.read(reinterpret_cast<char*>(px), sizeof px);
+  const Rgb vac = default_palette(0);
+  EXPECT_EQ(px[0], vac.r);
+  for (Species s = 1; s < kNum; ++s) {
+    const Rgb expect = default_palette(s);
+    EXPECT_EQ(px[3 * s + 0], expect.r) << "species " << int(s);
+    EXPECT_EQ(px[3 * s + 1], expect.g);
+    EXPECT_EQ(px[3 * s + 2], expect.b);
+    EXPECT_FALSE(px[3 * s + 0] == vac.r && px[3 * s + 1] == vac.g &&
+                 px[3 * s + 2] == vac.b)
+        << "species " << int(s) << " rendered vacant-white";
+  }
 }
 
 }  // namespace
