@@ -188,6 +188,34 @@ void print_single(const Report& r) {
                 interior_sites > 0 ? interior_fires / interior_sites : 0.0);
   }
 
+  if (const Value* rec = r.doc.find("recovery");
+      rec != nullptr && rec->is_object()) {
+    const Value& records = rec->at("records");
+    std::printf("  recovery: %s, %llu restarts (budget %llu), "
+                "%llu checkpoint write failures, %llu rotation failures\n",
+                rec->find("supervised") != nullptr &&
+                        rec->at("supervised").as_bool()
+                    ? "supervised"
+                    : "unsupervised",
+                static_cast<unsigned long long>(rec->number_or("restarts", 0)),
+                static_cast<unsigned long long>(
+                    rec->number_or("retries_allowed", 0)),
+                static_cast<unsigned long long>(
+                    rec->number_or("checkpoint_write_failures", 0)),
+                static_cast<unsigned long long>(
+                    rec->number_or("checkpoint_rotate_failures", 0)));
+    for (const Value& a : records.items()) {
+      std::printf("    attempt %llu: %s (%d), resumed at t = %.6g from %s "
+                  "(wall %.3fs)\n",
+                  static_cast<unsigned long long>(a.number_or("attempt", 0)),
+                  a.string_or("cause", "?").c_str(),
+                  static_cast<int>(a.number_or("detail", 0)),
+                  a.number_or("resume_time", 0),
+                  a.string_or("restore_source", "?").c_str(),
+                  a.number_or("wall_seconds", 0));
+    }
+  }
+
   if (const Value* d = r.doc.find("drift"); d != nullptr && d->is_object()) {
     const Value& alarms = d->at("alarms");
     std::printf("  drift: %llu windows checked vs %s reference, %zu alarms, "

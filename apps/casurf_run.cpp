@@ -1,7 +1,9 @@
 // casurf_run — command-line driver for the library: pick a bundled model
 // (or load one from a .model file), pick an algorithm, run, and dump
 // coverage series / snapshots / images. Long runs can checkpoint
-// periodically and resume bit-identically after a crash.
+// periodically, resume bit-identically after a crash, and run under a
+// built-in supervisor that restarts a crashed or hung worker from the
+// latest good checkpoint (docs/ROBUSTNESS.md).
 //
 //   casurf_run --model zgb --y 0.45 --algorithm pndca --size 128x128 \
 //              --t-end 50 --dt 1 --csv coverage.csv --ppm final.ppm
@@ -10,12 +12,26 @@
 //
 //   casurf_run --model zgb --t-end 100 --checkpoint run.ck --checkpoint-every 5
 //   casurf_run --model zgb --t-end 100 --checkpoint run.ck --resume run.ck
+//   casurf_run --model zgb --t-end 100 --checkpoint run.ck --supervise=5
+//
+// Exit codes (docs/ROBUSTNESS.md):
+//   0    run completed
+//   1    runtime error (bad input files, simulation failure)
+//   2    usage error (bad flags, bad --failpoints spec)
+//   3    --resume: neither PATH nor PATH.bak could be restored
+//   4    --supervise: retry budget exhausted
+//   42   --die-at simulated crash (no cleanup, as a real crash)
+//   128+N  ended by signal N after a graceful shutdown (130 = SIGINT,
+//          143 = SIGTERM)
 
+#include <poll.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +40,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/audit.hpp"
@@ -44,12 +61,21 @@
 #include "models/zgb.hpp"
 #include "stats/coverage.hpp"
 #include "stats/csv.hpp"
+#include "util/failpoint.hpp"
 
 using namespace casurf;
 
 namespace {
 
+// Exit-code taxonomy; see the header comment and docs/ROBUSTNESS.md.
+constexpr int kExitOk = 0;
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitRestoreFailed = 3;
+constexpr int kExitRetriesExhausted = 4;
+
 struct Options {
+  std::string argv0 = "casurf_run";
   std::string model = "zgb";
   std::string model_file;
   std::string algorithm = "rsm";
@@ -84,7 +110,16 @@ struct Options {
   std::string heatmap;       // spatial-artifact prefix ("" = off)
   std::uint64_t heatmap_every = 0;  // refresh each N samples (0 = at end)
   double die_at = -1;  // crash-test aid: _Exit mid-run once time() >= die_at
+  std::string failpoints;  // fault-injection spec (flag or CASURF_FAILPOINTS)
+  bool supervise = false;             // run under the restarting supervisor
+  std::uint64_t supervise_retries = 3;  // restarts before giving up
+  double watchdog = 30.0;  // seconds without a heartbeat before SIGKILL
+  bool watchdog_set = false;
   bool quiet = false;
+  // Internal (not a flag): a supervised restart may fall back to a clean
+  // start when both checkpoints are unusable, where an explicit --resume
+  // must fail loudly instead (exit 3).
+  bool resume_clean_ok = false;
 };
 
 [[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
@@ -119,6 +154,17 @@ struct Options {
                "                      (default: the sampling interval)\n"
                "  --resume PATH       restore state from a checkpoint and continue;\n"
                "                      falls back to PATH.bak if PATH is corrupt\n"
+               "  --supervise[=N]     run the simulation in a monitored worker\n"
+               "                      process; on a crash or hang, restart it from\n"
+               "                      the latest good checkpoint, up to N times\n"
+               "                      (default 3). Requires --checkpoint.\n"
+               "  --watchdog T        with --supervise: kill and restart a worker\n"
+               "                      that posts no heartbeat for T wall seconds\n"
+               "                      (default 30; 0 disables the watchdog)\n"
+               "  --failpoints SPEC   arm deterministic fault injection, e.g.\n"
+               "                      'io/checkpoint/corrupt=hit@2,run/kill=prob@0.1'\n"
+               "                      (docs/ROBUSTNESS.md lists the names; the\n"
+               "                      CASURF_FAILPOINTS env var is the default)\n"
                "  --audit-every N     verify derived state every N samples\n"
                "  --audit-policy P    abort (default) | repair\n"
                "  --metrics PATH      record phase timers/counters and write a\n"
@@ -147,7 +193,7 @@ struct Options {
                "  --heatmap-every N   also refresh the artifacts every N samples\n"
                "  --quiet             suppress the progress table\n",
                argv0, obs::Tracer::kDefaultCapacity);
-  std::exit(error ? 2 : 0);
+  std::exit(error ? kExitUsage : 0);
 }
 
 /// strtod with the full error protocol: no partial parses ("5x" is an
@@ -180,6 +226,11 @@ std::uint64_t parse_u64(const char* flag, const char* value, const char* argv0) 
 
 Options parse_args(int argc, char** argv) {
   Options opt;
+  opt.argv0 = argv[0];
+  // The env var is the default; an explicit --failpoints overrides it (it
+  // is parsed later). Lets a supervisor or CI arm faults without touching
+  // the command line under test.
+  if (const char* env = std::getenv("CASURF_FAILPOINTS")) opt.failpoints = env;
   const auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage(argv[0], "missing value for flag");
     return argv[++i];
@@ -222,6 +273,17 @@ Options parse_args(int argc, char** argv) {
     else if (flag == "--checkpoint") opt.checkpoint = need_value(i);
     else if (flag == "--checkpoint-every") opt.checkpoint_every = num(i, "--checkpoint-every");
     else if (flag == "--resume") opt.resume = need_value(i);
+    else if (flag == "--supervise") opt.supervise = true;
+    else if (flag.rfind("--supervise=", 0) == 0) {
+      opt.supervise = true;
+      opt.supervise_retries = parse_u64(
+          "--supervise", std::string(flag.substr(12)).c_str(), argv[0]);
+    }
+    else if (flag == "--watchdog") {
+      opt.watchdog = num(i, "--watchdog");
+      opt.watchdog_set = true;
+    }
+    else if (flag == "--failpoints") opt.failpoints = need_value(i);
     else if (flag == "--audit-every") opt.audit_every = integer(i, "--audit-every");
     else if (flag == "--audit-policy") {
       const std::string_view v = need_value(i);
@@ -255,6 +317,21 @@ Options parse_args(int argc, char** argv) {
   if (opt.threads == 0) usage(argv[0], "--threads must be at least 1");
   if (opt.checkpoint_every > 0 && opt.checkpoint.empty()) {
     usage(argv[0], "--checkpoint-every requires --checkpoint PATH");
+  }
+  if (opt.supervise && opt.checkpoint.empty()) {
+    usage(argv[0],
+          "--supervise requires --checkpoint PATH (recovery restarts from "
+          "the latest good checkpoint)");
+  }
+  if (opt.watchdog_set && !opt.supervise) {
+    usage(argv[0], "--watchdog only applies with --supervise");
+  }
+  if (opt.watchdog < 0) usage(argv[0], "--watchdog must be non-negative");
+  if (!opt.failpoints.empty()) {
+    // Rejects both malformed specs and any spec in a CASURF_FAILPOINTS=OFF
+    // build: silently running faultless would defeat the torture test.
+    const std::string err = fail::validate(opt.failpoints);
+    if (!err.empty()) usage(argv[0], ("--failpoints: " + err).c_str());
   }
   if (opt.metrics_every > 0 && opt.metrics.empty()) {
     usage(argv[0], "--metrics-every requires --metrics PATH");
@@ -354,18 +431,106 @@ void decode_run_state(const std::string& blob, double& next,
   r.expect_end();
 }
 
-/// Rotate the previous checkpoint to PATH.bak, then atomically publish the
-/// new one. At every instant at least one intact checkpoint exists.
-void write_checkpoint(const Options& opt, const Simulator& sim, double next,
-                      const CoverageRecorder& recorder) {
-  std::rename(opt.checkpoint.c_str(), (opt.checkpoint + ".bak").c_str());
-  io::save_checkpoint(opt.checkpoint, sim, encode_run_state(next, recorder));
+// --- Signals and heartbeat ------------------------------------------------
+// The worker's handlers only set a flag; the sample loop notices it at the
+// next sample boundary and shuts down gracefully (final checkpoint, flushed
+// artifacts, exit 128+sig). The supervisor installs its own forwarding
+// handlers instead.
+
+volatile std::sig_atomic_t g_signal = 0;
+volatile pid_t g_child_pid = -1;
+
+void on_worker_signal(int sig) { g_signal = sig; }
+
+void on_supervisor_signal(int sig) {
+  g_signal = sig;
+  const pid_t child = g_child_pid;
+  if (child > 0) ::kill(child, sig);  // async-signal-safe
 }
 
-}  // namespace
+void install_worker_handlers() {
+  struct sigaction sa {};
+  sa.sa_handler = on_worker_signal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
 
-int main(int argc, char** argv) {
-  const Options opt = parse_args(argc, argv);
+/// Heartbeat pipe to the supervisor (one byte per sample); -1 when the run
+/// is not supervised.
+int g_heartbeat_fd = -1;
+
+void heartbeat() {
+  if (g_heartbeat_fd < 0) return;
+  const char beat = 'h';
+  [[maybe_unused]] const ssize_t n = ::write(g_heartbeat_fd, &beat, 1);
+}
+
+/// Rotate the previous checkpoint to PATH.bak, then atomically publish the
+/// new one; at every instant at least one intact checkpoint exists. Both
+/// halves degrade gracefully rather than kill a long run: a failed rotation
+/// (other than "no previous checkpoint") skips this interval entirely —
+/// publishing anyway would overwrite the only intact checkpoint while .bak
+/// still holds an older generation — and a failed write retries with
+/// backoff, then carries on with the previous checkpoint still in place.
+/// Failures are counted in the recovery log and surfaced in the report.
+bool write_checkpoint(const Options& opt, const Simulator& sim, double next,
+                      const CoverageRecorder& recorder, obs::RecoveryLog& recovery) {
+  const std::string bak = opt.checkpoint + ".bak";
+  if (std::rename(opt.checkpoint.c_str(), bak.c_str()) != 0 && errno != ENOENT) {
+    const int err = errno;
+    std::fprintf(stderr,
+                 "warning: checkpoint rotation failed: rename %s -> %s: %s; "
+                 "keeping the previous checkpoint, skipping this interval\n",
+                 opt.checkpoint.c_str(), bak.c_str(), std::strerror(err));
+    ++recovery.checkpoint_rotate_failures;
+    return false;
+  }
+  const std::string blob = encode_run_state(next, recorder);
+  constexpr int kAttempts = 3;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      io::save_checkpoint(opt.checkpoint, sim, blob);
+      return true;
+    } catch (const std::exception& e) {
+      if (attempt >= kAttempts) {
+        std::fprintf(stderr,
+                     "warning: checkpoint write failed after %d attempts: %s; "
+                     "continuing with the previous checkpoint (%s)\n",
+                     attempt, e.what(), bak.c_str());
+        ++recovery.checkpoint_write_failures;
+        return false;
+      }
+      std::fprintf(stderr, "warning: checkpoint write failed: %s; retrying\n",
+                   e.what());
+      std::this_thread::sleep_for(std::chrono::milliseconds(50 << (attempt - 1)));
+    }
+  }
+}
+
+// --- Worker ---------------------------------------------------------------
+
+int run_once(const Options& opt, obs::RecoveryLog& recovery) {
+  // Arm fault injection in this process only: under --supervise each worker
+  // generation configures after the fork, so hit@N counters restart at zero
+  // per attempt and every generation makes forward progress before its
+  // fault fires again.
+  if (!opt.failpoints.empty()) {
+    fail::set_seed(opt.seed);
+    const std::string err = fail::configure(opt.failpoints);
+    if (!err.empty()) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      return kExitUsage;
+    }
+  }
+  install_worker_handlers();
+
+  // Injected process-level faults (docs/ROBUSTNESS.md), evaluated once per
+  // sample after the checkpoint write so every supervised attempt makes
+  // forward progress before its fault recurs.
+  static constexpr fail::Failpoint kRunKill{"run/kill"};
+  static constexpr fail::Failpoint kRunSigterm{"run/sigterm"};
+  static constexpr fail::Failpoint kRunStall{"run/stall"};
 
   // --- Build the model -----------------------------------------------
   std::optional<ReactionModel> model;
@@ -388,7 +553,7 @@ int main(int argc, char** argv) {
     } else if (opt.model == "ising") {
       model.emplace(models::make_ising(opt.beta).model);
     } else {
-      usage(argv[0], ("unknown model: " + opt.model).c_str());
+      usage(opt.argv0.c_str(), ("unknown model: " + opt.model).c_str());
     }
 
     if (!opt.fill.empty()) {
@@ -423,7 +588,7 @@ int main(int argc, char** argv) {
 
     // --- Simulator -----------------------------------------------------
     SimulationOptions sim_opt;
-    sim_opt.algorithm = algorithm_from_name(opt.algorithm, argv[0]);
+    sim_opt.algorithm = algorithm_from_name(opt.algorithm, opt.argv0.c_str());
     sim_opt.seed = opt.seed;
     sim_opt.l_trials = opt.l_trials;
     sim_opt.threads = opt.threads;
@@ -444,26 +609,58 @@ int main(int argc, char** argv) {
     CoverageRecorder recorder;
     double next = opt.dt;
     bool resumed = false;
+    std::string restore_source;
     if (!opt.resume.empty()) {
       // A failed restore may leave the simulator partially modified, so
       // each attempt gets a freshly constructed one. After a successful
       // restore an abort-policy audit cross-checks every derived cache
       // against the raw configuration — a checkpoint can be intact
       // byte-wise (CRC passes) yet semantically inconsistent.
+      const std::string bak = opt.resume + ".bak";
       std::string blob;
+      bool have_blob = false;
       try {
         blob = io::restore_checkpoint(opt.resume, *sim);
         StateAuditor(AuditPolicy::kAbort).run(*sim);
+        restore_source = "primary";
+        have_blob = true;
       } catch (const std::exception& primary) {
-        const std::string bak = opt.resume + ".bak";
         std::fprintf(stderr, "warning: %s\nwarning: falling back to %s\n",
                      primary.what(), bak.c_str());
         sim = build_sim();
-        blob = io::restore_checkpoint(bak, *sim);
-        StateAuditor(AuditPolicy::kAbort).run(*sim);
+        try {
+          blob = io::restore_checkpoint(bak, *sim);
+          StateAuditor(AuditPolicy::kAbort).run(*sim);
+          restore_source = "backup";
+          have_blob = true;
+        } catch (const std::exception& secondary) {
+          if (!opt.resume_clean_ok) {
+            // Explicit --resume: starting over silently is worse than
+            // stopping — fail loudly with a dedicated exit code.
+            std::fprintf(stderr,
+                         "error: %s\nerror: cannot restore from %s or %s\n",
+                         secondary.what(), opt.resume.c_str(), bak.c_str());
+            return kExitRestoreFailed;
+          }
+          // Supervised restart: losing all progress beats losing the run.
+          std::fprintf(stderr,
+                       "warning: %s\nwarning: neither checkpoint is usable; "
+                       "restarting from a clean state\n",
+                       secondary.what());
+          sim = build_sim();
+          restore_source = "clean";
+        }
       }
-      decode_run_state(blob, next, recorder);
-      resumed = true;
+      if (have_blob) {
+        decode_run_state(blob, next, recorder);
+        resumed = true;
+      }
+    }
+    // A supervised restart fills in what the supervisor could not know:
+    // where the replacement actually resumed.
+    if (!restore_source.empty() && !recovery.records.empty()) {
+      recovery.records.back().resume_time = resumed ? sim->time() : 0.0;
+      recovery.records.back().restore_source = restore_source;
     }
 
     // --- Metrics / tracing / drift ------------------------------------
@@ -537,6 +734,16 @@ int main(int argc, char** argv) {
                               .count();
       return info;
     };
+    const auto flush_report = [&] {
+      if (opt.metrics.empty()) return;
+      const std::optional<obs::SpatialSummary> ssum = spatial_summary();
+      obs::write_run_report(opt.metrics, report_info(), sim.get(), &registry,
+                            nullptr, drift_for_report, ssum ? &*ssum : nullptr,
+                            &recovery);
+    };
+    const auto flush_trace = [&] {
+      if (!opt.trace.empty()) tracer.write(opt.trace);
+    };
 
     if (!opt.quiet) {
       std::printf("# %s, %zu reaction types, K = %.3f, %d x %d, seed %llu\n",
@@ -561,6 +768,7 @@ int main(int argc, char** argv) {
       recorder.sample(*sim);
       drift_sample(*sim);
     }
+    heartbeat();  // setup done: start the watchdog clock from here
     // Sampling targets form the fixed grid k * dt, indexed by integer k so
     // an overshooting advance never drifts later samples off the grid (and
     // a resumed run recovers its k from the checkpointed grid time).
@@ -569,6 +777,7 @@ int main(int argc, char** argv) {
       sim->advance_to(next);
       recorder.sample(*sim);
       drift_sample(*sim);
+      heartbeat();
       if (!opt.trace.empty()) {
         tracer.ring(0).instant("run/sample", sim->time(), sample_k);
       }
@@ -584,10 +793,7 @@ int main(int argc, char** argv) {
 
       ++samples;
       if (opt.metrics_every > 0 && samples % opt.metrics_every == 0) {
-        const std::optional<obs::SpatialSummary> ssum = spatial_summary();
-        obs::write_run_report(opt.metrics, report_info(), sim.get(), &registry,
-                              nullptr, drift_for_report,
-                              ssum ? &*ssum : nullptr);
+        flush_report();
       }
       if (opt.heatmap_every > 0 && samples % opt.heatmap_every == 0) {
         write_heatmap();
@@ -600,18 +806,50 @@ int main(int argc, char** argv) {
         }
       }
       if (!opt.checkpoint.empty() && sim->time() >= next_ckpt) {
-        write_checkpoint(opt, *sim, next, recorder);
+        write_checkpoint(opt, *sim, next, recorder, recovery);
         next_ckpt = sim->time() + ckpt_every;
+      }
+      if (kRunStall.fire()) {
+        std::fprintf(stderr, "injected stall at t = %.6g\n", sim->time());
+        std::this_thread::sleep_for(std::chrono::seconds(3));
+      }
+      if (kRunKill.fire()) {
+        std::fprintf(stderr, "injected SIGKILL at t = %.6g\n", sim->time());
+        std::fflush(nullptr);
+        ::raise(SIGKILL);
+      }
+      if (kRunSigterm.fire()) {
+        std::fprintf(stderr, "injected SIGTERM at t = %.6g\n", sim->time());
+        ::raise(SIGTERM);
       }
       if (opt.die_at >= 0 && sim->time() >= opt.die_at) {
         std::fprintf(stderr, "simulated crash at t = %.6g\n", sim->time());
         std::_Exit(42);  // no destructors, no final outputs — as a crash would
       }
+      if (g_signal != 0) {
+        // Graceful shutdown: save where we are, flush what observability
+        // state exists, and report the signal in the exit code. A later
+        // --resume (or supervised relaunch) continues from this sample.
+        const int sig = static_cast<int>(g_signal);
+        std::fprintf(stderr,
+                     "casurf_run: caught %s at t = %.6g; writing final "
+                     "checkpoint and flushing artifacts\n",
+                     sig == SIGINT ? "SIGINT" : "SIGTERM", sim->time());
+        heartbeat();
+        if (!opt.checkpoint.empty()) {
+          write_checkpoint(opt, *sim, next, recorder, recovery);
+        }
+        flush_report();
+        flush_trace();
+        return 128 + sig;
+      }
     }
 
     // A final checkpoint at t_end makes `--resume` idempotent: resuming a
     // finished run just rewrites the outputs.
-    if (!opt.checkpoint.empty()) write_checkpoint(opt, *sim, next, recorder);
+    if (!opt.checkpoint.empty()) {
+      write_checkpoint(opt, *sim, next, recorder, recovery);
+    }
 
     if (drift_mon) {
       drift_mon->finish();
@@ -647,14 +885,12 @@ int main(int argc, char** argv) {
     }
 
     if (!opt.metrics.empty()) {
-      const std::optional<obs::SpatialSummary> ssum = spatial_summary();
-      obs::write_run_report(opt.metrics, report_info(), sim.get(), &registry,
-                            nullptr, drift_for_report, ssum ? &*ssum : nullptr);
+      flush_report();
       if (!opt.quiet) std::printf("# metrics report: %s\n", opt.metrics.c_str());
     }
 
     if (!opt.trace.empty()) {
-      tracer.write(opt.trace);
+      flush_trace();
       if (!opt.quiet) {
         std::printf("# trace: %s (%llu events, %llu dropped)\n", opt.trace.c_str(),
                     static_cast<unsigned long long>(tracer.total_recorded()),
@@ -691,7 +927,184 @@ int main(int argc, char** argv) {
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitRuntime;
   }
-  return 0;
+  return kExitOk;
+}
+
+// --- Supervisor -----------------------------------------------------------
+
+/// Fork-based supervised execution: the simulation runs in a worker child
+/// while the parent watches a heartbeat pipe. A worker that crashes (any
+/// abnormal exit, an injected SIGKILL, a --die-at) or hangs (no heartbeat
+/// for --watchdog seconds; killed) is restarted from the latest good
+/// checkpoint with bounded exponential backoff, up to the retry budget.
+/// SIGINT/SIGTERM are forwarded to the worker, whose graceful shutdown
+/// (exit 128+sig) ends the supervised run without a restart — the contract
+/// a preempting scheduler relies on. Each restart is recorded in the
+/// recovery log the worker inherits through fork, so the final worker's
+/// run report carries the full history.
+int supervise(const Options& opt) {
+  obs::RecoveryLog recovery;
+  recovery.supervised = true;
+  recovery.retries_allowed = opt.supervise_retries;
+  const auto start = std::chrono::steady_clock::now();
+
+  struct sigaction sa {};
+  sa.sa_handler = on_supervisor_signal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  std::uint64_t restarts = 0;
+  for (;;) {
+    int pipefd[2];
+    if (::pipe(pipefd) != 0) {
+      std::fprintf(stderr, "error: supervisor pipe failed: %s\n",
+                   std::strerror(errno));
+      return kExitRuntime;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "error: supervisor fork failed: %s\n",
+                   std::strerror(errno));
+      return kExitRuntime;
+    }
+    if (pid == 0) {
+      // Worker. No exec: the parsed options and the recovery log so far
+      // come along through the fork.
+      ::close(pipefd[0]);
+      g_heartbeat_fd = pipefd[1];
+      std::signal(SIGPIPE, SIG_IGN);  // a dead supervisor must not kill us
+      Options worker = opt;
+      worker.supervise = false;
+      if (restarts > 0) {
+        // Restart: resume from the checkpoint chain; if both generations
+        // are unusable, start clean rather than give up the attempt.
+        worker.resume = opt.checkpoint;
+        worker.resume_clean_ok = true;
+      }
+      const int code = run_once(worker, recovery);
+      std::fflush(nullptr);
+      std::_Exit(code);
+    }
+    g_child_pid = pid;
+    ::close(pipefd[1]);
+
+    // Heartbeat watch. poll() wakes on data (worker alive), EOF (worker
+    // gone), timeout (worker hung), or EINTR (signal being forwarded).
+    bool watchdog_fired = false;
+    const int timeout_ms =
+        opt.watchdog > 0 ? static_cast<int>(opt.watchdog * 1000.0) : -1;
+    for (;;) {
+      struct pollfd pfd {pipefd[0], POLLIN, 0};
+      const int r = ::poll(&pfd, 1, timeout_ms);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (r == 0) {
+        std::fprintf(stderr,
+                     "supervisor: no heartbeat for %.3g s; killing worker %d\n",
+                     opt.watchdog, static_cast<int>(pid));
+        watchdog_fired = true;
+        ::kill(pid, SIGKILL);
+        break;
+      }
+      if ((pfd.revents & POLLIN) != 0) {
+        char buf[64];
+        const ssize_t n = ::read(pipefd[0], buf, sizeof buf);
+        if (n <= 0) break;  // EOF: worker exited
+      } else {
+        break;  // POLLHUP/POLLERR: worker exited
+      }
+    }
+    ::close(pipefd[0]);
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {}
+    g_child_pid = -1;
+
+    // Classify the exit: done, not-worth-retrying, graceful, or restart.
+    std::string cause;
+    int detail = 0;
+    if (WIFEXITED(status)) {
+      const int code = WEXITSTATUS(status);
+      if (code == kExitOk) return kExitOk;
+      if (code == kExitUsage) return code;  // config error: retrying is pointless
+      if (code == 128 + SIGINT || code == 128 + SIGTERM) {
+        // The worker shut down gracefully after a forwarded (or external)
+        // signal; that is an orderly preemption, not a failure.
+        return code;
+      }
+      cause = "crash";
+      detail = code;
+    } else if (WIFSIGNALED(status)) {
+      const int sig = WTERMSIG(status);
+      if (watchdog_fired) {
+        cause = "watchdog";
+        detail = sig;
+      } else if ((sig == SIGINT || sig == SIGTERM) && g_signal != 0) {
+        // Forwarded signal landed before the worker's handlers were up.
+        return 128 + sig;
+      } else {
+        cause = "signal";
+        detail = sig;
+      }
+    } else {
+      cause = "crash";
+      detail = status;
+    }
+
+    ++restarts;
+    if (restarts > opt.supervise_retries) {
+      std::fprintf(stderr,
+                   "error: supervised run still failing after %llu restarts "
+                   "(last: %s %d); giving up\n",
+                   static_cast<unsigned long long>(opt.supervise_retries),
+                   cause.c_str(), detail);
+      return kExitRetriesExhausted;
+    }
+    obs::RecoveryRecord record;
+    record.cause = cause;
+    record.detail = detail;
+    record.attempt = restarts;
+    record.wall_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+    // Estimate where the replacement will resume by peeking the checkpoint
+    // chain. The replacement overwrites this with the actual outcome, but
+    // only the final generation's log survives into the report —
+    // intermediate generations die with their copy — so the estimate is
+    // what the report carries for every restart but the last.
+    record.restore_source = "clean";
+    try {
+      record.resume_time = io::peek_checkpoint(opt.checkpoint).time;
+      record.restore_source = "primary";
+    } catch (const std::exception&) {
+      try {
+        record.resume_time = io::peek_checkpoint(opt.checkpoint + ".bak").time;
+        record.restore_source = "backup";
+      } catch (const std::exception&) {
+      }
+    }
+    recovery.records.push_back(record);
+    const double backoff =
+        std::min(2.0, 0.1 * std::ldexp(1.0, static_cast<int>(restarts) - 1));
+    std::fprintf(stderr,
+                 "supervisor: worker died (%s %d); restarting from %s "
+                 "(attempt %llu of %llu) after %.2g s\n",
+                 cause.c_str(), detail, opt.checkpoint.c_str(),
+                 static_cast<unsigned long long>(restarts),
+                 static_cast<unsigned long long>(opt.supervise_retries), backoff);
+    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  if (opt.supervise) return supervise(opt);
+  obs::RecoveryLog recovery;  // unsupervised: carries degradation counters
+  return run_once(opt, recovery);
 }

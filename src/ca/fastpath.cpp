@@ -8,7 +8,16 @@
 #include <immintrin.h>
 #endif
 
+#include "partition/conflict.hpp"
+#include "util/failpoint.hpp"
+
 namespace casurf {
+
+bool partition_gate(const Partition& p, const std::vector<Vec2>& conflict) {
+  static constexpr fail::Failpoint kGate{"fastpath/partition_gate"};
+  if (kGate.fire()) return false;
+  return verify_partition(p, conflict);
+}
 
 std::vector<BatchWindow> build_windows(const Lattice& lat,
                                        const std::vector<SiteIndex>& sites) {

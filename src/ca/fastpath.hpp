@@ -36,6 +36,14 @@ struct BatchWindow {
 [[nodiscard]] std::vector<BatchWindow> build_windows(
     const Lattice& lat, const std::vector<SiteIndex>& sites);
 
+/// verify_partition plus the "fastpath/partition_gate" failpoint: returns
+/// false — forcing the engine onto the scalar reference path — when the
+/// failpoint fires, otherwise the real non-overlap check. Engines gate
+/// set_fast_path() through this so fault injection can prove the scalar
+/// fallback produces identical trajectories (docs/ROBUSTNESS.md).
+[[nodiscard]] bool partition_gate(const Partition& p,
+                                  const std::vector<Vec2>& conflict);
+
 /// Lazily-built per-(partition slot, chunk) window lists. Windows are pure
 /// geometry — they depend on the partition only, never on the configuration
 /// — so they are built once and reused every sweep.

@@ -245,7 +245,7 @@ bool PndcaSimulator::set_fast_path(bool on) {
   // aside, e.g. hand-built ones in tests) keep the scalar reference path.
   const std::vector<Vec2> offsets = conflict_offsets(model_);
   for (const Partition& p : partitions_) {
-    if (!verify_partition(p, offsets)) return false;
+    if (!partition_gate(p, offsets)) return false;
   }
   fast_ = std::make_unique<FastState>(config_, seed_, model_);
   return true;

@@ -60,7 +60,7 @@ bool TPndcaSimulator::set_fast_path(bool on) {
       // type's conflicts with itself — the weaker (two-chunk) condition
       // this algorithm exists to exploit.
       const std::vector<Vec2> offsets = self_conflict_offsets(model_.reaction(i));
-      state->safe[j][i] = verify_partition(subsets_[j].chunks, offsets) ? 1 : 0;
+      state->safe[j][i] = partition_gate(subsets_[j].chunks, offsets) ? 1 : 0;
     }
   }
   fast_ = std::move(state);

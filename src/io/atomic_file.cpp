@@ -10,12 +10,24 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "util/failpoint.hpp"
+
 namespace casurf::io {
 
 namespace {
 
-[[noreturn]] void fail(const std::string& what, const std::string& path) {
-  throw std::runtime_error(what + " for " + path + ": " + std::strerror(errno));
+// Every step of the atomic write carries a failpoint so crash-recovery
+// machinery can be exercised deterministically (docs/ROBUSTNESS.md).
+constexpr fail::Failpoint kFailShortWrite{"io/atomic_write/short_write"};
+constexpr fail::Failpoint kFailFsync{"io/atomic_write/fsync"};
+constexpr fail::Failpoint kFailRename{"io/atomic_write/rename"};
+
+/// Error messages name the failing syscall, the path, and the errno text:
+/// "checkpoint write failed" is unactionable, "fsync failed for run.ck.tmp:
+/// No space left on device" is not.
+[[noreturn]] void fail_sys(const char* syscall, const std::string& path, int err) {
+  throw std::runtime_error(std::string("atomic_write_file: ") + syscall +
+                           " failed for " + path + ": " + std::strerror(err));
 }
 
 /// Best-effort directory fsync so the rename is durable; ignored on
@@ -34,30 +46,71 @@ void sync_parent_dir(const std::string& path) {
 void atomic_write_file(const std::string& path, std::string_view contents) {
   const std::string tmp = path + ".tmp." + std::to_string(::getpid());
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) fail("atomic_write_file: cannot open temporary", tmp);
+  if (f == nullptr) fail_sys("open", tmp, errno);
 
-  bool ok = contents.empty() ||
-            std::fwrite(contents.data(), 1, contents.size(), f) == contents.size();
-  ok = std::fflush(f) == 0 && ok;
-  ok = ::fsync(::fileno(f)) == 0 && ok;
-  ok = std::fclose(f) == 0 && ok;
-  if (!ok) {
+  std::size_t written;
+  if (kFailShortWrite.fire()) {
+    // Leave a genuinely truncated temporary so the cleanup path below runs
+    // against a real short file, as an out-of-space write would leave.
+    written = contents.size() / 2;
+    if (written > 0) std::fwrite(contents.data(), 1, written, f);
+    errno = ENOSPC;
+  } else {
+    written = contents.empty()
+                  ? 0
+                  : std::fwrite(contents.data(), 1, contents.size(), f);
+  }
+  if (written != contents.size()) {
+    const int err = errno != 0 ? errno : ENOSPC;
+    std::fclose(f);
     std::remove(tmp.c_str());
-    fail("atomic_write_file: write failed", tmp);
+    throw std::runtime_error("atomic_write_file: short write to " + tmp + " (" +
+                             std::to_string(written) + " of " +
+                             std::to_string(contents.size()) +
+                             " bytes): " + std::strerror(err));
+  }
+  if (std::fflush(f) != 0) {
+    const int err = errno;
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    fail_sys("fflush", tmp, err);
+  }
+  const bool fsync_injected = kFailFsync.fire();
+  if (fsync_injected || ::fsync(::fileno(f)) != 0) {
+    const int err = fsync_injected ? EIO : errno;
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    fail_sys("fsync", tmp, err);
+  }
+  if (std::fclose(f) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    fail_sys("close", tmp, err);
+  }
+  if (kFailRename.fire()) {
+    std::remove(tmp.c_str());
+    fail_sys("rename", path, EIO);
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
     std::remove(tmp.c_str());
-    fail("atomic_write_file: rename failed", path);
+    fail_sys("rename", path, err);
   }
   sync_parent_dir(path);
 }
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("read_file: cannot open " + path);
+  if (!in) {
+    const int err = errno;
+    throw std::runtime_error("read_file: cannot open " + path + ": " +
+                             std::strerror(err != 0 ? err : ENOENT));
+  }
   std::ostringstream buf;
   buf << in.rdbuf();
-  if (!in.good() && !in.eof()) throw std::runtime_error("read_file: read failed for " + path);
+  if (!in.good() && !in.eof()) {
+    throw std::runtime_error("read_file: read failed for " + path);
+  }
   return std::move(buf).str();
 }
 

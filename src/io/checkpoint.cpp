@@ -6,6 +6,7 @@
 
 #include "core/state_io.hpp"
 #include "io/atomic_file.hpp"
+#include "util/failpoint.hpp"
 
 namespace casurf::io {
 
@@ -113,10 +114,23 @@ void save_checkpoint(const std::string& path, const Simulator& sim,
   file.u64(payload.size());
   file.bytes(payload.buffer().data(), payload.size());
 
+  // Fault injection (docs/ROBUSTNESS.md): both failpoints simulate damage
+  // the atomic write canNOT catch — the write itself succeeds, and only a
+  // later restore discovers the file is unusable (CRC mismatch / short
+  // payload) and falls back to the previous generation.
+  std::string bytes(reinterpret_cast<const char*>(file.buffer().data()),
+                    file.size());
+  static constexpr fail::Failpoint kCorrupt{"io/checkpoint/corrupt"};
+  static constexpr fail::Failpoint kTruncate{"io/checkpoint/truncate"};
+  if (kCorrupt.fire() && payload.size() > 0) {
+    bytes[kHeaderSize + payload.size() / 2] ^= 0x01;  // one bit of bit rot
+  }
+  if (kTruncate.fire()) {
+    bytes.resize(bytes.size() / 2);
+  }
+
   try {
-    atomic_write_file(path, std::string_view(
-                                reinterpret_cast<const char*>(file.buffer().data()),
-                                file.size()));
+    atomic_write_file(path, bytes);
   } catch (const std::exception& e) {
     throw CheckpointError(e.what());
   }

@@ -227,6 +227,48 @@ void emit_spatial(Json& j, const SpatialSummary* spatial) {
   append_summary_json(j, *spatial);
 }
 
+/// Supervised-recovery history: null for an undisturbed, unsupervised run,
+/// so existing report consumers never see the section unless something
+/// actually went wrong (or a supervisor was watching).
+void emit_recovery(Json& j, const RecoveryLog* recovery) {
+  j.key("recovery");
+  if (recovery == nullptr || recovery->empty()) {
+    j.raw("null");
+    return;
+  }
+  j.begin_object();
+  j.key("supervised");
+  j.raw(recovery->supervised ? "true" : "false");
+  j.key("retries_allowed");
+  j.u64(recovery->retries_allowed);
+  j.key("restarts");
+  j.u64(recovery->records.size());
+  j.key("checkpoint_write_failures");
+  j.u64(recovery->checkpoint_write_failures);
+  j.key("checkpoint_rotate_failures");
+  j.u64(recovery->checkpoint_rotate_failures);
+  j.key("records");
+  j.begin_array();
+  for (const RecoveryRecord& r : recovery->records) {
+    j.begin_object();
+    j.key("cause");
+    j.string(r.cause);
+    j.key("detail");
+    j.i64(r.detail);
+    j.key("attempt");
+    j.u64(r.attempt);
+    j.key("resume_time");
+    j.number(r.resume_time);
+    j.key("restore_source");
+    j.string(r.restore_source);
+    j.key("wall_seconds");
+    j.number(r.wall_seconds);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+}
+
 void emit_comm(Json& j, const Communicator::Stats* comm) {
   j.key("communicator");
   const Communicator::Stats zero{};
@@ -247,7 +289,8 @@ std::string run_report_json(const RunInfo& info, const Simulator* sim,
                             const MetricsRegistry* registry,
                             const Communicator::Stats* comm,
                             const DriftMonitor* drift,
-                            const SpatialSummary* spatial) {
+                            const SpatialSummary* spatial,
+                            const RecoveryLog* recovery) {
   Json j;
   j.begin_object();
   j.key("schema");
@@ -258,6 +301,7 @@ std::string run_report_json(const RunInfo& info, const Simulator* sim,
   emit_threads(j, registry);
   emit_drift(j, drift);
   emit_spatial(j, spatial);
+  emit_recovery(j, recovery);
   emit_comm(j, comm);
   j.end_object();
   std::string out = std::move(j).str();
@@ -268,9 +312,9 @@ std::string run_report_json(const RunInfo& info, const Simulator* sim,
 void write_run_report(const std::string& path, const RunInfo& info,
                       const Simulator* sim, const MetricsRegistry* registry,
                       const Communicator::Stats* comm, const DriftMonitor* drift,
-                      const SpatialSummary* spatial) {
-  io::atomic_write_file(path,
-                        run_report_json(info, sim, registry, comm, drift, spatial));
+                      const SpatialSummary* spatial, const RecoveryLog* recovery) {
+  io::atomic_write_file(path, run_report_json(info, sim, registry, comm, drift,
+                                              spatial, recovery));
 }
 
 }  // namespace casurf::obs

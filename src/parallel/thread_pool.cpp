@@ -1,8 +1,22 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "util/failpoint.hpp"
 
 namespace casurf {
+
+namespace {
+
+// Fault injection (docs/ROBUSTNESS.md): a worker that dies mid-slice and a
+// worker that straggles. Both are evaluated per executed slice.
+constexpr fail::Failpoint kWorkerThrow{"thread_pool/worker_throw"};
+constexpr fail::Failpoint kWorkerStall{"thread_pool/worker_stall"};
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) {
@@ -46,10 +60,24 @@ void ThreadPool::worker_main(unsigned id) {
     const std::size_t extra = n % active;
     const std::size_t begin = id * per + std::min<std::size_t>(id, extra);
     const std::size_t end = begin + per + (id < extra ? 1 : 0);
-    (*body)(id, begin, end);
+    std::exception_ptr thrown;
+    try {
+      if (kWorkerStall.fire()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      }
+      if (kWorkerThrow.fire()) {
+        throw std::runtime_error(
+            "thread_pool: injected worker failure "
+            "(failpoint thread_pool/worker_throw)");
+      }
+      (*body)(id, begin, end);
+    } catch (...) {
+      thrown = std::current_exception();
+    }
     bool last;
     {
       std::lock_guard lock(mutex_);
+      if (thrown != nullptr && error_ == nullptr) error_ = thrown;
       last = --remaining_ == 0;
     }
     // Notify after unlocking so the coordinator wakes into a free mutex
@@ -75,6 +103,14 @@ void ThreadPool::parallel_for(
   std::unique_lock lock(mutex_);
   done_.wait(lock, [&] { return remaining_ == 0; });
   body_ = nullptr;
+  if (error_ != nullptr) {
+    // Rethrow only after the barrier: every slice has finished, so the
+    // caller's data structures are not being touched concurrently and the
+    // pool is immediately reusable for the next parallel_for.
+    const std::exception_ptr e = std::exchange(error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
 }
 
 }  // namespace casurf

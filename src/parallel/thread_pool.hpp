@@ -2,6 +2,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -13,6 +14,12 @@ namespace casurf {
 /// parallel_for splits an index range into one contiguous slice per worker
 /// and blocks until every slice has run — the execution model of one PNDCA
 /// chunk sweep. Workers persist across calls (no per-step thread spawn).
+///
+/// A body that throws does not take the process down: the first exception
+/// is captured, the barrier still completes (every other slice finishes),
+/// and parallel_for rethrows it on the calling thread — so a failing sweep
+/// surfaces as an ordinary exception the run loop (or the supervisor's
+/// worker process) can handle. The pool stays usable afterwards.
 ///
 /// Deliberately minimal: static partitioning (PNDCA trials are uniform
 /// cost), no work stealing, no task queue.
@@ -33,7 +40,8 @@ class ThreadPool {
   /// so every invoked worker receives at least one index. Worker ids are
   /// 0..size()-1 and stable, so callers can index per-thread scratch
   /// buffers. The calling thread only coordinates; re-entrant calls from
-  /// within a body are not allowed.
+  /// within a body are not allowed. If any slice threw, the first captured
+  /// exception is rethrown here after all slices finished.
   void parallel_for(std::size_t n,
                     const std::function<void(unsigned, std::size_t, std::size_t)>& body);
 
@@ -49,6 +57,7 @@ class ThreadPool {
   std::uint64_t generation_ = 0;
   unsigned active_ = 0;  // workers participating in the current job
   unsigned remaining_ = 0;
+  std::exception_ptr error_;  // first exception thrown by a slice this job
   bool stopping_ = false;
 };
 

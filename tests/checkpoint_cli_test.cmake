@@ -56,9 +56,10 @@ run_expecting(0 ${APP} ${COMMON} --resume "${WORKDIR}/run.ck"
 require_identical("${WORKDIR}/full.csv" "${WORKDIR}/fallback.csv" "csv after fallback")
 require_identical("${WORKDIR}/full.snap" "${WORKDIR}/fallback.snap" "snapshot after fallback")
 
-# 5. With the fallback also gone, the resume must fail loudly, not start over.
+# 5. With the fallback also gone, the resume must fail loudly, not start
+#    over — exit 3, the dedicated restore-failed code (docs/ROBUSTNESS.md).
 file(REMOVE "${WORKDIR}/run.ck.bak")
-run_expecting(1 ${APP} ${COMMON} --resume "${WORKDIR}/run.ck"
+run_expecting(3 ${APP} ${COMMON} --resume "${WORKDIR}/run.ck"
               --csv "${WORKDIR}/never.csv")
 if(EXISTS "${WORKDIR}/never.csv")
   message(FATAL_ERROR "failed resume still wrote outputs")

@@ -1,0 +1,128 @@
+// Fuzz-style robustness contract for the checkpoint reader
+// (docs/ROBUSTNESS.md): no damaged checkpoint — truncated anywhere,
+// including exactly at section boundaries, or with any single bit flipped —
+// may ever crash the restore or hand back garbage state. The only permitted
+// outcomes are a CheckpointError (the caller then falls back to .bak or
+// fails cleanly, as casurf_run does) or, for damage the container cannot
+// see, a StateFormatError wrapped into CheckpointError by the reader.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "io/atomic_file.hpp"
+#include "io/checkpoint.hpp"
+#include "models/zgb.hpp"
+
+namespace casurf {
+namespace {
+
+class CheckpointFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "casurf_checkpoint_fuzz." +
+            std::to_string(::getpid()) + ".ck";
+    zgb_.emplace(models::make_zgb(models::ZgbParams::from_y(0.45, 10.0)));
+    opt_.algorithm = Algorithm::kVssm;
+    opt_.seed = 17;
+    std::unique_ptr<Simulator> sim = make();
+    sim->advance_to(2.0);
+    io::save_checkpoint(path_, *sim, "user-blob for the fuzzer");
+    pristine_ = io::read_file(path_);
+    reference_time_ = sim->time();
+  }
+
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::unique_ptr<Simulator> make() const {
+    const Configuration init(Lattice(16, 16), 3, zgb_->vacant);
+    return make_simulator(zgb_->model, init, opt_);
+  }
+
+  /// Write `bytes` over the checkpoint and require the restore to reject it
+  /// with the checkpoint error protocol — not crash, not succeed.
+  void expect_rejected(const std::string& bytes, const std::string& what) {
+    io::atomic_write_file(path_, bytes);
+    std::unique_ptr<Simulator> sim = make();
+    EXPECT_THROW(io::restore_checkpoint(path_, *sim), io::CheckpointError)
+        << what;
+  }
+
+  std::string path_;
+  std::optional<models::ZgbModel> zgb_;
+  SimulationOptions opt_;
+  std::string pristine_;
+  double reference_time_ = 0;
+};
+
+TEST_F(CheckpointFuzzTest, PristineFileRestores) {
+  std::unique_ptr<Simulator> sim = make();
+  EXPECT_EQ(io::restore_checkpoint(path_, *sim), "user-blob for the fuzzer");
+  EXPECT_EQ(sim->time(), reference_time_);
+}
+
+TEST_F(CheckpointFuzzTest, TruncationAtEveryStrideIsRejected) {
+  // Every prefix length with a fine stride (and all of the first 64 bytes,
+  // which cover the magic/version/CRC/size header exactly).
+  for (std::size_t len = 0; len < pristine_.size(); len += len < 64 ? 1 : 37) {
+    expect_rejected(pristine_.substr(0, len),
+                    "truncated to " + std::to_string(len) + " bytes");
+  }
+}
+
+TEST_F(CheckpointFuzzTest, TruncationAtSectionBoundariesIsRejected) {
+  // The payload is a section stream ("meta", "state", "user"); cutting
+  // exactly at, just before, and just after each marker exercises the
+  // reader's section framing rather than just the container's size check.
+  for (const char* marker : {"meta", "state", "user"}) {
+    const std::size_t at = pristine_.find(marker);
+    ASSERT_NE(at, std::string::npos) << marker;
+    for (const std::size_t cut :
+         {at - 1, at, at + 1, at + std::string(marker).size()}) {
+      expect_rejected(pristine_.substr(0, cut),
+                      std::string("cut at section '") + marker + "' offset " +
+                          std::to_string(cut));
+    }
+  }
+}
+
+TEST_F(CheckpointFuzzTest, EveryByteWithABitFlippedIsRejected) {
+  // One bit per byte, rotating which bit, covers header fields (magic,
+  // version, CRC, payload size) and the whole payload. The CRC catches
+  // payload damage; the header checks catch the rest. Nothing may restore.
+  for (std::size_t i = 0; i < pristine_.size(); ++i) {
+    std::string mutated = pristine_;
+    mutated[i] = static_cast<char>(
+        static_cast<std::uint8_t>(mutated[i]) ^ (1u << (i % 8)));
+    expect_rejected(mutated, "bit flip at offset " + std::to_string(i));
+  }
+}
+
+TEST_F(CheckpointFuzzTest, TrailingGarbageAndWholesaleGarbageAreRejected) {
+  expect_rejected(pristine_ + "x", "one trailing byte");
+  expect_rejected(pristine_ + std::string(100, '\0'), "trailing zeros");
+  expect_rejected("", "empty file");
+  expect_rejected("this is not a checkpoint", "plain text");
+  expect_rejected(std::string(4096, '\xff'), "all ones");
+}
+
+TEST_F(CheckpointFuzzTest, RestoreStillWorksAfterAllTheAbuse) {
+  // A rejected restore must not poison anything global: put the pristine
+  // bytes back and the same process must restore them fine.
+  expect_rejected(pristine_.substr(0, pristine_.size() / 2), "half the file");
+  io::atomic_write_file(path_, pristine_);
+  std::unique_ptr<Simulator> sim = make();
+  EXPECT_EQ(io::restore_checkpoint(path_, *sim), "user-blob for the fuzzer");
+  EXPECT_EQ(sim->time(), reference_time_);
+}
+
+}  // namespace
+}  // namespace casurf
