@@ -55,6 +55,7 @@
 #include "obs/trace.hpp"
 #include "partition/conflict.hpp"
 #include "model/parser.hpp"
+#include "serve/spawn.hpp"
 #include "models/diffusion.hpp"
 #include "models/ising.hpp"
 #include "models/pt100.hpp"
@@ -964,13 +965,12 @@ int supervise(const Options& opt) {
                    std::strerror(errno));
       return kExitRuntime;
     }
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-      std::fprintf(stderr, "error: supervisor fork failed: %s\n",
-                   std::strerror(errno));
-      return kExitRuntime;
-    }
-    if (pid == 0) {
+    // spawn_supervised closes the forwarding window: SIGINT/SIGTERM are
+    // blocked across fork() and the g_child_pid store (a signal landing in
+    // between would otherwise run on_supervisor_signal against a stale pid
+    // and orphan the fresh worker), and a signal that had already arrived
+    // before the fork is re-forwarded once the pid is published.
+    const pid_t pid = serve::spawn_supervised(&g_child_pid, &g_signal, [&] {
       // Worker. No exec: the parsed options and the recovery log so far
       // come along through the fork.
       ::close(pipefd[0]);
@@ -986,9 +986,13 @@ int supervise(const Options& opt) {
       }
       const int code = run_once(worker, recovery);
       std::fflush(nullptr);
-      std::_Exit(code);
+      return code;
+    });
+    if (pid < 0) {
+      std::fprintf(stderr, "error: supervisor fork failed: %s\n",
+                   std::strerror(errno));
+      return kExitRuntime;
     }
-    g_child_pid = pid;
     ::close(pipefd[1]);
 
     // Heartbeat watch. poll() wakes on data (worker alive), EOF (worker

@@ -13,6 +13,20 @@ Communicator::Communicator(int world_size) : boxes_(world_size) {
   }
 }
 
+namespace {
+
+bool is_comm_aborted(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const CommAborted&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
 Communicator::Stats Communicator::run(int world_size,
                                       const std::function<void(Rank&)>& rank_main) {
   Communicator comm(world_size);
@@ -26,14 +40,37 @@ Communicator::Stats Communicator::run(int world_size,
         rank_main(handle);
       } catch (...) {
         errors[r] = std::current_exception();
+        // Wake every peer blocked on a message or collective this rank
+        // will never complete; they throw CommAborted and unwind, so the
+        // join loop below always terminates.
+        comm.abort_world();
       }
     });
   }
   for (std::thread& t : threads) t.join();
+  // Rethrow the root cause, not the CommAborted cascade it triggered.
+  for (const std::exception_ptr& e : errors) {
+    if (e && !is_comm_aborted(e)) std::rethrow_exception(e);
+  }
   for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);
   }
   return Stats{comm.messages_.load(), comm.bytes_.load(), comm.barriers_.load()};
+}
+
+void Communicator::abort_world() {
+  aborted_.store(true);
+  // Lock-then-notify per cv: a waiter either checks the flag before
+  // releasing its mutex (and sees the store), or is already parked when
+  // this acquires the mutex — in which case the notify reaches it. Without
+  // taking the lock, the store could land between a waiter's check and its
+  // wait(), and the notify would be lost forever.
+  for (Mailbox& box : boxes_) {
+    { std::lock_guard lock(box.mutex); }
+    box.arrived.notify_all();
+  }
+  { std::lock_guard lock(coll_mutex_); }
+  coll_cv_.notify_all();
 }
 
 void Communicator::Rank::send(int dest, int tag, std::vector<std::byte> payload) {
@@ -54,6 +91,9 @@ std::vector<std::byte> Communicator::Rank::recv(int src, int tag) {
   Mailbox& box = comm_->boxes_[rank_];
   std::unique_lock lock(box.mutex);
   for (;;) {
+    // Checked on entry and after every wakeup: a pending message from a
+    // now-dead world is no longer deliverable in any meaningful order.
+    if (comm_->aborted_.load()) throw CommAborted();
     const auto it = std::ranges::find_if(box.queue, [&](const Message& m) {
       return m.src == src && m.tag == tag;
     });
@@ -68,6 +108,7 @@ std::vector<std::byte> Communicator::Rank::recv(int src, int tag) {
 
 void Communicator::Rank::barrier() {
   std::unique_lock lock(comm_->coll_mutex_);
+  if (comm_->aborted_.load()) throw CommAborted();
   const std::uint64_t gen = comm_->coll_generation_;
   if (++comm_->coll_arrived_ == world_size()) {
     comm_->coll_arrived_ = 0;
@@ -75,7 +116,11 @@ void Communicator::Rank::barrier() {
     comm_->barriers_.fetch_add(1, std::memory_order_relaxed);
     comm_->coll_cv_.notify_all();
   } else {
-    comm_->coll_cv_.wait(lock, [&] { return comm_->coll_generation_ != gen; });
+    comm_->coll_cv_.wait(lock, [&] {
+      return comm_->coll_generation_ != gen || comm_->aborted_.load();
+    });
+    // Epoch never released: woken by abort_world, not by the last arrival.
+    if (comm_->coll_generation_ == gen) throw CommAborted();
   }
 }
 
@@ -94,6 +139,7 @@ T Communicator::allreduce_impl(int, T value) {
     out = &reduce_u64_out_;
   }
   std::unique_lock lock(coll_mutex_);
+  if (aborted_.load()) throw CommAborted();
   const std::uint64_t gen = coll_generation_;
   *slot += value;
   if (++coll_arrived_ == static_cast<int>(boxes_.size())) {
@@ -104,7 +150,9 @@ T Communicator::allreduce_impl(int, T value) {
     barriers_.fetch_add(1, std::memory_order_relaxed);
     coll_cv_.notify_all();
   } else {
-    coll_cv_.wait(lock, [&] { return coll_generation_ != gen; });
+    coll_cv_.wait(lock,
+                  [&] { return coll_generation_ != gen || aborted_.load(); });
+    if (coll_generation_ == gen) throw CommAborted();
   }
   return *out;
 }

@@ -8,9 +8,23 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
 #include <vector>
 
 namespace casurf {
+
+/// Thrown out of a blocking Communicator call (recv, barrier, allreduce)
+/// when a peer rank has failed: the world is aborting, so the message or
+/// collective this rank is waiting for can never complete. Surviving ranks
+/// should let it propagate; Communicator::run treats it as a secondary
+/// casualty and rethrows the peer's original exception instead.
+class CommAborted : public std::runtime_error {
+ public:
+  CommAborted()
+      : std::runtime_error(
+            "communicator: world aborted (a peer rank failed before "
+            "completing this exchange)") {}
+};
 
 /// In-process message-passing substrate, MPI-flavored: a fixed world of
 /// ranks (one thread each) exchanging tagged point-to-point messages plus
@@ -33,8 +47,14 @@ class Communicator {
   /// Spawn `world_size` ranks, run `rank_main` on each (rank 0 included),
   /// join, and return this run's communication totals. Stats are
   /// per-instance — concurrent run() calls (e.g. two simulations on
-  /// different threads) never see each other's counts. Exceptions in a
-  /// rank propagate to the caller after all ranks finish or abort.
+  /// different threads) never see each other's counts.
+  ///
+  /// Failure semantics: a rank that throws aborts the whole world. Every
+  /// peer blocked in (or later entering) recv/barrier/allreduce wakes and
+  /// throws CommAborted instead of waiting for a message or a collective
+  /// that can never complete, so run() always returns: it joins every
+  /// rank and rethrows the first *original* exception — the CommAborted
+  /// cascade it triggered in the survivors is not reported.
   static Stats run(int world_size, const std::function<void(Rank&)>& rank_main);
 
   /// A rank's endpoint: the handle `rank_main` receives.
@@ -110,7 +130,13 @@ class Communicator {
   template <class T>
   T allreduce_impl(int rank, T value);
 
+  /// Poison every mailbox and the collective state: set the abort flag and
+  /// wake all waiters, which then throw CommAborted. Called from run()'s
+  /// catch path; safe to call from multiple failing ranks concurrently.
+  void abort_world();
+
   std::vector<Mailbox> boxes_;
+  std::atomic<bool> aborted_{false};
   // Barrier + reduction state.
   std::mutex coll_mutex_;
   std::condition_variable coll_cv_;

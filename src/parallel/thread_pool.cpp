@@ -89,6 +89,10 @@ void ThreadPool::worker_main(unsigned id) {
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(unsigned, std::size_t, std::size_t)>& body) {
   if (n == 0) return;
+  // One submission owns the pool end to end (publish, barrier, error
+  // collection); a concurrent caller blocks here until the barrier below
+  // has completed and the job state is quiescent again.
+  std::lock_guard submission(submit_mutex_);
   {
     std::lock_guard lock(mutex_);
     body_ = &body;

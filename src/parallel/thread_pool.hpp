@@ -40,8 +40,16 @@ class ThreadPool {
   /// so every invoked worker receives at least one index. Worker ids are
   /// 0..size()-1 and stable, so callers can index per-thread scratch
   /// buffers. The calling thread only coordinates; re-entrant calls from
-  /// within a body are not allowed. If any slice threw, the first captured
-  /// exception is rethrown here after all slices finished.
+  /// within a body are not allowed (a slice submitting to its own pool
+  /// self-deadlocks on the submission lock). If any slice threw, the first
+  /// captured exception is rethrown here after all slices finished.
+  ///
+  /// Thread safety: concurrent parallel_for calls from DIFFERENT threads
+  /// are safe — submissions serialize on an internal mutex held for the
+  /// whole fork-join, so the second job starts only after the first's
+  /// barrier completes. A daemon multiplexing simulations should still
+  /// give each concurrent run its own pool: serialization preserves
+  /// correctness, not parallel throughput.
   void parallel_for(std::size_t n,
                     const std::function<void(unsigned, std::size_t, std::size_t)>& body);
 
@@ -49,6 +57,11 @@ class ThreadPool {
   void worker_main(unsigned id);
 
   std::vector<std::thread> workers_;
+  /// Serializes whole parallel_for invocations. Without it, two concurrent
+  /// submitters clobber body_/job_n_/remaining_/generation_ and corrupt
+  /// both jobs (workers run a mix of the two bodies against one barrier
+  /// count). Always acquired before, and released after, mutex_.
+  std::mutex submit_mutex_;
   std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable done_;

@@ -1,0 +1,626 @@
+#include "serve/daemon.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "io/atomic_file.hpp"
+#include "obs/json.hpp"
+#include "serve/spawn.hpp"
+
+namespace casurf::serve {
+namespace {
+
+namespace fs = std::filesystem;
+using obs::json::Value;
+using obs::json::Writer;
+
+// casurf_run's exit taxonomy (apps/casurf_run.cpp keeps the master copy).
+constexpr int kWorkerOk = 0;
+constexpr int kWorkerUsage = 2;
+constexpr int kWorkerRestoreFailed = 3;
+constexpr int kWorkerExecFailed = 127;
+
+/// Terminal-state marker inside a job directory: written once when the job
+/// reaches done/failed/stopped, consumed by daemon-restart recovery (a job
+/// dir without one was in flight when the daemon died → requeue + resume).
+constexpr const char* kExitFile = "exit.json";
+
+HttpResponse json_response(int status, std::string body) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = std::move(body);
+  return resp;
+}
+
+HttpResponse error_response(int status, std::string_view message) {
+  std::string body = R"({"error":)";
+  obs::json::append_quoted(body, message);
+  body += '}';
+  return json_response(status, std::move(body));
+}
+
+bool parse_id(std::string_view s, std::uint64_t& id) {
+  if (s.empty() || s.size() > 18) return false;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), id);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+/// The worker half of spawn_supervised: point stdout+stderr at the job
+/// log and exec the runner. Runs between fork and _Exit in the child of a
+/// multithreaded parent, so only async-signal-safe calls — every string
+/// here was materialised before the fork.
+int exec_worker(const char* log_path, char* const* argv) {
+  const int log_fd = ::open(log_path, O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (log_fd >= 0) {
+    ::dup2(log_fd, STDOUT_FILENO);
+    ::dup2(log_fd, STDERR_FILENO);
+    if (log_fd > STDERR_FILENO) ::close(log_fd);
+  }
+  ::execv(argv[0], argv);
+  const char* msg = "casurf_serve: exec failed: ";
+  (void)!::write(STDERR_FILENO, msg, std::strlen(msg));
+  const char* err = std::strerror(errno);
+  (void)!::write(STDERR_FILENO, err, std::strlen(err));
+  (void)!::write(STDERR_FILENO, "\n", 1);
+  return kWorkerExecFailed;
+}
+
+std::string describe_exit(int code) {
+  if (code >= 128) {
+    return "worker ended by signal " + std::to_string(code - 128);
+  }
+  switch (code) {
+    case kWorkerUsage:
+      return "worker rejected the configuration (exit 2)";
+    case kWorkerRestoreFailed:
+      return "checkpoint restore failed (exit 3)";
+    case kWorkerExecFailed:
+      return "could not exec the worker binary (exit 127)";
+    default:
+      return "worker exited with code " + std::to_string(code);
+  }
+}
+
+}  // namespace
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kStopped:
+      return "stopped";
+  }
+  return "unknown";
+}
+
+Daemon::Daemon(DaemonOptions opt) : opt_(std::move(opt)) {
+  if (opt_.runner.empty()) {
+    throw std::runtime_error("daemon: runner binary path is required");
+  }
+  if (opt_.slots == 0) opt_.slots = 1;
+  fs::create_directories(opt_.data_dir);
+  recover_jobs();
+  runners_.reserve(opt_.slots);
+  for (unsigned i = 0; i < opt_.slots; ++i) {
+    runners_.emplace_back([this] { runner_main(); });
+  }
+  server_ = std::make_unique<HttpServer>(
+      opt_.port, [this](const HttpRequest& req) { return handle(req); },
+      opt_.http_threads);
+}
+
+Daemon::~Daemon() { stop(); }
+
+std::uint16_t Daemon::port() const { return server_->port(); }
+
+void Daemon::recover_jobs() {
+  // A daemon restarted over an existing data_dir owes its tenants the jobs
+  // that were live when it went down: any job-<id> directory without a
+  // terminal-state marker is requeued, and the worker's --resume picks the
+  // run up from its checkpoint chain exactly like casurf_run --supervise.
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(opt_.data_dir, ec)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    std::uint64_t id = 0;
+    if (name.rfind("job-", 0) != 0 || !parse_id(name.substr(4), id)) continue;
+    if (fs::exists(entry.path() / kExitFile)) continue;
+    JobSpec spec;
+    try {
+      spec = JobSpec::from_json(Value::parse(
+          io::read_file((entry.path() / kJobSpecFile).string())));
+    } catch (const std::exception&) {
+      continue;  // half-created directory; nothing recoverable
+    }
+    auto job = std::make_unique<Job>();
+    job->id = id;
+    job->seq = next_seq_++;
+    job->spec = std::move(spec);
+    job->dir = entry.path().string();
+    queue_.push_back(job.get());
+    jobs_.emplace(id, std::move(job));
+    next_id_ = std::max(next_id_, id + 1);
+  }
+}
+
+void Daemon::runner_main() {
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [&] { return draining_ || !queue_.empty(); });
+      if (draining_) return;
+      job = pop_best_locked();
+      if (job == nullptr) continue;
+      job->state = JobState::kRunning;
+    }
+    run_job(*job);
+  }
+}
+
+Daemon::Job* Daemon::pop_best_locked() {
+  if (queue_.empty()) return nullptr;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < queue_.size(); ++i) {
+    const Job& a = *queue_[i];
+    const Job& b = *queue_[best];
+    if (a.spec.priority > b.spec.priority ||
+        (a.spec.priority == b.spec.priority && a.seq < b.seq)) {
+      best = i;
+    }
+  }
+  Job* job = queue_[best];
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+  return job;
+}
+
+int Daemon::supervise_worker(Job& job) {
+  // Resume whenever a checkpoint chain exists — first attempt included, so
+  // a requeued (preempted) job and daemon-restart recovery both continue
+  // where the worker last checkpointed rather than starting over.
+  bool resume = fs::exists(fs::path(job.dir) / kJobCheckpoint);
+  const std::string log_path = job.dir + "/" + kJobLog;
+
+  for (;;) {
+    const std::vector<std::string> args =
+        job.spec.to_argv(opt_.runner, job.dir, resume);
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+
+    // spawn_supervised wants a slot it can publish the pid into from the
+    // fork window; the daemon's readers only ever look at job.pid under
+    // the mutex, so a local slot suffices and the window is closed by the
+    // locked re-check right below.
+    volatile pid_t slot = 0;
+    const pid_t pid = spawn_supervised(
+        &slot, nullptr,
+        [&] { return exec_worker(log_path.c_str(), argv.data()); });
+    if (pid < 0) {
+      // fork can fail transiently (EAGAIN under load); that is a retryable
+      // condition like a crash, not a verdict on the job.
+      std::uint64_t restarts;
+      {
+        std::lock_guard lock(mutex_);
+        job.error = "fork failed: " + std::string(std::strerror(errno));
+        if (job.restarts >= job.spec.retries) return kWorkerExecFailed;
+        restarts = ++job.restarts;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50) * restarts);
+      continue;
+    }
+    {
+      // Publish the worker pid, and close the race spawn_supervised cannot
+      // see: a stop or drain that landed before this point found pid == 0
+      // and had nobody to signal. Re-check now that the pid is real and
+      // deliver the signal by hand.
+      std::lock_guard lock(mutex_);
+      job.error.clear();
+      job.pid = pid;
+      if (job.stop_requested || draining_) ::kill(pid, SIGTERM);
+    }
+
+    int status = 0;
+    int wait_errno = 0;
+    while (::waitpid(pid, &status, 0) < 0) {
+      if (errno != EINTR) {
+        wait_errno = errno;
+        break;
+      }
+    }
+    std::uint64_t restarts = 0;
+    {
+      std::unique_lock lock(mutex_);
+      job.pid = 0;
+      if (wait_errno != 0) {
+        job.error = "waitpid failed: " + std::string(std::strerror(wait_errno));
+        return kWorkerExecFailed;
+      }
+      const int code = WIFEXITED(status) ? WEXITSTATUS(status)
+                       : WIFSIGNALED(status) ? 128 + WTERMSIG(status)
+                                             : kWorkerExecFailed;
+
+      if (code == kWorkerOk || code == kWorkerUsage ||
+          code == kWorkerExecFailed) {
+        return code;
+      }
+      if (job.stop_requested || draining_) return code;  // deliberate yield
+      if (code == kWorkerRestoreFailed) {
+        // Same policy as casurf_run --supervise: a checkpoint that cannot
+        // be restored gets one clean restart from t = 0 instead of a
+        // futile resume loop. If the fresh start also fails we give up.
+        if (!resume) return code;
+        resume = false;
+        ++job.restarts;
+        continue;
+      }
+      // Crash (signal, exit 1, injected die-at, unforwarded SIGTERM...):
+      // restart from the checkpoint chain until the retry budget is spent.
+      if (job.restarts >= job.spec.retries) return code;
+      restarts = ++job.restarts;
+    }
+    resume = fs::exists(fs::path(job.dir) / kJobCheckpoint);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20) * restarts);
+  }
+}
+
+void Daemon::run_job(Job& job) {
+  const int code = supervise_worker(job);
+  const bool yielded = [&] {
+    std::lock_guard lock(mutex_);
+    return job.stop_requested || draining_;
+  }();
+  if (code == kWorkerOk) {
+    finish(job, JobState::kDone, code, {});
+  } else if (yielded && code >= 128) {
+    finish(job, JobState::kStopped, code, {});
+  } else {
+    std::string why = job.error.empty() ? describe_exit(code) : job.error;
+    if (code != kWorkerUsage && code != kWorkerExecFailed &&
+        job.restarts >= job.spec.retries) {
+      why += " after " + std::to_string(job.restarts) + " restart(s)";
+    }
+    finish(job, JobState::kFailed, code, std::move(why));
+  }
+}
+
+void Daemon::finish(Job& job, JobState state, int code, std::string error) {
+  // The marker is written before the state flips so a daemon crash in
+  // between errs toward requeueing a finished job (idempotent: the worker
+  // resumes a complete checkpoint and exits immediately) rather than
+  // losing an unfinished one.
+  Writer w;
+  w.begin_object();
+  w.key("state"), w.string(to_string(state));
+  w.key("exit_code"), w.i64(code);
+  if (!error.empty()) w.key("error"), w.string(error);
+  w.end_object();
+  try {
+    io::atomic_write_file(job.dir + "/" + kExitFile, std::move(w).str());
+  } catch (const std::exception&) {
+    // Recovery marker only; the in-memory state below stays authoritative.
+  }
+  std::lock_guard lock(mutex_);
+  job.state = state;
+  job.exit_code = code;
+  job.error = std::move(error);
+  job.stop_requested = false;
+  if (state == JobState::kDone) ++done_;
+  if (state == JobState::kFailed) ++failed_;
+  if (state == JobState::kStopped) ++stopped_;
+}
+
+void Daemon::drain(int sig) {
+  std::lock_guard lock(mutex_);
+  draining_ = true;
+  work_cv_.notify_all();
+  for (const auto& [id, job] : jobs_) {
+    const pid_t pid = job->pid;
+    if (job->state == JobState::kRunning && pid > 0) ::kill(pid, sig);
+  }
+}
+
+void Daemon::stop() {
+  drain(SIGTERM);
+  for (std::thread& t : runners_) {
+    if (t.joinable()) t.join();
+  }
+  runners_.clear();
+  if (server_) server_->stop();
+}
+
+// ── HTTP surface ────────────────────────────────────────────────────────
+
+HttpResponse Daemon::handle(const HttpRequest& req) {
+  const std::string_view target(req.target);
+  if (target == "/healthz") {
+    if (req.method != "GET") return error_response(405, "method not allowed");
+    std::lock_guard lock(mutex_);
+    return json_response(200, draining_ ? R"({"ok":true,"draining":true})"
+                                        : R"({"ok":true})");
+  }
+  if (target == "/stats") {
+    if (req.method != "GET") return error_response(405, "method not allowed");
+    return stats();
+  }
+  if (target == "/jobs") {
+    if (req.method == "POST") return submit(req);
+    if (req.method == "GET") return list_jobs();
+    return error_response(405, "method not allowed");
+  }
+  if (target.rfind("/jobs/", 0) == 0) {
+    std::string_view rest = target.substr(6);
+    std::string_view suffix;
+    if (const auto slash = rest.find('/'); slash != std::string_view::npos) {
+      suffix = rest.substr(slash + 1);
+      rest = rest.substr(0, slash);
+    }
+    std::uint64_t id = 0;
+    if (!parse_id(rest, id)) return error_response(404, "no such job");
+    if (suffix.empty()) {
+      if (req.method != "GET") return error_response(405, "method not allowed");
+      std::lock_guard lock(mutex_);
+      Job* job = find_job(id);
+      if (job == nullptr) return error_response(404, "no such job");
+      return job_status(*job);
+    }
+    if (suffix == "stop") {
+      if (req.method != "POST") return error_response(405, "method not allowed");
+      return job_stop(id);
+    }
+    if (suffix == "start") {
+      if (req.method != "POST") return error_response(405, "method not allowed");
+      return job_start(id);
+    }
+    if (req.method != "GET") return error_response(405, "method not allowed");
+    if (suffix == "report") {
+      return job_file(id, kJobReport, "application/json");
+    }
+    if (suffix == "heatmap") {
+      return job_file(id, std::string(kJobHeatmapPrefix) + ".json",
+                      "application/json");
+    }
+    if (suffix == "drift") return job_file(id, kJobDrift, "application/json");
+    if (suffix == "csv") return job_file(id, kJobCsv, "text/csv");
+    if (suffix == "log") return job_file(id, kJobLog, "text/plain");
+    return error_response(404, "unknown job resource");
+  }
+  return error_response(404, "unknown path");
+}
+
+HttpResponse Daemon::submit(const HttpRequest& req) {
+  JobSpec spec;
+  try {
+    spec = JobSpec::from_json(Value::parse(req.body));
+  } catch (const std::exception& e) {
+    return error_response(400, e.what());
+  }
+  spec.threads = std::min(spec.threads, std::max(1u, opt_.max_threads_per_job));
+
+  Job* job = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    if (draining_) return error_response(503, "daemon is draining");
+    if (queue_.size() >= opt_.queue_cap) {
+      HttpResponse resp = error_response(429, "job queue is full");
+      resp.extra_headers.emplace_back("Retry-After", "1");
+      return resp;
+    }
+    if (tenant_live_locked(spec.tenant) >= opt_.tenant_cap) {
+      return error_response(
+          403, "tenant \"" + spec.tenant + "\" is at its job quota");
+    }
+    auto owned = std::make_unique<Job>();
+    job = owned.get();
+    job->id = next_id_++;
+    job->seq = next_seq_++;
+    job->spec = std::move(spec);
+    job->dir = opt_.data_dir + "/job-" + std::to_string(job->id);
+    jobs_.emplace(job->id, std::move(owned));
+  }
+
+  try {
+    fs::create_directories(job->dir);
+    if (!job->spec.model_text.empty()) {
+      io::atomic_write_file(job->dir + "/" + kJobModelFile,
+                            job->spec.model_text);
+    }
+    io::atomic_write_file(job->dir + "/" + kJobSpecFile, job->spec.to_json());
+  } catch (const std::exception& e) {
+    std::lock_guard lock(mutex_);
+    job->state = JobState::kFailed;
+    job->error = e.what();
+    ++failed_;
+    return error_response(500, job->error);
+  }
+
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(job);
+    work_cv_.notify_one();
+    return job_status(*job);
+  }
+}
+
+HttpResponse Daemon::job_status(const Job& job) {
+  Writer w;
+  w.begin_object();
+  w.key("id"), w.u64(job.id);
+  w.key("tenant"), w.string(job.spec.tenant);
+  w.key("state"), w.string(to_string(job.state));
+  w.key("priority"), w.i64(job.spec.priority);
+  w.key("restarts"), w.u64(job.restarts);
+  if (job.state == JobState::kDone || job.state == JobState::kFailed ||
+      job.state == JobState::kStopped) {
+    w.key("exit_code"), w.i64(job.exit_code);
+  }
+  if (!job.error.empty()) w.key("error"), w.string(job.error);
+  // Progress straight from the worker's latest report snapshot — written
+  // atomically every sample, so a torn read is impossible and the daemon
+  // never has to interrogate a live worker.
+  try {
+    const Value report =
+        Value::parse(io::read_file(job.dir + "/" + kJobReport));
+    if (const Value* counters = report.find("counters")) {
+      const double t = counters->number_or("time", 0);
+      w.key("time"), w.number(t);
+      w.key("progress"),
+          w.number(std::min(1.0, job.spec.t_end > 0 ? t / job.spec.t_end : 0));
+    }
+  } catch (const std::exception&) {
+    // No report yet (job still queued, or worker hasn't sampled).
+  }
+  w.end_object();
+  const int status = job.state == JobState::kQueued ? 202 : 200;
+  return json_response(status, std::move(w).str());
+}
+
+HttpResponse Daemon::job_stop(std::uint64_t id) {
+  std::lock_guard lock(mutex_);
+  Job* job = find_job(id);
+  if (job == nullptr) return error_response(404, "no such job");
+  switch (job->state) {
+    case JobState::kQueued: {
+      queue_.erase(std::find(queue_.begin(), queue_.end(), job));
+      job->state = JobState::kStopped;
+      job->exit_code = 0;
+      ++stopped_;
+      return job_status(*job);
+    }
+    case JobState::kRunning: {
+      job->stop_requested = true;
+      const pid_t pid = job->pid;
+      // pid == 0 means the runner is between fork and publication; its
+      // post-publication re-check sees stop_requested and signals then.
+      if (pid > 0) ::kill(pid, SIGTERM);
+      HttpResponse resp = job_status(*job);
+      resp.status = 202;
+      return resp;
+    }
+    default:
+      return error_response(409, "job already finished");
+  }
+}
+
+HttpResponse Daemon::job_start(std::uint64_t id) {
+  std::lock_guard lock(mutex_);
+  if (draining_) return error_response(503, "daemon is draining");
+  Job* job = find_job(id);
+  if (job == nullptr) return error_response(404, "no such job");
+  if (job->state != JobState::kStopped && job->state != JobState::kFailed) {
+    return error_response(409, "job is not stopped or failed");
+  }
+  if (tenant_live_locked(job->spec.tenant) >= opt_.tenant_cap) {
+    return error_response(
+        403, "tenant \"" + job->spec.tenant + "\" is at its job quota");
+  }
+  if (queue_.size() >= opt_.queue_cap) {
+    HttpResponse resp = error_response(429, "job queue is full");
+    resp.extra_headers.emplace_back("Retry-After", "1");
+    return resp;
+  }
+  if (job->state == JobState::kStopped) --stopped_;
+  if (job->state == JobState::kFailed) --failed_;
+  job->state = JobState::kQueued;
+  job->stop_requested = false;
+  job->restarts = 0;
+  job->error.clear();
+  job->seq = next_seq_++;
+  std::error_code ec;
+  fs::remove(fs::path(job->dir) / kExitFile, ec);
+  queue_.push_back(job);
+  work_cv_.notify_one();
+  return job_status(*job);
+}
+
+HttpResponse Daemon::job_file(std::uint64_t id, const std::string& name,
+                              const char* content_type) {
+  std::string dir;
+  {
+    std::lock_guard lock(mutex_);
+    Job* job = find_job(id);
+    if (job == nullptr) return error_response(404, "no such job");
+    dir = job->dir;
+  }
+  try {
+    HttpResponse resp;
+    resp.content_type = content_type;
+    resp.body = io::read_file(dir + "/" + name);
+    return resp;
+  } catch (const std::exception&) {
+    return error_response(404, "artifact not available yet");
+  }
+}
+
+HttpResponse Daemon::list_jobs() {
+  std::lock_guard lock(mutex_);
+  Writer w;
+  w.begin_array();
+  for (const auto& [id, job] : jobs_) {
+    w.begin_object();
+    w.key("id"), w.u64(job->id);
+    w.key("tenant"), w.string(job->spec.tenant);
+    w.key("state"), w.string(to_string(job->state));
+    w.key("priority"), w.i64(job->spec.priority);
+    w.end_object();
+  }
+  w.end_array();
+  return json_response(200, std::move(w).str());
+}
+
+HttpResponse Daemon::stats() {
+  std::lock_guard lock(mutex_);
+  std::size_t running = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job->state == JobState::kRunning) ++running;
+  }
+  Writer w;
+  w.begin_object();
+  w.key("queued"), w.u64(queue_.size());
+  w.key("running"), w.u64(running);
+  w.key("done"), w.u64(done_);
+  w.key("failed"), w.u64(failed_);
+  w.key("stopped"), w.u64(stopped_);
+  w.key("slots"), w.u64(opt_.slots);
+  w.key("queue_cap"), w.u64(opt_.queue_cap);
+  w.key("draining"), w.boolean(draining_);
+  w.end_object();
+  return json_response(200, std::move(w).str());
+}
+
+Daemon::Job* Daemon::find_job(std::uint64_t id) {
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+std::size_t Daemon::tenant_live_locked(const std::string& tenant) const {
+  std::size_t live = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job->spec.tenant != tenant) continue;
+    if (job->state == JobState::kQueued || job->state == JobState::kRunning) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+}  // namespace casurf::serve

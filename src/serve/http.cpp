@@ -1,0 +1,424 @@
+#include "serve/http.hpp"
+
+#include "obs/json.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+namespace casurf::serve {
+
+namespace {
+
+std::string lowercase(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+/// Read from `fd` (with a poll timeout per read) until `stop_at` returns a
+/// nonzero "done" length or the caps are blown. Returns false on EOF /
+/// timeout / error before completion.
+bool read_until(int fd, std::string& buf, int timeout_ms,
+                const std::function<bool(const std::string&)>& complete,
+                std::size_t cap) {
+  char chunk[4096];
+  while (!complete(buf)) {
+    if (buf.size() > cap) return false;
+    struct pollfd pfd {fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr <= 0) return false;  // timeout or error
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) return false;  // EOF or error
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+/// Parse headers out of `text` (everything between the start-line and the
+/// blank line); returns false on a malformed field line.
+bool parse_header_block(std::string_view text,
+                        std::vector<std::pair<std::string, std::string>>& out) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find("\r\n", pos);
+    std::size_t next;
+    if (eol == std::string_view::npos) {
+      eol = text.find('\n', pos);  // tolerate bare-LF peers
+      if (eol == std::string_view::npos) eol = text.size();
+      next = eol + 1;
+    } else {
+      next = eol + 2;
+    }
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = next;
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return false;
+    out.emplace_back(lowercase(trim(line.substr(0, colon))),
+                     std::string(trim(line.substr(colon + 1))));
+  }
+  return true;
+}
+
+std::size_t header_end(const std::string& buf) {
+  const std::size_t p = buf.find("\r\n\r\n");
+  if (p != std::string::npos) return p + 4;
+  const std::size_t q = buf.find("\n\n");
+  if (q != std::string::npos) return q + 2;
+  return std::string::npos;
+}
+
+bool parse_content_length(const std::vector<std::pair<std::string, std::string>>& headers,
+                          std::size_t& length) {
+  length = 0;
+  for (const auto& [name, value] : headers) {
+    if (name != "content-length") continue;
+    const auto [end, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), length);
+    return ec == std::errc{} && end == value.data() + value.size();
+  }
+  return true;  // no body
+}
+
+std::string serialize_response(const HttpResponse& r) {
+  std::string out = "HTTP/1.1 " + std::to_string(r.status) + " " +
+                    HttpResponse::reason(r.status) + "\r\n";
+  out += "Content-Type: " + r.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(r.body.size()) + "\r\n";
+  for (const auto& [name, value] : r.extra_headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "Connection: close\r\n\r\n";
+  out += r.body;
+  return out;
+}
+
+constexpr int kServerReadTimeoutMs = 30000;
+
+}  // namespace
+
+const std::string* HttpRequest::header(std::string_view name) const {
+  const std::string key = lowercase(name);
+  for (const auto& [n, v] : headers) {
+    if (n == key) return &v;
+  }
+  return nullptr;
+}
+
+const char* HttpResponse::reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+struct HttpServer::ConnQueue {
+  std::mutex mutex;
+  std::condition_variable ready;
+  std::deque<int> fds;
+  bool stopping = false;
+};
+
+HttpServer::HttpServer(std::uint16_t port, Handler handler, unsigned threads)
+    : handler_(std::move(handler)), queue_(new ConnQueue) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    delete queue_;
+    throw HttpError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    delete queue_;
+    throw HttpError("bind 127.0.0.1:" + std::to_string(port) + ": " + err);
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+  acceptor_ = std::thread([this] { accept_main(); });
+}
+
+HttpServer::~HttpServer() {
+  stop();
+  delete queue_;
+}
+
+void HttpServer::stop() {
+  {
+    std::lock_guard lock(queue_->mutex);
+    if (queue_->stopping) return;
+    queue_->stopping = true;
+  }
+  queue_->ready.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  // Drop connections that were accepted but never dispatched.
+  for (const int fd : queue_->fds) ::close(fd);
+  queue_->fds.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::accept_main() {
+  for (;;) {
+    {
+      std::lock_guard lock(queue_->mutex);
+      if (queue_->stopping) return;
+    }
+    // Poll with a short timeout so stop() is noticed without needing to
+    // race a close() against a blocked accept().
+    struct pollfd pfd {listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 100);
+    if (pr <= 0) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    {
+      std::lock_guard lock(queue_->mutex);
+      if (queue_->stopping) {
+        ::close(fd);
+        return;
+      }
+      queue_->fds.push_back(fd);
+    }
+    queue_->ready.notify_one();
+  }
+}
+
+void HttpServer::worker_main() {
+  for (;;) {
+    int fd;
+    {
+      std::unique_lock lock(queue_->mutex);
+      queue_->ready.wait(lock,
+                         [&] { return queue_->stopping || !queue_->fds.empty(); });
+      if (queue_->fds.empty()) return;  // stopping and drained
+      fd = queue_->fds.front();
+      queue_->fds.pop_front();
+    }
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  std::string buf;
+  if (!read_until(fd, buf, kServerReadTimeoutMs,
+                  [](const std::string& b) { return header_end(b) != std::string::npos; },
+                  kMaxHeaderBytes)) {
+    write_all(fd, serialize_response(
+                      {400, "application/json",
+                       R"({"error":"malformed or oversized request head"})", {}}));
+    return;
+  }
+  const std::size_t head_len = header_end(buf);
+  const std::string head = buf.substr(0, head_len);
+
+  HttpRequest req;
+  {
+    std::size_t eol = head.find('\n');
+    std::string_view line(head.data(), eol == std::string::npos ? head.size() : eol);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 = sp1 == std::string_view::npos
+                                ? std::string_view::npos
+                                : line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+        line.substr(sp2 + 1).rfind("HTTP/1.", 0) != 0) {
+      write_all(fd, serialize_response({400, "application/json",
+                                        R"({"error":"malformed request line"})", {}}));
+      return;
+    }
+    req.method = std::string(line.substr(0, sp1));
+    req.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+    if (!parse_header_block(
+            std::string_view(head).substr(eol + 1, head_len - eol - 1), req.headers)) {
+      write_all(fd, serialize_response({400, "application/json",
+                                        R"({"error":"malformed header field"})", {}}));
+      return;
+    }
+  }
+
+  std::size_t content_length = 0;
+  if (!parse_content_length(req.headers, content_length)) {
+    write_all(fd, serialize_response({400, "application/json",
+                                      R"({"error":"bad content-length"})", {}}));
+    return;
+  }
+  if (content_length > kMaxBodyBytes) {
+    write_all(fd, serialize_response({413, "application/json",
+                                      R"({"error":"body too large"})", {}}));
+    return;
+  }
+  const std::size_t total = head_len + content_length;
+  if (!read_until(fd, buf, kServerReadTimeoutMs,
+                  [&](const std::string& b) { return b.size() >= total; },
+                  total)) {
+    write_all(fd, serialize_response({400, "application/json",
+                                      R"({"error":"truncated body"})", {}}));
+    return;
+  }
+  req.body = buf.substr(head_len, content_length);
+
+  HttpResponse resp;
+  try {
+    resp = handler_(req);
+  } catch (const std::exception& e) {
+    resp.status = 500;
+    resp.content_type = "application/json";
+    // The shared report escaper guarantees hostile exception text can
+    // never break the error document.
+    resp.body = R"({"error":)";
+    obs::json::append_quoted(resp.body, e.what());
+    resp.body += '}';
+  }
+  write_all(fd, serialize_response(resp));
+}
+
+HttpResponse http_request(
+    std::uint16_t port, const std::string& method, const std::string& target,
+    const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw HttpError(std::string("socket: ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw HttpError("connect 127.0.0.1:" + std::to_string(port) + ": " + err);
+  }
+
+  std::string out = method + " " + target + " HTTP/1.1\r\n";
+  out += "Host: 127.0.0.1:" + std::to_string(port) + "\r\n";
+  bool has_content_type = false;
+  for (const auto& [name, value] : headers) {
+    out += name + ": " + value + "\r\n";
+    if (lowercase(name) == "content-type") has_content_type = true;
+  }
+  if (!body.empty() && !has_content_type) {
+    out += "Content-Type: application/json\r\n";
+  }
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  if (!write_all(fd, out)) {
+    ::close(fd);
+    throw HttpError("send failed");
+  }
+
+  std::string buf;
+  if (!read_until(fd, buf, timeout_ms,
+                  [](const std::string& b) { return header_end(b) != std::string::npos; },
+                  kMaxHeaderBytes)) {
+    ::close(fd);
+    throw HttpError("no complete response head within timeout");
+  }
+  const std::size_t head_len = header_end(buf);
+  HttpResponse resp;
+  std::vector<std::pair<std::string, std::string>> resp_headers;
+  {
+    const std::string head = buf.substr(0, head_len);
+    std::size_t eol = head.find('\n');
+    std::string_view line(head.data(), eol == std::string::npos ? head.size() : eol);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    // "HTTP/1.1 200 OK"
+    const std::size_t sp1 = line.find(' ');
+    if (line.rfind("HTTP/1.", 0) != 0 || sp1 == std::string_view::npos) {
+      ::close(fd);
+      throw HttpError("malformed status line: " + std::string(line));
+    }
+    resp.status = std::atoi(std::string(line.substr(sp1 + 1)).c_str());
+    if (!parse_header_block(
+            std::string_view(head).substr(eol + 1, head_len - eol - 1), resp_headers)) {
+      ::close(fd);
+      throw HttpError("malformed response headers");
+    }
+  }
+  std::size_t content_length = 0;
+  if (!parse_content_length(resp_headers, content_length) ||
+      content_length > kMaxBodyBytes) {
+    ::close(fd);
+    throw HttpError("bad response content-length");
+  }
+  const std::size_t total = head_len + content_length;
+  if (!read_until(fd, buf, timeout_ms,
+                  [&](const std::string& b) { return b.size() >= total; }, total)) {
+    ::close(fd);
+    throw HttpError("truncated response body");
+  }
+  ::close(fd);
+  resp.body = buf.substr(head_len, content_length);
+  for (const auto& [name, value] : resp_headers) {
+    if (name == "content-type") resp.content_type = value;
+    else resp.extra_headers.emplace_back(name, value);
+  }
+  return resp;
+}
+
+}  // namespace casurf::serve

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace casurf::serve {
+
+/// Minimal HTTP/1.1 layer for casurf_serve (docs/SERVING.md): enough of
+/// the protocol for JSON job control over loopback — request-line +
+/// headers + Content-Length bodies, one request per connection
+/// (Connection: close), no TLS, no chunked encoding, no keep-alive. The
+/// server is a small acceptor + worker-thread pool; the client is the
+/// one-shot helper the tests and tools use. Anything a simulation daemon
+/// does not need was deliberately left out.
+
+/// Transport-level failure (connect/read/write/timeout) or a peer that
+/// spoke something other than HTTP. Protocol-level errors from a working
+/// peer are NOT exceptions — they come back as 4xx/5xx responses.
+class HttpError : public std::runtime_error {
+ public:
+  explicit HttpError(const std::string& message)
+      : std::runtime_error("http: " + message) {}
+};
+
+/// Hard limits on inbound messages; both sides enforce them. Oversized
+/// requests are answered with 413 before the body is read.
+inline constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+inline constexpr std::size_t kMaxBodyBytes = 8 * 1024 * 1024;
+
+struct HttpRequest {
+  std::string method;  ///< uppercase, e.g. "GET"
+  std::string target;  ///< origin-form, e.g. "/jobs/7/report"
+  std::vector<std::pair<std::string, std::string>> headers;  ///< names lowercased
+  std::string body;
+
+  /// First header named `name` (case-insensitive), or nullptr.
+  [[nodiscard]] const std::string* header(std::string_view name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+
+  /// Standard reason phrase for `status` ("Unknown" when unmapped).
+  [[nodiscard]] static const char* reason(int status);
+};
+
+/// A loopback HTTP server: binds 127.0.0.1:`port` (0 picks an ephemeral
+/// port — query port() for the real one), accepts on a dedicated thread,
+/// and dispatches complete requests to `handler` on a small worker pool.
+/// The handler must be thread-safe; an exception escaping it becomes a
+/// 500 with the exception text. Construction throws HttpError if the
+/// socket cannot be bound; stop() (idempotent, also run by the
+/// destructor) shuts the listener down and joins every thread.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer(std::uint16_t port, Handler handler, unsigned threads = 4);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  void stop();
+
+ private:
+  void accept_main();
+  void worker_main();
+  void handle_connection(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  struct ConnQueue;
+  ConnQueue* queue_;  // owned; opaque to keep <mutex> machinery out of the header
+};
+
+/// One-shot client: connect to 127.0.0.1:`port`, send `method target`
+/// with optional body/headers, return the parsed response. Content-Type
+/// for bodies defaults to application/json. Throws HttpError on
+/// transport failure or if no complete response arrives in `timeout_ms`.
+[[nodiscard]] HttpResponse http_request(
+    std::uint16_t port, const std::string& method, const std::string& target,
+    const std::string& body = {},
+    const std::vector<std::pair<std::string, std::string>>& headers = {},
+    int timeout_ms = 30000);
+
+}  // namespace casurf::serve

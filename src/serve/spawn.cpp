@@ -1,0 +1,42 @@
+#include "serve/spawn.hpp"
+
+#include <unistd.h>
+
+#include <cstdlib>
+
+namespace casurf::serve {
+
+pid_t spawn_supervised(volatile pid_t* pid_slot,
+                       const volatile std::sig_atomic_t* signal_flag,
+                       const std::function<int()>& child_main) {
+  sigset_t forwarded;
+  sigemptyset(&forwarded);
+  sigaddset(&forwarded, SIGINT);
+  sigaddset(&forwarded, SIGTERM);
+  sigset_t previous;
+  ::pthread_sigmask(SIG_BLOCK, &forwarded, &previous);
+
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    // Worker: drop the block before any worker code runs — the supervisor
+    // forwards these signals and a graceful shutdown depends on receiving
+    // them. The handlers themselves are the worker's to install.
+    ::pthread_sigmask(SIG_SETMASK, &previous, nullptr);
+    std::_Exit(child_main());
+  }
+
+  if (pid > 0) *pid_slot = pid;
+  // Unblock only after the slot is published: a signal that went pending
+  // in the window is delivered now, and its forwarding handler sees the
+  // real pid. (On fork failure the mask is simply restored.)
+  ::pthread_sigmask(SIG_SETMASK, &previous, nullptr);
+  if (pid > 0 && signal_flag != nullptr && *signal_flag != 0) {
+    // A signal that landed BEFORE the block was recorded against the old
+    // (or empty) pid slot and forwarded nowhere; deliver it by hand so the
+    // fresh worker still observes the shutdown request.
+    ::kill(pid, static_cast<int>(*signal_flag));
+  }
+  return pid;
+}
+
+}  // namespace casurf::serve

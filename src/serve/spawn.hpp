@@ -1,0 +1,44 @@
+#pragma once
+
+#include <csignal>
+#include <functional>
+#include <sys/types.h>
+
+namespace casurf::serve {
+
+/// Fork a supervised worker with the SIGINT/SIGTERM forwarding window
+/// closed.
+///
+/// The naive sequence `pid = fork(); g_child_pid = pid;` loses signals: a
+/// SIGTERM delivered between fork() and the store runs the supervisor's
+/// forwarding handler while its pid slot is still -1 (or stale), so nothing
+/// reaches the worker — the supervisor later shuts down and the worker is
+/// orphaned, still burning CPU. This helper hardens all three windows:
+///
+///  1. SIGINT/SIGTERM are BLOCKED in the calling thread across fork() and
+///     the pid-slot store, so a signal arriving in the window stays pending
+///     and its handler runs only after `*pid_slot` is valid — the handler's
+///     forward then reaches the new worker.
+///  2. The child restores the original mask before running `child_main`
+///     (a worker must be able to receive the signals being forwarded).
+///  3. After publication and unmasking, `*signal_flag` is RE-CHECKED: a
+///     signal that arrived before the block (handler ran against the old
+///     pid slot) is forwarded to the fresh worker by hand.
+///
+/// In the parent: publishes the child pid to `*pid_slot` and returns it,
+/// or returns -1 with errno set if fork() failed (the mask is restored
+/// either way). In the child: runs `child_main()` and _exits with its
+/// return value; `child_main` may also never return (e.g. exec).
+///
+/// `signal_flag` is the sig_atomic_t the caller's handlers record into
+/// (0 = none); may be null when the caller has no forwarding handlers and
+/// only needs the publication ordering (e.g. casurf_serve, whose drain
+/// logic re-checks its own flag after submission).
+///
+/// Thread-safe: uses pthread_sigmask, so a multi-threaded daemon can spawn
+/// workers from several supervisor threads concurrently.
+pid_t spawn_supervised(volatile pid_t* pid_slot,
+                       const volatile std::sig_atomic_t* signal_flag,
+                       const std::function<int()>& child_main);
+
+}  // namespace casurf::serve

@@ -1,0 +1,174 @@
+// The serve HTTP layer: framing, error mapping, concurrency, and the
+// raw-socket abuse cases a JSON client library would never generate.
+
+#include "serve/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace casurf::serve {
+namespace {
+
+/// Open a raw connection, send `wire` verbatim, and return everything the
+/// server replies until it closes the connection. For requests the
+/// well-formed client helper refuses to produce.
+std::string raw_roundtrip(std::uint16_t port, const std::string& wire) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  EXPECT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(wire.size()));
+  std::string reply;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    reply.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return reply;
+}
+
+TEST(Http, EchoRoundTripCarriesMethodTargetAndBody) {
+  HttpServer server(0, [](const HttpRequest& req) {
+    HttpResponse resp;
+    resp.body = req.method + "|" + req.target + "|" + req.body;
+    return resp;
+  });
+  ASSERT_NE(server.port(), 0);  // port 0 must resolve to a real ephemeral port
+
+  const HttpResponse get = http_request(server.port(), "GET", "/jobs/7/report");
+  EXPECT_EQ(get.status, 200);
+  EXPECT_EQ(get.content_type, "application/json");
+  EXPECT_EQ(get.body, "GET|/jobs/7/report|");
+
+  const HttpResponse post =
+      http_request(server.port(), "POST", "/jobs", R"({"model":"zgb"})");
+  EXPECT_EQ(post.body, R"(POST|/jobs|{"model":"zgb"})");
+}
+
+TEST(Http, HeaderLookupIsCaseInsensitive) {
+  HttpServer server(0, [](const HttpRequest& req) {
+    const std::string* v = req.header("X-Tenant");
+    HttpResponse resp;
+    resp.body = v != nullptr ? *v : "<missing>";
+    return resp;
+  });
+  const HttpResponse resp = http_request(server.port(), "GET", "/", "",
+                                         {{"x-TENANT", "alice"}});
+  EXPECT_EQ(resp.body, "alice");
+}
+
+TEST(Http, HandlerExceptionBecomesEscaped500) {
+  HttpServer server(0, [](const HttpRequest&) -> HttpResponse {
+    throw std::runtime_error("boom \"quoted\"");
+  });
+  const HttpResponse resp = http_request(server.port(), "GET", "/");
+  EXPECT_EQ(resp.status, 500);
+  // The exception text must arrive JSON-escaped, not break the document.
+  EXPECT_EQ(resp.body, R"({"error":"boom \"quoted\""})");
+}
+
+TEST(Http, ExtraHeadersAndStatusSurviveTheWire) {
+  HttpServer server(0, [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.status = 429;
+    resp.extra_headers.emplace_back("Retry-After", "1");
+    resp.body = "{}";
+    return resp;
+  });
+  const HttpResponse resp = http_request(server.port(), "POST", "/jobs", "{}");
+  EXPECT_EQ(resp.status, 429);
+  bool retry_after = false;
+  for (const auto& [name, value] : resp.extra_headers) {
+    if (name == "retry-after" && value == "1") retry_after = true;
+  }
+  EXPECT_TRUE(retry_after);
+}
+
+TEST(Http, MalformedRequestLineGets400) {
+  HttpServer server(0, [](const HttpRequest&) { return HttpResponse{}; });
+  const std::string reply = raw_roundtrip(server.port(), "NONSENSE\r\n\r\n");
+  EXPECT_NE(reply.find("400 Bad Request"), std::string::npos);
+}
+
+TEST(Http, OversizedContentLengthGets413BeforeTheBody) {
+  HttpServer server(0, [](const HttpRequest&) { return HttpResponse{}; });
+  // Announces a body far over kMaxBodyBytes but never sends a byte of it:
+  // the server must refuse up front instead of waiting to buffer 8 GiB.
+  const std::string reply = raw_roundtrip(
+      server.port(), "POST /jobs HTTP/1.1\r\nContent-Length: 8589934592\r\n\r\n");
+  EXPECT_NE(reply.find("413 Payload Too Large"), std::string::npos);
+}
+
+TEST(Http, NonNumericContentLengthGets400) {
+  HttpServer server(0, [](const HttpRequest&) { return HttpResponse{}; });
+  const std::string reply = raw_roundtrip(
+      server.port(), "POST /jobs HTTP/1.1\r\nContent-Length: lots\r\n\r\n");
+  EXPECT_NE(reply.find("400 Bad Request"), std::string::npos);
+}
+
+TEST(Http, BareLfLineEndingsAreTolerated) {
+  HttpServer server(0, [](const HttpRequest& req) {
+    HttpResponse resp;
+    const std::string* v = req.header("x-peer");
+    resp.body = req.target + "|" + (v != nullptr ? *v : "<missing>");
+    return resp;
+  });
+  const std::string reply =
+      raw_roundtrip(server.port(), "GET /healthz HTTP/1.1\nX-Peer: lf-only\n\n");
+  EXPECT_NE(reply.find("200 OK"), std::string::npos);
+  EXPECT_NE(reply.find("/healthz|lf-only"), std::string::npos);
+}
+
+TEST(Http, ConcurrentClientsAllGetServed) {
+  std::atomic<int> hits{0};
+  HttpServer server(0, [&](const HttpRequest&) {
+    hits.fetch_add(1);
+    HttpResponse resp;
+    resp.body = "{}";
+    return resp;
+  });
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (http_request(server.port(), "GET", "/stats").status == 200) {
+          ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);
+  EXPECT_EQ(hits.load(), kThreads * kPerThread);
+}
+
+TEST(Http, StopIsIdempotentAndRefusesNewConnections) {
+  HttpServer server(0, [](const HttpRequest&) { return HttpResponse{}; });
+  const std::uint16_t port = server.port();
+  EXPECT_EQ(http_request(port, "GET", "/").status, 200);
+  server.stop();
+  server.stop();  // second stop must be a no-op, not a double-join
+  EXPECT_THROW((void)http_request(port, "GET", "/", "", {}, 500), HttpError);
+}
+
+}  // namespace
+}  // namespace casurf::serve

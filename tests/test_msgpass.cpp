@@ -169,6 +169,81 @@ TEST(MsgPass, ConcurrentRunsKeepStatsSeparate) {
   EXPECT_GE(big.barriers, 1u);
 }
 
+TEST(MsgPass, RankFailureWakesBlockedRecv) {
+  // The deadlock this guards: rank 0 throws before sending, while rank 1
+  // is parked in an unbounded recv wait. run() must abort the world, wake
+  // rank 1 (which throws CommAborted), join both ranks, and rethrow the
+  // ORIGINAL exception — not hang in join(), not surface the cascade.
+  try {
+    Communicator::run(2, [](Communicator::Rank& rank) {
+      if (rank.rank() == 0) throw std::runtime_error("rank 0 died");
+      (void)rank.recv(0, 1);  // blocks forever without the abort path
+      FAIL() << "recv returned from a dead world";
+    });
+    FAIL() << "run() swallowed the rank failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rank 0 died");
+  }
+}
+
+TEST(MsgPass, RankFailureWakesBlockedBarrier) {
+  try {
+    Communicator::run(3, [](Communicator::Rank& rank) {
+      if (rank.rank() == 2) throw std::runtime_error("rank 2 died");
+      rank.barrier();  // never completed by rank 2
+      FAIL() << "barrier completed in a dead world";
+    });
+    FAIL() << "run() swallowed the rank failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rank 2 died");
+  }
+}
+
+TEST(MsgPass, RankFailureWakesBlockedAllreduce) {
+  try {
+    Communicator::run(2, [](Communicator::Rank& rank) {
+      if (rank.rank() == 0) throw std::runtime_error("rank 0 died");
+      (void)rank.allreduce_sum(1.0);
+      FAIL() << "allreduce completed in a dead world";
+    });
+    FAIL() << "run() swallowed the rank failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rank 0 died");
+  }
+}
+
+TEST(MsgPass, CallsAfterAbortThrowCommAborted) {
+  // A rank entering a blocking call after the world aborted must get
+  // CommAborted immediately (poisoned mailboxes), not wait. The survivor
+  // records what it saw and swallows it, so the only error run() reports
+  // is the original failure.
+  std::atomic<bool> survivor_saw_abort{false};
+  try {
+    Communicator::run(2, [&](Communicator::Rank& rank) {
+      if (rank.rank() == 0) throw std::runtime_error("rank 0 died");
+      try {
+        // Eventually observes the poisoned state, no matter how the
+        // scheduler interleaves this with rank 0's failure.
+        for (;;) (void)rank.recv(0, 1);
+      } catch (const CommAborted&) {
+        survivor_saw_abort.store(true);
+      }
+    });
+    FAIL() << "run() swallowed the rank failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rank 0 died");
+  }
+  EXPECT_TRUE(survivor_saw_abort.load());
+}
+
+TEST(MsgPass, AbortedWorldStillRethrowsWhenOnlyCommAbortedRemains) {
+  // A rank_main that itself throws CommAborted (user code) must still
+  // surface: the cascade filter only prefers non-CommAborted errors.
+  EXPECT_THROW(
+      Communicator::run(1, [](Communicator::Rank&) { throw CommAborted(); }),
+      CommAborted);
+}
+
 TEST(MsgPass, ExceptionInRankPropagates) {
   EXPECT_THROW(Communicator::run(2,
                                  [](Communicator::Rank& rank) {

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace casurf {
@@ -112,6 +114,76 @@ TEST(ThreadPool, SlicesAreContiguousAndOrdered) {
     covered = slices[t].second;
   }
   EXPECT_EQ(covered, 103u);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersDoNotCorruptEachOther) {
+  // Two threads hammering one pool. The regression this guards: without
+  // the submission mutex, concurrent parallel_for calls clobbered
+  // body_/job_n_/remaining_/generation_, so workers ran a mix of both
+  // bodies against one barrier count — lost slices, double-run slices,
+  // or a hang. Every round of each submitter must see exactly its own
+  // item count. Runs under TSan via the "parallel" ctest label.
+  ThreadPool pool(4);
+  constexpr int kRounds = 300;
+  const auto hammer = [&](std::size_t n, std::atomic<std::uint64_t>& total,
+                          std::atomic<bool>& ok) {
+    for (int round = 0; round < kRounds; ++round) {
+      std::atomic<std::uint64_t> this_round{0};
+      pool.parallel_for(n, [&](unsigned, std::size_t b, std::size_t e) {
+        this_round.fetch_add(e - b);
+      });
+      if (this_round.load() != n) ok.store(false);
+      total.fetch_add(this_round.load());
+    }
+  };
+  std::atomic<std::uint64_t> total_a{0}, total_b{0};
+  std::atomic<bool> ok_a{true}, ok_b{true};
+  std::thread a([&] { hammer(777, total_a, ok_a); });
+  std::thread b([&] { hammer(1031, total_b, ok_b); });
+  a.join();
+  b.join();
+  EXPECT_TRUE(ok_a.load());
+  EXPECT_TRUE(ok_b.load());
+  EXPECT_EQ(total_a.load(), static_cast<std::uint64_t>(kRounds) * 777u);
+  EXPECT_EQ(total_b.load(), static_cast<std::uint64_t>(kRounds) * 1031u);
+}
+
+TEST(ThreadPool, ConcurrentSubmitterExceptionStaysWithItsJob) {
+  // A throwing body must surface on the thread that submitted it and leave
+  // the other submitter's jobs untouched — error_ is per-job because the
+  // submission lock is held across the barrier and the rethrow.
+  ThreadPool pool(3);
+  constexpr int kRounds = 100;
+  std::atomic<int> caught{0};
+  std::atomic<bool> clean_ok{true};
+  std::thread thrower([&] {
+    for (int round = 0; round < kRounds; ++round) {
+      try {
+        pool.parallel_for(64, [&](unsigned, std::size_t b, std::size_t) {
+          if (b == 0) throw std::runtime_error("slice failed");
+        });
+      } catch (const std::runtime_error&) {
+        caught.fetch_add(1);
+      }
+    }
+  });
+  std::thread clean([&] {
+    for (int round = 0; round < kRounds; ++round) {
+      std::atomic<std::uint64_t> sum{0};
+      try {
+        pool.parallel_for(64, [&](unsigned, std::size_t b, std::size_t e) {
+          sum.fetch_add(e - b);
+        });
+      } catch (...) {
+        clean_ok.store(false);  // inherited a foreign job's exception
+      }
+      if (sum.load() != 64) clean_ok.store(false);
+    }
+  });
+  thrower.join();
+  clean.join();
+  EXPECT_EQ(caught.load(), kRounds);
+  EXPECT_TRUE(clean_ok.load());
 }
 
 TEST(ThreadPool, ParallelSumMatchesSequential) {
