@@ -19,6 +19,8 @@
 
 #include "io/atomic_file.hpp"
 #include "obs/json.hpp"
+#include "obs/prom.hpp"
+#include "serve/http.hpp"
 
 using casurf::obs::json::Value;
 
@@ -27,12 +29,18 @@ namespace {
 [[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
   if (error) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
-               "usage: %s [--trace] FILE [FILE2]\n"
+               "usage: %s [--trace|--events] FILE [FILE2]\n"
+               "       %s --serve PORT\n"
                "  FILE           a casurf-run-report/1 JSON (casurf_run --metrics,\n"
                "                 or a BENCH_*.json from bench_out/)\n"
                "  FILE FILE2     print an A/B comparison with percent deltas\n"
-               "  --trace FILE   summarize a casurf-trace/1 Chrome-trace JSON\n",
-               argv0);
+               "  --trace FILE   summarize a casurf-trace/1 Chrome-trace JSON\n"
+               "  --events FILE  timeline of a casurf-events/1 journal\n"
+               "                 (a job's events.jsonl, or the daemon's)\n"
+               "  --serve PORT   live fleet table from a casurf_serve daemon on\n"
+               "                 127.0.0.1:PORT (/stats plus /metrics latency\n"
+               "                 percentiles when the build exposes them)\n",
+               argv0, argv0);
   std::exit(error ? 2 : 0);
 }
 
@@ -339,28 +347,284 @@ int print_trace(const std::string& path) {
   return 0;
 }
 
+/// One member of an events.jsonl record rendered as `key=value`, for the
+/// free-form details column of the timeline.
+void append_detail(std::string& out, const std::string& key, const Value& v) {
+  if (!out.empty()) out += ' ';
+  out += key;
+  out += '=';
+  if (v.is_string()) {
+    out += v.as_string();
+  } else if (v.is_number()) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", v.as_number());
+    out += buf;
+  } else if (v.is_null()) {
+    out += "null";
+  } else {
+    out += v.is_object() ? "{...}" : v.is_array() ? "[...]" : "?";
+  }
+}
+
+bool terminal_event(const std::string& e) {
+  return e == "finished" || e == "failed" || e == "cancelled" ||
+         e == "preempted" || e == "daemon_stopped";
+}
+
+int print_events(const std::string& path) {
+  std::string text;
+  try {
+    text = casurf::io::read_file(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+
+  struct Row {
+    double ts = 0;
+    std::string event;
+    bool has_job = false;
+    std::uint64_t job = 0;
+    std::string details;
+  };
+  std::vector<Row> rows;
+  // event name per journal stream ("daemon" or "job-<id>") for chain checks
+  std::map<std::string, std::vector<std::string>> chains;
+
+  std::size_t lineno = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++lineno;
+    if (line.empty()) continue;
+    Value doc;
+    try {
+      doc = Value::parse(line);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s:%zu: %s\n", path.c_str(), lineno, e.what());
+      return 1;
+    }
+    if (doc.string_or("schema", "") != "casurf-events/1") {
+      std::fprintf(stderr, "error: %s:%zu: not a casurf-events/1 record\n",
+                   path.c_str(), lineno);
+      return 1;
+    }
+    Row row;
+    row.ts = doc.number_or("ts", 0);
+    row.event = doc.string_or("event", "?");
+    for (const auto& [key, v] : doc.members()) {
+      if (key == "schema" || key == "ts" || key == "event") continue;
+      if (key == "job" && v.is_number()) {
+        row.has_job = true;
+        row.job = v.as_u64();
+        continue;
+      }
+      append_detail(row.details, key, v);
+    }
+    const std::string stream =
+        row.has_job ? "job-" + std::to_string(row.job) : "daemon";
+    chains[stream].push_back(row.event);
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    std::fprintf(stderr, "error: %s: no events\n", path.c_str());
+    return 1;
+  }
+
+  const double t0 = rows.front().ts;
+  std::printf("events: %s (%zu records)\n", path.c_str(), rows.size());
+  std::printf("  %10s  %-10s %-12s %s\n", "t(+s)", "job", "event", "details");
+  for (const Row& row : rows) {
+    const std::string job =
+        row.has_job ? std::to_string(row.job) : std::string("-");
+    std::printf("  %10.3f  %-10s %-12s %s\n", row.ts - t0, job.c_str(),
+                row.event.c_str(), row.details.c_str());
+  }
+
+  // Chain sanity: each job's stream should open with submitted (a journal
+  // sliced from a job dir) or restarted (a daemon-restart requeue record)
+  // and close on a terminal event; anything else is in flight / truncated.
+  for (const auto& [stream, events] : chains) {
+    if (stream == "daemon") continue;
+    if (events.front() != "submitted" && events.front() != "restarted") {
+      std::printf("  warning: %s opens with '%s' (expected submitted)\n",
+                  stream.c_str(), events.front().c_str());
+    }
+    if (!terminal_event(events.back())) {
+      std::printf("  warning: %s still in flight (last event '%s')\n",
+                  stream.c_str(), events.back().c_str());
+    }
+  }
+  return 0;
+}
+
+/// The three scheduling/latency percentiles of one histogram family, or
+/// "-" columns when the family is absent (fresh daemon, no samples yet).
+void print_percentiles(const std::vector<casurf::obs::prom::Family>& families,
+                       const char* family_name, const char* label) {
+  const casurf::obs::prom::Family* fam = nullptr;
+  for (const auto& f : families) {
+    if (f.name == family_name && f.type == "histogram") fam = &f;
+  }
+  bool any = false;
+  if (fam != nullptr) {
+    for (const auto& s : fam->samples) {
+      if (s.name == fam->name + "_count" && s.value > 0) any = true;
+    }
+  }
+  if (!any) {
+    std::printf("  %-22s %10s %10s %10s\n", label, "-", "-", "-");
+    return;
+  }
+  const double p50 = casurf::obs::prom::quantile(*fam, 0.50);
+  const double p95 = casurf::obs::prom::quantile(*fam, 0.95);
+  const double p99 = casurf::obs::prom::quantile(*fam, 0.99);
+  std::printf("  %-22s %9.3fs %9.3fs %9.3fs\n", label, p50 / 1e9, p95 / 1e9,
+              p99 / 1e9);
+}
+
+int print_serve(std::uint16_t port) {
+  using casurf::serve::HttpResponse;
+  HttpResponse stats;
+  try {
+    stats = casurf::serve::http_request(port, "GET", "/stats");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: 127.0.0.1:%u: %s\n",
+                 static_cast<unsigned>(port), e.what());
+    return 1;
+  }
+  if (stats.status != 200) {
+    std::fprintf(stderr, "error: GET /stats returned %d\n", stats.status);
+    return 1;
+  }
+  Value doc;
+  try {
+    doc = Value::parse(stats.body);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: /stats: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("casurf_serve on 127.0.0.1:%u\n", static_cast<unsigned>(port));
+  std::printf("  %-12s %llu queued, %llu running, %llu done, %llu failed, "
+              "%llu stopped\n",
+              "jobs:",
+              static_cast<unsigned long long>(doc.number_or("queued", 0)),
+              static_cast<unsigned long long>(doc.number_or("running", 0)),
+              static_cast<unsigned long long>(doc.number_or("done", 0)),
+              static_cast<unsigned long long>(doc.number_or("failed", 0)),
+              static_cast<unsigned long long>(doc.number_or("stopped", 0)));
+  std::printf("  %-12s %llu of %llu busy; %s; suggested Retry-After %llus\n",
+              "slots:",
+              static_cast<unsigned long long>(doc.number_or("running", 0)),
+              static_cast<unsigned long long>(doc.number_or("slots", 0)),
+              doc.find("draining") != nullptr && doc.at("draining").as_bool()
+                  ? "draining"
+                  : "accepting",
+              static_cast<unsigned long long>(doc.number_or("retry_after", 0)));
+
+  HttpResponse metrics;
+  try {
+    metrics = casurf::serve::http_request(port, "GET", "/metrics");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: GET /metrics: %s\n", e.what());
+    return 1;
+  }
+  if (metrics.status == 404) {
+    std::printf("  (no /metrics — daemon built with CASURF_METRICS=OFF)\n");
+    return 0;
+  }
+  if (metrics.status != 200) {
+    std::fprintf(stderr, "error: GET /metrics returned %d\n", metrics.status);
+    return 1;
+  }
+  std::vector<casurf::obs::prom::Family> families;
+  try {
+    families = casurf::obs::prom::parse(metrics.body);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: /metrics: %s\n", e.what());
+    return 1;
+  }
+
+  // Whole-fleet totals worth a glance; percentile rows from the two
+  // scheduling histograms (docs/SERVING.md, "Serving telemetry").
+  auto family_total = [&](const char* name) {
+    double total = 0;
+    for (const auto& f : families) {
+      if (f.name != name) continue;
+      for (const auto& s : f.samples) {
+        if (s.name == f.name) total += s.value;
+      }
+    }
+    return total;
+  };
+  std::printf("  %-12s %.0f submissions, %.0f restarts, %.0f preemptions, "
+              "%.0f backpressure\n",
+              "lifetime:", family_total("casurf_job_submissions_total"),
+              family_total("casurf_job_restarts_total"),
+              family_total("casurf_job_preemptions_total"),
+              family_total("casurf_http_backpressure_total"));
+  std::printf("  %-12s %.0f trials, %.0f reactions, %.0f drift alarms\n",
+              "workers:", family_total("casurf_worker_trials_total"),
+              family_total("casurf_worker_reactions_total"),
+              family_total("casurf_worker_drift_alarms_total"));
+  std::printf("  %-22s %10s %10s %10s\n", "latency", "p50", "p95", "p99");
+  print_percentiles(families, "casurf_job_queue_wait_ns", "queue wait");
+  print_percentiles(families, "casurf_job_duration_ns", "job duration");
+  print_percentiles(families, "casurf_http_request_duration_ns", "http request");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool trace_mode = false;
+  bool events_mode = false;
+  long serve_port = -1;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") usage(argv[0]);
     else if (arg == "--trace") trace_mode = true;
+    else if (arg == "--events") events_mode = true;
+    else if (arg == "--serve") {
+      if (i + 1 >= argc) usage(argv[0], "--serve expects a port");
+      char* end = nullptr;
+      serve_port = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || serve_port < 1 ||
+          serve_port > 65535) {
+        usage(argv[0], "--serve expects a port in 1..65535");
+      }
+    }
     else if (!arg.empty() && arg.front() == '-') {
       usage(argv[0], ("unknown flag: " + std::string(arg)).c_str());
     } else {
       files.emplace_back(arg);
     }
   }
+  if (trace_mode && events_mode) {
+    usage(argv[0], "--trace and --events are mutually exclusive");
+  }
+  if (serve_port > 0) {
+    if (trace_mode || events_mode || !files.empty()) {
+      usage(argv[0], "--serve takes no input files");
+    }
+    return print_serve(static_cast<std::uint16_t>(serve_port));
+  }
   if (files.empty()) usage(argv[0], "expected at least one input file");
   if (files.size() > 2) usage(argv[0], "expected at most two input files");
   if (trace_mode && files.size() != 1) {
     usage(argv[0], "--trace takes exactly one file");
   }
+  if (events_mode && files.size() != 1) {
+    usage(argv[0], "--events takes exactly one file");
+  }
 
   if (trace_mode) return print_trace(files[0]);
+  if (events_mode) return print_events(files[0]);
   if (files.size() == 1) {
     print_single(load_report(files[0]));
   } else {

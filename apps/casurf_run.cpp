@@ -63,6 +63,7 @@
 #include "stats/coverage.hpp"
 #include "stats/csv.hpp"
 #include "util/failpoint.hpp"
+#include "util/log.hpp"
 
 using namespace casurf;
 
@@ -117,6 +118,9 @@ struct Options {
   double watchdog = 30.0;  // seconds without a heartbeat before SIGKILL
   bool watchdog_set = false;
   bool quiet = false;
+  log::Level log_level = log::threshold();  // structured-log threshold
+  std::string log_file;                     // "" = stderr
+  bool log_flags = false;  // explicit --log-* given (env alone stays soft)
   // Internal (not a flag): a supervised restart may fall back to a clean
   // start when both checkpoints are unusable, where an explicit --resume
   // must fail loudly instead (exit 3).
@@ -162,6 +166,11 @@ struct Options {
                "  --watchdog T        with --supervise: kill and restart a worker\n"
                "                      that posts no heartbeat for T wall seconds\n"
                "                      (default 30; 0 disables the watchdog)\n"
+               "  --log-level L       structured JSON-lines log threshold:\n"
+               "                      debug|info|warn|error|off (default warn;\n"
+               "                      the CASURF_LOG env var is the default)\n"
+               "  --log-file PATH     append the structured log to PATH\n"
+               "                      (default stderr)\n"
                "  --failpoints SPEC   arm deterministic fault injection, e.g.\n"
                "                      'io/checkpoint/corrupt=hit@2,run/kill=prob@0.1'\n"
                "                      (docs/ROBUSTNESS.md lists the names; the\n"
@@ -308,6 +317,16 @@ Options parse_args(int argc, char** argv) {
     else if (flag == "--heatmap-every") opt.heatmap_every = integer(i, "--heatmap-every");
     else if (flag == "--die-at") opt.die_at = num(i, "--die-at");  // crash-test aid
     else if (flag == "--quiet") opt.quiet = true;
+    else if (flag == "--log-level") {
+      if (!log::parse_level(need_value(i), opt.log_level)) {
+        usage(argv[0], "--log-level expects debug|info|warn|error|off");
+      }
+      opt.log_flags = true;
+    }
+    else if (flag == "--log-file") {
+      opt.log_file = need_value(i);
+      opt.log_flags = true;
+    }
     else usage(argv[0], ("unknown flag: " + std::string(flag)).c_str());
   }
 
@@ -994,6 +1013,9 @@ int supervise(const Options& opt) {
       return kExitRuntime;
     }
     ::close(pipefd[1]);
+    log::Event(log::Level::kDebug, "run.supervise", "worker_spawned")
+        .i64("pid", pid)
+        .u64("attempt", restarts);
 
     // Heartbeat watch. poll() wakes on data (worker alive), EOF (worker
     // gone), timeout (worker hung), or EINTR (signal being forwarded).
@@ -1011,6 +1033,9 @@ int supervise(const Options& opt) {
         std::fprintf(stderr,
                      "supervisor: no heartbeat for %.3g s; killing worker %d\n",
                      opt.watchdog, static_cast<int>(pid));
+        log::Event(log::Level::kWarn, "run.supervise", "watchdog_kill")
+            .i64("pid", pid)
+            .f64("watchdog_s", opt.watchdog);
         watchdog_fired = true;
         ::kill(pid, SIGKILL);
         break;
@@ -1038,6 +1063,8 @@ int supervise(const Options& opt) {
       if (code == 128 + SIGINT || code == 128 + SIGTERM) {
         // The worker shut down gracefully after a forwarded (or external)
         // signal; that is an orderly preemption, not a failure.
+        log::Event(log::Level::kInfo, "run.supervise", "worker_yielded")
+            .i64("signal", code - 128);
         return code;
       }
       cause = "crash";
@@ -1066,6 +1093,10 @@ int supervise(const Options& opt) {
                    "(last: %s %d); giving up\n",
                    static_cast<unsigned long long>(opt.supervise_retries),
                    cause.c_str(), detail);
+      log::Event(log::Level::kError, "run.supervise", "retries_exhausted")
+          .str("cause", cause)
+          .i64("detail", detail)
+          .u64("retries", opt.supervise_retries);
       return kExitRetriesExhausted;
     }
     obs::RecoveryRecord record;
@@ -1100,6 +1131,13 @@ int supervise(const Options& opt) {
                  cause.c_str(), detail, opt.checkpoint.c_str(),
                  static_cast<unsigned long long>(restarts),
                  static_cast<unsigned long long>(opt.supervise_retries), backoff);
+    log::Event(log::Level::kWarn, "run.supervise", "worker_restart")
+        .str("cause", cause)
+        .i64("detail", detail)
+        .u64("attempt", restarts)
+        .str("restore_source", record.restore_source)
+        .f64("resume_time", record.resume_time)
+        .f64("backoff_s", backoff);
     std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
   }
 }
@@ -1107,7 +1145,20 @@ int supervise(const Options& opt) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Environment first so explicit --log-* flags win; a bad CASURF_LOG is a
+  // usage error like a bad CASURF_FAILPOINTS.
+  if (const std::string err = log::configure_from_env(); !err.empty()) {
+    usage(argv[0], err.c_str());
+  }
   const Options opt = parse_args(argc, argv);
+  if (opt.log_flags) {
+    // Explicit flags refuse loudly when logging is compiled out
+    // (CASURF_METRICS=OFF); the env variable degrades silently.
+    if (const std::string err = log::configure(opt.log_level, opt.log_file);
+        !err.empty()) {
+      usage(argv[0], err.c_str());
+    }
+  }
   if (opt.supervise) return supervise(opt);
   obs::RecoveryLog recovery;  // unsupervised: carries degradation counters
   return run_once(opt, recovery);

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "serve/daemon.hpp"
+#include "util/log.hpp"
 
 namespace {
 
@@ -42,6 +43,11 @@ constexpr int kExitUsage = 2;
       "  --queue-cap N       queued jobs before 429 (default 64)\n"
       "  --tenant-cap N      live jobs per tenant before 403 (default 16)\n"
       "  --max-threads N     per-job worker-thread clamp (default 4)\n"
+      "  --worker-log-cap N  bytes before a job's worker.log rotates to .1\n"
+      "                      (default 1 MiB; 0 = unbounded)\n"
+      "  --log-level L       structured-log threshold: debug|info|warn|error\n"
+      "                      |off (default warn; env CASURF_LOG also applies)\n"
+      "  --log-file PATH     append JSON-lines log to PATH (default stderr)\n"
       "\n"
       "API summary (docs/SERVING.md):\n"
       "  POST /jobs            submit a job (JSON spec)\n"
@@ -53,7 +59,7 @@ constexpr int kExitUsage = 2;
       "  GET  /jobs/I/drift    drift profile\n"
       "  POST /jobs/I/stop     checkpoint and yield\n"
       "  POST /jobs/I/start    requeue (resumes from checkpoint)\n"
-      "  GET  /healthz, /stats\n",
+      "  GET  /healthz, /stats, /metrics\n",
       argv0);
   std::exit(error != nullptr ? kExitUsage : 0);
 }
@@ -66,6 +72,14 @@ void on_signal(int sig) { g_signal = sig; }
 int main(int argc, char** argv) {
   DaemonOptions opt;
   std::string port_file;
+  std::string log_file;
+  casurf::log::Level log_level = casurf::log::threshold();
+  bool log_flags = false;
+
+  // Environment first so explicit flags win.
+  if (const std::string err = casurf::log::configure_from_env(); !err.empty()) {
+    usage(argv[0], err.c_str());
+  }
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view flag = argv[i];
@@ -99,6 +113,19 @@ int main(int argc, char** argv) {
     }
     else if (flag == "--queue-cap") opt.queue_cap = integer(i, "--queue-cap");
     else if (flag == "--tenant-cap") opt.tenant_cap = integer(i, "--tenant-cap");
+    else if (flag == "--worker-log-cap") {
+      opt.worker_log_cap = integer(i, "--worker-log-cap");
+    }
+    else if (flag == "--log-level") {
+      if (!casurf::log::parse_level(need_value(i), log_level)) {
+        usage(argv[0], "--log-level expects debug|info|warn|error|off");
+      }
+      log_flags = true;
+    }
+    else if (flag == "--log-file") {
+      log_file = need_value(i);
+      log_flags = true;
+    }
     else if (flag == "--max-threads") {
       opt.max_threads_per_job = static_cast<unsigned>(integer(i, "--max-threads"));
       if (opt.max_threads_per_job == 0) {
@@ -109,6 +136,14 @@ int main(int argc, char** argv) {
   }
   if (opt.runner.empty()) usage(argv[0], "--runner PATH is required");
   if (opt.data_dir.empty()) usage(argv[0], "--data-dir DIR is required");
+  if (log_flags) {
+    // Explicit flags refuse loudly when logging is compiled out; the env
+    // variable above degrades silently (same contract as failpoints).
+    if (const std::string err = casurf::log::configure(log_level, log_file);
+        !err.empty()) {
+      usage(argv[0], err.c_str());
+    }
+  }
 
   // Handlers before the daemon exists: a SIGTERM during recovery/startup
   // is recorded and drains immediately after construction.

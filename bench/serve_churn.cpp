@@ -7,8 +7,14 @@
 // worker, so the numbers include process startup — the cost that decides
 // whether the one-worker-per-job isolation model is affordable.
 //
+// A 10 Hz scraper thread hits GET /metrics throughout each wave and runs
+// every response through the strict exposition parser, so the bench also
+// smoke-tests the telemetry path under load (on CASURF_METRICS=OFF builds
+// it instead checks the route 404s).
+//
 // CASURF_BENCH_FAST=1 shrinks the wave for CI smoke runs.
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <chrono>
@@ -17,6 +23,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/prom.hpp"
 #include "serve/daemon.hpp"
 #include "serve/http.hpp"
 
@@ -38,6 +45,7 @@ struct ChurnResult {
   double drain_seconds = 0;    // wall time until every job is terminal
   int completed = 0;
   int failed = 0;
+  int scrapes = 0;             // /metrics responses validated mid-wave
 };
 
 ChurnResult run_wave(unsigned slots, int jobs, const std::string& data_dir) {
@@ -50,6 +58,35 @@ ChurnResult run_wave(unsigned slots, int jobs, const std::string& data_dir) {
   Daemon daemon(opt);
 
   ChurnResult result;
+
+  // 10 Hz scraper: every /metrics body must survive the strict 0.0.4
+  // parser while runners churn underneath it (or 404 when compiled out).
+  std::atomic<bool> scraping{true};
+  std::atomic<int> scrapes{0};
+  std::thread scraper([&] {
+    while (scraping.load(std::memory_order_relaxed)) {
+      const HttpResponse resp = http_request(daemon.port(), "GET", "/metrics");
+      if (casurf::obs::prom::kPromCompiled) {
+        if (resp.status != 200) {
+          std::fprintf(stderr, "/metrics returned %d\n", resp.status);
+          std::exit(1);
+        }
+        try {
+          (void)casurf::obs::prom::parse(resp.body);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "/metrics failed strict parse: %s\n", e.what());
+          std::exit(1);
+        }
+      } else if (resp.status != 404) {
+        std::fprintf(stderr, "/metrics on an OFF build returned %d\n",
+                     resp.status);
+        std::exit(1);
+      }
+      scrapes.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  });
+
   std::vector<std::uint64_t> ids;
   ids.reserve(static_cast<std::size_t>(jobs));
   const auto submit_t0 = Clock::now();
@@ -86,6 +123,10 @@ ChurnResult run_wave(unsigned slots, int jobs, const std::string& data_dir) {
     }
   }
   result.drain_seconds = seconds_since(drain_t0);
+
+  scraping.store(false, std::memory_order_relaxed);
+  scraper.join();
+  result.scrapes = scrapes.load(std::memory_order_relaxed);
   return result;
 }
 
@@ -97,8 +138,8 @@ int main() {
 
   std::printf("serve_churn: %d ZGB jobs (16x16, t_end 1) per wave, "
               "one casurf_run worker process per job\n\n", jobs);
-  std::printf("%-6s %-10s %-12s %-12s %-10s\n", "slots", "completed",
-              "submit_ms", "drain_s", "jobs/s");
+  std::printf("%-6s %-10s %-12s %-12s %-10s %-8s\n", "slots", "completed",
+              "submit_ms", "drain_s", "jobs/s", "scrapes");
 
   for (const unsigned slots : {1u, 2u, 4u, 8u}) {
     const std::string dir = "serve_churn_out/slots_" + std::to_string(slots);
@@ -108,11 +149,13 @@ int main() {
       return 1;
     }
     const double total = r.submit_seconds + r.drain_seconds;
-    std::printf("%-6u %-10d %-12.1f %-12.2f %-10.1f\n", slots, r.completed,
-                r.submit_seconds * 1e3, r.drain_seconds,
-                total > 0 ? jobs / total : 0.0);
+    std::printf("%-6u %-10d %-12.1f %-12.2f %-10.1f %-8d\n", slots,
+                r.completed, r.submit_seconds * 1e3, r.drain_seconds,
+                total > 0 ? jobs / total : 0.0, r.scrapes);
   }
   std::printf("\njobs/s counts full job lifecycle: HTTP submit, queue, "
-              "fork+exec, simulate, checkpoint, report, join.\n");
+              "fork+exec, simulate, checkpoint, report, join. Every scrape "
+              "is a /metrics body that passed the strict 0.0.4 parser "
+              "mid-wave.\n");
   return 0;
 }

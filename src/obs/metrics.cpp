@@ -13,6 +13,7 @@ struct MetricsRegistry::Impl {
   std::map<std::string, std::unique_ptr<Counter>> counters;
   std::map<std::string, std::unique_ptr<Timer>> timers;
   std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
 };
 
 MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
@@ -36,6 +37,13 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
   std::lock_guard lock(impl_->mutex);
   auto& slot = impl_->histograms[name];
   if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(impl_->mutex);
+  auto& slot = impl_->gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
@@ -69,6 +77,14 @@ std::vector<MetricsRegistry::HistogramSample> MetricsRegistry::histograms() cons
     for (std::size_t b = 0; b < Histogram::kBuckets; ++b) s.buckets[b] = h->bucket(b);
     out.push_back(std::move(s));
   }
+  return out;
+}
+
+std::vector<MetricsRegistry::GaugeSample> MetricsRegistry::gauges() const {
+  std::lock_guard lock(impl_->mutex);
+  std::vector<GaugeSample> out;
+  out.reserve(impl_->gauges.size());
+  for (const auto& [name, g] : impl_->gauges) out.push_back({name, g->value()});
   return out;
 }
 

@@ -138,6 +138,42 @@ class Histogram {
   std::atomic<std::uint64_t> count_{0};
 };
 
+/// Point-in-time level (queue depth, RSS bytes, jobs per state). Unlike a
+/// Counter a gauge can move both ways; stored as a double so derived
+/// rates (trials/s) and byte totals share one primitive. set()/add() are
+/// relaxed-atomic: last write wins, which is the Prometheus gauge
+/// contract.
+class Gauge {
+ public:
+  void set(double v) { bits_.store(encode(v), std::memory_order_relaxed); }
+  void add(double d) {
+    std::uint64_t cur = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(cur, encode(decode(cur) + d),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return decode(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  // Bit-pattern punning keeps the field a plain atomic<uint64_t>, which
+  // every target lowers to lock-free loads/stores (atomic<double> RMW
+  // support is spottier).
+  static std::uint64_t encode(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    return bits;
+  }
+  static double decode(std::uint64_t bits) {
+    double v = 0;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::atomic<std::uint64_t> bits_{0};
+};
+
 /// Owns every probe of one run, keyed by slash-separated names (see
 /// docs/OBSERVABILITY.md for the taxonomy). Registration is mutex-guarded
 /// and idempotent; returned references stay valid for the registry's
@@ -152,6 +188,7 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Timer& timer(const std::string& name);
   Histogram& histogram(const std::string& name);
+  Gauge& gauge(const std::string& name);
 
   /// Point-in-time copies, sorted by name (deterministic report order).
   struct CounterSample {
@@ -167,9 +204,14 @@ class MetricsRegistry {
     std::uint64_t count, sum;
     std::uint64_t buckets[Histogram::kBuckets];
   };
+  struct GaugeSample {
+    std::string name;
+    double value;
+  };
   [[nodiscard]] std::vector<CounterSample> counters() const;
   [[nodiscard]] std::vector<TimerSample> timers() const;
   [[nodiscard]] std::vector<HistogramSample> histograms() const;
+  [[nodiscard]] std::vector<GaugeSample> gauges() const;
 
  private:
   struct Impl;

@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <csignal>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -13,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "serve/http.hpp"
 #include "serve/job.hpp"
 
@@ -41,6 +44,8 @@ struct DaemonOptions {
   std::size_t tenant_cap = 16;   ///< live (queued+running) jobs per tenant → 403
   unsigned max_threads_per_job = 4;  ///< clamp on spec.threads (the quota)
   unsigned http_threads = 4;     ///< HTTP worker pool size
+  std::size_t worker_log_cap = 1 << 20;  ///< bytes before worker.log rotates
+                                         ///< to worker.log.1 (0 = unbounded)
 };
 
 /// The casurf_serve daemon as a library: an HTTP front end over a
@@ -93,28 +98,53 @@ class Daemon {
     int exit_code = -1;  ///< last worker exit (valid in terminal states)
     std::string error;   ///< human-readable failure reason
     pid_t pid = 0;       ///< running worker, 0 otherwise
+    std::uint64_t submit_ns = 0;  ///< mono ns at (re)enqueue; queue-wait base
+    std::uint64_t sched_ns = 0;   ///< mono ns a runner picked it up
+    std::uint64_t harvested_trials = 0;     ///< run-report totals already
+    std::uint64_t harvested_executed = 0;   ///< rolled into the registry
+    std::uint64_t harvested_alarms = 0;     ///< (deltas only: a requeued
+    std::uint64_t harvested_restarts = 0;   ///< job's report is cumulative)
   };
 
-  void recover_jobs();  // requeue non-terminal job dirs found in data_dir
+  /// Per-request telemetry handle() threads through route(): the
+  /// normalised route label plus any backpressure verdict for the access
+  /// log.
+  struct RouteInfo {
+    const char* route = "other";
+    const char* backpressure = nullptr;  ///< "queue_full"|"draining"|"tenant_quota"
+    unsigned retry_after = 0;
+  };
+
+  std::size_t recover_jobs();  // requeue non-terminal job dirs in data_dir
   void runner_main();
   void run_job(Job& job);
   int supervise_worker(Job& job);  // one spawn+wait cycle; returns exit code
   void finish(Job& job, JobState state, int code, std::string error);
+  void rotate_worker_log(const Job& job);  // between spawns only
+  void harvest_report(Job& job);           // report deltas → registry
+  void journal(const Job& job, std::string_view event,
+               const std::function<void(obs::json::Writer&)>& fields = {});
 
   [[nodiscard]] Job* find_job(std::uint64_t id);
   [[nodiscard]] Job* pop_best_locked();
   [[nodiscard]] std::size_t tenant_live_locked(const std::string& tenant) const;
+  [[nodiscard]] unsigned retry_after_locked() const;
 
-  HttpResponse submit(const HttpRequest& req);
+  HttpResponse route(const HttpRequest& req, RouteInfo& info);
+  HttpResponse submit(const HttpRequest& req, RouteInfo& info);
   HttpResponse job_status(const Job& job);  // caller holds mutex_
   HttpResponse job_stop(std::uint64_t id);
-  HttpResponse job_start(std::uint64_t id);
+  HttpResponse job_start(std::uint64_t id, RouteInfo& info);
   HttpResponse job_file(std::uint64_t id, const std::string& name,
                         const char* content_type);
   HttpResponse list_jobs();
   HttpResponse stats();
+  HttpResponse metrics();
 
   DaemonOptions opt_;
+  obs::MetricsRegistry registry_;
+  std::string journal_path_;  ///< daemon-level events.jsonl in data_dir
+  std::atomic<std::uint64_t> next_req_{1};  ///< access-log request ids
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;  ///< wakes runners: queue grew / draining

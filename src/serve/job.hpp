@@ -78,5 +78,7 @@ inline constexpr const char* kJobReport = "report.json";
 inline constexpr const char* kJobHeatmapPrefix = "heatmap";
 inline constexpr const char* kJobDrift = "drift.json";
 inline constexpr const char* kJobLog = "worker.log";
+inline constexpr const char* kJobLogRotated = "worker.log.1";
+inline constexpr const char* kJobEvents = "events.jsonl";
 
 }  // namespace casurf::serve

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace casurf::log {
+
+/// Structured JSON-lines logging for the serving layer. Every event is one
+/// self-contained JSON object on one line:
+///
+///   {"ts":1754640000.123456,"mono_ns":8123456789,"level":"info",
+///    "component":"serve.daemon","event":"job_scheduled","job":7,...}
+///
+/// Design constraints (docs/OBSERVABILITY.md, "Serving telemetry"):
+///   - a line is emitted with a single write(2) on an O_APPEND fd, so
+///     concurrent writers — the daemon's runner + HTTP threads AND forked
+///     casurf_run supervisors sharing the inherited fd — never interleave
+///     bytes within a line;
+///   - a disabled site (level below threshold) costs one relaxed atomic
+///     load plus a branch, the same discipline as obs::MetricsRegistry
+///     probes and fail::Failpoint sites;
+///   - CASURF_METRICS=OFF (-DCASURF_NO_METRICS) compiles the subsystem out:
+///     Event becomes an empty type (static_assert below), configure()
+///     refuses explicit requests, and CASURF_LOG is ignored.
+///
+/// Configuration precedence: compiled default (warn → stderr), then the
+/// CASURF_LOG environment variable (`configure_from_env`), then explicit
+/// --log-level / --log-file flags (`configure`).
+
+#ifdef CASURF_NO_METRICS
+inline constexpr bool kLogCompiled = false;
+#else
+inline constexpr bool kLogCompiled = true;
+#endif
+
+enum class Level : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+[[nodiscard]] const char* to_string(Level level);
+
+/// Parse "debug"/"info"/"warn"/"error"/"off" into `out`; false on any
+/// other spelling (out untouched).
+[[nodiscard]] bool parse_level(std::string_view text, Level& out);
+
+/// Point the logger at `path` ("" or "stderr" → standard error) with the
+/// given threshold. Returns the empty string on success, else a message
+/// (unwritable path, or logging compiled out while a sink/level was
+/// explicitly requested). The sink fd is opened O_APPEND|O_CLOEXEC: append
+/// atomicity across forked supervisors, no leak into exec'd workers.
+std::string configure(Level level, const std::string& path);
+
+/// Apply the CASURF_LOG environment variable, e.g.
+/// `CASURF_LOG=level=debug,file=/tmp/casurf.log` (a bare `debug` is
+/// shorthand for `level=debug`). Unset/empty → no change. Returns "" on
+/// success or when compiled out (env config degrades silently; only
+/// explicit flags refuse), else a parse error.
+std::string configure_from_env();
+
+/// Current threshold (kOff when compiled out).
+[[nodiscard]] Level threshold();
+
+namespace detail {
+#ifndef CASURF_NO_METRICS
+extern std::atomic<int> g_level;  ///< Level as int; relaxed site-gate load
+void emit_line(std::string&& line);  // appends '\n', single write(2)
+[[nodiscard]] std::uint64_t mono_ns();
+[[nodiscard]] double wall_seconds();
+#endif
+}  // namespace detail
+
+/// One site's token bucket: `rate` tokens/second, up to `burst` banked.
+/// Use as a function-local static next to a hot log site so a failure
+/// storm (restart loops, scrape errors) cannot flood the journal:
+///
+///   static log::RateLimit limit(1.0, 5.0);
+///   log::Event(log::Level::kWarn, "serve.daemon", "scrape_failed", &limit)
+///       .str("why", err);
+///
+/// allow() is thread-safe; compiled out it is constant-false (the Event it
+/// gates is a no-op anyway).
+class RateLimit {
+ public:
+  constexpr RateLimit(double rate, double burst)
+#ifndef CASURF_NO_METRICS
+      : rate_(rate), burst_(burst), tokens_(burst)
+#endif
+  {
+    (void)rate, (void)burst;
+  }
+
+  [[nodiscard]] bool allow();
+
+ private:
+#ifndef CASURF_NO_METRICS
+  double rate_;
+  double burst_;
+  std::mutex mutex_;
+  double tokens_;
+  std::uint64_t last_ns_ = 0;
+#endif
+};
+
+/// Fluent one-line event builder. Constructing below the threshold (or
+/// with an exhausted RateLimit) arms nothing; the destructor of an armed
+/// Event emits the finished line. Field values go through the same escaper
+/// as every other JSON surface, so hostile strings cannot break a line.
+class Event {
+ public:
+  Event(Level level, std::string_view component, std::string_view event,
+        RateLimit* limit = nullptr);
+  ~Event();
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  Event& str(std::string_view key, std::string_view value);
+  Event& u64(std::string_view key, std::uint64_t value);
+  Event& i64(std::string_view key, std::int64_t value);
+  Event& f64(std::string_view key, double value);
+  Event& boolean(std::string_view key, bool value);
+
+ private:
+#ifndef CASURF_NO_METRICS
+  std::string line_;  ///< empty ⇔ disarmed
+#endif
+};
+
+#ifdef CASURF_NO_METRICS
+inline Event::Event(Level, std::string_view, std::string_view, RateLimit*) {}
+inline Event::~Event() = default;
+inline Event& Event::str(std::string_view, std::string_view) { return *this; }
+inline Event& Event::u64(std::string_view, std::uint64_t) { return *this; }
+inline Event& Event::i64(std::string_view, std::int64_t) { return *this; }
+inline Event& Event::f64(std::string_view, double) { return *this; }
+inline Event& Event::boolean(std::string_view, bool) { return *this; }
+inline bool RateLimit::allow() { return false; }
+static_assert(std::is_empty_v<Event>,
+              "log::Event must compile out to an empty no-op under "
+              "CASURF_METRICS=OFF");
+#endif
+
+}  // namespace casurf::log
