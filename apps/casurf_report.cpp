@@ -3,6 +3,8 @@
 //   casurf_report report.json              phase breakdown of one run report
 //   casurf_report a.json b.json            A/B delta table (percent change)
 //   casurf_report --trace trace.json       summarize a Chrome-trace file
+//   casurf_report --comm report.json       per-rank wait/compute breakdown
+//   casurf_report --merge-traces OUT IN..  stitch per-process traces into one
 //
 // Accepts both `casurf_run --metrics` reports and the BENCH_*.json files the
 // benchmarks drop in bench_out/ (same "casurf-run-report/1" schema). Exits 0
@@ -29,18 +31,26 @@ namespace {
 [[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
   if (error) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
-               "usage: %s [--trace|--events] FILE [FILE2]\n"
+               "usage: %s [--trace|--events|--comm] FILE [FILE2]\n"
+               "       %s --merge-traces OUT IN [IN...]\n"
                "       %s --serve PORT\n"
                "  FILE           a casurf-run-report/1 JSON (casurf_run --metrics,\n"
                "                 or a BENCH_*.json from bench_out/)\n"
                "  FILE FILE2     print an A/B comparison with percent deltas\n"
                "  --trace FILE   summarize a casurf-trace/1 Chrome-trace JSON\n"
+               "  --comm FILE    communication breakdown of one run report:\n"
+               "                 per-rank wait fractions, per-edge traffic, and\n"
+               "                 measured-vs-cost-model message/byte counts\n"
+               "  --merge-traces OUT IN [IN...]\n"
+               "                 merge casurf-trace/1 files from one machine\n"
+               "                 (daemon + workers) into OUT, one pid per input,\n"
+               "                 timestamps aligned on the shared steady clock\n"
                "  --events FILE  timeline of a casurf-events/1 journal\n"
                "                 (a job's events.jsonl, or the daemon's)\n"
                "  --serve PORT   live fleet table from a casurf_serve daemon on\n"
                "                 127.0.0.1:PORT (/stats plus /metrics latency\n"
                "                 percentiles when the build exposes them)\n",
-               argv0, argv0);
+               argv0, argv0, argv0);
   std::exit(error ? 2 : 0);
 }
 
@@ -224,6 +234,15 @@ void print_single(const Report& r) {
     }
   }
 
+  if (const Value* run = r.doc.find("run")) {
+    const double drops = run->number_or("trace_drops", 0);
+    if (drops > 0) {
+      std::printf("  WARNING: trace ring dropped %.0f events — the trace is "
+                  "incomplete; raise the ring capacity\n",
+                  drops);
+    }
+  }
+
   if (const Value* d = r.doc.find("drift"); d != nullptr && d->is_object()) {
     const Value& alarms = d->at("alarms");
     std::printf("  drift: %llu windows checked vs %s reference, %zu alarms, "
@@ -329,6 +348,11 @@ int print_trace(const std::string& path) {
               static_cast<unsigned long long>(other->number_or("recorded_events", 0)),
               static_cast<unsigned long long>(other->number_or("dropped_events", 0)),
               static_cast<unsigned long long>(other->number_or("ring_capacity", 0)));
+  if (other->number_or("dropped_events", 0) > 0) {
+    std::printf("  WARNING: %.0f events were dropped — the timeline has gaps; "
+                "raise the ring capacity\n",
+                other->number_or("dropped_events", 0));
+  }
   if (const Value* rings = other->find("rings")) {
     for (const Value& ring : rings->items()) {
       std::printf("  tid %llu (%s): %llu recorded, %llu retained, %llu dropped\n",
@@ -343,6 +367,263 @@ int print_trace(const std::string& path) {
   for (const auto& [name, slot] : by_name) {
     std::printf("    %-28s %10llu %12.3f ms\n", name.c_str(),
                 static_cast<unsigned long long>(slot.first), slot.second / 1e3);
+  }
+  return 0;
+}
+
+/// Communication breakdown of one run report: the "comm" section emitted
+/// when a multi-process engine ran with metrics armed. Exits 1 when the
+/// report has no comm section or the per-edge totals fail to reconcile
+/// with the communicator's own counts.
+int print_comm(const std::string& path) {
+  const Report r = load_report(path);
+  const Value* comm = r.doc.find("comm");
+  if (comm == nullptr || !comm->is_object()) {
+    std::fprintf(stderr,
+                 "error: %s: no comm section (single-process run, comm probes "
+                 "never armed, or a CASURF_METRICS=OFF build)\n",
+                 path.c_str());
+    return 1;
+  }
+
+  std::printf("comm: %s\n", path.c_str());
+  std::printf("  run: %s\n", run_summary(r).c_str());
+  const double total_messages = comm->number_or("messages", 0);
+  const double total_bytes = comm->number_or("bytes", 0);
+  std::printf("  totals: %.0f messages, %.0f bytes, %.0f barriers, wall %.3fs\n",
+              total_messages, total_bytes, comm->number_or("barriers", 0),
+              r.wall_seconds);
+
+  if (const Value* model = comm->find("model");
+      model != nullptr && model->is_object()) {
+    const double mm = model->number_or("messages", 0);
+    const double mb = model->number_or("bytes", 0);
+    std::printf("  vs cost model:\n");
+    std::printf("    %-10s %14s %14s %9s\n", "", "measured", "model", "ratio");
+    std::printf("    %-10s %14.0f %14.0f %9.3f\n", "messages", total_messages,
+                mm, mm > 0 ? total_messages / mm : 0.0);
+    std::printf("    %-10s %14.0f %14.0f %9.3f\n", "bytes", total_bytes, mb,
+                mb > 0 ? total_bytes / mb : 0.0);
+  }
+
+  if (const Value* ranks = comm->find("ranks");
+      ranks != nullptr && ranks->is_array() && !ranks->items().empty()) {
+    const double wall_ns = r.wall_seconds * 1e9;
+    std::printf("  per-rank waits:\n");
+    std::printf("    %4s %12s %12s %12s %12s %7s %8s\n", "rank", "recv_ms",
+                "barrier_ms", "allred_ms", "wait_ms", "wait%", "queue_hw");
+    for (const Value& rank : ranks->items()) {
+      const double wait_ns = rank.number_or("wait_ns", 0);
+      std::printf("    %4d %12.3f %12.3f %12.3f %12.3f %6.1f%% %8.0f\n",
+                  static_cast<int>(rank.number_or("rank", 0)),
+                  rank.number_or("wait_recv_ns", 0) / 1e6,
+                  rank.number_or("wait_barrier_ns", 0) / 1e6,
+                  rank.number_or("wait_allreduce_ns", 0) / 1e6, wait_ns / 1e6,
+                  wall_ns > 0 ? 100 * wait_ns / wall_ns : 0.0,
+                  rank.number_or("queue_high_water", 0));
+    }
+  }
+
+  double edge_messages = 0, edge_bytes = 0;
+  if (const Value* edges = comm->find("edges");
+      edges != nullptr && edges->is_array() && !edges->items().empty()) {
+    std::printf("  per-edge traffic:\n");
+    std::printf("    %-10s %14s %14s\n", "edge", "messages", "bytes");
+    for (const Value& e : edges->items()) {
+      const double em = e.number_or("messages", 0);
+      const double eb = e.number_or("bytes", 0);
+      edge_messages += em;
+      edge_bytes += eb;
+      char label[32];
+      std::snprintf(label, sizeof label, "%d->%d",
+                    static_cast<int>(e.number_or("src", 0)),
+                    static_cast<int>(e.number_or("dst", 0)));
+      std::printf("    %-10s %14.0f %14.0f\n", label, em, eb);
+    }
+    const bool ok = edge_messages == total_messages && edge_bytes == total_bytes;
+    std::printf("  reconcile: edges sum to %.0f messages / %.0f bytes vs "
+                "communicator totals %.0f / %.0f — %s\n",
+                edge_messages, edge_bytes, total_messages, total_bytes,
+                ok ? "OK" : "MISMATCH");
+    if (!ok) return 1;
+  }
+
+  if (const Value* skew = comm->find("barrier_skew");
+      skew != nullptr && skew->is_object()) {
+    std::printf("  barrier skew (first->last arrival): %.0f epochs, mean "
+                "%.3f us, max bucket <= %.3f us\n",
+                skew->number_or("count", 0), skew->number_or("mean_ns", 0) / 1e3,
+                skew->number_or("max_ns_bucket", 0) / 1e3);
+  }
+
+  if (const Value* run = r.doc.find("run");
+      run != nullptr && run->number_or("trace_drops", 0) > 0) {
+    std::printf("  WARNING: trace ring dropped %.0f events — the trace is "
+                "incomplete; raise the ring capacity\n",
+                run->number_or("trace_drops", 0));
+  }
+  return 0;
+}
+
+/// Re-emit a parsed value verbatim (used by the trace merger for the
+/// members it does not rewrite).
+void emit_value(casurf::obs::json::Writer& w, const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      w.raw("null");
+      break;
+    case Value::Kind::kBool:
+      w.boolean(v.as_bool());
+      break;
+    case Value::Kind::kNumber:
+      w.number(v.as_number());
+      break;
+    case Value::Kind::kString:
+      w.string(v.as_string());
+      break;
+    case Value::Kind::kArray:
+      w.begin_array();
+      for (const Value& e : v.items()) emit_value(w, e);
+      w.end_array();
+      break;
+    case Value::Kind::kObject:
+      w.begin_object();
+      for (const auto& [key, member] : v.members()) {
+        w.key(key);
+        emit_value(w, member);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+/// Stitch per-process casurf-trace/1 files (daemon + supervised workers)
+/// into one Chrome trace: input i becomes pid i+1, named after its trace id,
+/// with timestamps shifted onto the earliest input's clock. Valid for traces
+/// captured on one machine — t0_ns comes from the shared monotonic clock.
+int merge_traces(const std::string& out_path,
+                 const std::vector<std::string>& inputs) {
+  struct Input {
+    std::string path;
+    Value doc;
+    const Value* events = nullptr;
+    const Value* other = nullptr;
+    std::uint64_t t0_ns = 0;
+    std::string label;
+  };
+  std::vector<Input> ins;
+  ins.reserve(inputs.size());
+  std::uint64_t t0_min = 0;
+  bool have_t0 = false;
+  for (const std::string& path : inputs) {
+    Input in;
+    in.path = path;
+    in.doc = load_json(path);
+    in.events = in.doc.find("traceEvents");
+    in.other = in.doc.find("otherData");
+    if (in.events == nullptr || in.other == nullptr ||
+        in.other->string_or("schema", "") != "casurf-trace/1") {
+      std::fprintf(stderr, "error: %s: not a casurf-trace/1 document\n",
+                   path.c_str());
+      return 1;
+    }
+    in.t0_ns = static_cast<std::uint64_t>(in.other->number_or("t0_ns", 0));
+    in.label = in.other->string_or("trace_id", "");
+    if (in.label.empty()) {
+      const std::size_t slash = path.find_last_of('/');
+      in.label = slash == std::string::npos ? path : path.substr(slash + 1);
+    }
+    if (!have_t0 || in.t0_ns < t0_min) t0_min = in.t0_ns, have_t0 = true;
+    ins.push_back(std::move(in));
+  }
+
+  casurf::obs::json::Writer w;
+  std::uint64_t total_events = 0, recorded = 0, dropped = 0, capacity = 0;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    const Input& in = ins[i];
+    const std::uint64_t pid = i + 1;
+    const double shift_us =
+        static_cast<double>(in.t0_ns - t0_min) / 1000.0;
+    // Process-name metadata so each input gets a labelled lane group.
+    w.begin_object();
+    w.key("name"), w.string("process_name");
+    w.key("ph"), w.string("M");
+    w.key("pid"), w.u64(pid);
+    w.key("args");
+    w.begin_object();
+    w.key("name"), w.string(in.label);
+    w.end_object();
+    w.end_object();
+    for (const Value& e : in.events->items()) {
+      if (!e.is_object()) continue;
+      ++total_events;
+      w.begin_object();
+      bool wrote_pid = false;
+      for (const auto& [key, member] : e.members()) {
+        if (key == "pid") {
+          w.key("pid"), w.u64(pid);
+          wrote_pid = true;
+        } else if (key == "ts" && member.is_number()) {
+          w.key("ts"), w.number(member.as_number() + shift_us);
+        } else {
+          w.key(key);
+          emit_value(w, member);
+        }
+      }
+      if (!wrote_pid) w.key("pid"), w.u64(pid);
+      w.end_object();
+    }
+    recorded += static_cast<std::uint64_t>(
+        in.other->number_or("recorded_events", 0));
+    dropped +=
+        static_cast<std::uint64_t>(in.other->number_or("dropped_events", 0));
+    capacity = std::max(capacity, static_cast<std::uint64_t>(
+                                      in.other->number_or("ring_capacity", 0)));
+  }
+  w.end_array();
+  w.key("otherData");
+  w.begin_object();
+  w.key("schema"), w.string("casurf-trace/1");
+  w.key("t0_ns"), w.u64(t0_min);
+  w.key("recorded_events"), w.u64(recorded);
+  w.key("dropped_events"), w.u64(dropped);
+  w.key("ring_capacity"), w.u64(capacity);
+  w.key("merged");
+  w.begin_array();
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    w.begin_object();
+    w.key("file"), w.string(ins[i].path);
+    w.key("trace_id"), w.string(ins[i].label);
+    w.key("pid"), w.u64(i + 1);
+    w.key("t0_ns"), w.u64(ins[i].t0_ns);
+    w.key("shift_us"),
+        w.number(static_cast<double>(ins[i].t0_ns - t0_min) / 1000.0);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.end_object();
+
+  try {
+    casurf::io::atomic_write_file(out_path, std::move(w).str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s: %s\n", out_path.c_str(), e.what());
+    return 1;
+  }
+  std::printf("merged %zu traces into %s (%llu events", ins.size(),
+              out_path.c_str(), static_cast<unsigned long long>(total_events));
+  if (dropped > 0) {
+    std::printf("; WARNING: %llu dropped at capture",
+                static_cast<unsigned long long>(dropped));
+  }
+  std::printf(")\n");
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    std::printf("  pid %zu: %s (%s, +%.3f ms)\n", i + 1, ins[i].path.c_str(),
+                ins[i].label.c_str(),
+                static_cast<double>(ins[i].t0_ns - t0_min) / 1e6);
   }
   return 0;
 }
@@ -583,6 +864,8 @@ int print_serve(std::uint16_t port) {
 int main(int argc, char** argv) {
   bool trace_mode = false;
   bool events_mode = false;
+  bool comm_mode = false;
+  bool merge_mode = false;
   long serve_port = -1;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
@@ -590,6 +873,8 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") usage(argv[0]);
     else if (arg == "--trace") trace_mode = true;
     else if (arg == "--events") events_mode = true;
+    else if (arg == "--comm") comm_mode = true;
+    else if (arg == "--merge-traces") merge_mode = true;
     else if (arg == "--serve") {
       if (i + 1 >= argc) usage(argv[0], "--serve expects a port");
       char* end = nullptr;
@@ -605,14 +890,24 @@ int main(int argc, char** argv) {
       files.emplace_back(arg);
     }
   }
-  if (trace_mode && events_mode) {
-    usage(argv[0], "--trace and --events are mutually exclusive");
+  if (static_cast<int>(trace_mode) + static_cast<int>(events_mode) +
+          static_cast<int>(comm_mode) + static_cast<int>(merge_mode) >
+      1) {
+    usage(argv[0],
+          "--trace, --events, --comm, and --merge-traces are mutually "
+          "exclusive");
   }
   if (serve_port > 0) {
-    if (trace_mode || events_mode || !files.empty()) {
+    if (trace_mode || events_mode || comm_mode || merge_mode || !files.empty()) {
       usage(argv[0], "--serve takes no input files");
     }
     return print_serve(static_cast<std::uint16_t>(serve_port));
+  }
+  if (merge_mode) {
+    if (files.size() < 2) {
+      usage(argv[0], "--merge-traces expects OUT and at least one input trace");
+    }
+    return merge_traces(files[0], {files.begin() + 1, files.end()});
   }
   if (files.empty()) usage(argv[0], "expected at least one input file");
   if (files.size() > 2) usage(argv[0], "expected at most two input files");
@@ -622,9 +917,13 @@ int main(int argc, char** argv) {
   if (events_mode && files.size() != 1) {
     usage(argv[0], "--events takes exactly one file");
   }
+  if (comm_mode && files.size() != 1) {
+    usage(argv[0], "--comm takes exactly one file");
+  }
 
   if (trace_mode) return print_trace(files[0]);
   if (events_mode) return print_events(files[0]);
+  if (comm_mode) return print_comm(files[0]);
   if (files.size() == 1) {
     print_single(load_report(files[0]));
   } else {

@@ -103,6 +103,7 @@ struct Options {
   std::uint64_t metrics_every = 0;  // refresh report each N samples (0 = at end)
   std::string trace;              // Chrome-trace JSON target ("" = tracing off)
   std::uint64_t trace_buffer = obs::Tracer::kDefaultCapacity;  // events per ring
+  std::string trace_id;           // correlation id (flag or CASURF_TRACE_ID)
   std::string drift_record;  // write a drift reference profile here
   std::string drift_ref;     // compare online against this profile
   double drift_window = 0;   // profile window width (0 = 10 * dt)
@@ -185,6 +186,11 @@ struct Options {
                "                      Chrome-trace JSON (load in Perfetto)\n"
                "  --trace-buffer N    trace ring capacity in events per thread\n"
                "                      (default %zu; oldest events drop on wrap)\n"
+               "  --trace-id STR      correlation id stamped into the trace\n"
+               "                      footer and the run report, so traces of\n"
+               "                      many processes can be merged and labeled\n"
+               "                      (casurf_report --merge-traces; the\n"
+               "                      CASURF_TRACE_ID env var is the default)\n"
                "  --drift-record PATH run as a reference: write a windowed\n"
                "                      coverage/rate profile (casurf-drift-profile/1)\n"
                "  --drift-window T    profile window width in simulated time\n"
@@ -241,6 +247,9 @@ Options parse_args(int argc, char** argv) {
   // is parsed later). Lets a supervisor or CI arm faults without touching
   // the command line under test.
   if (const char* env = std::getenv("CASURF_FAILPOINTS")) opt.failpoints = env;
+  // Same env-as-default pattern for the trace correlation id: the serve
+  // daemon (or any orchestrator) can label workers without owning argv.
+  if (const char* env = std::getenv("CASURF_TRACE_ID")) opt.trace_id = env;
   const auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage(argv[0], "missing value for flag");
     return argv[++i];
@@ -305,6 +314,7 @@ Options parse_args(int argc, char** argv) {
     else if (flag == "--metrics-every") opt.metrics_every = integer(i, "--metrics-every");
     else if (flag == "--trace") opt.trace = need_value(i);
     else if (flag == "--trace-buffer") opt.trace_buffer = integer(i, "--trace-buffer");
+    else if (flag == "--trace-id") opt.trace_id = need_value(i);
     else if (flag == "--drift-record") opt.drift_record = need_value(i);
     else if (flag == "--drift-ref") opt.drift_ref = need_value(i);
     else if (flag == "--drift-window") opt.drift_window = num(i, "--drift-window");
@@ -689,6 +699,7 @@ int run_once(const Options& opt, obs::RecoveryLog& recovery) {
     obs::MetricsRegistry registry;
     if (!opt.metrics.empty()) sim->set_metrics(&registry);
     obs::Tracer tracer(static_cast<std::size_t>(opt.trace_buffer));
+    if (!opt.trace_id.empty()) tracer.set_trace_id(opt.trace_id);
     if (!opt.trace.empty()) sim->set_tracer(&tracer);
     std::optional<obs::SpatialMap> spatial_map;
     if (!opt.heatmap.empty()) {
@@ -752,6 +763,8 @@ int run_once(const Options& opt, obs::RecoveryLog& recovery) {
       info.wall_seconds = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - wall_start)
                               .count();
+      info.trace_id = opt.trace_id;
+      info.trace_drops = opt.trace.empty() ? 0 : tracer.total_dropped();
       return info;
     };
     const auto flush_report = [&] {

@@ -25,6 +25,17 @@ struct RunInfo {
   double dt = 0;
   unsigned threads = 0;
   double wall_seconds = 0;
+  std::string trace_id;           ///< cross-process correlation id ("" = none)
+  std::uint64_t trace_drops = 0;  ///< trace events lost to ring wrap-around
+};
+
+/// Paper cost-model prediction for the same run (the per-message/per-byte
+/// communication model `bench/fig7_speedup.cpp` reproduces): what the model
+/// says the run should have cost. Stored in the report's "comm" section so
+/// `casurf_report --comm` can print measured-vs-model columns.
+struct CommModel {
+  double messages = 0;
+  double bytes = 0;
 };
 
 class DriftMonitor;
@@ -75,12 +86,20 @@ struct RecoveryLog {
 /// may each be null; the corresponding sections are emitted empty
 /// (drift/spatial/recovery: null). A non-null but empty() recovery log is
 /// also emitted as null.
+///
+/// When `comm` is non-null a detailed "comm" section is emitted alongside
+/// the legacy "communicator" totals: per-edge message/byte counts, per-rank
+/// wait breakdowns, queue high-waters, and the barrier-skew histogram — all
+/// scanned from the registry's "comm/..." probes (CommProbes, msgpass.hpp)
+/// — plus the optional `comm_model` prediction. With `comm` null the
+/// section is null.
 [[nodiscard]] std::string run_report_json(const RunInfo& info, const Simulator* sim,
                                           const MetricsRegistry* registry,
                                           const Communicator::Stats* comm = nullptr,
                                           const DriftMonitor* drift = nullptr,
                                           const SpatialSummary* spatial = nullptr,
-                                          const RecoveryLog* recovery = nullptr);
+                                          const RecoveryLog* recovery = nullptr,
+                                          const CommModel* comm_model = nullptr);
 
 /// Write the report through the crash-safe atomic-write path, so a report
 /// refreshed periodically (--metrics-every) is never observed truncated.
@@ -89,6 +108,7 @@ void write_run_report(const std::string& path, const RunInfo& info,
                       const Communicator::Stats* comm = nullptr,
                       const DriftMonitor* drift = nullptr,
                       const SpatialSummary* spatial = nullptr,
-                      const RecoveryLog* recovery = nullptr);
+                      const RecoveryLog* recovery = nullptr,
+                      const CommModel* comm_model = nullptr);
 
 }  // namespace casurf::obs

@@ -25,6 +25,7 @@ struct Tracer::Impl {
   mutable std::mutex mutex;
   std::map<unsigned, std::unique_ptr<TraceRing>> rings;
   std::map<unsigned, std::string> names;
+  std::string trace_id;
 };
 
 Tracer::Tracer(std::size_t ring_capacity)
@@ -44,6 +45,16 @@ TraceRing& Tracer::ring(unsigned tid) {
 void Tracer::set_thread_name(unsigned tid, std::string name) {
   std::lock_guard lock(impl_->mutex);
   impl_->names[tid] = std::move(name);
+}
+
+void Tracer::set_trace_id(std::string id) {
+  std::lock_guard lock(impl_->mutex);
+  impl_->trace_id = std::move(id);
+}
+
+std::string Tracer::trace_id() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->trace_id;
 }
 
 std::uint64_t Tracer::total_recorded() const {
@@ -110,10 +121,21 @@ std::string Tracer::chrome_trace_json() const {
       }
       j.key("args");
       j.begin_object();
-      j.key("sim_time");
-      j.number(e.sim_time);
-      j.key("step");
-      j.u64(e.step);
+      if (e.src >= 0) {
+        j.key("src");
+        j.i64(e.src);
+        j.key("dst");
+        j.i64(e.dst);
+        j.key("tag");
+        j.i64(e.tag);
+        j.key("bytes");
+        j.u64(e.bytes);
+      } else {
+        j.key("sim_time");
+        j.number(e.sim_time);
+        j.key("step");
+        j.u64(e.step);
+      }
       j.end_object();
       j.end_object();
     }
@@ -124,6 +146,12 @@ std::string Tracer::chrome_trace_json() const {
   j.begin_object();
   j.key("schema");
   j.string("casurf-trace/1");
+  // Steady-clock origin + correlation id: what --merge-traces needs to
+  // stitch this file into a multi-process timeline.
+  j.key("t0_ns");
+  j.u64(t0_ns_);
+  j.key("trace_id");
+  j.string(impl_->trace_id);
   std::uint64_t recorded = 0, dropped = 0;
   for (const auto& [tid, ring] : impl_->rings) {
     recorded += ring->recorded();

@@ -47,6 +47,10 @@ DomainDecompResult run_domain_decomp(const ReactionModel& model,
                                      const Configuration& initial,
                                      const DomainDecompParams& params) {
   model.validate();
+  // Build the lazily-rebuilt alias table before the rank threads spawn:
+  // they share the model, and a first-use rebuild from several ranks at
+  // once would race.
+  (void)model.alias_table();
   const Lattice& lat = initial.lattice();
   const int p = params.ranks;
   const std::int32_t r = model.max_radius_l1();
@@ -71,8 +75,10 @@ DomainDecompResult run_domain_decomp(const ReactionModel& model,
   std::mutex result_mutex;
   std::atomic<std::uint64_t> total_trials{0};
 
+  const CommObs comm_obs{params.metrics, params.tracer};
   result.comm = Communicator::run(p, [&](Communicator::Rank& rank) {
     const int me = rank.rank();
+    obs::TraceRing* lane = rank.trace();
     const std::int32_t x0 = me * w;
     const std::int32_t x1 = x0 + w;
     const int right = (me + 1) % p;
@@ -101,9 +107,13 @@ DomainDecompResult run_domain_decomp(const ReactionModel& model,
       } else {
         // Phase 1: strip interior, anchors in [x0 + r, x1 - r); their
         // neighborhoods stay inside the strip, so all ranks run freely.
-        const std::int32_t interior = w - 2 * r;
-        for (std::int32_t i = 0; i < interior * lat.height(); ++i) {
-          trial_in(x0 + r, interior);
+        {
+          obs::ScopedSpan span(lane, "dd/interior",
+                               static_cast<double>(round) / total_k, round);
+          const std::int32_t interior = w - 2 * r;
+          for (std::int32_t i = 0; i < interior * lat.height(); ++i) {
+            trial_in(x0 + r, interior);
+          }
         }
         rank.barrier();
 
@@ -117,8 +127,12 @@ DomainDecompResult run_domain_decomp(const ReactionModel& model,
         unpack_columns(cfg, x1, 2 * r, halo_buf);
 
         // Seam anchors: columns [x1 - r, x1 + r); touch [x1 - 2r, x1 + 2r).
-        for (std::int32_t i = 0; i < 2 * r * lat.height(); ++i) {
-          trial_in(x1 - r, 2 * r);
+        {
+          obs::ScopedSpan span(lane, "dd/seam",
+                               static_cast<double>(round) / total_k, round);
+          for (std::int32_t i = 0; i < 2 * r * lat.height(); ++i) {
+            trial_in(x1 - r, 2 * r);
+          }
         }
 
         // Return the neighbor's updated columns [x1, x1 + 2r).
@@ -153,7 +167,7 @@ DomainDecompResult run_domain_decomp(const ReactionModel& model,
       }
     }
     total_trials.fetch_add(my_trials, std::memory_order_relaxed);
-  });
+  }, comm_obs);
 
   result.total_trials = total_trials.load();
   return result;

@@ -9,7 +9,12 @@
 #include <functional>
 #include <mutex>
 #include <stdexcept>
+#include <string>
+#include <type_traits>
 #include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace casurf {
 
@@ -25,6 +30,101 @@ class CommAborted : public std::runtime_error {
             "communicator: world aborted (a peer rank failed before "
             "completing this exchange)") {}
 };
+
+/// Observability sinks for one Communicator::run(): a registry for the
+/// per-edge / wait / skew comm metrics and a tracer for the per-rank trace
+/// lanes. Either may be null ("off") — same null-probe-off discipline as
+/// Simulator::set_metrics, so an unobserved world pays one branch per
+/// record site and the trajectory is bit-identical either way.
+struct CommObs {
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+};
+
+#ifdef CASURF_NO_METRICS
+/// Compiled-out comm probes: every record site vanishes (the empty-type
+/// contract below mirrors ScopedSpan), so a CASURF_METRICS=OFF build's
+/// communicator touches no registry and records no spans even when a
+/// CommObs is attached.
+class CommProbes {
+ public:
+  void arm(int /*world_size*/, const CommObs& /*obs*/) {}
+  [[nodiscard]] obs::TraceRing* ring(int /*rank*/) const { return nullptr; }
+  [[nodiscard]] std::uint64_t begin_wait() const { return 0; }
+  void on_send(int /*src*/, int /*dst*/, int /*tag*/, std::size_t /*bytes*/) {}
+  void note_queue_depth(int /*dst*/, std::size_t /*depth*/) {}
+  void on_recv(int /*rank*/, int /*src*/, int /*tag*/, std::size_t /*bytes*/,
+               std::uint64_t /*t0*/) {}
+  void on_coll_arrival(int /*arrived_before*/) {}
+  void on_coll_release() {}
+  void finish_coll(int /*rank*/, std::uint64_t /*t0*/,
+                   std::uint64_t /*generation*/, bool /*allreduce*/) {}
+};
+/// The zero-cost-when-off guarantee for the comm layer: with
+/// CASURF_METRICS=OFF a probe site must compile down to nothing a
+/// trajectory (or profile) could notice.
+static_assert(std::is_empty_v<CommProbes>,
+              "CommProbes must compile out to a no-op under CASURF_NO_METRICS");
+#else
+/// Pre-resolved comm probes for one Communicator world. arm() resolves
+/// every registry probe and trace lane ONCE, before the rank threads
+/// start; record sites then cost one branch when disarmed and touch only
+/// atomics (or the caller rank's own single-writer lane) when armed.
+///
+/// Metric names (see docs/OBSERVABILITY.md):
+///   comm/edge/<src>-><dst>/messages   counter, per directed edge
+///   comm/edge/<src>-><dst>/bytes      counter, per directed edge
+///   comm/wait/recv/rank<k>            timer, blocked in recv()
+///   comm/wait/barrier/rank<k>         timer, blocked in barrier()
+///   comm/wait/allreduce/rank<k>       timer, blocked in allreduce_sum()
+///   comm/queue_high_water/rank<k>     gauge, mailbox depth high-water
+///   comm/barrier_skew_ns              histogram, first→last arrival/epoch
+class CommProbes {
+ public:
+  /// Resolve every probe once. Safe with an all-null CommObs: the probes
+  /// stay disarmed and every record site below is a single branch.
+  void arm(int world_size, const CommObs& obs);
+
+  /// Rank k's trace lane (tid obs::kRankLaneBase + k); null when no tracer
+  /// is attached.
+  [[nodiscard]] obs::TraceRing* ring(int rank) const {
+    return armed_ ? lanes_[static_cast<std::size_t>(rank)] : nullptr;
+  }
+  /// Timestamp for a blocking call's wait timer (0 when disarmed).
+  [[nodiscard]] std::uint64_t begin_wait() const {
+    return armed_ ? obs::now_ns() : 0;
+  }
+
+  /// Point-to-point probes. note_queue_depth runs under the destination
+  /// mailbox's mutex (the high-water bookkeeping shares that lock); the
+  /// others touch only atomics and the calling rank's own lane.
+  void on_send(int src, int dst, int tag, std::size_t bytes);
+  void note_queue_depth(int dst, std::size_t depth);
+  void on_recv(int rank, int src, int tag, std::size_t bytes, std::uint64_t t0);
+
+  /// Collective probes. on_coll_arrival/on_coll_release run under the
+  /// communicator's collective mutex, which guards the first-arrival
+  /// timestamp; finish_coll runs after release on the caller's own lane.
+  void on_coll_arrival(int arrived_before);
+  void on_coll_release();
+  void finish_coll(int rank, std::uint64_t t0, std::uint64_t generation,
+                   bool allreduce);
+
+ private:
+  bool armed_ = false;
+  int world_ = 0;
+  std::vector<obs::TraceRing*> lanes_;        ///< per rank; null = no tracer
+  std::vector<obs::Counter*> edge_messages_;  ///< [src*world_+dst]; empty = no registry
+  std::vector<obs::Counter*> edge_bytes_;
+  std::vector<obs::Timer*> wait_recv_;
+  std::vector<obs::Timer*> wait_barrier_;
+  std::vector<obs::Timer*> wait_allreduce_;
+  std::vector<obs::Gauge*> queue_high_water_;
+  std::vector<std::size_t> high_water_;  ///< guarded by each mailbox's mutex
+  obs::Histogram* barrier_skew_ = nullptr;
+  std::uint64_t epoch_first_ns_ = 0;  ///< guarded by the collective mutex
+};
+#endif
 
 /// In-process message-passing substrate, MPI-flavored: a fixed world of
 /// ranks (one thread each) exchanging tagged point-to-point messages plus
@@ -57,6 +157,15 @@ class Communicator {
   /// cascade it triggered in the survivors is not reported.
   static Stats run(int world_size, const std::function<void(Rank&)>& rank_main);
 
+  /// Same, with observability attached: per-edge message/byte counters,
+  /// blocked-wait timers, queue-depth high-water gauges, and a
+  /// barrier-skew histogram into `obs.metrics`; per-rank trace lanes (tid
+  /// obs::kRankLaneBase + rank) into `obs.tracer`. Probes are resolved
+  /// once before the rank threads start and are per-instance — concurrent
+  /// worlds with different sinks never cross-contaminate.
+  static Stats run(int world_size, const std::function<void(Rank&)>& rank_main,
+                   const CommObs& obs);
+
   /// A rank's endpoint: the handle `rank_main` receives.
   class Rank {
    public:
@@ -81,6 +190,7 @@ class Communicator {
     [[nodiscard]] T recv_value(int src, int tag) {
       static_assert(std::is_trivially_copyable_v<T>);
       const std::vector<std::byte> buf = recv(src, tag);
+      check_payload_size("recv_value", src, tag, buf.size(), 1, sizeof(T));
       T value{};
       std::memcpy(&value, buf.data(), sizeof(T));
       return value;
@@ -96,7 +206,11 @@ class Communicator {
     void recv_span(int src, int tag, T* data, std::size_t count) {
       static_assert(std::is_trivially_copyable_v<T>);
       const std::vector<std::byte> buf = recv(src, tag);
-      std::memcpy(data, buf.data(), std::min(buf.size(), count * sizeof(T)));
+      // A size mismatch is a protocol bug (sender and receiver disagree on
+      // the exchange) — fail loudly instead of silently truncating or
+      // zero-padding the halo.
+      check_payload_size("recv_span", src, tag, buf.size(), count, sizeof(T));
+      std::memcpy(data, buf.data(), buf.size());
     }
 
     /// Synchronize all ranks (sense-reversing generation barrier).
@@ -106,9 +220,34 @@ class Communicator {
     [[nodiscard]] double allreduce_sum(double value);
     [[nodiscard]] std::uint64_t allreduce_sum(std::uint64_t value);
 
+    /// This rank's trace lane, for compute spans between exchanges
+    /// (null when the world runs without a tracer or under
+    /// CASURF_METRICS=OFF). Single-writer: only this rank's thread may
+    /// record into it.
+    [[nodiscard]] obs::TraceRing* trace() const {
+      return comm_->probes_.ring(rank_);
+    }
+
    private:
     friend class Communicator;
     Rank(Communicator* comm, int rank) : comm_(comm), rank_(rank) {}
+
+    /// Throws std::runtime_error when a typed receive's payload size does
+    /// not match the expected element count.
+    static void check_payload_size(const char* what, int src, int tag,
+                                   std::size_t got, std::size_t count,
+                                   std::size_t elem_size) {
+      const std::size_t expected = count * elem_size;
+      if (got == expected) return;
+      throw std::runtime_error(
+          std::string("Communicator::") + what +
+          ": payload size mismatch from rank " + std::to_string(src) +
+          " tag " + std::to_string(tag) + ": got " + std::to_string(got) +
+          " bytes, expected " + std::to_string(expected) + " (" +
+          std::to_string(count) + " x " + std::to_string(elem_size) +
+          "-byte elements)");
+    }
+
     Communicator* comm_;
     int rank_;
   };
@@ -149,6 +288,7 @@ class Communicator {
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> bytes_{0};
   std::atomic<std::uint64_t> barriers_{0};
+  CommProbes probes_;
 };
 
 }  // namespace casurf

@@ -184,7 +184,10 @@ Daemon::Daemon(DaemonOptions opt) : opt_(std::move(opt)) {
   const std::size_t recovered = recover_jobs();
   runners_.reserve(opt_.slots);
   for (unsigned i = 0; i < opt_.slots; ++i) {
-    runners_.emplace_back([this] { runner_main(); });
+    // Lane names are set before the runner threads exist, so the tracer's
+    // name map is never written concurrently with a runner's recording.
+    trace_.set_thread_name(i, "runner" + std::to_string(i));
+    runners_.emplace_back([this, i] { runner_main(i); });
   }
   server_ = std::make_unique<HttpServer>(
       opt_.port, [this](const HttpRequest& req) { return handle(req); },
@@ -248,7 +251,8 @@ std::size_t Daemon::recover_jobs() {
   return recovered;
 }
 
-void Daemon::runner_main() {
+void Daemon::runner_main(unsigned runner) {
+  obs::TraceRing& lane = trace_.ring(runner);
   for (;;) {
     Job* job = nullptr;
     {
@@ -268,7 +272,12 @@ void Daemon::runner_main() {
     log::Event(log::Level::kDebug, kLogComponent, "job_scheduled")
         .u64("job", job->id)
         .i64("priority", job->spec.priority);
-    run_job(*job);
+    {
+      // One span per supervised worker on this runner's lane; the job id
+      // rides in args.step, matching the worker's "job-<id>" trace id.
+      obs::ScopedSpan span(&lane, "serve/job", 0.0, job->id);
+      run_job(*job);
+    }
   }
 }
 
@@ -517,6 +526,7 @@ void Daemon::harvest_report(Job& job) {
   // and a requeued job re-finishes with a newer report — so only the delta
   // beyond what this job already contributed is added.
   std::uint64_t trials = 0, executed = 0, alarms = 0, restarts = 0;
+  std::uint64_t comm_messages = 0, comm_bytes = 0, trace_drops = 0;
   double wall = 0;
   try {
     const Value report = Value::parse(io::read_file(job.dir + "/" + kJobReport));
@@ -526,6 +536,11 @@ void Daemon::harvest_report(Job& job) {
     }
     if (const Value* run = report.find("run")) {
       wall = run->number_or("wall_seconds", 0);
+      trace_drops = static_cast<std::uint64_t>(run->number_or("trace_drops", 0));
+    }
+    if (const Value* comm = report.find("comm"); comm && comm->is_object()) {
+      comm_messages = static_cast<std::uint64_t>(comm->number_or("messages", 0));
+      comm_bytes = static_cast<std::uint64_t>(comm->number_or("bytes", 0));
     }
     if (const Value* drift = report.find("drift"); drift && drift->is_object()) {
       if (const Value* list = drift->find("alarms")) {
@@ -544,12 +559,16 @@ void Daemon::harvest_report(Job& job) {
     return d;
   };
   std::uint64_t d_trials, d_executed, d_alarms, d_restarts;
+  std::uint64_t d_comm_messages, d_comm_bytes, d_trace_drops;
   {
     std::lock_guard lock(mutex_);
     d_trials = delta(trials, job.harvested_trials);
     d_executed = delta(executed, job.harvested_executed);
     d_alarms = delta(alarms, job.harvested_alarms);
     d_restarts = delta(restarts, job.harvested_restarts);
+    d_comm_messages = delta(comm_messages, job.harvested_comm_messages);
+    d_comm_bytes = delta(comm_bytes, job.harvested_comm_bytes);
+    d_trace_drops = delta(trace_drops, job.harvested_trace_drops);
   }
   if (d_trials != 0) registry_.counter("casurf_worker_trials_total").add(d_trials);
   if (d_executed != 0) {
@@ -563,6 +582,15 @@ void Daemon::harvest_report(Job& job) {
         .counter(obs::prom::series("casurf_worker_recoveries_total",
                                    {{"scope", "worker"}}))
         .add(d_restarts);
+  }
+  if (d_comm_messages != 0) {
+    registry_.counter("casurf_worker_comm_messages_total").add(d_comm_messages);
+  }
+  if (d_comm_bytes != 0) {
+    registry_.counter("casurf_worker_comm_bytes_total").add(d_comm_bytes);
+  }
+  if (d_trace_drops != 0) {
+    registry_.counter("casurf_worker_trace_drops_total").add(d_trace_drops);
   }
   if (wall > 0 && trials > 0) {
     registry_.gauge("casurf_job_last_trials_per_second")
@@ -670,6 +698,15 @@ void Daemon::stop() {
   }
   runners_.clear();
   if (server_) server_->stop();
+  // Runner lanes are quiet now (threads joined): export the daemon-side
+  // timeline. Skipped when nothing recorded (e.g. CASURF_METRICS=OFF).
+  if (trace_.total_recorded() > 0) {
+    try {
+      trace_.write(opt_.data_dir + "/trace.json");
+    } catch (const std::exception&) {
+      // Best-effort artifact; shutdown must not fail on a full disk.
+    }
+  }
   if (had_runners) {
     append_event(journal_path_, "daemon_stopped");
     log::Event(log::Level::kInfo, kLogComponent, "daemon_stopped");
@@ -792,6 +829,10 @@ HttpResponse Daemon::route(const HttpRequest& req, RouteInfo& info) {
     if (suffix == "log") {
       info.route = "/jobs/{id}/log";
       return job_file(id, kJobLog, "text/plain");
+    }
+    if (suffix == "trace") {
+      info.route = "/jobs/{id}/trace";
+      return job_file(id, kJobTrace, "application/json");
     }
     return error_response(404, "unknown job resource");
   }

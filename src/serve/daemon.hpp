@@ -16,6 +16,7 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/http.hpp"
 #include "serve/job.hpp"
 
@@ -104,6 +105,9 @@ class Daemon {
     std::uint64_t harvested_executed = 0;   ///< rolled into the registry
     std::uint64_t harvested_alarms = 0;     ///< (deltas only: a requeued
     std::uint64_t harvested_restarts = 0;   ///< job's report is cumulative)
+    std::uint64_t harvested_comm_messages = 0;  ///< worker "comm" section
+    std::uint64_t harvested_comm_bytes = 0;     ///< totals, same delta rule
+    std::uint64_t harvested_trace_drops = 0;    ///< run.trace_drops likewise
   };
 
   /// Per-request telemetry handle() threads through route(): the
@@ -116,7 +120,7 @@ class Daemon {
   };
 
   std::size_t recover_jobs();  // requeue non-terminal job dirs in data_dir
-  void runner_main();
+  void runner_main(unsigned runner);
   void run_job(Job& job);
   int supervise_worker(Job& job);  // one spawn+wait cycle; returns exit code
   void finish(Job& job, JobState state, int code, std::string error);
@@ -143,6 +147,12 @@ class Daemon {
 
   DaemonOptions opt_;
   obs::MetricsRegistry registry_;
+  /// Daemon-side trace: one lane per runner thread carrying a serve/job
+  /// span per supervised worker (args.step = job id). Written to
+  /// data_dir/trace.json at stop(); together with the workers' own traces
+  /// (JobSpec::trace) and their "job-<id>" trace ids, `casurf_report
+  /// --merge-traces` stitches the fleet into one clock-aligned timeline.
+  obs::Tracer trace_;
   std::string journal_path_;  ///< daemon-level events.jsonl in data_dir
   std::atomic<std::uint64_t> next_req_{1};  ///< access-log request ids
 

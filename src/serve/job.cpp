@@ -146,6 +146,8 @@ JobSpec JobSpec::from_json(const Value& v) {
       spec.heatmap_every = non_negative_integer(value, "heatmap_every");
     } else if (key == "drift_record") {
       spec.drift_record = boolean(value, "drift_record");
+    } else if (key == "trace") {
+      spec.trace = boolean(value, "trace");
     } else if (key == "failpoints") {
       spec.failpoints = string_value(value, "failpoints");
       if (spec.failpoints.size() > 4096) reject("failpoints spec too long");
@@ -200,6 +202,7 @@ std::string JobSpec::to_json() const {
   w.key("heatmap"), w.boolean(heatmap);
   w.key("heatmap_every"), w.u64(heatmap_every);
   w.key("drift_record"), w.boolean(drift_record);
+  w.key("trace"), w.boolean(trace);
   if (!failpoints.empty()) w.key("failpoints"), w.string(failpoints);
   w.end_object();
   return std::move(w).str();
@@ -246,6 +249,15 @@ std::vector<std::string> JobSpec::to_argv(const std::string& runner,
     }
   }
   if (drift_record) flag("--drift-record", dir + "/" + kJobDrift);
+  if (trace) flag("--trace", dir + "/" + kJobTrace);
+  // Cross-process trace correlation: the job-directory basename ("job-<id>")
+  // is the trace id the worker stamps into its run report and trace footer,
+  // which is what lets `casurf_report --merge-traces` label each worker's
+  // lanes. Passed as a flag (not env): the exec happens on the
+  // async-signal-safe path between fork and execv, where setenv is off
+  // limits.
+  const std::size_t slash = dir.find_last_of('/');
+  flag("--trace-id", slash == std::string::npos ? dir : dir.substr(slash + 1));
   if (!failpoints.empty()) flag("--failpoints", failpoints);
   argv.emplace_back("--quiet");
   return argv;

@@ -45,6 +45,7 @@ struct JobSpec {
   bool heatmap = false;
   std::uint64_t heatmap_every = 0;  ///< 0 = only at the end
   bool drift_record = false;        ///< stream a drift profile too
+  bool trace = false;               ///< worker writes a Chrome-trace JSON
 
   /// Deterministic fault injection forwarded to the worker (--failpoints
   /// grammar). Operational/testing aid; rejected by builds that compiled
@@ -80,5 +81,6 @@ inline constexpr const char* kJobDrift = "drift.json";
 inline constexpr const char* kJobLog = "worker.log";
 inline constexpr const char* kJobLogRotated = "worker.log.1";
 inline constexpr const char* kJobEvents = "events.jsonl";
+inline constexpr const char* kJobTrace = "trace.json";
 
 }  // namespace casurf::serve

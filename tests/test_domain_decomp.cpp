@@ -5,6 +5,8 @@
 #include "core/observer.hpp"
 #include "dmc/rsm.hpp"
 #include "models/zgb.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stats/coverage.hpp"
 #include "stats/timeseries.hpp"
 
@@ -117,6 +119,52 @@ TEST(DomainDecomp, DeterministicForFixedSeed) {
   const auto b = run_domain_decomp(zgb.model, Configuration(lat, 3, zgb.vacant), params);
   EXPECT_EQ(a.coverage, b.coverage);
   EXPECT_EQ(a.times, b.times);
+}
+
+TEST(DomainDecomp, ObservabilityDoesNotPerturbTrajectory) {
+  // The null-probe-off contract extended to the comm layer: a run with
+  // metrics and tracing armed must produce exactly the same trajectory as
+  // a bare run — probes read clocks and bump counters, never RNG or
+  // lattice state.
+  auto zgb = models::make_zgb(models::ZgbParams::from_y(0.45, 10.0));
+  const Lattice lat(24, 12);
+  const Configuration initial(lat, 3, zgb.vacant);
+
+  DomainDecompParams bare;
+  bare.ranks = 4;
+  bare.seed = 9;
+  bare.t_end = 3.0;
+  bare.sample_dt = 0.5;
+  const auto a = run_domain_decomp(zgb.model, initial, bare);
+
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  DomainDecompParams instrumented = bare;
+  instrumented.metrics = &registry;
+  instrumented.tracer = &tracer;
+  const auto b = run_domain_decomp(zgb.model, initial, instrumented);
+
+  EXPECT_EQ(a.times, b.times);
+  EXPECT_EQ(a.coverage, b.coverage);
+  EXPECT_EQ(a.total_trials, b.total_trials);
+  EXPECT_EQ(a.comm.messages, b.comm.messages);
+  EXPECT_EQ(a.comm.bytes, b.comm.bytes);
+
+#ifndef CASURF_NO_METRICS
+  // The instrumented run did observe: per-rank lanes carry compute spans
+  // and the registry carries edge traffic.
+  EXPECT_GT(tracer.total_recorded(), 0u);
+  std::uint64_t edge_messages = 0;
+  for (const auto& c : registry.counters()) {
+    if (c.name.starts_with("comm/edge/") && c.name.ends_with("/messages")) {
+      edge_messages += c.value;
+    }
+  }
+  EXPECT_EQ(edge_messages, b.comm.messages);
+#else
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+  EXPECT_TRUE(registry.counters().empty());
+#endif
 }
 
 }  // namespace

@@ -3,9 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <cstring>
 #include <numeric>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace casurf {
 namespace {
@@ -266,6 +272,268 @@ TEST(MsgPass, InvalidDestinationThrowsInRank) {
 TEST(MsgPass, InvalidWorldSize) {
   EXPECT_THROW(Communicator::run(0, [](Communicator::Rank&) {}), std::invalid_argument);
 }
+
+TEST(MsgPass, RecvSpanSizeMismatchThrows) {
+  // The silent-truncation regression: a sender shipping 3 doubles to a
+  // receiver expecting 4 used to memcpy whatever arrived and leave the
+  // tail stale. It must be a descriptive error instead.
+  try {
+    Communicator::run(2, [](Communicator::Rank& rank) {
+      if (rank.rank() == 0) {
+        const std::vector<double> data(3, 1.5);
+        rank.send_span(1, 9, data.data(), data.size());
+      } else {
+        std::vector<double> got(4, -1.0);
+        rank.recv_span(0, 9, got.data(), got.size());
+        FAIL() << "recv_span accepted a short payload";
+      }
+    });
+    FAIL() << "run() swallowed the payload mismatch";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("payload size mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find("got 24 bytes, expected 32"), std::string::npos) << what;
+  }
+}
+
+TEST(MsgPass, RecvValueSizeMismatchThrows) {
+  try {
+    Communicator::run(2, [](Communicator::Rank& rank) {
+      if (rank.rank() == 0) {
+        rank.send_value<std::uint16_t>(1, 3, 7);
+      } else {
+        (void)rank.recv_value<std::uint64_t>(0, 3);
+        FAIL() << "recv_value accepted a short payload";
+      }
+    });
+    FAIL() << "run() swallowed the payload mismatch";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("payload size mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+#ifndef CASURF_NO_METRICS
+
+/// Total of the registry's comm/edge counters matching `suffix`
+/// ("messages" or "bytes"); also verifies the src->dst name shape.
+std::uint64_t edge_total(const obs::MetricsRegistry& registry,
+                         const std::string& suffix) {
+  std::uint64_t total = 0;
+  for (const auto& c : registry.counters()) {
+    int src = -1, dst = -1;
+    char kind[16] = {};
+    if (std::sscanf(c.name.c_str(), "comm/edge/%d->%d/%15s", &src, &dst,
+                    kind) == 3 &&
+        suffix == kind) {
+      total += c.value;
+    }
+  }
+  return total;
+}
+
+TEST(MsgPassObs, EdgeCountersReconcileWithStats) {
+  // Asymmetric traffic so per-edge attribution is distinguishable from a
+  // single global counter: 0->1 three small messages, 1->2 one large, plus
+  // barriers and an allreduce. Every edge counter must sum back to the
+  // communicator's own Stats — the reconciliation casurf_report --comm
+  // enforces on real runs.
+  obs::MetricsRegistry registry;
+  const Communicator::Stats stats = Communicator::run(
+      3,
+      [](Communicator::Rank& rank) {
+        if (rank.rank() == 0) {
+          for (int i = 0; i < 3; ++i) rank.send_value<std::uint32_t>(1, 1, i);
+        } else if (rank.rank() == 1) {
+          for (int i = 0; i < 3; ++i) (void)rank.recv_value<std::uint32_t>(0, 1);
+          const std::vector<double> big(32, 1.0);
+          rank.send_span(2, 2, big.data(), big.size());
+        } else {
+          std::vector<double> got(32, 0.0);
+          rank.recv_span(1, 2, got.data(), got.size());
+        }
+        rank.barrier();
+        (void)rank.allreduce_sum(1.0);
+      },
+      CommObs{&registry, nullptr});
+
+  EXPECT_EQ(stats.messages, 4u);
+  EXPECT_EQ(stats.bytes, 3u * 4 + 32 * 8);
+  EXPECT_EQ(edge_total(registry, "messages"), stats.messages);
+  EXPECT_EQ(edge_total(registry, "bytes"), stats.bytes);
+
+  // The specific edges, not just the totals.
+  std::uint64_t edge01 = 0, edge12 = 0;
+  for (const auto& c : registry.counters()) {
+    if (c.name == "comm/edge/0->1/messages") edge01 = c.value;
+    if (c.name == "comm/edge/1->2/messages") edge12 = c.value;
+  }
+  EXPECT_EQ(edge01, 3u);
+  EXPECT_EQ(edge12, 1u);
+
+  // Wait timers and the barrier-skew histogram exist per rank.
+  std::size_t recv_timers = 0, barrier_timers = 0;
+  for (const auto& t : registry.timers()) {
+    if (t.name.starts_with("comm/wait/recv/rank")) ++recv_timers;
+    if (t.name.starts_with("comm/wait/barrier/rank")) ++barrier_timers;
+  }
+  EXPECT_EQ(recv_timers, 3u);
+  EXPECT_EQ(barrier_timers, 3u);
+  bool skew_seen = false;
+  for (const auto& h : registry.histograms()) {
+    if (h.name == "comm/barrier_skew_ns") {
+      skew_seen = true;
+      EXPECT_GE(h.count, 1u);
+    }
+  }
+  EXPECT_TRUE(skew_seen);
+}
+
+TEST(MsgPassObs, RankLanesCarryCommEvents) {
+  obs::Tracer tracer;
+  Communicator::run(
+      2,
+      [](Communicator::Rank& rank) {
+        ASSERT_NE(rank.trace(), nullptr);
+        if (rank.rank() == 0) {
+          const std::vector<std::uint32_t> data(4, 9);
+          rank.send_span(1, 5, data.data(), data.size());
+        } else {
+          std::vector<std::uint32_t> got(4, 0);
+          rank.recv_span(0, 5, got.data(), got.size());
+        }
+        rank.barrier();
+      },
+      CommObs{nullptr, &tracer});
+
+  // Rank k records onto lane kRankLaneBase + k — its own ring, single
+  // writer, so lanes never interleave.
+  const auto lane0 = tracer.ring(obs::kRankLaneBase + 0).events();
+  const auto lane1 = tracer.ring(obs::kRankLaneBase + 1).events();
+  bool send_seen = false;
+  for (const auto& e : lane0) {
+    if (std::strcmp(e.name, "comm/send") == 0) {
+      send_seen = true;
+      EXPECT_EQ(e.kind, obs::TraceEvent::Kind::kInstant);
+      EXPECT_EQ(e.src, 0);
+      EXPECT_EQ(e.dst, 1);
+      EXPECT_EQ(e.tag, 5);
+      EXPECT_EQ(e.bytes, 16u);
+    }
+  }
+  EXPECT_TRUE(send_seen);
+  bool recv_seen = false, barrier_seen = false;
+  for (const auto& e : lane1) {
+    if (std::strcmp(e.name, "comm/recv") == 0) {
+      recv_seen = true;
+      EXPECT_EQ(e.kind, obs::TraceEvent::Kind::kSpan);
+      EXPECT_EQ(e.src, 0);
+      EXPECT_EQ(e.dst, 1);
+      EXPECT_EQ(e.tag, 5);
+      EXPECT_EQ(e.bytes, 16u);
+    }
+    if (std::strcmp(e.name, "comm/barrier") == 0) barrier_seen = true;
+  }
+  EXPECT_TRUE(recv_seen);
+  EXPECT_TRUE(barrier_seen);
+}
+
+TEST(MsgPassObs, ConcurrentWorldsIsolateProbes) {
+  // Two instrumented worlds running simultaneously, each with its own
+  // registry and tracer: probes are per-Communicator state (armed in
+  // run()), so neither world may leak counts or trace events into the
+  // other's sinks. Run under the TSan recipe this also proves the probe
+  // paths add no races on top of the communicator's own locking.
+  constexpr int kSmall = 10, kBig = 25;
+  const auto world = [](int messages, obs::MetricsRegistry& registry,
+                        obs::Tracer& tracer) {
+    return Communicator::run(
+        2,
+        [messages](Communicator::Rank& rank) {
+          for (int i = 0; i < messages; ++i) {
+            if (rank.rank() == 0) {
+              rank.send_value<std::uint64_t>(1, 1, i);
+            } else {
+              (void)rank.recv_value<std::uint64_t>(0, 1);
+            }
+          }
+          rank.barrier();
+        },
+        CommObs{&registry, &tracer});
+  };
+
+  obs::MetricsRegistry reg_a, reg_b;
+  obs::Tracer tr_a, tr_b;
+  Communicator::Stats stats_a{}, stats_b{};
+  std::thread a([&] { stats_a = world(kSmall, reg_a, tr_a); });
+  std::thread b([&] { stats_b = world(kBig, reg_b, tr_b); });
+  a.join();
+  b.join();
+
+  EXPECT_EQ(stats_a.messages, static_cast<std::uint64_t>(kSmall));
+  EXPECT_EQ(stats_b.messages, static_cast<std::uint64_t>(kBig));
+  EXPECT_EQ(edge_total(reg_a, "messages"), stats_a.messages);
+  EXPECT_EQ(edge_total(reg_b, "messages"), stats_b.messages);
+  EXPECT_EQ(edge_total(reg_a, "bytes"), stats_a.bytes);
+  EXPECT_EQ(edge_total(reg_b, "bytes"), stats_b.bytes);
+
+  // Each world's send instants live in its own tracer, count intact.
+  const auto sends = [](obs::Tracer& t) {
+    std::uint64_t n = 0;
+    for (const auto& e : t.ring(obs::kRankLaneBase + 0).events()) {
+      if (std::strcmp(e.name, "comm/send") == 0) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(sends(tr_a), static_cast<std::uint64_t>(kSmall));
+  EXPECT_EQ(sends(tr_b), static_cast<std::uint64_t>(kBig));
+}
+
+TEST(MsgPassObs, NullSinksRecordNothing) {
+  // The null-probe-off contract: a CommObs with both sinks null must leave
+  // probes disarmed — rank.trace() stays null and nothing is recorded.
+  Communicator::run(
+      2,
+      [](Communicator::Rank& rank) {
+        EXPECT_EQ(rank.trace(), nullptr);
+        if (rank.rank() == 0) {
+          rank.send_value<int>(1, 1, 42);
+        } else {
+          (void)rank.recv_value<int>(0, 1);
+        }
+      },
+      CommObs{});
+}
+
+#else  // CASURF_NO_METRICS
+
+TEST(MsgPassObs, ProbesCompileOutUnderNoMetrics) {
+  // CommProbes is an empty no-op class on this build (static_assert in
+  // msgpass.hpp): arming with live sinks must record nothing anywhere,
+  // while the communicator's own Stats keep counting.
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  const Communicator::Stats stats = Communicator::run(
+      2,
+      [](Communicator::Rank& rank) {
+        EXPECT_EQ(rank.trace(), nullptr);
+        if (rank.rank() == 0) {
+          rank.send_value<int>(1, 1, 42);
+        } else {
+          (void)rank.recv_value<int>(0, 1);
+        }
+        rank.barrier();
+      },
+      CommObs{&registry, &tracer});
+  EXPECT_EQ(stats.messages, 1u);
+  EXPECT_TRUE(registry.counters().empty());
+  EXPECT_TRUE(registry.timers().empty());
+  EXPECT_TRUE(registry.histograms().empty());
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+}
+
+#endif  // CASURF_NO_METRICS
 
 }  // namespace
 }  // namespace casurf
